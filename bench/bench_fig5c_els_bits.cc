@@ -1,0 +1,69 @@
+// Figure 5(c): effect of the Encoded Live Space optimization. Disk
+// accesses per query as a function of the ELS precision (bits per
+// boundary) for 16/32/64-d COLHIST. The paper's finding: 4 bits already
+// eliminate most dead space; more bits barely help. Also verifies the §3.4
+// claim that the memory-resident ELS overhead is a small fraction of the
+// database size.
+
+#include "bench_common.h"
+
+using namespace ht;
+using namespace ht::bench;
+
+int main() {
+  const size_t n = EnvSize("HT_BENCH_N", 20000);
+  const size_t n_queries = Queries();
+  PrintHeader("Figure 5(c): ELS precision sweep",
+              "Chakrabarti & Mehrotra, ICDE 1999, Figure 5(c)",
+              "COLHIST surrogate, n=" + std::to_string(n) +
+                  ", selectivity=0.2%, queries=" + std::to_string(n_queries));
+
+  const std::vector<uint32_t> bit_settings = {0, 2, 4, 8, 12, 16};
+  std::vector<std::string> headers = {"bits/boundary"};
+  for (uint32_t dim : {16u, 32u, 64u}) {
+    headers.push_back(std::to_string(dim) + "-d accesses");
+  }
+  headers.push_back("ELS overhead %% (64-d)");
+  TablePrinter table(headers);
+
+  for (uint32_t bits : bit_settings) {
+    std::vector<std::string> row = {std::to_string(bits)};
+    std::string overhead = "-";
+    for (uint32_t dim : {16u, 32u, 64u}) {
+      Rng rng(7100 + dim);  // same data per dim across bit settings
+      Dataset data = GenColhist(n, dim, rng);
+      data.NormalizeUnitCube();
+      BoxWorkload w =
+          MakeBoxWorkload(data, kColhistSelectivity, n_queries, rng);
+      BuildConfig config;
+      config.expected_query_side = w.side;
+      config.els_bits = bits;
+      const IndexKind kind =
+          bits == 0 ? IndexKind::kHybridNoEls : IndexKind::kHybrid;
+      auto bundle = BuildIndex(kind, data, config);
+      HT_CHECK_OK(bundle.status());
+      auto costs = RunBoxWorkload(bundle.ValueOrDie().index.get(), w.queries);
+      HT_CHECK_OK(costs.status());
+      row.push_back(TablePrinter::Num(costs.ValueOrDie().avg_accesses, 1));
+      if (dim == 64) {
+        auto* hybrid = dynamic_cast<HybridIndexAdapter*>(
+            bundle.ValueOrDie().index.get());
+        auto stats = hybrid->tree().ComputeStats();
+        HT_CHECK_OK(stats.status());
+        const double data_bytes =
+            static_cast<double>(n) * 64 * sizeof(float);
+        overhead = TablePrinter::Num(
+            100.0 * stats.ValueOrDie().els_sidecar_bytes / data_bytes, 3);
+      }
+    }
+    row.push_back(overhead);
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf(
+      "Expected shape: steep drop to a knee at 4-8 bits, then a plateau "
+      "(paper Figure 5(c); our node-local references shift the knee ~2 bits "
+      "up). Sidecar overhead is ~2.6%% at 4 bits with 4 KiB pages — the "
+      "paper's <1%% figure assumes 8 KiB pages.\n");
+  return 0;
+}

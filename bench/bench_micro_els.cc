@@ -1,0 +1,76 @@
+// Micro-benchmark for Encoded Live Space codecs (§3.4): encode/decode
+// latency at the paper's configuration (4 bits) and above, plus the cost
+// of the two-step overlap check.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/els.h"
+
+namespace ht {
+namespace {
+
+struct Fixture {
+  ElsCodec codec;
+  Box ref;
+  Box live;
+  ElsCode code;
+  Box query;
+
+  Fixture(uint32_t dim, uint32_t bits)
+      : codec(dim, bits), ref(Box::UnitCube(dim)) {
+    Rng rng(8100 + dim + bits);
+    std::vector<float> lo(dim), hi(dim), qlo(dim), qhi(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      float a = static_cast<float>(rng.NextDouble());
+      float b = static_cast<float>(rng.NextDouble());
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+      a = static_cast<float>(rng.NextDouble());
+      b = static_cast<float>(rng.NextDouble());
+      qlo[d] = std::min(a, b);
+      qhi[d] = std::max(a, b);
+    }
+    live = Box::FromBounds(lo, hi);
+    query = Box::FromBounds(qlo, qhi);
+    code = codec.Encode(live, ref);
+  }
+};
+
+void BM_ElsEncode(benchmark::State& state) {
+  Fixture f(static_cast<uint32_t>(state.range(0)),
+            static_cast<uint32_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.codec.Encode(f.live, f.ref));
+  }
+}
+
+void BM_ElsDecode(benchmark::State& state) {
+  Fixture f(static_cast<uint32_t>(state.range(0)),
+            static_cast<uint32_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.codec.Decode(f.code, f.ref));
+  }
+}
+
+void BM_ElsTwoStepOverlapCheck(benchmark::State& state) {
+  Fixture f(static_cast<uint32_t>(state.range(0)),
+            static_cast<uint32_t>(state.range(1)));
+  for (auto _ : state) {
+    bool hit = false;
+    // Step 1: kd-region check; step 2: decode only if step 1 passes.
+    if (f.query.Intersects(f.ref)) {
+      hit = f.query.Intersects(f.codec.Decode(f.code, f.ref));
+    }
+    benchmark::DoNotOptimize(hit);
+  }
+}
+
+BENCHMARK(BM_ElsEncode)->Args({16, 4})->Args({64, 4})->Args({64, 8});
+BENCHMARK(BM_ElsDecode)->Args({16, 4})->Args({64, 4})->Args({64, 8});
+BENCHMARK(BM_ElsTwoStepOverlapCheck)->Args({64, 4});
+
+}  // namespace
+}  // namespace ht
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Tables 1 & 2: the paper's qualitative comparison of splitting strategies
+// and structural properties, reproduced as *measured* statistics on trees
+// built over the same data: fanout (and its dependence on dimensionality),
+// overlap, utilization guarantee, cascading splits (KDB), and storage
+// redundancy (hB).
+
+#include "baselines/hb_tree.h"
+#include "baselines/kdb_tree.h"
+#include "baselines/rstar_tree.h"
+#include "baselines/x_tree.h"
+#include "bench_common.h"
+
+using namespace ht;
+using namespace ht::bench;
+
+namespace {
+
+template <typename Tree>
+std::unique_ptr<Tree> Build(const Dataset& data, MemPagedFile* file) {
+  auto tree = Tree::Create(data.dim(), file).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    HT_CHECK_OK(tree->Insert(data.Row(i), i));
+  }
+  return tree;
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = EnvSize("HT_BENCH_N", 20000);
+  PrintHeader("Tables 1 & 2: splitting strategies, measured",
+              "Chakrabarti & Mehrotra, ICDE 1999, Table 1 and Table 2",
+              "COLHIST surrogate, n=" + std::to_string(n) +
+                  ", page=4096, per-dimensionality fanout shown for 16/64-d");
+
+  TablePrinter table({"structure", "dim", "avg fanout", "avg data util",
+                      "min data util", "overlap", "cascading splits",
+                      "storage redundancy"});
+
+  for (uint32_t dim : {16u, 64u}) {
+    Rng rng(7800 + dim);
+    Dataset data = GenColhist(n, dim, rng);
+    data.NormalizeUnitCube();  // paper §3.2: normalized feature space
+
+    {  // Hybrid tree.
+      MemPagedFile file(4096);
+      HybridTreeOptions o;
+      o.dim = dim;
+      o.page_size = 4096;
+      auto tree = HybridIndexAdapter::Create(o, &file).ValueOrDie();
+      for (size_t i = 0; i < data.size(); ++i) {
+        HT_CHECK_OK(tree->Insert(data.Row(i), i));
+      }
+      TreeStats s = tree->tree().ComputeStats().ValueOrDie();
+      const double overlap_pct =
+          s.kd_internal_nodes
+              ? 100.0 * static_cast<double>(s.overlapping_kd_splits) /
+                    static_cast<double>(s.kd_internal_nodes)
+              : 0.0;
+      table.AddRow({"Hybrid tree", std::to_string(dim),
+                    TablePrinter::Num(s.avg_index_fanout, 1),
+                    TablePrinter::Num(s.avg_data_utilization, 2),
+                    TablePrinter::Num(s.min_data_utilization, 2),
+                    TablePrinter::Num(overlap_pct, 1) + "% of kd splits",
+                    "none", "none"});
+    }
+    {  // KDB-tree.
+      MemPagedFile file(4096);
+      auto tree = Build<KdbTree>(data, &file);
+      KdbStats s = tree->ComputeStats().ValueOrDie();
+      table.AddRow(
+          {"KDB-tree", std::to_string(dim),
+           TablePrinter::Num(s.avg_index_fanout, 1),
+           TablePrinter::Num(s.avg_data_utilization, 2),
+           TablePrinter::Num(s.min_data_utilization, 2), "none",
+           std::to_string(s.cascading_splits) + " (+" +
+               std::to_string(s.empty_data_nodes) + " empty nodes)",
+           "none"});
+    }
+    {  // hB-tree.
+      MemPagedFile file(4096);
+      auto tree = Build<HbTree>(data, &file);
+      HbStats s = tree->ComputeStats().ValueOrDie();
+      table.AddRow({"hB-tree", std::to_string(dim),
+                    TablePrinter::Num(s.avg_index_fanout, 1),
+                    TablePrinter::Num(s.avg_data_utilization, 2),
+                    TablePrinter::Num(s.min_data_utilization, 2), "none",
+                    "none",
+                    std::to_string(s.redundant_refs) + " extra refs, " +
+                        std::to_string(s.multi_parent_nodes) +
+                        " multi-parent nodes"});
+    }
+    {  // R*-tree.
+      MemPagedFile file(4096);
+      auto tree = Build<RStarTree>(data, &file);
+      RStarStats s = tree->ComputeStats().ValueOrDie();
+      table.AddRow({"R-tree (R*)", std::to_string(dim),
+                    TablePrinter::Num(s.avg_index_fanout, 1),
+                    TablePrinter::Num(s.avg_leaf_utilization, 2), "-",
+                    TablePrinter::Num(100.0 * s.avg_sibling_overlap, 1) +
+                        "% sibling pairs intersect",
+                    "none", "none"});
+    }
+    {  // X-tree (extra DP reference from the paper's §2 discussion).
+      MemPagedFile file(4096);
+      auto tree = Build<XTree>(data, &file);
+      XTreeStats s = tree->ComputeStats().ValueOrDie();
+      table.AddRow({"X-tree", std::to_string(dim),
+                    TablePrinter::Num(s.avg_dir_fanout, 1), "-", "-",
+                    "low (supernodes instead)",
+                    std::to_string(s.supernodes) + " supernodes (max " +
+                        std::to_string(s.max_chain_pages) + " pages)",
+                    "none"});
+    }
+  }
+  table.Print();
+  std::printf(
+      "Expected shape (Table 1): hybrid/KDB/hB fanout roughly independent "
+      "of dimensionality; R-tree fanout collapses ~4x from 16-d to 64-d; "
+      "KDB shows cascades/empty nodes (no utilization guarantee); hB shows "
+      "storage redundancy; hybrid keeps utilization with low overlap.\n");
+  return 0;
+}

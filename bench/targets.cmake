@@ -1,0 +1,30 @@
+# Bench targets are defined from the top-level CMakeLists (via include())
+# so that ${CMAKE_BINARY_DIR}/bench contains ONLY runnable binaries —
+# `for b in build/bench/*; do $b; done` runs the full harness.
+
+function(ht_add_bench name)
+  add_executable(${name} ${PROJECT_SOURCE_DIR}/bench/${name}.cc)
+  target_include_directories(${name} PRIVATE ${PROJECT_SOURCE_DIR}/bench)
+  target_link_libraries(${name} PRIVATE ht_eval ht_baselines ht_core ht_data
+    ht_geometry ht_storage ht_common Threads::Threads)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+function(ht_add_gbench name)
+  ht_add_bench(${name})
+  target_link_libraries(${name} PRIVATE benchmark::benchmark)
+endfunction()
+
+ht_add_bench(bench_table1_splits)
+ht_add_bench(bench_fig5ab_eda_vs_vam)
+ht_add_bench(bench_fig5c_els_bits)
+ht_add_bench(bench_fig6ab_fourier)
+ht_add_bench(bench_fig6cd_colhist)
+ht_add_bench(bench_fig7ab_dbsize)
+ht_add_bench(bench_fig7cd_distance)
+ht_add_gbench(bench_micro_intranode)
+ht_add_gbench(bench_micro_els)
+ht_add_gbench(bench_micro_core)
+ht_add_bench(bench_ext_bulkload)
+ht_add_bench(bench_ext_knn)

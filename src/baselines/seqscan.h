@@ -1,0 +1,56 @@
+// Copyright 2026 The HybridTree Authors.
+// Sequential scan baseline: entries packed into consecutive pages, every
+// query reads them all. Beyond 10-15 dimensions this is the bar to beat
+// [Beyer et al.; Weber et al.], which is why the paper normalizes all I/O
+// costs against it (sequential pages cost 1/10 of a random access).
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "baselines/spatial_index.h"
+#include "core/node.h"
+#include "storage/paged_file.h"
+
+namespace ht {
+
+class SeqScan final : public SpatialIndex {
+ public:
+  /// `file` must be empty; the scan owns its page layout.
+  static Result<std::unique_ptr<SeqScan>> Create(uint32_t dim,
+                                                 PagedFile* file);
+
+  std::string Name() const override { return "SeqScan"; }
+  Status Insert(std::span<const float> point, uint64_t id) override;
+  Status Delete(std::span<const float> point, uint64_t id) override;
+  Result<std::vector<uint64_t>> SearchBox(const Box& query) override;
+  Result<std::vector<uint64_t>> SearchRange(
+      std::span<const float> center, double radius,
+      const DistanceMetric& metric) override;
+  Result<std::vector<std::pair<double, uint64_t>>> SearchKnn(
+      std::span<const float> center, size_t k,
+      const DistanceMetric& metric) override;
+
+  uint64_t size() const override { return count_; }
+  BufferPool& pool() override { return *pool_; }
+  bool sequential_io() const override { return true; }
+
+  /// Number of data pages a full scan reads.
+  uint64_t data_pages() const { return pages_.size(); }
+
+ private:
+  SeqScan(uint32_t dim, PagedFile* file);
+
+  template <typename Visit>
+  Status ScanAll(Visit visit);
+
+  uint32_t dim_;
+  std::unique_ptr<BufferPool> pool_;
+  std::vector<PageId> pages_;
+  size_t capacity_per_page_;
+  size_t last_page_count_ = 0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace ht

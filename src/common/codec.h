@@ -1,0 +1,137 @@
+// Copyright 2026 The HybridTree Authors.
+// Little-endian binary encoding/decoding for on-disk page layouts.
+//
+// All on-disk structures in the library serialize through these helpers so
+// that page images are byte-identical across platforms. A Writer appends to
+// a fixed-capacity buffer (a page image); a Reader consumes one with bounds
+// checking.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace ht {
+
+/// Appends fixed-width little-endian values to a caller-owned buffer.
+/// Overflow beyond `capacity` is an HT_CHECK failure: callers must size
+/// nodes to their page before serializing (see *::SerializedSize()).
+class Writer {
+ public:
+  Writer(uint8_t* buf, size_t capacity) : buf_(buf), cap_(capacity) {}
+
+  void PutU8(uint8_t v) { PutRaw(&v, 1); }
+  void PutU16(uint16_t v) { PutLe(v); }
+  void PutU32(uint32_t v) { PutLe(v); }
+  void PutU64(uint64_t v) { PutLe(v); }
+  void PutI16(int16_t v) { PutLe(static_cast<uint16_t>(v)); }
+  void PutI32(int32_t v) { PutLe(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutLe(static_cast<uint64_t>(v)); }
+  void PutF32(float v) {
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutLe(bits);
+  }
+  void PutF64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutLe(bits);
+  }
+  void PutBytes(const void* data, size_t n) { PutRaw(data, n); }
+
+  size_t offset() const { return off_; }
+  size_t remaining() const { return cap_ - off_; }
+
+ private:
+  template <typename U>
+  void PutLe(U v) {
+    uint8_t tmp[sizeof(U)];
+    for (size_t i = 0; i < sizeof(U); ++i) {
+      tmp[i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+    PutRaw(tmp, sizeof(U));
+  }
+  void PutRaw(const void* data, size_t n) {
+    HT_CHECK(off_ + n <= cap_);
+    std::memcpy(buf_ + off_, data, n);
+    off_ += n;
+  }
+
+  uint8_t* buf_;
+  size_t cap_;
+  size_t off_ = 0;
+};
+
+/// Consumes fixed-width little-endian values from a buffer. Reads past the
+/// end are Corruption errors surfaced through ok()/status() — a torn or
+/// malformed page must not crash the process.
+class Reader {
+ public:
+  Reader(const uint8_t* buf, size_t size) : buf_(buf), size_(size) {}
+
+  uint8_t GetU8() { return GetLe<uint8_t>(); }
+  uint16_t GetU16() { return GetLe<uint16_t>(); }
+  uint32_t GetU32() { return GetLe<uint32_t>(); }
+  uint64_t GetU64() { return GetLe<uint64_t>(); }
+  int16_t GetI16() { return static_cast<int16_t>(GetLe<uint16_t>()); }
+  int32_t GetI32() { return static_cast<int32_t>(GetLe<uint32_t>()); }
+  int64_t GetI64() { return static_cast<int64_t>(GetLe<uint64_t>()); }
+  float GetF32() {
+    uint32_t bits = GetLe<uint32_t>();
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  double GetF64() {
+    uint64_t bits = GetLe<uint64_t>();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  void GetBytes(void* out, size_t n) {
+    if (!CheckAvail(n)) {
+      std::memset(out, 0, n);
+      return;
+    }
+    std::memcpy(out, buf_ + off_, n);
+    off_ += n;
+  }
+
+  bool ok() const { return ok_; }
+  Status status() const {
+    return ok_ ? Status::OK() : Status::Corruption("short read in page decode");
+  }
+  size_t offset() const { return off_; }
+  size_t remaining() const { return size_ - off_; }
+
+ private:
+  template <typename U>
+  U GetLe() {
+    if (!CheckAvail(sizeof(U))) return U{};
+    U v = 0;
+    for (size_t i = 0; i < sizeof(U); ++i) {
+      v |= static_cast<U>(static_cast<U>(buf_[off_ + i]) << (8 * i));
+    }
+    off_ += sizeof(U);
+    return v;
+  }
+  bool CheckAvail(size_t n) {
+    if (!ok_ || off_ + n > size_) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const uint8_t* buf_;
+  size_t size_;
+  size_t off_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace ht

@@ -1,0 +1,64 @@
+// Copyright 2026 The HybridTree Authors.
+// Error-propagation and checking macros used across the library.
+//
+// The library does not use C++ exceptions: fallible operations return
+// ht::Status or ht::Result<T>, and these macros propagate failures up the
+// call stack (Arrow/RocksDB style).
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+// Propagates a non-ok Status from the current function.
+#define HT_RETURN_NOT_OK(expr)                    \
+  do {                                            \
+    ::ht::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+// Evaluates an expression producing Result<T>; on success binds the value
+// to `lhs`, on failure returns the error Status.
+#define HT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).ValueUnsafe();
+
+#define HT_CONCAT_(a, b) a##b
+#define HT_CONCAT(a, b) HT_CONCAT_(a, b)
+
+#define HT_ASSIGN_OR_RETURN(lhs, rexpr) \
+  HT_ASSIGN_OR_RETURN_IMPL(HT_CONCAT(_ht_result_, __COUNTER__), lhs, rexpr)
+
+// Internal invariant check. Active in all build types: index corruption
+// must never be silently ignored in a storage system.
+#define HT_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "HT_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define HT_CHECK_OK(expr)                                                  \
+  do {                                                                     \
+    ::ht::Status _st = (expr);                                             \
+    if (!_st.ok()) {                                                       \
+      std::fprintf(stderr, "HT_CHECK_OK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, _st.ToString().c_str());                      \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define HT_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define HT_DCHECK(cond) HT_CHECK(cond)
+#endif
+
+#define HT_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;         \
+  TypeName& operator=(const TypeName&) = delete

@@ -1,0 +1,58 @@
+// Copyright 2026 The HybridTree Authors.
+// Result<T>: value-or-Status return type (no exceptions).
+
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace ht {
+
+/// Holds either a value of type T or an error Status. Construction from a
+/// non-OK Status yields the error state; construction from T yields the
+/// value state. Constructing from an OK Status is a programming error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : var_(std::move(status)) {  // NOLINT implicit
+    HT_CHECK(!std::get<Status>(var_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(var_);
+  }
+
+  const T& ValueOrDie() const& {
+    HT_CHECK(ok());
+    return std::get<T>(var_);
+  }
+  T& ValueOrDie() & {
+    HT_CHECK(ok());
+    return std::get<T>(var_);
+  }
+  T ValueOrDie() && {
+    HT_CHECK(ok());
+    return std::move(std::get<T>(var_));
+  }
+
+  /// Extracts the value without checking; used by HT_ASSIGN_OR_RETURN
+  /// after the ok() check has been performed.
+  T ValueUnsafe() && { return std::move(std::get<T>(var_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> var_;
+};
+
+}  // namespace ht

@@ -1,0 +1,43 @@
+// Copyright 2026 The HybridTree Authors.
+// Wall-clock and CPU timers for the evaluation harness.
+
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace ht {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+  /// Elapsed seconds since construction or last Restart().
+  double Seconds() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Process CPU-time stopwatch; this is the quantity the paper's
+/// "CPU time" / "normalized CPU cost" plots use.
+class CpuTimer {
+ public:
+  CpuTimer() { Restart(); }
+  void Restart() { start_ = Now(); }
+  double Seconds() const { return Now() - start_; }
+
+ private:
+  static double Now() {
+    timespec ts;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+  }
+  double start_;
+};
+
+}  // namespace ht

@@ -1,0 +1,199 @@
+#include "core/bulk_load.h"
+
+#include <algorithm>
+#include <functional>
+#include <cmath>
+#include <numeric>
+
+#include "core/split.h"
+
+namespace ht {
+
+namespace {
+
+/// A built subtree: its page, its exact live box, and its tree level.
+struct Built {
+  PageId page = kInvalidPageId;
+  Box live;
+};
+
+/// Live bounding box of a subset of rows.
+Box SubsetLiveBr(const Dataset& data, const std::vector<uint32_t>& ids) {
+  Box br = Box::Empty(data.dim());
+  for (uint32_t i : ids) br.ExtendToInclude(data.Row(i));
+  return br;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HybridTree>> BulkLoad(const HybridTreeOptions& options,
+                                             PagedFile* file,
+                                             const Dataset& data,
+                                             const BulkLoadOptions& bulk) {
+  if (data.dim() != options.dim) {
+    return Status::InvalidArgument("dataset dimensionality mismatch");
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (float v : data.Row(i)) {
+      if (!(v >= 0.0f && v <= 1.0f)) {
+        return Status::InvalidArgument(
+            "bulk data outside the normalized feature space [0,1]^dim");
+      }
+    }
+  }
+  // Create() builds the metadata page and an empty root data page; the
+  // loader then fills pages bottom-up and repoints the root.
+  HT_ASSIGN_OR_RETURN(auto tree, HybridTree::Create(options, file));
+  if (data.size() == 0) return tree;
+
+  const size_t capacity = tree->data_capacity_;
+  const double fill = std::clamp(bulk.fill,
+                                 options.data_node_min_util, 1.0);
+  const size_t target_leaf =
+      std::max<size_t>(1, static_cast<size_t>(fill * capacity));
+
+  // --- Stage 1: recursive EDA-guided partitioning into packed leaves. -----
+  // Leaves come out in kd order, so contiguous runs are spatially coherent.
+  std::vector<Built> level;  // leaves in partition order
+  std::vector<uint32_t> all(data.size());
+  std::iota(all.begin(), all.end(), 0u);
+
+  std::function<Status(std::vector<uint32_t>&)> build_leaves =
+      [&](std::vector<uint32_t>& ids) -> Status {
+    // L leaves of ~n/L entries each; recursion stops at L == 1. Splitting
+    // at the (L/2)-leaf boundary spreads the remainder across all leaves
+    // instead of dumping it into an under-filled tail leaf.
+    const size_t n_leaves = (ids.size() + target_leaf - 1) / target_leaf;
+    if (n_leaves <= 1 && ids.size() <= capacity) {
+      DataNode node;
+      node.entries.reserve(ids.size());
+      for (uint32_t i : ids) {
+        auto row = data.Row(i);
+        node.entries.push_back(
+            DataEntry{i, std::vector<float>(row.begin(), row.end())});
+      }
+      HT_ASSIGN_OR_RETURN(PageHandle h, tree->pool_->New());
+      node.Serialize(h.data(), h.size(), options.dim);
+      h.MarkDirty();
+      level.push_back(Built{h.id(), node.ComputeLiveBr(options.dim)});
+      return Status::OK();
+    }
+    // Split dimension by policy on the subset's live box; position at the
+    // value that puts a multiple of target_leaf on the left (so downstream
+    // leaves pack tightly).
+    const Box live = SubsetLiveBr(data, ids);
+    uint32_t dim = live.MaxExtentDim();
+    if (options.split_policy == SplitPolicy::kVamSplit) {
+      double best_var = -1.0;
+      for (uint32_t d = 0; d < options.dim; ++d) {
+        double mean = 0.0;
+        for (uint32_t i : ids) mean += data.Row(i)[d];
+        mean /= static_cast<double>(ids.size());
+        double var = 0.0;
+        for (uint32_t i : ids) {
+          const double diff = data.Row(i)[d] - mean;
+          var += diff * diff;
+        }
+        if (var > best_var) {
+          best_var = var;
+          dim = d;
+        }
+      }
+    }
+    std::stable_sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
+      return data.Row(a)[dim] < data.Row(b)[dim];
+    });
+    const size_t left_leaves = std::max<size_t>(1, n_leaves / 2);
+    const size_t target_cut = std::clamp<size_t>(
+        ids.size() * left_leaves / n_leaves, 1, ids.size() - 1);
+    // Keep duplicates of the boundary value together (clean split): take
+    // whichever tie-free cut (advancing or retreating) stays closer to the
+    // target.
+    size_t fwd = target_cut;
+    while (fwd < ids.size() &&
+           data.Row(ids[fwd])[dim] == data.Row(ids[fwd - 1])[dim]) {
+      ++fwd;
+    }
+    size_t bwd = target_cut;
+    while (bwd > 1 &&
+           data.Row(ids[bwd])[dim] == data.Row(ids[bwd - 1])[dim]) {
+      --bwd;
+    }
+    size_t cut = (fwd >= ids.size() ||
+                  (bwd > 1 && target_cut - bwd <= fwd - target_cut))
+                     ? bwd
+                     : fwd;
+    // A huge duplicate block can leave either clean cut with an under-
+    // filled side; fall back to splitting the block by count (overlapping
+    // identical values, same handling as the dynamic degenerate split).
+    const size_t floor_entries = std::max<size_t>(
+        1, static_cast<size_t>(options.data_node_min_util *
+                               static_cast<double>(capacity)));
+    if (cut < floor_entries || ids.size() - cut < floor_entries) {
+      cut = ids.size() / 2;
+    }
+    std::vector<uint32_t> left(ids.begin(), ids.begin() + cut);
+    std::vector<uint32_t> right(ids.begin() + cut, ids.end());
+    ids.clear();
+    ids.shrink_to_fit();
+    HT_RETURN_NOT_OK(build_leaves(left));
+    return build_leaves(right);
+  };
+  HT_RETURN_NOT_OK(build_leaves(all));
+
+  // --- Stage 2: build index levels over contiguous runs. ------------------
+  // Children per node are limited by serialized size; estimate the run
+  // length from the record sizes, then verify against the real size.
+  const size_t els_bytes = tree->els_in_page() ? tree->codec_.CodeBytes() : 0;
+  const size_t per_child = 5 + els_bytes + 15;  // leaf + amortized internal
+  const size_t max_children = std::max<size_t>(
+      2, (options.page_size - 4) / per_child);
+
+  uint8_t level_no = 0;
+  while (level.size() > 1) {
+    ++level_no;
+    std::vector<Built> next;
+    // Even grouping with every node receiving at least 2 children (a tree,
+    // not a linked list; also keeps every level's node type uniform).
+    size_t nodes = (level.size() + max_children - 1) / max_children;
+    if (level.size() / nodes < 2) nodes = std::max<size_t>(1, level.size() / 2);
+    const size_t base = level.size() / nodes;
+    const size_t rem = level.size() % nodes;
+    size_t start = 0;
+    for (size_t g = 0; g < nodes; ++g) {
+      const size_t take = base + (g < rem ? 1 : 0);
+      const size_t end = start + take;
+      std::vector<HybridTree::ChildItem> items;
+      Box node_live = Box::Empty(options.dim);
+      for (size_t i = start; i < end; ++i) {
+        node_live.ExtendToInclude(level[i].live);
+        items.push_back(HybridTree::ChildItem{level[i].page, level[i].live,
+                                              level[i].live});
+      }
+      start = end;
+      IndexNode node;
+      node.level = level_no;
+      HT_CHECK(items.size() >= 2);
+      node.root = tree->BuildKdTree(std::move(items),
+                                    Box::UnitCube(options.dim));
+      HT_CHECK(node.SerializedSize(tree->els_in_page()) <= options.page_size);
+      HT_ASSIGN_OR_RETURN(PageHandle h, tree->pool_->New());
+      const PageId page = h.id();
+      h.Release();
+      HT_RETURN_NOT_OK(tree->WriteIndexNode(page, node));
+      next.push_back(Built{page, node_live});
+    }
+    level = std::move(next);
+  }
+
+  // Repoint the root (freeing the placeholder empty data page).
+  const PageId placeholder = tree->root_;
+  tree->root_ = level[0].page;
+  tree->height_ = level_no;
+  tree->count_ = data.size();
+  HT_RETURN_NOT_OK(tree->pool_->Free(placeholder));
+  HT_RETURN_NOT_OK(tree->WriteMeta());
+  return tree;
+}
+
+}  // namespace ht

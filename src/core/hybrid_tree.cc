@@ -1,0 +1,1271 @@
+#include "core/hybrid_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <queue>
+#include <tuple>
+
+#include "common/codec.h"
+#include "core/split.h"
+
+namespace ht {
+
+namespace {
+constexpr uint32_t kMetaMagic = 0x48594254;  // "HYBT"
+constexpr uint32_t kMetaVersion = 1;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / metadata
+// ---------------------------------------------------------------------------
+
+HybridTree::HybridTree(const HybridTreeOptions& options, PagedFile* file)
+    : options_(options),
+      file_(file),
+      pool_(std::make_unique<BufferPool>(file, options.buffer_pool_pages)),
+      codec_(options.dim, options.els_bits) {
+  data_capacity_ = DataNode::Capacity(options_.dim, options_.page_size);
+  data_min_count_ = std::max<size_t>(
+      1, static_cast<size_t>(options_.data_node_min_util *
+                             static_cast<double>(data_capacity_)));
+  if (2 * data_min_count_ > data_capacity_) {
+    data_min_count_ = data_capacity_ / 2;
+  }
+}
+
+Result<std::unique_ptr<HybridTree>> HybridTree::Create(
+    const HybridTreeOptions& options, PagedFile* file) {
+  if (options.dim == 0) {
+    return Status::InvalidArgument("dimension must be positive");
+  }
+  if (options.page_size != file->page_size()) {
+    return Status::InvalidArgument("options.page_size != file page size");
+  }
+  if (file->page_count() != 0) {
+    return Status::InvalidArgument("Create requires an empty file");
+  }
+  if (DataNode::Capacity(options.dim, options.page_size) < 4) {
+    return Status::InvalidArgument(
+        "page too small: a data node must hold at least 4 entries");
+  }
+  if (options.els_bits > 16) {
+    return Status::InvalidArgument("els_bits must be <= 16");
+  }
+  auto tree = std::unique_ptr<HybridTree>(new HybridTree(options, file));
+  // Page 0: metadata. Page 1: the initial (empty) data-node root.
+  HT_ASSIGN_OR_RETURN(PageHandle meta, tree->pool_->New());
+  HT_CHECK(meta.id() == 0);
+  tree->meta_page_ = meta.id();
+  HT_ASSIGN_OR_RETURN(PageHandle root, tree->pool_->New());
+  tree->root_ = root.id();
+  DataNode empty;
+  empty.Serialize(root.data(), options.page_size, options.dim);
+  root.MarkDirty();
+  root.Release();
+  meta.Release();
+  HT_RETURN_NOT_OK(tree->WriteMeta());
+  return tree;
+}
+
+Result<std::unique_ptr<HybridTree>> HybridTree::Open(PagedFile* file) {
+  if (file->page_count() == 0) {
+    return Status::InvalidArgument("Open requires a non-empty file");
+  }
+  Page meta(file->page_size());
+  HT_RETURN_NOT_OK(file->Read(0, &meta));
+  Reader r(meta.data(), meta.size());
+  const uint8_t kind = r.GetU8();
+  if (kind != static_cast<uint8_t>(NodeKind::kMeta)) {
+    return Status::Corruption("page 0 is not a hybrid tree meta page");
+  }
+  const uint32_t magic = r.GetU32();
+  const uint32_t version = r.GetU32();
+  if (magic != kMetaMagic || version != kMetaVersion) {
+    return Status::Corruption("bad hybrid tree magic/version");
+  }
+  HybridTreeOptions options;
+  options.dim = r.GetU32();
+  options.page_size = r.GetU32();
+  const PageId root = r.GetU32();
+  const uint32_t height = r.GetU32();
+  const uint64_t count = r.GetU64();
+  options.split_policy = static_cast<SplitPolicy>(r.GetU8());
+  options.els_mode = static_cast<ElsMode>(r.GetU8());
+  options.els_bits = r.GetU8();
+  options.query_size_model = static_cast<QuerySizeModel>(r.GetU8());
+  options.expected_query_side = r.GetF32();
+  options.data_node_min_util = r.GetF32();
+  options.index_node_min_util = r.GetF32();
+  HT_RETURN_NOT_OK(r.status());
+  if (options.page_size != file->page_size()) {
+    return Status::Corruption("meta page size mismatch");
+  }
+
+  auto tree = std::unique_ptr<HybridTree>(new HybridTree(options, file));
+  tree->meta_page_ = 0;
+  tree->root_ = root;
+  tree->height_ = height;
+  tree->count_ = count;
+  if (options.els_mode == ElsMode::kInMemory && options.els_bits > 0) {
+    // The sidecar is not persisted; rebuild exact codes with one DFS.
+    HT_RETURN_NOT_OK(tree->RebuildEls());
+  }
+  return tree;
+}
+
+Status HybridTree::WriteMeta() {
+  HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(meta_page_));
+  Writer w(h.data(), h.size());
+  w.PutU8(static_cast<uint8_t>(NodeKind::kMeta));
+  w.PutU32(kMetaMagic);
+  w.PutU32(kMetaVersion);
+  w.PutU32(options_.dim);
+  w.PutU32(static_cast<uint32_t>(options_.page_size));
+  w.PutU32(root_);
+  w.PutU32(height_);
+  w.PutU64(count_);
+  w.PutU8(static_cast<uint8_t>(options_.split_policy));
+  w.PutU8(static_cast<uint8_t>(options_.els_mode));
+  w.PutU8(static_cast<uint8_t>(options_.els_bits));
+  w.PutU8(static_cast<uint8_t>(options_.query_size_model));
+  w.PutF32(static_cast<float>(options_.expected_query_side));
+  w.PutF32(static_cast<float>(options_.data_node_min_util));
+  w.PutF32(static_cast<float>(options_.index_node_min_util));
+  h.MarkDirty();
+  return Status::OK();
+}
+
+Status HybridTree::Flush() {
+  HT_RETURN_NOT_OK(WriteMeta());
+  HT_RETURN_NOT_OK(pool_->FlushAll());
+  return file_->Sync();
+}
+
+// ---------------------------------------------------------------------------
+// Node I/O helpers
+// ---------------------------------------------------------------------------
+
+Result<NodeKind> HybridTree::PeekKind(PageId id) {
+  HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(id));
+  return PeekNodeKind(h.data());
+}
+
+Result<DataNode> HybridTree::ReadDataNode(PageId id) {
+  HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(id));
+  return DataNode::Deserialize(h.data(), h.size(), options_.dim);
+}
+
+Status HybridTree::WriteDataNode(PageId id, const DataNode& node) {
+  HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(id));
+  node.Serialize(h.data(), h.size(), options_.dim);
+  h.MarkDirty();
+  return Status::OK();
+}
+
+Result<IndexNode> HybridTree::ReadIndexNode(PageId id) {
+  HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(id));
+  HT_ASSIGN_OR_RETURN(
+      IndexNode node,
+      IndexNode::Deserialize(h.data(), h.size(), els_in_page(),
+                             codec_.CodeBytes()));
+  if (options_.els_mode == ElsMode::kInMemory && options_.els_bits > 0) {
+    auto it = els_sidecar_.find(id);
+    if (it != els_sidecar_.end()) {
+      node.AttachElsBlob(it->second, codec_.CodeBytes());
+    }
+  }
+  return node;
+}
+
+void HybridTree::EnsureCodes(KdNode* n) {
+  if (n == nullptr) return;
+  if (n->IsLeaf()) {
+    if (n->els.size() != codec_.CodeBytes()) n->els = codec_.FullCode();
+    return;
+  }
+  EnsureCodes(n->left.get());
+  EnsureCodes(n->right.get());
+}
+
+Result<std::shared_ptr<const IndexNode>> HybridTree::ReadIndexNodeCached(
+    PageId id, const uint8_t* page_data, size_t page_size) {
+  auto it = node_cache_.find(id);
+  if (it != node_cache_.end()) return it->second;
+  HT_ASSIGN_OR_RETURN(
+      IndexNode node,
+      IndexNode::Deserialize(page_data, page_size, els_in_page(),
+                             codec_.CodeBytes()));
+  if (options_.els_mode == ElsMode::kInMemory && options_.els_bits > 0) {
+    auto sit = els_sidecar_.find(id);
+    if (sit != els_sidecar_.end()) {
+      node.AttachElsBlob(sit->second, codec_.CodeBytes());
+    }
+  }
+  // Precompute each leaf's decoded live box against its node-local region.
+  std::function<void(KdNode*, const Box&)> fill = [&](KdNode* n,
+                                                      const Box& nbr) {
+    if (n->IsLeaf()) {
+      n->cached_live =
+          els_enabled() ? codec_.Decode(n->els, nbr) : nbr;
+      return;
+    }
+    fill(n->left.get(), KdLeftBr(nbr, *n));
+    fill(n->right.get(), KdRightBr(nbr, *n));
+  };
+  fill(node.root.get(), Box::UnitCube(options_.dim));
+  auto sp = std::make_shared<const IndexNode>(std::move(node));
+  node_cache_[id] = sp;
+  return sp;
+}
+
+Status HybridTree::WriteIndexNode(PageId id, IndexNode& node) {
+  node_cache_.erase(id);
+  if (els_enabled()) EnsureCodes(node.root.get());
+  HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(id));
+  node.Serialize(h.data(), h.size(), els_in_page(), codec_.CodeBytes());
+  h.MarkDirty();
+  if (options_.els_mode == ElsMode::kInMemory && options_.els_bits > 0) {
+    els_sidecar_[id] = node.ExtractElsBlob(codec_.CodeBytes());
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ELS helpers
+// ---------------------------------------------------------------------------
+
+void HybridTree::ReencodeSubtree(KdNode* n, const Box& old_br,
+                                 const Box& new_br) {
+  if (!els_enabled() || n == nullptr) return;
+  if (n->IsLeaf()) {
+    n->els = codec_.Reencode(n->els, old_br, new_br);
+    return;
+  }
+  ReencodeSubtree(n->left.get(), KdLeftBr(old_br, *n), KdLeftBr(new_br, *n));
+  ReencodeSubtree(n->right.get(), KdRightBr(old_br, *n),
+                  KdRightBr(new_br, *n));
+}
+
+// ---------------------------------------------------------------------------
+// Insertion
+// ---------------------------------------------------------------------------
+
+Status HybridTree::Insert(std::span<const float> point, uint64_t id) {
+  if (point.size() != options_.dim) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
+  for (float v : point) {
+    if (!(v >= 0.0f && v <= 1.0f)) {
+      return Status::InvalidArgument(
+          "point outside the normalized feature space [0,1]^dim");
+    }
+  }
+  const Box cube = Box::UnitCube(options_.dim);
+  HT_ASSIGN_OR_RETURN(SplitResult s, InsertRec(root_, cube, point, id));
+  if (s.split) {
+    // Grow the tree: a new root whose kd-tree is a single split.
+    IndexNode new_root;
+    new_root.level = static_cast<uint8_t>(height_ + 1);
+    Box left_br = cube;
+    if (s.lsp < left_br.hi(s.dim)) left_br.set_hi(s.dim, s.lsp);
+    Box right_br = cube;
+    if (s.rsp > right_br.lo(s.dim)) right_br.set_lo(s.dim, s.rsp);
+    auto lleaf = KdNode::MakeLeaf(
+        root_, els_enabled() ? codec_.Encode(s.left_live, left_br) : ElsCode{});
+    auto rleaf = KdNode::MakeLeaf(
+        s.right_page,
+        els_enabled() ? codec_.Encode(s.right_live, right_br) : ElsCode{});
+    new_root.root = KdNode::MakeInternal(s.dim, s.lsp, s.rsp, std::move(lleaf),
+                                         std::move(rleaf));
+    HT_ASSIGN_OR_RETURN(PageHandle h, pool_->New());
+    const PageId new_root_page = h.id();
+    h.Release();
+    HT_RETURN_NOT_OK(WriteIndexNode(new_root_page, new_root));
+    root_ = new_root_page;
+    ++height_;
+  }
+  ++count_;
+  return Status::OK();
+}
+
+namespace {
+/// Margin-based enlargement: total increase of side lengths needed for
+/// `box` to cover `p`. Volume-based enlargement underflows to 0 beyond a
+/// few dozen dimensions, margins stay informative at any dimensionality.
+double MarginEnlargement(const Box& box, std::span<const float> p) {
+  double grow = 0.0;
+  for (uint32_t d = 0; d < box.dim(); ++d) {
+    if (p[d] < box.lo(d)) grow += box.lo(d) - p[d];
+    if (p[d] > box.hi(d)) grow += p[d] - box.hi(d);
+  }
+  return grow;
+}
+}  // namespace
+
+ChildRef HybridTree::FindLeafForInsert(IndexNode& node,
+                                       std::span<const float> p,
+                                       const Box& node_br, bool* dirtied) {
+  // §3.5: indexed subspaces are treated as BRs; the insertion target is the
+  // child needing minimum enlargement, ties broken by BR size. Collect
+  // every leaf whose kd region contains the point (overlaps can yield
+  // several) and rank them by live-region enlargement.
+  std::vector<ChildRef> candidates;
+  std::function<void(KdNode*, const Box&)> walk = [&](KdNode* n,
+                                                      const Box& br) {
+    if (n->IsLeaf()) {
+      candidates.push_back(ChildRef{n, br});
+      return;
+    }
+    const float v = p[n->split_dim];
+    if (v <= n->lsp) walk(n->left.get(), KdLeftBr(br, *n));
+    if (v >= n->rsp) walk(n->right.get(), KdRightBr(br, *n));
+  };
+  walk(node.root.get(), node_br);
+
+  if (!candidates.empty()) {
+    size_t best = 0;
+    double best_grow = std::numeric_limits<double>::max();
+    double best_margin = std::numeric_limits<double>::max();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const Box live = els_enabled()
+                           ? codec_.Decode(candidates[i].leaf->els,
+                                           candidates[i].kd_br)
+                           : candidates[i].kd_br;
+      const double grow = MarginEnlargement(live, p);
+      const double margin = live.Margin();
+      if (std::tie(grow, margin) < std::tie(best_grow, best_margin)) {
+        best_grow = grow;
+        best_margin = margin;
+        best = i;
+      }
+    }
+    return candidates[best];
+  }
+
+  // The point fell into a kd gap (lsp < v < rsp) on every path: admit it by
+  // minimally enlarging the nearer boundary — the 1-d specialization of the
+  // minimum-enlargement rule. The widened subtree's kd regions change, so
+  // its ELS codes are re-encoded against the new reference regions.
+  KdNode* n = node.root.get();
+  Box br = node_br;
+  while (!n->IsLeaf()) {
+    const uint32_t d = n->split_dim;
+    const float v = p[d];
+    const bool can_left = v <= n->lsp;
+    const bool can_right = v >= n->rsp;
+    if (!can_left && !can_right) {
+      if (v - n->lsp <= n->rsp - v) {
+        const Box old_br = KdLeftBr(br, *n);
+        n->lsp = v;
+        ReencodeSubtree(n->left.get(), old_br, KdLeftBr(br, *n));
+      } else {
+        const Box old_br = KdRightBr(br, *n);
+        n->rsp = v;
+        ReencodeSubtree(n->right.get(), old_br, KdRightBr(br, *n));
+      }
+      *dirtied = true;
+      continue;  // re-evaluate with the widened boundary
+    }
+    bool go_left;
+    if (can_left && can_right) {
+      go_left = (n->lsp - v) >= (v - n->rsp);
+    } else {
+      go_left = can_left;
+    }
+    if (go_left) {
+      br = KdLeftBr(br, *n);
+      n = n->left.get();
+    } else {
+      br = KdRightBr(br, *n);
+      n = n->right.get();
+    }
+  }
+  return ChildRef{n, br};
+}
+
+Result<HybridTree::SplitResult> HybridTree::InsertRec(
+    PageId page, const Box& br, std::span<const float> point, uint64_t id) {
+  HT_ASSIGN_OR_RETURN(NodeKind kind, PeekKind(page));
+  if (kind == NodeKind::kData) {
+    HT_ASSIGN_OR_RETURN(DataNode node, ReadDataNode(page));
+    node.entries.push_back(
+        DataEntry{id, std::vector<float>(point.begin(), point.end())});
+    if (node.entries.size() <= data_capacity_) {
+      HT_RETURN_NOT_OK(WriteDataNode(page, node));
+      return SplitResult{};
+    }
+    return SplitDataNode(page, node, br);
+  }
+
+  HT_ASSIGN_OR_RETURN(IndexNode node, ReadIndexNode(page));
+  bool dirtied = false;
+  ChildRef target = FindLeafForInsert(node, point, br, &dirtied);
+  if (els_enabled()) {
+    ElsCode grown =
+        codec_.ExtendToInclude(target.leaf->els, target.kd_br, point);
+    if (grown != target.leaf->els) {
+      target.leaf->els = std::move(grown);
+      dirtied = true;
+    }
+  }
+  const PageId child_page = target.leaf->child;
+  // Children interpret their own kd trees relative to the unit cube:
+  // every page's ELS reference regions are node-local (see the class
+  // comment), so ancestor boundary changes can never stale them.
+  HT_ASSIGN_OR_RETURN(SplitResult cs,
+                      InsertRec(child_page, Box::UnitCube(options_.dim),
+                                point, id));
+  if (cs.split) {
+    // Replace the kd leaf by an internal node over the two halves.
+    Box left_br = target.kd_br;
+    if (cs.lsp < left_br.hi(cs.dim)) left_br.set_hi(cs.dim, cs.lsp);
+    Box right_br = target.kd_br;
+    if (cs.rsp > right_br.lo(cs.dim)) right_br.set_lo(cs.dim, cs.rsp);
+    KdNode* leaf = target.leaf;
+    leaf->left = KdNode::MakeLeaf(
+        child_page,
+        els_enabled() ? codec_.Encode(cs.left_live, left_br) : ElsCode{});
+    leaf->right = KdNode::MakeLeaf(
+        cs.right_page,
+        els_enabled() ? codec_.Encode(cs.right_live, right_br) : ElsCode{});
+    leaf->split_dim = cs.dim;
+    leaf->lsp = cs.lsp;
+    leaf->rsp = cs.rsp;
+    leaf->child = kInvalidPageId;
+    leaf->els.clear();
+    dirtied = true;
+  }
+  if (node.SerializedSize(els_in_page()) > options_.page_size) {
+    return SplitIndexNode(page, node, br);
+  }
+  if (dirtied) {
+    HT_RETURN_NOT_OK(WriteIndexNode(page, node));
+  }
+  return SplitResult{};
+}
+
+Result<HybridTree::SplitResult> HybridTree::SplitDataNode(PageId page,
+                                                          DataNode& node,
+                                                          const Box& br) {
+  // The EDA-optimal dimension is the one along which the node's bounding
+  // region is widest (§3.2). The *live* BR (tight box over the stored
+  // entries) is the operative region: the kd region also covers dead space
+  // whose extent says nothing about where a split can separate data.
+  (void)br;
+  const Box live = node.ComputeLiveBr(options_.dim);
+  DataSplit ds = ChooseDataSplit(live, node.entries, data_min_count_,
+                                 options_.split_policy);
+  DataNode left, right;
+  left.entries.reserve(ds.left.size());
+  right.entries.reserve(ds.right.size());
+  for (uint32_t i : ds.left) left.entries.push_back(std::move(node.entries[i]));
+  for (uint32_t i : ds.right) {
+    right.entries.push_back(std::move(node.entries[i]));
+  }
+  HT_RETURN_NOT_OK(WriteDataNode(page, left));
+  HT_ASSIGN_OR_RETURN(PageHandle rh, pool_->New());
+  const PageId right_page = rh.id();
+  right.Serialize(rh.data(), rh.size(), options_.dim);
+  rh.MarkDirty();
+  rh.Release();
+
+  SplitResult out;
+  out.split = true;
+  out.dim = ds.dim;
+  out.lsp = ds.pos;
+  out.rsp = ds.pos;
+  out.right_page = right_page;
+  out.left_live = left.ComputeLiveBr(options_.dim);
+  out.right_live = right.ComputeLiveBr(options_.dim);
+  return out;
+}
+
+std::unique_ptr<KdNode> HybridTree::BuildKdTree(std::vector<ChildItem> items,
+                                                const Box& region) {
+  HT_CHECK(!items.empty());
+  if (items.size() == 1) {
+    return KdNode::MakeLeaf(items[0].page,
+                            els_enabled() ? codec_.Encode(items[0].live, region)
+                                          : ElsCode{});
+  }
+  // Partition by the children's live regions: dead space contributes
+  // nothing to the expected accesses, and live boxes give tighter (often
+  // overlap-free) split positions. When ELS is off, live == kd region.
+  std::vector<Box> live_brs;
+  live_brs.reserve(items.size());
+  for (const auto& it : items) live_brs.push_back(it.live);
+  // Internal kd rebuild aims at balance (1/3 per side) and may use any
+  // dimension; unused dimensions price themselves out via full overlap.
+  std::vector<uint32_t> all_dims(options_.dim);
+  for (uint32_t d = 0; d < options_.dim; ++d) all_dims[d] = d;
+  const size_t min_count = std::max<size_t>(1, items.size() / 3);
+  IndexSplit is = ChooseIndexSplit(region, live_brs, min_count, all_dims,
+                                   options_.split_policy,
+                                   options_.query_size_model,
+                                   options_.expected_query_side);
+  Box left_region = region;
+  if (is.parts.lsp < left_region.hi(is.dim)) {
+    left_region.set_hi(is.dim, is.parts.lsp);
+  }
+  Box right_region = region;
+  if (is.parts.rsp > right_region.lo(is.dim)) {
+    right_region.set_lo(is.dim, is.parts.rsp);
+  }
+  std::vector<ChildItem> left_items, right_items;
+  left_items.reserve(is.parts.left.size());
+  right_items.reserve(is.parts.right.size());
+  for (uint32_t i : is.parts.left) left_items.push_back(std::move(items[i]));
+  for (uint32_t i : is.parts.right) right_items.push_back(std::move(items[i]));
+  auto l = BuildKdTree(std::move(left_items), left_region);
+  auto r = BuildKdTree(std::move(right_items), right_region);
+  return KdNode::MakeInternal(is.dim, is.parts.lsp, is.parts.rsp, std::move(l),
+                              std::move(r));
+}
+
+Result<HybridTree::SplitResult> HybridTree::SplitIndexNode(PageId page,
+                                                           IndexNode& node,
+                                                           const Box& br) {
+  std::vector<ChildRef> kids;
+  node.CollectChildren(br, &kids);
+  HT_CHECK(kids.size() >= 2);
+  std::vector<Box> live_brs;
+  std::vector<ChildItem> items;
+  live_brs.reserve(kids.size());
+  items.reserve(kids.size());
+  for (const auto& kid : kids) {
+    Box live = els_enabled() ? codec_.Decode(kid.leaf->els, kid.kd_br)
+                             : kid.kd_br;
+    live_brs.push_back(live);
+    items.push_back(ChildItem{kid.leaf->child, kid.kd_br, std::move(live)});
+  }
+  const size_t min_count = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(options_.index_node_min_util *
+                                       static_cast<double>(kids.size()))));
+  // Lemma 1: restrict the split dimension to the dimensions already used
+  // inside this node; the choice remains EDA-optimal and guarantees that
+  // non-discriminating dimensions are never introduced. Children are
+  // bipartitioned by their live regions (dead space has no access cost).
+  const std::vector<uint32_t> candidates = node.UsedDims(options_.dim);
+  IndexSplit is = ChooseIndexSplit(br, live_brs, min_count, candidates,
+                                   options_.split_policy,
+                                   options_.query_size_model,
+                                   options_.expected_query_side);
+  HT_CHECK(is.valid);
+
+  // The two new nodes are separate pages; their kd trees are interpreted
+  // relative to the unit cube (node-local ELS references), so the parent's
+  // (lsp, rsp) clip must NOT be baked into the rebuilt regions.
+  const Box local_base = Box::UnitCube(options_.dim);
+
+  std::vector<ChildItem> left_items, right_items;
+  Box left_live = Box::Empty(options_.dim);
+  Box right_live = Box::Empty(options_.dim);
+  for (uint32_t i : is.parts.left) {
+    left_live.ExtendToInclude(items[i].live);
+    left_items.push_back(std::move(items[i]));
+  }
+  for (uint32_t i : is.parts.right) {
+    right_live.ExtendToInclude(items[i].live);
+    right_items.push_back(std::move(items[i]));
+  }
+
+  IndexNode left;
+  left.level = node.level;
+  left.root = BuildKdTree(std::move(left_items), local_base);
+  IndexNode right;
+  right.level = node.level;
+  right.root = BuildKdTree(std::move(right_items), local_base);
+  HT_CHECK(left.SerializedSize(els_in_page()) <= options_.page_size);
+  HT_CHECK(right.SerializedSize(els_in_page()) <= options_.page_size);
+
+  HT_RETURN_NOT_OK(WriteIndexNode(page, left));
+  HT_ASSIGN_OR_RETURN(PageHandle rh, pool_->New());
+  const PageId right_page = rh.id();
+  rh.Release();
+  HT_RETURN_NOT_OK(WriteIndexNode(right_page, right));
+
+  SplitResult out;
+  out.split = true;
+  out.dim = is.dim;
+  out.lsp = is.parts.lsp;
+  out.rsp = is.parts.rsp;
+  out.right_page = right_page;
+  out.left_live = std::move(left_live);
+  out.right_live = std::move(right_live);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Search
+// ---------------------------------------------------------------------------
+
+Result<std::vector<uint64_t>> HybridTree::SearchBox(const Box& query) {
+  if (query.dim() != options_.dim) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  std::vector<uint64_t> out;
+  HT_RETURN_NOT_OK(
+      SearchBoxRec(root_, Box::UnitCube(options_.dim), query, &out));
+  return out;
+}
+
+Status HybridTree::SearchBoxRec(PageId page, const Box& br, const Box& query,
+                                std::vector<uint64_t>* out) {
+  HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page));
+  const NodeKind kind = PeekNodeKind(h.data());
+  if (kind == NodeKind::kData) {
+    DataPageScan scan(h.data(), h.size(), options_.dim);
+    if (!scan.ok()) return Status::Corruption("expected data node page");
+    for (size_t i = 0; i < scan.count(); ++i) {
+      if (query.ContainsPoint(scan.vec(i))) out->push_back(scan.id(i));
+    }
+    return Status::OK();
+  }
+  HT_ASSIGN_OR_RETURN(std::shared_ptr<const IndexNode> node,
+                      ReadIndexNodeCached(page, h.data(), h.size()));
+  h.Release();
+
+  // Intra-node search is 1-d interval tests on the kd tree (the paper's
+  // CPU advantage); the §3.4 two-step check uses the leaf's precomputed
+  // decoded live box. No per-step box construction.
+  (void)br;
+  std::function<Status(const KdNode*)> rec =
+      [&](const KdNode* n) -> Status {
+    if (n->IsLeaf()) {
+      if (els_enabled() && !query.Intersects(n->cached_live)) {
+        return Status::OK();
+      }
+      return SearchBoxRec(n->child, Box::UnitCube(options_.dim), query,
+                          out);
+    }
+    const uint32_t d = n->split_dim;
+    if (query.lo(d) <= n->lsp) {
+      HT_RETURN_NOT_OK(rec(n->left.get()));
+    }
+    if (query.hi(d) >= n->rsp) {
+      HT_RETURN_NOT_OK(rec(n->right.get()));
+    }
+    return Status::OK();
+  };
+  return rec(node->root.get());
+}
+
+Result<std::vector<uint64_t>> HybridTree::SearchPoint(
+    std::span<const float> point) {
+  if (point.size() != options_.dim) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  return SearchBox(Box::FromPoint(point));
+}
+
+Result<uint64_t> HybridTree::CountBox(const Box& query) {
+  HT_ASSIGN_OR_RETURN(auto ids, SearchBox(query));
+  return static_cast<uint64_t>(ids.size());
+}
+
+Status HybridTree::ScanAll(
+    const std::function<void(uint64_t, std::span<const float>)>& visit) {
+  std::function<Status(PageId)> rec = [&](PageId page) -> Status {
+    HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page));
+    const NodeKind kind = PeekNodeKind(h.data());
+    if (kind == NodeKind::kData) {
+      DataPageScan scan(h.data(), h.size(), options_.dim);
+      if (!scan.ok()) return Status::Corruption("expected data node page");
+      for (size_t i = 0; i < scan.count(); ++i) {
+        visit(scan.id(i), scan.vec(i));
+      }
+      return Status::OK();
+    }
+    HT_ASSIGN_OR_RETURN(std::shared_ptr<const IndexNode> node,
+                        ReadIndexNodeCached(page, h.data(), h.size()));
+    h.Release();
+    std::function<Status(const KdNode*)> walk =
+        [&](const KdNode* n) -> Status {
+      if (n->IsLeaf()) return rec(n->child);
+      HT_RETURN_NOT_OK(walk(n->left.get()));
+      return walk(n->right.get());
+    };
+    return walk(node->root.get());
+  };
+  return rec(root_);
+}
+
+Result<std::vector<uint64_t>> HybridTree::SearchRange(
+    std::span<const float> center, double radius,
+    const DistanceMetric& metric) {
+  if (center.size() != options_.dim) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  std::vector<uint64_t> out;
+  HT_RETURN_NOT_OK(SearchRangeRec(root_, Box::UnitCube(options_.dim), center,
+                                  radius, metric, &out));
+  return out;
+}
+
+Status HybridTree::SearchRangeRec(PageId page, const Box& br,
+                                  std::span<const float> center, double radius,
+                                  const DistanceMetric& metric,
+                                  std::vector<uint64_t>* out) {
+  HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page));
+  const NodeKind kind = PeekNodeKind(h.data());
+  if (kind == NodeKind::kData) {
+    DataPageScan scan(h.data(), h.size(), options_.dim);
+    if (!scan.ok()) return Status::Corruption("expected data node page");
+    for (size_t i = 0; i < scan.count(); ++i) {
+      if (metric.Distance(center, scan.vec(i)) <= radius) {
+        out->push_back(scan.id(i));
+      }
+    }
+    return Status::OK();
+  }
+  HT_ASSIGN_OR_RETURN(std::shared_ptr<const IndexNode> node,
+                      ReadIndexNodeCached(page, h.data(), h.size()));
+  h.Release();
+
+  (void)br;
+  std::function<Status(const KdNode*)> rec =
+      [&](const KdNode* n) -> Status {
+    if (n->IsLeaf()) {
+      if (metric.MinDistToBox(center, n->cached_live) > radius) {
+        return Status::OK();
+      }
+      return SearchRangeRec(n->child, Box::UnitCube(options_.dim), center,
+                            radius, metric, out);
+    }
+    // Internal pruning happens at the leaves' live boxes; the 1-d interval
+    // tests here only route the traversal.
+    HT_RETURN_NOT_OK(rec(n->left.get()));
+    return rec(n->right.get());
+  };
+  return rec(node->root.get());
+}
+
+Result<std::vector<std::pair<double, uint64_t>>> HybridTree::SearchKnn(
+    std::span<const float> center, size_t k, const DistanceMetric& metric) {
+  return SearchKnnApprox(center, k, metric, /*epsilon=*/0.0);
+}
+
+Result<std::vector<std::pair<double, uint64_t>>> HybridTree::SearchKnnApprox(
+    std::span<const float> center, size_t k, const DistanceMetric& metric,
+    double epsilon) {
+  if (center.size() != options_.dim) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  if (epsilon < 0.0) {
+    return Status::InvalidArgument("epsilon must be non-negative");
+  }
+  std::vector<std::pair<double, uint64_t>> results;
+  if (k == 0 || count_ == 0) return results;
+  const double prune_factor = 1.0 + epsilon;
+
+  // Best-first branch-and-bound (Hjaltason–Samet): a min-heap of pending
+  // subtrees ordered by MINDIST to their live region, and a max-heap of the
+  // best k candidates seen so far.
+  struct PqItem {
+    double dist;
+    PageId page;
+    bool operator>(const PqItem& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<PqItem, std::vector<PqItem>, std::greater<PqItem>> pq;
+  pq.push(PqItem{0.0, root_});
+
+  std::priority_queue<std::pair<double, uint64_t>> best;  // max-heap
+  auto kth = [&]() {
+    return best.size() < k ? std::numeric_limits<double>::max()
+                           : best.top().first;
+  };
+
+  while (!pq.empty() && pq.top().dist * prune_factor <= kth()) {
+    PqItem item = pq.top();
+    pq.pop();
+    HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(item.page));
+    const NodeKind kind = PeekNodeKind(h.data());
+    if (kind == NodeKind::kData) {
+      DataPageScan scan(h.data(), h.size(), options_.dim);
+      if (!scan.ok()) return Status::Corruption("expected data node page");
+      for (size_t i = 0; i < scan.count(); ++i) {
+        const double d = metric.Distance(center, scan.vec(i));
+        if (best.size() < k) {
+          best.emplace(d, scan.id(i));
+        } else if (d < best.top().first ||
+                   (d == best.top().first && scan.id(i) < best.top().second)) {
+          best.pop();
+          best.emplace(d, scan.id(i));
+        }
+      }
+      continue;
+    }
+    HT_ASSIGN_OR_RETURN(std::shared_ptr<const IndexNode> node,
+                        ReadIndexNodeCached(item.page, h.data(), h.size()));
+    h.Release();
+    std::function<void(const KdNode*)> rec = [&](const KdNode* n) {
+      if (n->IsLeaf()) {
+        const double d = metric.MinDistToBox(center, n->cached_live);
+        if (d * prune_factor <= kth()) {
+          pq.push(PqItem{d, n->child});
+        }
+        return;
+      }
+      rec(n->left.get());
+      rec(n->right.get());
+    };
+    rec(node->root.get());
+  }
+
+  results.resize(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    results[i] = best.top();
+    best.pop();
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// Deletion
+// ---------------------------------------------------------------------------
+
+Status HybridTree::Delete(std::span<const float> point, uint64_t id) {
+  if (point.size() != options_.dim) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
+  HT_ASSIGN_OR_RETURN(
+      DeleteOutcome outcome,
+      DeleteRec(root_, Box::UnitCube(options_.dim), point, id));
+  if (!outcome.found) {
+    return Status::NotFound("no entry matches (point, id)");
+  }
+  --count_;
+
+  if (outcome.eliminate_me) {
+    // The root itself collapsed. Reset it to an empty data node and
+    // reinsert the orphans below.
+    DataNode empty;
+    HT_RETURN_NOT_OK(WriteDataNode(root_, empty));
+    els_sidecar_.erase(root_);
+    node_cache_.erase(root_);
+    height_ = 0;
+  } else {
+    // Shrink the tree while the root is an index node with one child.
+    for (;;) {
+      HT_ASSIGN_OR_RETURN(NodeKind kind, PeekKind(root_));
+      if (kind != NodeKind::kIndex) break;
+      HT_ASSIGN_OR_RETURN(IndexNode node, ReadIndexNode(root_));
+      if (!node.root->IsLeaf()) break;
+      const PageId child = node.root->child;
+      els_sidecar_.erase(root_);
+      node_cache_.erase(root_);
+      HT_RETURN_NOT_OK(pool_->Free(root_));
+      root_ = child;
+      --height_;
+    }
+  }
+
+  // Reinsert orphans from eliminated nodes (eliminate-and-reinsert, §3.5).
+  count_ -= outcome.orphans.size();
+  for (auto& e : outcome.orphans) {
+    HT_RETURN_NOT_OK(Insert(e.vec, e.id));
+  }
+  return Status::OK();
+}
+
+Result<HybridTree::DeleteOutcome> HybridTree::DeleteRec(
+    PageId page, const Box& br, std::span<const float> point, uint64_t id) {
+  HT_ASSIGN_OR_RETURN(NodeKind kind, PeekKind(page));
+  DeleteOutcome out;
+  if (kind == NodeKind::kData) {
+    HT_ASSIGN_OR_RETURN(DataNode node, ReadDataNode(page));
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      const auto& e = node.entries[i];
+      if (e.id == id && std::equal(e.vec.begin(), e.vec.end(), point.begin(),
+                                   point.end())) {
+        node.entries.erase(node.entries.begin() + static_cast<long>(i));
+        out.found = true;
+        break;
+      }
+    }
+    if (!out.found) return out;
+    const bool is_root = (page == root_);
+    if (!is_root && node.entries.size() < data_min_count_) {
+      out.eliminate_me = true;
+      out.orphans = std::move(node.entries);
+    } else {
+      HT_RETURN_NOT_OK(WriteDataNode(page, node));
+    }
+    return out;
+  }
+
+  HT_ASSIGN_OR_RETURN(IndexNode node, ReadIndexNode(page));
+  std::vector<ChildRef> kids;
+  node.CollectChildren(br, &kids);
+  for (const auto& kid : kids) {
+    if (!kid.kd_br.ContainsPoint(point)) continue;
+    if (els_enabled()) {
+      const Box live = codec_.Decode(kid.leaf->els, kid.kd_br);
+      if (!live.ContainsPoint(point)) continue;
+    }
+    HT_ASSIGN_OR_RETURN(
+        DeleteOutcome child,
+        DeleteRec(kid.leaf->child, Box::UnitCube(options_.dim), point, id));
+    if (!child.found) continue;
+    out.found = true;
+    out.orphans = std::move(child.orphans);
+    if (child.eliminate_me) {
+      els_sidecar_.erase(kid.leaf->child);
+      node_cache_.erase(kid.leaf->child);
+      HT_RETURN_NOT_OK(pool_->Free(kid.leaf->child));
+      if (kid.leaf == node.root.get()) {
+        // Last child gone: eliminate this node too (parent frees the page).
+        out.eliminate_me = true;
+        return out;
+      }
+      HT_CHECK(RemoveKdLeaf(node, br, kid.leaf));
+    }
+    HT_RETURN_NOT_OK(WriteIndexNode(page, node));
+    return out;
+  }
+  return out;
+}
+
+bool HybridTree::RemoveKdLeaf(IndexNode& node, const Box& node_br,
+                              KdNode* target) {
+  std::function<bool(std::unique_ptr<KdNode>&, const Box&)> rec =
+      [&](std::unique_ptr<KdNode>& n, const Box& br) -> bool {
+    if (n->IsLeaf()) return false;
+    if (n->left.get() == target) {
+      // The sibling subtree inherits the whole parent region (its leaf
+      // regions widen); re-map its ELS codes.
+      const Box old_br = KdRightBr(br, *n);
+      auto sib = std::move(n->right);
+      ReencodeSubtree(sib.get(), old_br, br);
+      n = std::move(sib);
+      return true;
+    }
+    if (n->right.get() == target) {
+      const Box old_br = KdLeftBr(br, *n);
+      auto sib = std::move(n->left);
+      ReencodeSubtree(sib.get(), old_br, br);
+      n = std::move(sib);
+      return true;
+    }
+    return rec(n->left, KdLeftBr(br, *n)) || rec(n->right, KdRightBr(br, *n));
+  };
+  if (node.root.get() == target) return false;
+  return rec(node.root, node_br);
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance: ELS rebuild, stats, invariants
+// ---------------------------------------------------------------------------
+
+Status HybridTree::RebuildEls() {
+  if (!els_enabled()) return Status::OK();
+  HT_ASSIGN_OR_RETURN(Box live,
+                      RebuildElsRec(root_, Box::UnitCube(options_.dim)));
+  (void)live;
+  return Status::OK();
+}
+
+Result<Box> HybridTree::RebuildElsRec(PageId page, const Box& br) {
+  HT_ASSIGN_OR_RETURN(NodeKind kind, PeekKind(page));
+  if (kind == NodeKind::kData) {
+    HT_ASSIGN_OR_RETURN(DataNode node, ReadDataNode(page));
+    return node.ComputeLiveBr(options_.dim);
+  }
+  HT_ASSIGN_OR_RETURN(IndexNode node, ReadIndexNode(page));
+  Box node_live = Box::Empty(options_.dim);
+  std::function<Status(KdNode*, const Box&)> rec =
+      [&](KdNode* n, const Box& nbr) -> Status {
+    if (n->IsLeaf()) {
+      HT_ASSIGN_OR_RETURN(
+          Box child_live,
+          RebuildElsRec(n->child, Box::UnitCube(options_.dim)));
+      n->els = codec_.Encode(child_live, nbr);
+      node_live.ExtendToInclude(child_live);
+      return Status::OK();
+    }
+    HT_RETURN_NOT_OK(rec(n->left.get(), KdLeftBr(nbr, *n)));
+    return rec(n->right.get(), KdRightBr(nbr, *n));
+  };
+  HT_RETURN_NOT_OK(rec(node.root.get(), br));
+  HT_RETURN_NOT_OK(WriteIndexNode(page, node));
+  return node_live;
+}
+
+Result<TreeStats> HybridTree::ComputeStats() {
+  TreeStats stats;
+  stats.entry_count = count_;
+  stats.height = height_;
+  double data_util_sum = 0.0;
+  HT_RETURN_NOT_OK(ComputeStatsRec(root_, Box::UnitCube(options_.dim), &stats,
+                                   &data_util_sum));
+  if (stats.data_nodes > 0) {
+    stats.avg_data_utilization =
+        data_util_sum / static_cast<double>(stats.data_nodes);
+  }
+  if (stats.index_nodes > 0) {
+    stats.avg_index_fanout /= static_cast<double>(stats.index_nodes);
+  }
+  if (stats.overlapping_kd_splits > 0) {
+    stats.avg_overlap_fraction /=
+        static_cast<double>(stats.overlapping_kd_splits);
+  }
+  for (const auto& [pid, blob] : els_sidecar_) {
+    stats.els_sidecar_bytes += blob.size();
+  }
+  std::sort(stats.levels.begin(), stats.levels.end(),
+            [](const LevelStats& a, const LevelStats& b) {
+              return a.level > b.level;
+            });
+  for (auto& lv : stats.levels) {
+    lv.avg_fanout = lv.nodes
+                        ? static_cast<double>(lv.children) /
+                              static_cast<double>(lv.nodes)
+                        : 0.0;
+  }
+  return stats;
+}
+
+Status HybridTree::ComputeStatsRec(PageId page, const Box& br,
+                                   TreeStats* stats, double* data_util_sum) {
+  HT_ASSIGN_OR_RETURN(NodeKind kind, PeekKind(page));
+  auto level_slot = [&](uint32_t level) -> LevelStats& {
+    for (auto& lv : stats->levels) {
+      if (lv.level == level) return lv;
+    }
+    stats->levels.push_back(LevelStats{level, 0, 0, 0.0});
+    return stats->levels.back();
+  };
+  if (kind == NodeKind::kData) {
+    HT_ASSIGN_OR_RETURN(DataNode node, ReadDataNode(page));
+    LevelStats& lv = level_slot(0);
+    ++lv.nodes;
+    lv.children += node.entries.size();
+    ++stats->data_nodes;
+    const double util = static_cast<double>(node.entries.size()) /
+                        static_cast<double>(data_capacity_);
+    *data_util_sum += util;
+    if (page != root_ && util < stats->min_data_utilization) {
+      stats->min_data_utilization = util;
+    }
+    return Status::OK();
+  }
+  HT_ASSIGN_OR_RETURN(IndexNode node, ReadIndexNode(page));
+  ++stats->index_nodes;
+  LevelStats& lv = level_slot(node.level);
+  ++lv.nodes;
+  lv.children += node.NumChildren();
+  stats->avg_index_fanout += static_cast<double>(node.NumChildren());
+  std::function<Status(const KdNode*, const Box&)> rec =
+      [&](const KdNode* n, const Box& nbr) -> Status {
+    if (n->IsLeaf()) {
+      return ComputeStatsRec(n->child, Box::UnitCube(options_.dim), stats,
+                             data_util_sum);
+    }
+    ++stats->kd_internal_nodes;
+    if (n->lsp > n->rsp) {
+      ++stats->overlapping_kd_splits;
+      const double extent = nbr.Extent(n->split_dim);
+      if (extent > 0) {
+        stats->avg_overlap_fraction +=
+            (static_cast<double>(n->lsp) - n->rsp) / extent;
+      }
+    }
+    HT_RETURN_NOT_OK(rec(n->left.get(), KdLeftBr(nbr, *n)));
+    return rec(n->right.get(), KdRightBr(nbr, *n));
+  };
+  return rec(node.root.get(), br);
+}
+
+Status HybridTree::CheckInvariants() {
+  uint64_t entries_seen = 0;
+  const Box cube = Box::UnitCube(options_.dim);
+  HT_RETURN_NOT_OK(CheckInvariantsRec(root_, cube, cube, height_,
+                                      /*is_root=*/true, &entries_seen));
+  if (entries_seen != count_) {
+    return Status::Corruption("entry count mismatch: tree says " +
+                              std::to_string(count_) + ", traversal found " +
+                              std::to_string(entries_seen));
+  }
+  return Status::OK();
+}
+
+Status HybridTree::CheckInvariantsRec(PageId page, const Box& kd_br,
+                                      const Box& live, uint32_t expected_level,
+                                      bool is_root, uint64_t* entries_seen) {
+  HT_ASSIGN_OR_RETURN(NodeKind kind, PeekKind(page));
+  if (kind == NodeKind::kData) {
+    if (expected_level != 0) {
+      return Status::Corruption("data node at nonzero level");
+    }
+    HT_ASSIGN_OR_RETURN(DataNode node, ReadDataNode(page));
+    if (node.entries.size() > data_capacity_) {
+      return Status::Corruption("data node over capacity");
+    }
+    if (!is_root && node.entries.size() < data_min_count_) {
+      return Status::Corruption("data node under utilization floor");
+    }
+    for (const auto& e : node.entries) {
+      if (!kd_br.ContainsPoint(e.vec)) {
+        return Status::Corruption(
+            "entry " + std::to_string(e.id) + " outside its kd region " +
+            kd_br.ToString() + " at " + Box::FromPoint(e.vec).ToString());
+      }
+      if (!live.ContainsPoint(e.vec)) {
+        return Status::Corruption(
+            "entry " + std::to_string(e.id) + " outside its live region " +
+            live.ToString() + " at " + Box::FromPoint(e.vec).ToString());
+      }
+    }
+    *entries_seen += node.entries.size();
+    return Status::OK();
+  }
+
+  if (expected_level == 0) {
+    return Status::Corruption("index node at level 0");
+  }
+  HT_ASSIGN_OR_RETURN(IndexNode node, ReadIndexNode(page));
+  if (node.level != expected_level) {
+    return Status::Corruption("index node level mismatch");
+  }
+  if (node.SerializedSize(els_in_page()) > options_.page_size) {
+    return Status::Corruption("index node over page size");
+  }
+  if (node.NumChildren() < 1) {
+    return Status::Corruption("index node without children");
+  }
+  const Box local_base = Box::UnitCube(options_.dim);
+  std::function<Status(const KdNode*, const Box&)> rec =
+      [&](const KdNode* n, const Box& nbr) -> Status {
+    if (n->IsLeaf()) {
+      // Accumulate constraints down the path: the child's data must lie in
+      // the intersection of every ancestor's local leaf region / live box.
+      const Box child_kd = kd_br.Intersection(nbr);
+      const Box dec = els_enabled() ? codec_.Decode(n->els, nbr) : nbr;
+      const Box child_live = live.Intersection(dec);
+      return CheckInvariantsRec(n->child, child_kd, child_live,
+                                expected_level - 1,
+                                /*is_root=*/false, entries_seen);
+    }
+    const uint32_t d = n->split_dim;
+    if (d >= options_.dim) return Status::Corruption("kd split dim OOB");
+    if (n->lsp < nbr.lo(d) || n->rsp > nbr.hi(d)) {
+      return Status::Corruption("kd split positions outside region");
+    }
+    HT_RETURN_NOT_OK(rec(n->left.get(), KdLeftBr(nbr, *n)));
+    return rec(n->right.get(), KdRightBr(nbr, *n));
+  };
+  return rec(node.root.get(), local_base);
+}
+
+Status HybridTree::CollectSubtreeEntries(PageId page,
+                                         std::vector<DataEntry>* out,
+                                         std::vector<PageId>* pages) {
+  pages->push_back(page);
+  HT_ASSIGN_OR_RETURN(NodeKind kind, PeekKind(page));
+  if (kind == NodeKind::kData) {
+    HT_ASSIGN_OR_RETURN(DataNode node, ReadDataNode(page));
+    for (auto& e : node.entries) out->push_back(std::move(e));
+    return Status::OK();
+  }
+  HT_ASSIGN_OR_RETURN(IndexNode node, ReadIndexNode(page));
+  std::vector<ChildRef> kids;
+  node.CollectChildren(Box::UnitCube(options_.dim), &kids);
+  for (const auto& kid : kids) {
+    HT_RETURN_NOT_OK(CollectSubtreeEntries(kid.leaf->child, out, pages));
+  }
+  return Status::OK();
+}
+
+
+HybridTree::KnnCursor::KnnCursor(HybridTree* tree,
+                                 std::span<const float> center,
+                                 const DistanceMetric* metric)
+    : tree_(tree),
+      center_(center.begin(), center.end()),
+      metric_(metric) {
+  if (tree_->count_ > 0) {
+    queue_.push(Item{0.0, false, 0, tree_->root_});
+  }
+}
+
+HybridTree::KnnCursor HybridTree::OpenKnnCursor(std::span<const float> center,
+                                                const DistanceMetric& metric) {
+  HT_CHECK(center.size() == options_.dim);
+  return KnnCursor(this, center, &metric);
+}
+
+Result<std::optional<std::pair<double, uint64_t>>>
+HybridTree::KnnCursor::Next() {
+  // Distance browsing: entries and subtrees share one priority queue keyed
+  // by (lower-bound) distance; when an entry surfaces, its distance is
+  // exact and no unexpanded subtree can beat it.
+  while (!queue_.empty()) {
+    Item item = queue_.top();
+    queue_.pop();
+    if (item.is_entry) {
+      return std::optional<std::pair<double, uint64_t>>(
+          std::make_pair(item.dist, item.id));
+    }
+    HT_ASSIGN_OR_RETURN(PageHandle h, tree_->pool_->Fetch(item.page));
+    const NodeKind kind = PeekNodeKind(h.data());
+    if (kind == NodeKind::kData) {
+      DataPageScan scan(h.data(), h.size(), tree_->options_.dim);
+      if (!scan.ok()) return Status::Corruption("expected data node page");
+      for (size_t i = 0; i < scan.count(); ++i) {
+        queue_.push(Item{metric_->Distance(center_, scan.vec(i)), true,
+                         scan.id(i), kInvalidPageId});
+      }
+      continue;
+    }
+    HT_ASSIGN_OR_RETURN(
+        std::shared_ptr<const IndexNode> node,
+        tree_->ReadIndexNodeCached(item.page, h.data(), h.size()));
+    h.Release();
+    std::function<void(const KdNode*)> walk = [&](const KdNode* n) {
+      if (n->IsLeaf()) {
+        queue_.push(Item{metric_->MinDistToBox(center_, n->cached_live),
+                         false, 0, n->child});
+        return;
+      }
+      walk(n->left.get());
+      walk(n->right.get());
+    };
+    walk(node->root.get());
+  }
+  return std::optional<std::pair<double, uint64_t>>();
+}
+
+void HybridTree::DumpTree() {
+  std::function<void(PageId, const Box&, int)> rec = [&](PageId page,
+                                                         const Box& br,
+                                                         int depth) {
+    auto kind = PeekKind(page).ValueOrDie();
+    if (kind == NodeKind::kData) {
+      auto node = ReadDataNode(page).ValueOrDie();
+      std::printf("%*sdata page=%u n=%zu live=%s region=%s\n", depth * 2, "",
+                  page, node.entries.size(),
+                  node.ComputeLiveBr(options_.dim).ToString().c_str(),
+                  br.ToString().c_str());
+      return;
+    }
+    auto node = ReadIndexNode(page).ValueOrDie();
+    std::printf("%*sindex page=%u level=%d children=%zu region=%s\n",
+                depth * 2, "", page, node.level, node.NumChildren(),
+                br.ToString().c_str());
+    std::vector<ChildRef> kids;
+    node.CollectChildren(br, &kids);
+    for (auto& kid : kids) {
+      Box live = els_enabled() ? codec_.Decode(kid.leaf->els, kid.kd_br)
+                               : kid.kd_br;
+      std::printf("%*s-> child=%u kd=%s els=%s\n", depth * 2 + 1, "",
+                  kid.leaf->child, kid.kd_br.ToString().c_str(),
+                  live.ToString().c_str());
+      rec(kid.leaf->child, Box::UnitCube(options_.dim), depth + 1);
+    }
+  };
+  rec(root_, Box::UnitCube(options_.dim), 0);
+}
+
+}  // namespace ht

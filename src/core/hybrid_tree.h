@@ -1,0 +1,285 @@
+// Copyright 2026 The HybridTree Authors.
+// The hybrid tree (Chakrabarti & Mehrotra, ICDE 1999): a paginated
+// multidimensional index for high-dimensional feature spaces that combines
+// space-partitioning (1-d kd-splits per node, fanout independent of
+// dimensionality, fast intra-node search) with data-partitioning
+// relaxations (splits may overlap instead of cascading, preserving the
+// utilization guarantee).
+//
+// Usage:
+//   MemPagedFile file;                        // or DiskPagedFile
+//   HybridTreeOptions opts; opts.dim = 64;
+//   auto tree = HybridTree::Create(opts, &file).ValueOrDie();
+//   tree->Insert(vec, id);
+//   auto hits = tree->SearchBox(query_box);
+//   auto nn = tree->SearchKnn(center, 10, L1Metric());
+//
+// The tree is fully dynamic (inserts/deletes interleave with queries) and
+// supports point, box, distance-range and k-NN queries under arbitrary
+// user-supplied distance metrics (§3.5).
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/els.h"
+#include "core/node.h"
+#include "core/options.h"
+#include "core/stats.h"
+#include "geometry/metrics.h"
+#include "storage/buffer_pool.h"
+#include "storage/paged_file.h"
+
+namespace ht {
+
+class Dataset;
+struct BulkLoadOptions;
+class HybridTree;
+
+/// Bottom-up bulk construction (see core/bulk_load.h).
+Result<std::unique_ptr<HybridTree>> BulkLoad(const HybridTreeOptions& options,
+                                             PagedFile* file,
+                                             const Dataset& data,
+                                             const BulkLoadOptions& bulk);
+
+class HybridTree {
+ public:
+  /// Creates an empty tree in `file` (which must be fresh). The tree keeps
+  /// a reference to `file`; the caller owns it and must keep it alive.
+  static Result<std::unique_ptr<HybridTree>> Create(
+      const HybridTreeOptions& options, PagedFile* file);
+
+  /// Opens a tree previously persisted via Flush(). Options are read back
+  /// from the metadata page; `buffer_pool_pages` may be overridden. With
+  /// ElsMode::kInMemory the ELS sidecar is rebuilt by one DFS over the
+  /// tree (codes are exact after the rebuild).
+  static Result<std::unique_ptr<HybridTree>> Open(PagedFile* file);
+
+  /// Inserts a point (coordinates must lie in the normalized feature space
+  /// [0,1]^dim). Duplicate (point, id) pairs are allowed.
+  Status Insert(std::span<const float> point, uint64_t id);
+
+  /// Deletes one entry matching (point, id) exactly; NotFound if absent.
+  /// Underflowing nodes are eliminated and their entries reinserted (§3.5).
+  Status Delete(std::span<const float> point, uint64_t id);
+
+  /// All ids whose vectors lie inside `query` (closed box).
+  Result<std::vector<uint64_t>> SearchBox(const Box& query);
+
+  /// All ids stored at exactly `point` (point query; §3.5 lists point
+  /// queries among the supported feature-based queries).
+  Result<std::vector<uint64_t>> SearchPoint(std::span<const float> point);
+
+  /// Number of objects inside `query` without materializing the id list.
+  Result<uint64_t> CountBox(const Box& query);
+
+  /// Visits every stored (id, vector) pair (unspecified order). Used for
+  /// exports and integrity audits; reads each page exactly once.
+  Status ScanAll(
+      const std::function<void(uint64_t, std::span<const float>)>& visit);
+
+  /// All ids within `radius` of `center` under `metric`.
+  Result<std::vector<uint64_t>> SearchRange(std::span<const float> center,
+                                            double radius,
+                                            const DistanceMetric& metric);
+
+  /// The k nearest neighbors of `center` as (distance, id), ascending.
+  /// Best-first branch-and-bound (Hjaltason–Samet) over live regions.
+  Result<std::vector<std::pair<double, uint64_t>>> SearchKnn(
+      std::span<const float> center, size_t k, const DistanceMetric& metric);
+
+  /// (1+epsilon)-approximate k-NN (the paper's future-work item): subtrees
+  /// are pruned when MINDIST * (1 + epsilon) exceeds the current k-th
+  /// candidate, so every reported distance is within a (1+epsilon) factor
+  /// of the true k-th nearest distance. epsilon = 0 is exact.
+  Result<std::vector<std::pair<double, uint64_t>>> SearchKnnApprox(
+      std::span<const float> center, size_t k, const DistanceMetric& metric,
+      double epsilon);
+
+  /// Incremental nearest-neighbor cursor ("distance browsing"): yields
+  /// entries strictly in ascending distance order, fetching pages lazily —
+  /// ideal when the consumer stops after an unknown number of results
+  /// (e.g., filtering by a predicate). The cursor holds no page pins; the
+  /// tree must not be mutated while a cursor is live, and `metric` must
+  /// outlive the cursor.
+  class KnnCursor {
+   public:
+    /// The next nearest (distance, id), or nullopt when exhausted.
+    Result<std::optional<std::pair<double, uint64_t>>> Next();
+
+   private:
+    friend class HybridTree;
+    struct Item {
+      double dist;
+      bool is_entry;
+      uint64_t id;      // valid when is_entry
+      PageId page;      // valid when !is_entry
+      bool operator>(const Item& o) const { return dist > o.dist; }
+    };
+    KnnCursor(HybridTree* tree, std::span<const float> center,
+              const DistanceMetric* metric);
+
+    HybridTree* tree_;
+    std::vector<float> center_;
+    const DistanceMetric* metric_;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue_;
+  };
+  KnnCursor OpenKnnCursor(std::span<const float> center,
+                          const DistanceMetric& metric);
+
+  /// Writes all dirty pages + metadata to the backing file.
+  Status Flush();
+
+  uint64_t size() const { return count_; }
+  uint32_t height() const { return height_; }
+  const HybridTreeOptions& options() const { return options_; }
+  PageId root_page() const { return root_; }
+
+  /// Buffer pool, exposed for access accounting by the harness
+  /// (pool().stats().logical_reads is "disk accesses").
+  BufferPool& pool() { return *pool_; }
+
+  /// Maximum entries per data node at the current configuration.
+  size_t data_node_capacity() const { return data_capacity_; }
+
+  /// Structural statistics (Table 1 analogue). Traverses the whole tree.
+  Result<TreeStats> ComputeStats();
+
+  /// Verifies structural invariants (containment, utilization, ELS
+  /// conservativeness, serialized sizes, entry count). Test support.
+  Status CheckInvariants();
+
+  /// Debug: prints the tree structure with kd regions and decoded live
+  /// boxes (test/diagnostic support).
+  void DumpTree();
+
+  /// Recomputes every ELS code exactly from the data below it (one DFS).
+  /// Called by Open() in kInMemory mode; also usable to re-tighten codes
+  /// grown stale by deletions.
+  Status RebuildEls();
+
+ private:
+  friend Result<std::unique_ptr<HybridTree>> BulkLoad(
+      const HybridTreeOptions& options, PagedFile* file, const Dataset& data,
+      const BulkLoadOptions& bulk);
+
+  HybridTree(const HybridTreeOptions& options, PagedFile* file);
+
+  bool els_enabled() const {
+    return options_.els_mode != ElsMode::kOff && options_.els_bits > 0;
+  }
+  bool els_in_page() const {
+    return options_.els_mode == ElsMode::kInPage && options_.els_bits > 0;
+  }
+
+  // --- node I/O -----------------------------------------------------------
+  Result<DataNode> ReadDataNode(PageId id);
+  Status WriteDataNode(PageId id, const DataNode& node);
+  Result<IndexNode> ReadIndexNode(PageId id);
+  /// Read-path variant: returns the parsed node from the in-memory cache
+  /// (decoded live boxes precomputed), deserializing `page_data` on a miss.
+  /// Does NOT fetch from the pool — the caller already did (and paid the
+  /// logical read). Mutating paths must not use this.
+  Result<std::shared_ptr<const IndexNode>> ReadIndexNodeCached(
+      PageId id, const uint8_t* page_data, size_t page_size);
+  Status WriteIndexNode(PageId id, IndexNode& node);
+  Result<NodeKind> PeekKind(PageId id);
+  Status WriteMeta();
+
+  // --- insertion ----------------------------------------------------------
+  struct SplitResult {
+    bool split = false;
+    uint32_t dim = 0;
+    float lsp = 0.0f;
+    float rsp = 0.0f;
+    PageId right_page = kInvalidPageId;
+    Box left_live;
+    Box right_live;
+  };
+  Result<SplitResult> InsertRec(PageId page, const Box& br,
+                                std::span<const float> point, uint64_t id);
+  Result<SplitResult> SplitDataNode(PageId page, DataNode& node,
+                                    const Box& br);
+  Result<SplitResult> SplitIndexNode(PageId page, IndexNode& node,
+                                     const Box& br);
+  /// Recursively builds a kd-tree over child subtrees for one side of an
+  /// index-node split.
+  struct ChildItem {
+    PageId page = kInvalidPageId;
+    Box kd_br;
+    Box live;
+  };
+  std::unique_ptr<KdNode> BuildKdTree(std::vector<ChildItem> items,
+                                      const Box& region);
+  /// Navigation that closes kd gaps (lsp < v < rsp) by minimum enlargement,
+  /// re-encoding ELS codes of the widened subtree.
+  ChildRef FindLeafForInsert(IndexNode& node, std::span<const float> p,
+                             const Box& node_br, bool* dirtied);
+  void ReencodeSubtree(KdNode* n, const Box& old_br, const Box& new_br);
+  /// Replaces every empty leaf code with the full-region code so that the
+  /// invariant "every leaf carries a code" holds before serialization.
+  void EnsureCodes(KdNode* n);
+
+  // --- deletion -----------------------------------------------------------
+  struct DeleteOutcome {
+    bool found = false;
+    bool eliminate_me = false;
+    std::vector<DataEntry> orphans;
+  };
+  Result<DeleteOutcome> DeleteRec(PageId page, const Box& br,
+                                  std::span<const float> point, uint64_t id);
+  /// Removes `target` (a kd leaf) from the node's kd tree, widening and
+  /// re-encoding the sibling subtree. Returns false if target is the root.
+  bool RemoveKdLeaf(IndexNode& node, const Box& node_br, KdNode* target);
+
+  // --- search -------------------------------------------------------------
+  Status SearchBoxRec(PageId page, const Box& br, const Box& query,
+                      std::vector<uint64_t>* out);
+  Status SearchRangeRec(PageId page, const Box& br,
+                        std::span<const float> center, double radius,
+                        const DistanceMetric& metric,
+                        std::vector<uint64_t>* out);
+
+  // --- maintenance --------------------------------------------------------
+  /// DFS recomputing ELS codes; returns this subtree's exact live box.
+  Result<Box> RebuildElsRec(PageId page, const Box& br);
+  Status ComputeStatsRec(PageId page, const Box& br, TreeStats* stats,
+                         double* data_util_sum);
+  Status CheckInvariantsRec(PageId page, const Box& kd_br, const Box& live,
+                            uint32_t expected_level, bool is_root,
+                            uint64_t* entries_seen);
+  Status CollectSubtreeEntries(PageId page, std::vector<DataEntry>* out,
+                               std::vector<PageId>* pages);
+
+  HybridTreeOptions options_;
+  PagedFile* file_;
+  std::unique_ptr<BufferPool> pool_;
+  ElsCodec codec_;
+  size_t data_capacity_ = 0;
+  size_t data_min_count_ = 0;
+
+  PageId meta_page_ = kInvalidPageId;
+  PageId root_ = kInvalidPageId;
+  uint32_t height_ = 0;  // level of the root (0 = data node)
+  uint64_t count_ = 0;
+
+  /// ELS sidecar for ElsMode::kInMemory: page id -> packed leaf codes in
+  /// left-to-right leaf order.
+  std::unordered_map<PageId, std::vector<uint8_t>> els_sidecar_;
+
+  /// Parsed-node cache for the read paths (searches, cursors): the decoded
+  /// in-memory view of an index page, with each leaf's live box already
+  /// decoded. Invalidated whenever the page is written or freed. Access
+  /// counts are unaffected (callers fetch the page first regardless).
+  std::unordered_map<PageId, std::shared_ptr<const IndexNode>> node_cache_;
+};
+
+}  // namespace ht

@@ -1,0 +1,81 @@
+// Copyright 2026 The HybridTree Authors.
+// Tuning knobs for the hybrid tree.
+
+#pragma once
+
+#include <cstdint>
+
+#include "storage/page.h"
+
+namespace ht {
+
+/// Node-splitting policy (Figure 5(a),(b) compares these).
+enum class SplitPolicy : uint8_t {
+  /// The paper's policy (§3.2/§3.3): minimize the increase in the expected
+  /// number of disk accesses (EDA). Data nodes split on the maximum-extent
+  /// dimension at the position closest to the middle; index nodes pick the
+  /// dimension minimizing (w_d + r)/(s_d + r).
+  kEdaOptimal = 0,
+  /// VAMSplit-style policy (White & Jain [24]): maximum-variance dimension,
+  /// median split position.
+  kVamSplit = 1,
+};
+
+/// Where Encoded Live Space codes live (§3.4). The paper stores them in
+/// memory ("for 8K page, 4 bit precision and 64-d space, the overhead is
+/// less than 1% of the database size and can be stored in memory").
+enum class ElsMode : uint8_t {
+  /// No dead-space elimination; the BR of a child is its kd region.
+  kOff = 0,
+  /// Codes kept in a memory-resident sidecar; node fanout is unaffected.
+  /// After reopening a persisted tree the sidecar is rebuilt by one DFS.
+  kInMemory = 1,
+  /// Codes serialized into the index pages; fully persistent but reduces
+  /// fanout by 2*dim*bits bits per child.
+  kInPage = 2,
+};
+
+/// Query-size model used by the EDA-optimal index-node split (§3.3): the
+/// expected increase in disk accesses depends on the query side length r.
+enum class QuerySizeModel : uint8_t {
+  /// All queries have side `expected_query_side` (the paper's experimental
+  /// setting: "In our experiments, we use all queries of the same size").
+  kFixed = 0,
+  /// r uniform on [0,1]: cost(d) = integral_0^1 (w_d+r)/(s_d+r) dr,
+  /// which has the closed form 1 + (w_d - s_d) ln((s_d+1)/s_d).
+  kUniform = 1,
+};
+
+struct HybridTreeOptions {
+  /// Feature-space dimensionality (immutable once the tree is created).
+  uint32_t dim = 2;
+
+  /// Page size in bytes; the paper evaluates with 4096.
+  size_t page_size = kDefaultPageSize;
+
+  /// Minimum fill fraction of a data node (guaranteed utilization). A split
+  /// leaves each side with at least ceil(frac * capacity) entries.
+  double data_node_min_util = 0.40;
+
+  /// Minimum fraction of children on each side of an index-node split.
+  double index_node_min_util = 0.33;
+
+  SplitPolicy split_policy = SplitPolicy::kEdaOptimal;
+
+  ElsMode els_mode = ElsMode::kInMemory;
+
+  /// ELS precision in bits per boundary; the paper finds 4 bits eliminate
+  /// most dead space (Figure 5(c)).
+  uint32_t els_bits = 4;
+
+  QuerySizeModel query_size_model = QuerySizeModel::kFixed;
+
+  /// Expected box-query side length r for QuerySizeModel::kFixed.
+  double expected_query_side = 0.1;
+
+  /// Buffer pool capacity in pages; 0 = unbounded (benchmarks measure
+  /// logical accesses, which are cache-independent).
+  size_t buffer_pool_pages = 0;
+};
+
+}  // namespace ht

@@ -1,0 +1,317 @@
+#include "core/split.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace ht {
+
+namespace {
+
+/// Dimensions ordered by the policy's preference for data-node splits:
+/// extent (EDA-optimal) or variance (VAMSplit), descending.
+std::vector<uint32_t> RankDataSplitDims(const Box& br,
+                                        const std::vector<DataEntry>& entries,
+                                        SplitPolicy policy) {
+  const uint32_t dim = br.dim();
+  std::vector<double> variance(dim, 0.0);
+  for (uint32_t d = 0; d < dim; ++d) {
+    double mean = 0.0;
+    for (const auto& e : entries) mean += e.vec[d];
+    mean /= static_cast<double>(entries.size());
+    double var = 0.0;
+    for (const auto& e : entries) {
+      const double diff = e.vec[d] - mean;
+      var += diff * diff;
+    }
+    variance[d] = var;
+  }
+  std::vector<uint32_t> order(dim);
+  std::iota(order.begin(), order.end(), 0u);
+  if (policy == SplitPolicy::kEdaOptimal) {
+    // The EDA increase r/(s_d + r) makes every near-maximal extent equally
+    // (near-)optimal; real feature data ties constantly (after min-max
+    // normalization the root BR has extent 1.0 in EVERY dimension). Break
+    // ties among dimensions within 5% of the max extent by variance.
+    double max_extent = 0.0;
+    for (uint32_t d = 0; d < dim; ++d) {
+      max_extent = std::max(max_extent, static_cast<double>(br.Extent(d)));
+    }
+    const double threshold = 0.95 * max_extent;
+    std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      const bool a_top = br.Extent(a) >= threshold;
+      const bool b_top = br.Extent(b) >= threshold;
+      if (a_top != b_top) return a_top;
+      if (a_top && b_top) return variance[a] > variance[b];
+      return br.Extent(a) > br.Extent(b);
+    });
+  } else {
+    std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return variance[a] > variance[b];
+    });
+  }
+  return order;
+}
+
+/// Attempts a clean value split of `entries` along `d` with position
+/// closest to `target` such that both sides hold >= min_count. Returns
+/// false when every entry has the same value along `d` (or no position
+/// satisfies utilization).
+bool TrySplitAlongDim(const std::vector<DataEntry>& entries, uint32_t d,
+                      float target, size_t min_count, DataSplit* out) {
+  const size_t n = entries.size();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return entries[a].vec[d] < entries[b].vec[d];
+  });
+  // Candidate positions: midpoints of distinct adjacent values. A split at
+  // pos_j puts order[0..j] left, order[j+1..] right.
+  float best_pos = 0.0f;
+  size_t best_j = 0;
+  double best_gap = std::numeric_limits<double>::max();
+  bool found = false;
+  for (size_t j = 0; j + 1 < n; ++j) {
+    const float a = entries[order[j]].vec[d];
+    const float b = entries[order[j + 1]].vec[d];
+    if (a == b) continue;
+    const size_t left_count = j + 1;
+    const size_t right_count = n - left_count;
+    if (left_count < min_count || right_count < min_count) continue;
+    const float pos = a + (b - a) / 2;
+    const double gap = std::fabs(static_cast<double>(pos) - target);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best_pos = pos;
+      best_j = j;
+      found = true;
+    }
+  }
+  if (!found) return false;
+  out->dim = d;
+  out->pos = best_pos;
+  out->degenerate = false;
+  out->left.assign(order.begin(), order.begin() + best_j + 1);
+  out->right.assign(order.begin() + best_j + 1, order.end());
+  return true;
+}
+
+double Median(std::vector<float> v) {
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+DataSplit ChooseDataSplit(const Box& br, const std::vector<DataEntry>& entries,
+                          size_t min_count, SplitPolicy policy) {
+  HT_CHECK(entries.size() >= 2);
+  HT_CHECK(min_count >= 1 && 2 * min_count <= entries.size());
+  const auto order = RankDataSplitDims(br, entries, policy);
+  DataSplit out;
+  for (uint32_t d : order) {
+    float target;
+    if (policy == SplitPolicy::kEdaOptimal) {
+      // "As close to the middle as possible" (§3.2): middle of the BR
+      // extent, which tends toward cubic BRs with small surface area.
+      target = br.lo(d) + br.Extent(d) / 2;
+    } else {
+      std::vector<float> vals;
+      vals.reserve(entries.size());
+      for (const auto& e : entries) vals.push_back(e.vec[d]);
+      target = static_cast<float>(Median(std::move(vals)));
+    }
+    if (TrySplitAlongDim(entries, d, target, min_count, &out)) return out;
+  }
+  // Degenerate: identical points along every dimension. Partition by count;
+  // both regions meet at the common value on the preferred dimension.
+  const uint32_t d = order.front();
+  out.dim = d;
+  out.pos = entries.front().vec[d];
+  out.degenerate = true;
+  out.left.clear();
+  out.right.clear();
+  const size_t half = entries.size() / 2;
+  for (uint32_t i = 0; i < entries.size(); ++i) {
+    (i < half ? out.left : out.right).push_back(i);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Index node splits
+// ---------------------------------------------------------------------------
+
+Bipartition BipartitionSegments(const std::vector<Segment>& segs,
+                                size_t min_count) {
+  const size_t n = segs.size();
+  HT_CHECK(n >= 2);
+  if (min_count < 1) min_count = 1;
+  if (2 * min_count > n) min_count = n / 2;
+
+  std::vector<uint32_t> by_lo(n), by_hi(n);
+  std::iota(by_lo.begin(), by_lo.end(), 0u);
+  by_hi = by_lo;
+  std::stable_sort(by_lo.begin(), by_lo.end(), [&](uint32_t a, uint32_t b) {
+    return segs[a].lo < segs[b].lo;
+  });
+  std::stable_sort(by_hi.begin(), by_hi.end(), [&](uint32_t a, uint32_t b) {
+    return segs[a].hi > segs[b].hi;
+  });
+
+  Bipartition out;
+  std::vector<bool> assigned(n, false);
+  float lsp = -std::numeric_limits<float>::max();
+  float rsp = std::numeric_limits<float>::max();
+  size_t ai = 0, bi = 0;
+
+  // Phase 1: alternately pull the leftmost remaining segment into the left
+  // group and the rightmost remaining into the right group, until both
+  // meet the utilization floor.
+  while (out.left.size() < min_count || out.right.size() < min_count) {
+    bool progressed = false;
+    if (out.left.size() < min_count) {
+      while (ai < n && assigned[by_lo[ai]]) ++ai;
+      if (ai < n) {
+        const uint32_t s = by_lo[ai];
+        assigned[s] = true;
+        out.left.push_back(s);
+        lsp = std::max(lsp, segs[s].hi);
+        progressed = true;
+      }
+    }
+    if (out.right.size() < min_count) {
+      while (bi < n && assigned[by_hi[bi]]) ++bi;
+      if (bi < n) {
+        const uint32_t s = by_hi[bi];
+        assigned[s] = true;
+        out.right.push_back(s);
+        rsp = std::min(rsp, segs[s].lo);
+        progressed = true;
+      }
+    }
+    if (!progressed) break;  // ran out of segments (min_count too large)
+  }
+
+  // Phase 2: the rest go to the group needing the least elongation,
+  // ignoring utilization (paper, §3.3).
+  for (uint32_t s = 0; s < n; ++s) {
+    if (assigned[s]) continue;
+    const double grow_left = std::max(0.0, double(segs[s].hi) - lsp);
+    const double grow_right = std::max(0.0, rsp - double(segs[s].lo));
+    if (grow_left <= grow_right) {
+      out.left.push_back(s);
+      lsp = std::max(lsp, segs[s].hi);
+    } else {
+      out.right.push_back(s);
+      rsp = std::min(rsp, segs[s].lo);
+    }
+  }
+
+  // Defensive fallback for pathological inputs: never return an empty side.
+  if (out.left.empty() || out.right.empty()) {
+    out.left.clear();
+    out.right.clear();
+    lsp = -std::numeric_limits<float>::max();
+    rsp = std::numeric_limits<float>::max();
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t s = by_lo[i];
+      if (i < n / 2) {
+        out.left.push_back(s);
+        lsp = std::max(lsp, segs[s].hi);
+      } else {
+        out.right.push_back(s);
+        rsp = std::min(rsp, segs[s].lo);
+      }
+    }
+  }
+
+  out.lsp = lsp;
+  out.rsp = rsp;
+  out.overlap = std::max(0.0, static_cast<double>(lsp) - rsp);
+  return out;
+}
+
+double IndexSplitCost(double s, double w, QuerySizeModel model, double r) {
+  switch (model) {
+    case QuerySizeModel::kFixed:
+      return (w + r) / (s + r);
+    case QuerySizeModel::kUniform: {
+      const double se = std::max(s, 1e-9);
+      return 1.0 + (w - se) * std::log((se + 1.0) / se);
+    }
+  }
+  return 1.0;
+}
+
+IndexSplit ChooseIndexSplit(const Box& br, const std::vector<Box>& child_brs,
+                            size_t min_count,
+                            const std::vector<uint32_t>& candidate_dims,
+                            SplitPolicy policy, QuerySizeModel model,
+                            double r) {
+  HT_CHECK(child_brs.size() >= 2);
+  IndexSplit best;
+
+  auto segments_along = [&](uint32_t d) {
+    std::vector<Segment> segs(child_brs.size());
+    for (size_t i = 0; i < child_brs.size(); ++i) {
+      segs[i] = Segment{child_brs[i].lo(d), child_brs[i].hi(d)};
+    }
+    return segs;
+  };
+
+  if (policy == SplitPolicy::kVamSplit) {
+    // Maximum variance of child-region centers.
+    uint32_t best_d = candidate_dims.empty() ? 0 : candidate_dims.front();
+    double best_var = -1.0;
+    const auto& dims = candidate_dims;
+    for (uint32_t d : dims) {
+      double mean = 0.0;
+      for (const auto& b : child_brs) mean += 0.5 * (b.lo(d) + b.hi(d));
+      mean /= static_cast<double>(child_brs.size());
+      double var = 0.0;
+      for (const auto& b : child_brs) {
+        const double c = 0.5 * (b.lo(d) + b.hi(d)) - mean;
+        var += c * c;
+      }
+      if (var > best_var) {
+        best_var = var;
+        best_d = d;
+      }
+    }
+    best.dim = best_d;
+    best.parts = BipartitionSegments(segments_along(best_d), min_count);
+    best.valid = true;
+    return best;
+  }
+
+  // EDA-optimal: pre-compute the best split positions per candidate
+  // dimension, then pick the dimension with minimal expected cost (§3.3).
+  double best_cost = std::numeric_limits<double>::max();
+  for (uint32_t d : candidate_dims) {
+    const double s = br.Extent(d);
+    if (s <= 0.0) continue;
+    Bipartition parts = BipartitionSegments(segments_along(d), min_count);
+    const double cost = IndexSplitCost(s, parts.overlap, model, r);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best.dim = d;
+      best.parts = std::move(parts);
+      best.valid = true;
+    }
+  }
+  if (!best.valid) {
+    // Every candidate dimension was degenerate (point-like region); fall
+    // back to a count-based bipartition on the first candidate.
+    best.dim = candidate_dims.empty() ? 0 : candidate_dims.front();
+    best.parts = BipartitionSegments(segments_along(best.dim), min_count);
+    best.valid = true;
+  }
+  return best;
+}
+
+}  // namespace ht

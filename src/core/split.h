@@ -1,0 +1,100 @@
+// Copyright 2026 The HybridTree Authors.
+// Node-splitting algorithms (§3.2 data nodes, §3.3 index nodes).
+//
+// Both splits minimize the increase in the expected number of disk
+// accesses (EDA) under uniformly distributed box queries:
+//   * data nodes split cleanly, so the EDA increase along dimension d is
+//     r / (s_d + r) — minimized by the maximum-extent dimension,
+//     independent of the query side r and of the data distribution;
+//   * index nodes may need overlap w_d >= 0, giving (w_d + r)/(s_d + r),
+//     which depends on r; the split pre-computes the best (lsp, rsp) per
+//     dimension with the 1-d bipartition algorithm, then picks the
+//     dimension with the least expected cost under the query-size model.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/node.h"
+#include "core/options.h"
+#include "geometry/box.h"
+
+namespace ht {
+
+// ---------------------------------------------------------------------------
+// Data node splits
+// ---------------------------------------------------------------------------
+
+struct DataSplit {
+  uint32_t dim = 0;
+  /// Clean split position: lsp == rsp == pos. Entries with v <= pos go
+  /// left; v > pos go right (except in the degenerate duplicate case, where
+  /// assignment is by the index sets below).
+  float pos = 0.0f;
+  std::vector<uint32_t> left;   // entry indices
+  std::vector<uint32_t> right;  // entry indices
+  /// True when the node could not be split cleanly by value (all entries
+  /// identical along every usable dimension); the partition is then by
+  /// count and the two BRs coincide at `pos`.
+  bool degenerate = false;
+};
+
+/// Chooses the split for an over-full data node. `br` is the node's kd
+/// region, `min_count` the utilization floor per side (>= 1).
+/// kEdaOptimal: max-extent dimension, position closest to the middle of the
+/// BR extent; kVamSplit: max-variance dimension, position closest to the
+/// median.
+DataSplit ChooseDataSplit(const Box& br, const std::vector<DataEntry>& entries,
+                          size_t min_count, SplitPolicy policy);
+
+// ---------------------------------------------------------------------------
+// Index node splits
+// ---------------------------------------------------------------------------
+
+/// A 1-d projection of a child's kd region on a candidate split dimension.
+struct Segment {
+  float lo = 0.0f;
+  float hi = 0.0f;
+};
+
+struct Bipartition {
+  std::vector<uint32_t> left;   // segment indices
+  std::vector<uint32_t> right;  // segment indices
+  float lsp = 0.0f;             // max hi over the left group
+  float rsp = 0.0f;             // min lo over the right group
+  double overlap = 0.0;         // max(0, lsp - rsp)
+};
+
+/// The paper's O(n log n) 1-d bipartitioning (§3.3): sort segments by left
+/// boundary ascending and right boundary descending; alternately draw from
+/// the two lists into the left/right groups until each holds `min_count`;
+/// distribute the remainder to whichever group needs the least elongation.
+Bipartition BipartitionSegments(const std::vector<Segment>& segs,
+                                size_t min_count);
+
+/// Expected EDA increase of splitting with overlap `w` along a dimension of
+/// extent `s`, under the given query-size model (`r` used when fixed):
+/// fixed:    (w + r) / (s + r)
+/// uniform:  integral_0^1 (w+r)/(s+r) dr = 1 + (w - s) ln((s+1)/s)
+double IndexSplitCost(double s, double w, QuerySizeModel model, double r);
+
+struct IndexSplit {
+  uint32_t dim = 0;
+  Bipartition parts;
+  bool valid = false;
+};
+
+/// Chooses the split dimension + bipartition for an over-full index node.
+/// `child_brs` are the children's kd regions inside `br`; `candidate_dims`
+/// is the set D_n of dimensions used inside the node (Lemma 1 — restricting
+/// to D_n is still EDA-optimal and guarantees implicit elimination of
+/// non-discriminating dimensions); kVamSplit instead picks the dimension
+/// with maximal variance of the children's centers.
+IndexSplit ChooseIndexSplit(const Box& br, const std::vector<Box>& child_brs,
+                            size_t min_count,
+                            const std::vector<uint32_t>& candidate_dims,
+                            SplitPolicy policy, QuerySizeModel model,
+                            double r);
+
+}  // namespace ht

@@ -1,0 +1,33 @@
+#include "core/stats.h"
+
+#include <cstdio>
+
+namespace ht {
+
+std::string TreeStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "entries=%llu height=%u data_nodes=%llu index_nodes=%llu "
+      "data_util(avg=%.3f,min=%.3f) fanout=%.1f kd_splits=%llu "
+      "overlapping=%llu overlap_frac=%.4f els_bytes=%llu",
+      static_cast<unsigned long long>(entry_count), height,
+      static_cast<unsigned long long>(data_nodes),
+      static_cast<unsigned long long>(index_nodes), avg_data_utilization,
+      min_data_utilization, avg_index_fanout,
+      static_cast<unsigned long long>(kd_internal_nodes),
+      static_cast<unsigned long long>(overlapping_kd_splits),
+      avg_overlap_fraction,
+      static_cast<unsigned long long>(els_sidecar_bytes));
+  std::string out = buf;
+  for (const auto& lv : levels) {
+    std::snprintf(buf, sizeof(buf),
+                  "\n  level %u: nodes=%llu children=%llu fanout=%.1f",
+                  lv.level, static_cast<unsigned long long>(lv.nodes),
+                  static_cast<unsigned long long>(lv.children), lv.avg_fanout);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace ht

@@ -1,0 +1,51 @@
+// Copyright 2026 The HybridTree Authors.
+// Structural statistics of a built tree (the measured analogue of the
+// paper's Table 1 / Table 2 property comparison).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ht {
+
+/// Per-level aggregate (level 0 = data nodes).
+struct LevelStats {
+  uint32_t level = 0;
+  uint64_t nodes = 0;
+  uint64_t children = 0;   // entries for level 0, child pointers otherwise
+  double avg_fanout = 0.0;
+};
+
+struct TreeStats {
+  uint64_t entry_count = 0;
+  uint32_t height = 0;  // 0 = the root is a data node
+  uint64_t data_nodes = 0;
+  uint64_t index_nodes = 0;
+
+  /// Mean data-node fill (entries / capacity) — the utilization guarantee.
+  double avg_data_utilization = 0.0;
+  double min_data_utilization = 1.0;
+
+  /// Mean children per index node; "high, independent of k" per Table 1.
+  double avg_index_fanout = 0.0;
+
+  /// kd-split accounting: a kd internal node with lsp > rsp is an
+  /// overlapping split. Table 1's "degree of overlap: low".
+  uint64_t kd_internal_nodes = 0;
+  uint64_t overlapping_kd_splits = 0;
+  /// Mean of max(0, lsp-rsp)/extent over overlapping internal kd nodes.
+  double avg_overlap_fraction = 0.0;
+
+  /// ELS memory-resident sidecar size (ElsMode::kInMemory); the paper
+  /// claims <1% of database size at 4-bit precision (8 KiB pages).
+  uint64_t els_sidecar_bytes = 0;
+
+  /// Per-level breakdown, root level first.
+  std::vector<LevelStats> levels;
+
+  std::string ToString() const;
+};
+
+}  // namespace ht

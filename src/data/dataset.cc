@@ -1,0 +1,99 @@
+#include "data/dataset.h"
+
+#include <cstdio>
+#include <limits>
+
+#include "common/codec.h"
+
+namespace ht {
+
+Dataset Dataset::Prefix(uint32_t dim) const {
+  HT_CHECK(dim <= dim_);
+  Dataset out(dim, size());
+  for (size_t i = 0; i < size(); ++i) {
+    auto src = Row(i);
+    auto dst = out.MutableRow(i);
+    for (uint32_t d = 0; d < dim; ++d) dst[d] = src[d];
+  }
+  return out;
+}
+
+Dataset Dataset::Head(size_t n) const {
+  if (n > size()) n = size();
+  Dataset out(dim_, n);
+  for (size_t i = 0; i < n; ++i) {
+    auto src = Row(i);
+    auto dst = out.MutableRow(i);
+    for (uint32_t d = 0; d < dim_; ++d) dst[d] = src[d];
+  }
+  return out;
+}
+
+void Dataset::NormalizeUnitCube() {
+  if (size() == 0) return;
+  std::vector<float> mn(dim_, std::numeric_limits<float>::max());
+  std::vector<float> mx(dim_, std::numeric_limits<float>::lowest());
+  for (size_t i = 0; i < size(); ++i) {
+    auto r = Row(i);
+    for (uint32_t d = 0; d < dim_; ++d) {
+      if (r[d] < mn[d]) mn[d] = r[d];
+      if (r[d] > mx[d]) mx[d] = r[d];
+    }
+  }
+  for (size_t i = 0; i < size(); ++i) {
+    auto r = MutableRow(i);
+    for (uint32_t d = 0; d < dim_; ++d) {
+      float range = mx[d] - mn[d];
+      r[d] = range > 0 ? (r[d] - mn[d]) / range : 0.0f;
+    }
+  }
+}
+
+namespace {
+constexpr uint32_t kDatasetMagic = 0x48544453;  // "HTDS"
+}
+
+Status Dataset::SaveTo(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("fopen(" + path + ") for write");
+  uint8_t header[16];
+  Writer w(header, sizeof(header));
+  w.PutU32(kDatasetMagic);
+  w.PutU32(dim_);
+  w.PutU64(static_cast<uint64_t>(size()));
+  bool ok = std::fwrite(header, 1, sizeof(header), f) == sizeof(header);
+  ok = ok && (values_.empty() ||
+              std::fwrite(values_.data(), sizeof(float), values_.size(), f) ==
+                  values_.size());
+  std::fclose(f);
+  return ok ? Status::OK() : Status::IOError("short write to " + path);
+}
+
+Result<Dataset> Dataset::LoadFrom(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("fopen(" + path + ") for read");
+  uint8_t header[16];
+  if (std::fread(header, 1, sizeof(header), f) != sizeof(header)) {
+    std::fclose(f);
+    return Status::Corruption("short dataset header in " + path);
+  }
+  Reader r(header, sizeof(header));
+  uint32_t magic = r.GetU32();
+  uint32_t dim = r.GetU32();
+  uint64_t n = r.GetU64();
+  if (magic != kDatasetMagic) {
+    std::fclose(f);
+    return Status::Corruption("bad dataset magic in " + path);
+  }
+  Dataset out(dim, static_cast<size_t>(n));
+  size_t want = static_cast<size_t>(n) * dim;
+  if (want > 0 &&
+      std::fread(out.values_.data(), sizeof(float), want, f) != want) {
+    std::fclose(f);
+    return Status::Corruption("short dataset body in " + path);
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace ht

@@ -1,0 +1,61 @@
+// Copyright 2026 The HybridTree Authors.
+// Dataset: a dense row-major collection of k-d feature vectors.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ht {
+
+/// In-memory feature-vector dataset. Row i is the feature vector of object
+/// i; object ids are the row indices. Provides binary save/load so that
+/// generated datasets can be reused across benchmark runs.
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(uint32_t dim, size_t n) : dim_(dim), values_(n * dim, 0.0f) {}
+
+  uint32_t dim() const { return dim_; }
+  size_t size() const { return dim_ == 0 ? 0 : values_.size() / dim_; }
+
+  std::span<const float> Row(size_t i) const {
+    return std::span<const float>(values_.data() + i * dim_, dim_);
+  }
+  std::span<float> MutableRow(size_t i) {
+    return std::span<float>(values_.data() + i * dim_, dim_);
+  }
+
+  void Append(std::span<const float> row) {
+    HT_DCHECK(row.size() == dim_);
+    values_.insert(values_.end(), row.begin(), row.end());
+  }
+
+  /// Keeps only the first `dim` coordinates of every row — how the paper
+  /// derives its 8-d and 12-d FOURIER variants from the 16-d vectors.
+  Dataset Prefix(uint32_t dim) const;
+
+  /// Keeps only the first `n` rows — used for the database-size scalability
+  /// experiment (Figure 7(a),(b)).
+  Dataset Head(size_t n) const;
+
+  /// Per-dimension min-max normalization into [0,1] (the paper assumes a
+  /// normalized feature space). Constant dimensions map to 0.
+  void NormalizeUnitCube();
+
+  /// Binary round-trip (magic, dim, count, float32 rows).
+  Status SaveTo(const std::string& path) const;
+  static Result<Dataset> LoadFrom(const std::string& path);
+
+ private:
+  uint32_t dim_ = 0;
+  std::vector<float> values_;
+};
+
+}  // namespace ht

@@ -1,0 +1,180 @@
+#include "data/generators.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace ht {
+
+Dataset GenUniform(size_t n, uint32_t dim, Rng& rng) {
+  Dataset out(dim, n);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = out.MutableRow(i);
+    for (uint32_t d = 0; d < dim; ++d) {
+      row[d] = static_cast<float>(rng.NextDouble());
+    }
+  }
+  return out;
+}
+
+Dataset GenClustered(size_t n, uint32_t dim, uint32_t clusters, double sigma,
+                     Rng& rng) {
+  HT_CHECK(clusters > 0);
+  std::vector<float> centers(static_cast<size_t>(clusters) * dim);
+  for (auto& c : centers) c = static_cast<float>(rng.NextDouble());
+  Dataset out(dim, n);
+  for (size_t i = 0; i < n; ++i) {
+    const float* c = &centers[(rng.NextBelow(clusters)) * dim];
+    auto row = out.MutableRow(i);
+    for (uint32_t d = 0; d < dim; ++d) {
+      double v = c[d] + sigma * rng.NextGaussian();
+      if (v < 0.0) v = 0.0;
+      if (v > 1.0) v = 1.0;
+      row[d] = static_cast<float>(v);
+    }
+  }
+  return out;
+}
+
+Dataset GenFourier(size_t n, uint32_t dim, Rng& rng,
+                   uint32_t polygon_vertices) {
+  HT_CHECK(dim % 2 == 0 && dim >= 2);
+  const uint32_t v = polygon_vertices;
+  const uint32_t ncoef = dim / 2;
+  HT_CHECK(ncoef < v);
+  Dataset out(dim, n);
+  std::vector<double> re(v), im(v);
+  for (size_t i = 0; i < n; ++i) {
+    // Random smooth closed boundary: radius = 1 + sum of a few random
+    // low-frequency harmonics. Low-pass content => DFT energy decays with
+    // coefficient index, like Fourier shape descriptors of real polygons.
+    const uint32_t harmonics = 3 + static_cast<uint32_t>(rng.NextBelow(4));
+    std::vector<double> amp(harmonics), phase(harmonics);
+    for (uint32_t h = 0; h < harmonics; ++h) {
+      amp[h] = rng.Uniform(0.0, 0.5) / (1.0 + h);
+      phase[h] = rng.Uniform(0.0, 2.0 * M_PI);
+    }
+    const double scale = rng.Uniform(0.5, 2.0);
+    const double jitter = rng.Uniform(0.0, 0.08);
+    for (uint32_t j = 0; j < v; ++j) {
+      const double t = 2.0 * M_PI * j / v;
+      double r = 1.0;
+      for (uint32_t h = 0; h < harmonics; ++h) {
+        r += amp[h] * std::cos((h + 1) * t + phase[h]);
+      }
+      r = scale * (r + jitter * rng.NextGaussian());
+      re[j] = r * std::cos(t);
+      im[j] = r * std::sin(t);
+    }
+    // First ncoef DFT coefficients (k = 1..ncoef; k = 0 is the centroid,
+    // which shape descriptors discard for translation invariance).
+    auto row = out.MutableRow(i);
+    for (uint32_t k = 1; k <= ncoef; ++k) {
+      double cre = 0.0, cim = 0.0;
+      for (uint32_t j = 0; j < v; ++j) {
+        const double ang = -2.0 * M_PI * k * j / v;
+        const double c = std::cos(ang), s = std::sin(ang);
+        cre += re[j] * c - im[j] * s;
+        cim += re[j] * s + im[j] * c;
+      }
+      row[2 * (k - 1)] = static_cast<float>(cre / v);
+      row[2 * (k - 1) + 1] = static_cast<float>(cim / v);
+    }
+  }
+  out.NormalizeUnitCube();
+  return out;
+}
+
+namespace {
+/// Factors `bins` into the paper's color-space grid shapes: 16 = 4x4,
+/// 32 = 8x4, 64 = 8x8 (width x height); other counts get the widest
+/// near-square factorization.
+void GridShape(uint32_t bins, uint32_t* w, uint32_t* h) {
+  uint32_t best_w = bins, best_h = 1;
+  for (uint32_t cand = 1; cand * cand <= bins; ++cand) {
+    if (bins % cand == 0) {
+      best_h = cand;
+      best_w = bins / cand;
+    }
+  }
+  *w = best_w;
+  *h = best_h;
+}
+}  // namespace
+
+Dataset GenColhist(size_t n, uint32_t bins, Rng& rng) {
+  HT_CHECK(bins >= 4);
+  uint32_t gw, gh;
+  GridShape(bins, &gw, &gh);
+  // Global popularity of color bins is skewed in photo collections
+  // (sky/skin/vegetation colors dominate), but collections are *diverse*:
+  // half of each image's dominant colors come from the popular pool, the
+  // other half from anywhere in the color space.
+  ZipfSampler popularity(bins, 1.0);
+  Dataset out(bins, n);
+  std::vector<double> weights;
+  for (size_t i = 0; i < n; ++i) {
+    auto row = out.MutableRow(i);
+    for (uint32_t d = 0; d < bins; ++d) row[d] = 0.0f;
+    // Several dominant colors per image with Dirichlet(0.7) mixture
+    // weights.
+    const uint32_t k = 2 + static_cast<uint32_t>(rng.NextBelow(7));
+    weights.assign(k, 0.0);
+    double wsum = 0.0;
+    for (uint32_t j = 0; j < k; ++j) {
+      weights[j] = rng.NextGamma(0.7);
+      wsum += weights[j];
+    }
+    const double noise_mass = rng.Uniform(0.01, 0.08);
+    for (uint32_t j = 0; j < k; ++j) {
+      const size_t bin = rng.NextDouble() < 0.7
+                             ? popularity.Sample(rng)
+                             : rng.NextBelow(bins);
+      const double mass = (1.0 - noise_mass) * weights[j] / wsum;
+      // Quantization spill: real histograms smear each color over the
+      // neighboring cells of the color-space grid (~70% own bin, the rest
+      // into the 4-neighborhood).
+      const uint32_t bx = static_cast<uint32_t>(bin) % gw;
+      const uint32_t by = static_cast<uint32_t>(bin) / gw;
+      const double spill = rng.Uniform(0.15, 0.35);
+      row[bin] += static_cast<float>(mass * (1.0 - spill));
+      double spread = 0.0;
+      uint32_t neighbors[4];
+      uint32_t n_neighbors = 0;
+      if (bx > 0) neighbors[n_neighbors++] = by * gw + (bx - 1);
+      if (bx + 1 < gw) neighbors[n_neighbors++] = by * gw + (bx + 1);
+      if (by > 0) neighbors[n_neighbors++] = (by - 1) * gw + bx;
+      if (by + 1 < gh) neighbors[n_neighbors++] = (by + 1) * gw + bx;
+      for (uint32_t t = 0; t < n_neighbors; ++t) {
+        const double share = spill / n_neighbors;
+        row[neighbors[t]] += static_cast<float>(mass * share);
+        spread += share;
+      }
+      // Grid-corner bins spill less; fold the remainder back into the bin.
+      row[bin] += static_cast<float>(mass * (spill - spread));
+    }
+    // Noise floor over a random subset of bins (sensor noise, textures).
+    const uint32_t noisy =
+        bins / 8 + static_cast<uint32_t>(rng.NextBelow(bins / 4));
+    double nsum = 0.0;
+    std::vector<double> nval(noisy);
+    for (uint32_t j = 0; j < noisy; ++j) {
+      nval[j] = rng.NextExponential(1.0);
+      nsum += nval[j];
+    }
+    for (uint32_t j = 0; j < noisy; ++j) {
+      const size_t bin = rng.NextBelow(bins);
+      row[bin] += static_cast<float>(noise_mass * nval[j] / nsum);
+    }
+    // Renormalize exactly to sum 1 (float accumulation drift).
+    double total = 0.0;
+    for (uint32_t d = 0; d < bins; ++d) total += row[d];
+    for (uint32_t d = 0; d < bins; ++d) {
+      row[d] = static_cast<float>(row[d] / total);
+    }
+  }
+  return out;
+}
+
+}  // namespace ht

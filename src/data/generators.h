@@ -1,0 +1,41 @@
+// Copyright 2026 The HybridTree Authors.
+// Dataset generators reproducing the statistical character of the paper's
+// evaluation data (see DESIGN.md §4 for the substitution rationale).
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace ht {
+
+/// Uniform points in [0,1]^dim (used by tests and ablations; not a paper
+/// dataset).
+Dataset GenUniform(size_t n, uint32_t dim, Rng& rng);
+
+/// Gaussian clusters in [0,1]^dim, clipped to the cube.
+Dataset GenClustered(size_t n, uint32_t dim, uint32_t clusters, double sigma,
+                     Rng& rng);
+
+/// FOURIER surrogate (paper dataset 1): each vector holds the first dim/2
+/// complex DFT coefficients (interleaved re, im) of the boundary of a
+/// random smooth polygon, min-max normalized to [0,1]^dim. Boundary
+/// smoothness yields the strong energy decay across coefficients that the
+/// real dataset exhibits (per-dimension variance falls off with the
+/// coefficient index), which is what exercises EDA-optimal split-dimension
+/// choice and implicit dimensionality reduction. `dim` must be even; the
+/// paper's 8-d/12-d variants are prefixes of the 16-d data
+/// (Dataset::Prefix).
+Dataset GenFourier(size_t n, uint32_t dim, Rng& rng,
+                   uint32_t polygon_vertices = 32);
+
+/// COLHIST surrogate (paper dataset 2): synthetic color histograms over
+/// `bins` color-space cells (paper: 4x4=16, 8x4=32, 8x8=64). Each "image"
+/// mixes a few Zipf-popular dominant bins with Dirichlet weights plus a
+/// low-mass noise floor; rows are non-negative and sum to 1, matching the
+/// sparsity and skew of real Corel histograms.
+Dataset GenColhist(size_t n, uint32_t bins, Rng& rng);
+
+}  // namespace ht

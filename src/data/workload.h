@@ -1,0 +1,57 @@
+// Copyright 2026 The HybridTree Authors.
+// Query workload generation + brute-force ground truth.
+//
+// The paper keeps selectivity constant across dimensionalities and
+// database sizes (0.07% for FOURIER, 0.2% for COLHIST) and draws queries
+// "randomly distributed in the data space with appropriately chosen
+// ranges". With sparse high-dimensional data a uniformly-placed center has
+// near-zero hit probability at any sane range, so — as in essentially all
+// follow-up evaluations — we place query centers at jittered data points
+// and calibrate the range (box side / metric radius) by binary search until
+// the average selectivity matches the target.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "geometry/box.h"
+#include "geometry/metrics.h"
+
+namespace ht {
+
+/// Query centers: jittered samples of the data distribution, clipped to the
+/// unit cube.
+std::vector<std::vector<float>> MakeQueryCenters(const Dataset& data, size_t n,
+                                                 Rng& rng,
+                                                 double jitter = 0.01);
+
+/// A box query of side `side` centered at `center`, clipped to [0,1]^dim.
+Box MakeBoxQuery(std::span<const float> center, double side);
+
+/// Binary-searches the box side length whose expected selectivity over
+/// `probes` random centers is `target` (fraction in (0,1)). The data may be
+/// subsampled internally for speed; the result is the calibrated side.
+double CalibrateBoxSide(const Dataset& data, double target, size_t probes,
+                        Rng& rng);
+
+/// Binary-searches the metric radius for distance-range queries, same
+/// contract as CalibrateBoxSide.
+double CalibrateRangeRadius(const Dataset& data, const DistanceMetric& metric,
+                            double target, size_t probes, Rng& rng);
+
+/// Brute-force reference answers (also the spec for the SeqScan baseline).
+std::vector<uint64_t> BruteForceBox(const Dataset& data, const Box& query);
+std::vector<uint64_t> BruteForceRange(const Dataset& data,
+                                      std::span<const float> center,
+                                      double radius,
+                                      const DistanceMetric& metric);
+/// k nearest neighbors as (distance, id), ascending by distance, ties by id.
+std::vector<std::pair<double, uint64_t>> BruteForceKnn(
+    const Dataset& data, std::span<const float> center, size_t k,
+    const DistanceMetric& metric);
+
+}  // namespace ht

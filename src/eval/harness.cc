@@ -1,0 +1,239 @@
+#include "eval/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/hb_tree.h"
+#include "baselines/kdb_tree.h"
+#include "baselines/rstar_tree.h"
+#include "baselines/seqscan.h"
+#include "baselines/sr_tree.h"
+#include "common/timing.h"
+#include "eval/hybrid_adapter.h"
+
+namespace ht {
+
+std::string IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kHybrid:
+      return "HybridTree";
+    case IndexKind::kHybridVam:
+      return "Hybrid(VAM)";
+    case IndexKind::kHybridNoEls:
+      return "Hybrid(noELS)";
+    case IndexKind::kSrTree:
+      return "SR-tree";
+    case IndexKind::kHbTree:
+      return "hB-tree";
+    case IndexKind::kKdbTree:
+      return "KDB-tree";
+    case IndexKind::kRStarTree:
+      return "R*-tree";
+    case IndexKind::kSeqScan:
+      return "SeqScan";
+  }
+  return "?";
+}
+
+Result<IndexBundle> BuildIndex(IndexKind kind, const Dataset& data,
+                               const BuildConfig& config) {
+  IndexBundle bundle;
+  bundle.file = std::make_unique<MemPagedFile>(config.page_size);
+  WallTimer timer;
+  switch (kind) {
+    case IndexKind::kHybrid:
+    case IndexKind::kHybridVam:
+    case IndexKind::kHybridNoEls: {
+      HybridTreeOptions options;
+      options.dim = data.dim();
+      options.page_size = config.page_size;
+      options.expected_query_side = config.expected_query_side;
+      if (kind == IndexKind::kHybridVam) {
+        options.split_policy = SplitPolicy::kVamSplit;
+      }
+      if (kind == IndexKind::kHybridNoEls) {
+        options.els_mode = ElsMode::kOff;
+        options.els_bits = 0;
+      } else {
+        options.els_mode = ElsMode::kInMemory;
+        options.els_bits = config.els_bits;
+      }
+      HT_ASSIGN_OR_RETURN(auto idx,
+                          HybridIndexAdapter::Create(options,
+                                                     bundle.file.get()));
+      bundle.index = std::move(idx);
+      break;
+    }
+    case IndexKind::kSrTree: {
+      HT_ASSIGN_OR_RETURN(auto idx,
+                          SrTree::Create(data.dim(), bundle.file.get()));
+      bundle.index = std::move(idx);
+      break;
+    }
+    case IndexKind::kHbTree: {
+      HT_ASSIGN_OR_RETURN(auto idx,
+                          HbTree::Create(data.dim(), bundle.file.get()));
+      bundle.index = std::move(idx);
+      break;
+    }
+    case IndexKind::kKdbTree: {
+      HT_ASSIGN_OR_RETURN(auto idx,
+                          KdbTree::Create(data.dim(), bundle.file.get()));
+      bundle.index = std::move(idx);
+      break;
+    }
+    case IndexKind::kRStarTree: {
+      HT_ASSIGN_OR_RETURN(auto idx,
+                          RStarTree::Create(data.dim(), bundle.file.get()));
+      bundle.index = std::move(idx);
+      break;
+    }
+    case IndexKind::kSeqScan: {
+      HT_ASSIGN_OR_RETURN(auto idx,
+                          SeqScan::Create(data.dim(), bundle.file.get()));
+      bundle.index = std::move(idx);
+      break;
+    }
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    HT_RETURN_NOT_OK(bundle.index->Insert(data.Row(i), i));
+  }
+  bundle.build_seconds = timer.Seconds();
+  return bundle;
+}
+
+namespace {
+template <typename RunOne>
+Result<QueryCosts> RunWorkload(SpatialIndex* index, size_t n, RunOne run) {
+  QueryCosts costs;
+  costs.queries = n;
+  uint64_t total_accesses = 0;
+  uint64_t total_results = 0;
+  for (size_t q = 0; q < n; ++q) {
+    index->pool().ResetStats();
+    HT_ASSIGN_OR_RETURN(size_t results, run(q));
+    total_accesses += index->pool().stats().logical_reads;
+    total_results += results;
+  }
+  // Timing pass: the queries are single-threaded and CPU-bound (all pages
+  // are memory-resident), so wall time equals CPU time — and unlike
+  // CLOCK_PROCESS_CPUTIME_ID (10 ms jiffies on many VMs) the steady clock
+  // has nanosecond resolution. Repeat the workload until enough time has
+  // accumulated for a stable average.
+  WallTimer timer;
+  size_t reps = 0;
+  do {
+    for (size_t q = 0; q < n; ++q) {
+      HT_ASSIGN_OR_RETURN(size_t results, run(q));
+      (void)results;
+    }
+    ++reps;
+  } while (timer.Seconds() < 0.05 && reps < 1000);
+  costs.avg_accesses =
+      static_cast<double>(total_accesses) / static_cast<double>(n);
+  costs.avg_cpu_seconds =
+      timer.Seconds() / (static_cast<double>(reps) * static_cast<double>(n));
+  costs.avg_results =
+      static_cast<double>(total_results) / static_cast<double>(n);
+  return costs;
+}
+}  // namespace
+
+Result<QueryCosts> RunBoxWorkload(SpatialIndex* index,
+                                  const std::vector<Box>& queries) {
+  return RunWorkload(index, queries.size(), [&](size_t q) -> Result<size_t> {
+    HT_ASSIGN_OR_RETURN(auto hits, index->SearchBox(queries[q]));
+    return hits.size();
+  });
+}
+
+Result<QueryCosts> RunRangeWorkload(
+    SpatialIndex* index, const std::vector<std::vector<float>>& centers,
+    double radius, const DistanceMetric& metric) {
+  return RunWorkload(index, centers.size(), [&](size_t q) -> Result<size_t> {
+    HT_ASSIGN_OR_RETURN(auto hits,
+                        index->SearchRange(centers[q], radius, metric));
+    return hits.size();
+  });
+}
+
+Result<QueryCosts> RunKnnWorkload(
+    SpatialIndex* index, const std::vector<std::vector<float>>& centers,
+    size_t k, const DistanceMetric& metric) {
+  return RunWorkload(index, centers.size(), [&](size_t q) -> Result<size_t> {
+    HT_ASSIGN_OR_RETURN(auto hits, index->SearchKnn(centers[q], k, metric));
+    return hits.size();
+  });
+}
+
+NormalizedCosts Normalize(const QueryCosts& costs, bool sequential_io,
+                          uint64_t scan_pages, const QueryCosts& scan_costs) {
+  NormalizedCosts out;
+  if (sequential_io) {
+    // Sequential accesses are ~10x cheaper than random (paper §4).
+    out.io = 0.1 * costs.avg_accesses / static_cast<double>(scan_pages);
+  } else {
+    out.io = costs.avg_accesses / static_cast<double>(scan_pages);
+  }
+  out.cpu = scan_costs.avg_cpu_seconds > 0
+                ? costs.avg_cpu_seconds / scan_costs.avg_cpu_seconds
+                : 0.0;
+  return out;
+}
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || parsed == 0) return fallback;
+  return static_cast<size_t>(parsed);
+}
+
+// --- TablePrinter -----------------------------------------------------------
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("|");
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  auto print_sep = [&]() {
+    std::printf("+");
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      for (size_t i = 0; i < widths[c] + 2; ++i) std::printf("-");
+      std::printf("+");
+    }
+    std::printf("\n");
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+}  // namespace ht

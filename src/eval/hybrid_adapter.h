@@ -1,0 +1,58 @@
+// Copyright 2026 The HybridTree Authors.
+// SpatialIndex adapter over HybridTree so the harness can drive it
+// uniformly alongside the baselines.
+
+#pragma once
+
+#include <memory>
+
+#include "baselines/spatial_index.h"
+#include "core/hybrid_tree.h"
+
+namespace ht {
+
+class HybridIndexAdapter final : public SpatialIndex {
+ public:
+  static Result<std::unique_ptr<HybridIndexAdapter>> Create(
+      const HybridTreeOptions& options, PagedFile* file) {
+    HT_ASSIGN_OR_RETURN(auto tree, HybridTree::Create(options, file));
+    return std::unique_ptr<HybridIndexAdapter>(
+        new HybridIndexAdapter(std::move(tree)));
+  }
+
+  std::string Name() const override {
+    return tree_->options().split_policy == SplitPolicy::kVamSplit
+               ? "Hybrid(VAM)"
+               : "HybridTree";
+  }
+  Status Insert(std::span<const float> point, uint64_t id) override {
+    return tree_->Insert(point, id);
+  }
+  Status Delete(std::span<const float> point, uint64_t id) override {
+    return tree_->Delete(point, id);
+  }
+  Result<std::vector<uint64_t>> SearchBox(const Box& query) override {
+    return tree_->SearchBox(query);
+  }
+  Result<std::vector<uint64_t>> SearchRange(
+      std::span<const float> center, double radius,
+      const DistanceMetric& metric) override {
+    return tree_->SearchRange(center, radius, metric);
+  }
+  Result<std::vector<std::pair<double, uint64_t>>> SearchKnn(
+      std::span<const float> center, size_t k,
+      const DistanceMetric& metric) override {
+    return tree_->SearchKnn(center, k, metric);
+  }
+  uint64_t size() const override { return tree_->size(); }
+  BufferPool& pool() override { return tree_->pool(); }
+
+  HybridTree& tree() { return *tree_; }
+
+ private:
+  explicit HybridIndexAdapter(std::unique_ptr<HybridTree> tree)
+      : tree_(std::move(tree)) {}
+  std::unique_ptr<HybridTree> tree_;
+};
+
+}  // namespace ht

@@ -1,0 +1,19 @@
+#include "geometry/box.h"
+
+#include <cstdio>
+
+namespace ht {
+
+std::string Box::ToString() const {
+  std::string s = "[";
+  char buf[64];
+  for (uint32_t d = 0; d < dim(); ++d) {
+    std::snprintf(buf, sizeof(buf), "%s(%.4g,%.4g)", d ? " " : "", lo_[d],
+                  hi_[d]);
+    s += buf;
+  }
+  s += "]";
+  return s;
+}
+
+}  // namespace ht

@@ -1,0 +1,323 @@
+// Copyright 2026 The HybridTree Authors.
+// Distance metrics for distance-based queries (§3.5).
+//
+// The hybrid tree is a *feature-based* index: the partitioning is
+// independent of the distance function, so the metric can be chosen per
+// query — including between iterations of a relevance-feedback loop (the
+// MARS use case the paper motivates). A metric must supply the
+// point-to-point distance and a lower bound on the distance from a point to
+// any point inside a box (MINDIST), which drives branch-and-bound pruning.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "geometry/box.h"
+
+namespace ht {
+
+/// Abstract distance function. Implementations must be symmetric and
+/// non-negative; MinDistToBox must never exceed the true minimum distance
+/// (otherwise pruning would drop results).
+class DistanceMetric {
+ public:
+  virtual ~DistanceMetric() = default;
+
+  virtual double Distance(std::span<const float> a,
+                          std::span<const float> b) const = 0;
+
+  /// Lower bound on Distance(q, x) over all x in `box`.
+  virtual double MinDistToBox(std::span<const float> q,
+                              const Box& box) const = 0;
+
+  /// Lower bound on Distance(q, x) over all x in the *Euclidean* ball
+  /// B(center, radius) — the bounding-sphere component of SR-tree regions.
+  /// The default (0) disables sphere pruning, which is always sound.
+  virtual double MinDistToSphere(std::span<const float> q,
+                                 std::span<const float> center,
+                                 double radius) const {
+    (void)q;
+    (void)center;
+    (void)radius;
+    return 0.0;
+  }
+
+  virtual std::string Name() const = 0;
+};
+
+namespace metric_detail {
+inline double EuclideanDistance(std::span<const float> a,
+                                std::span<const float> b) {
+  double s = 0.0;
+  for (size_t d = 0; d < a.size(); ++d) {
+    const double diff = static_cast<double>(a[d]) - b[d];
+    s += diff * diff;
+  }
+  return std::sqrt(s);
+}
+}  // namespace metric_detail
+
+namespace metric_detail {
+/// Per-dimension gap between q[d] and the interval [lo,hi]; 0 if inside.
+inline double AxisGap(double q, double lo, double hi) {
+  if (q < lo) return lo - q;
+  if (q > hi) return q - hi;
+  return 0.0;
+}
+}  // namespace metric_detail
+
+/// Minkowski L_p metric for finite p >= 1. Specialized subclasses exist for
+/// the common p = 1 and p = 2 cases (avoiding pow in the inner loop).
+class LpMetric : public DistanceMetric {
+ public:
+  explicit LpMetric(double p) : p_(p) { HT_CHECK(p >= 1.0); }
+
+  double Distance(std::span<const float> a,
+                  std::span<const float> b) const override {
+    double s = 0.0;
+    for (size_t d = 0; d < a.size(); ++d) {
+      s += std::pow(std::fabs(static_cast<double>(a[d]) - b[d]), p_);
+    }
+    return std::pow(s, 1.0 / p_);
+  }
+
+  double MinDistToBox(std::span<const float> q,
+                      const Box& box) const override {
+    double s = 0.0;
+    for (uint32_t d = 0; d < box.dim(); ++d) {
+      double g = metric_detail::AxisGap(q[d], box.lo(d), box.hi(d));
+      if (g > 0.0) s += std::pow(g, p_);
+    }
+    return std::pow(s, 1.0 / p_);
+  }
+
+  std::string Name() const override {
+    return "L" + std::to_string(p_);
+  }
+
+  double p() const { return p_; }
+
+ private:
+  double p_;
+};
+
+/// Manhattan distance — the metric the paper uses for its distance-based
+/// query experiments (Figure 7(c),(d), following [18]).
+class L1Metric final : public DistanceMetric {
+ public:
+  double Distance(std::span<const float> a,
+                  std::span<const float> b) const override {
+    double s = 0.0;
+    for (size_t d = 0; d < a.size(); ++d) {
+      s += std::fabs(static_cast<double>(a[d]) - b[d]);
+    }
+    return s;
+  }
+  double MinDistToBox(std::span<const float> q,
+                      const Box& box) const override {
+    double s = 0.0;
+    for (uint32_t d = 0; d < box.dim(); ++d) {
+      s += metric_detail::AxisGap(q[d], box.lo(d), box.hi(d));
+    }
+    return s;
+  }
+  double MinDistToSphere(std::span<const float> q,
+                         std::span<const float> center,
+                         double radius) const override {
+    // ||x||_1 >= ||x||_2, so the Euclidean gap lower-bounds the L1 gap.
+    return std::max(0.0, metric_detail::EuclideanDistance(q, center) - radius);
+  }
+  std::string Name() const override { return "L1"; }
+};
+
+/// Euclidean distance.
+class L2Metric final : public DistanceMetric {
+ public:
+  double Distance(std::span<const float> a,
+                  std::span<const float> b) const override {
+    double s = 0.0;
+    for (size_t d = 0; d < a.size(); ++d) {
+      double diff = static_cast<double>(a[d]) - b[d];
+      s += diff * diff;
+    }
+    return std::sqrt(s);
+  }
+  double MinDistToBox(std::span<const float> q,
+                      const Box& box) const override {
+    double s = 0.0;
+    for (uint32_t d = 0; d < box.dim(); ++d) {
+      double g = metric_detail::AxisGap(q[d], box.lo(d), box.hi(d));
+      s += g * g;
+    }
+    return std::sqrt(s);
+  }
+  double MinDistToSphere(std::span<const float> q,
+                         std::span<const float> center,
+                         double radius) const override {
+    return std::max(0.0, metric_detail::EuclideanDistance(q, center) - radius);
+  }
+  std::string Name() const override { return "L2"; }
+};
+
+/// Chebyshev distance.
+class LInfMetric final : public DistanceMetric {
+ public:
+  double Distance(std::span<const float> a,
+                  std::span<const float> b) const override {
+    double m = 0.0;
+    for (size_t d = 0; d < a.size(); ++d) {
+      double diff = std::fabs(static_cast<double>(a[d]) - b[d]);
+      if (diff > m) m = diff;
+    }
+    return m;
+  }
+  double MinDistToBox(std::span<const float> q,
+                      const Box& box) const override {
+    double m = 0.0;
+    for (uint32_t d = 0; d < box.dim(); ++d) {
+      double g = metric_detail::AxisGap(q[d], box.lo(d), box.hi(d));
+      if (g > m) m = g;
+    }
+    return m;
+  }
+  double MinDistToSphere(std::span<const float> q,
+                         std::span<const float> center,
+                         double radius) const override {
+    // ||x||_inf >= ||x||_2 / sqrt(d).
+    const double d2 = metric_detail::EuclideanDistance(q, center);
+    return std::max(0.0, (d2 - radius) /
+                             std::sqrt(static_cast<double>(q.size())));
+  }
+  std::string Name() const override { return "Linf"; }
+};
+
+/// Weighted Euclidean distance: sqrt(sum_d w_d (a_d - b_d)^2), w_d >= 0.
+/// The relevance-feedback example re-weights dimensions between iterations
+/// of the same query — the arbitrary-distance-function capability the paper
+/// highlights over distance-based indexes (SS-tree, M-tree).
+class WeightedL2Metric final : public DistanceMetric {
+ public:
+  explicit WeightedL2Metric(std::vector<double> weights)
+      : w_(std::move(weights)) {
+    for (double w : w_) HT_CHECK(w >= 0.0);
+  }
+
+  double Distance(std::span<const float> a,
+                  std::span<const float> b) const override {
+    double s = 0.0;
+    for (size_t d = 0; d < a.size(); ++d) {
+      double diff = static_cast<double>(a[d]) - b[d];
+      s += w_[d] * diff * diff;
+    }
+    return std::sqrt(s);
+  }
+  double MinDistToBox(std::span<const float> q,
+                      const Box& box) const override {
+    double s = 0.0;
+    for (uint32_t d = 0; d < box.dim(); ++d) {
+      double g = metric_detail::AxisGap(q[d], box.lo(d), box.hi(d));
+      s += w_[d] * g * g;
+    }
+    return std::sqrt(s);
+  }
+  double MinDistToSphere(std::span<const float> q,
+                         std::span<const float> center,
+                         double radius) const override {
+    // d_w(q,x) >= sqrt(min_d w_d) * ||q - x||_2.
+    double min_w = std::numeric_limits<double>::max();
+    for (double w : w_) min_w = std::min(min_w, w);
+    const double d2 = metric_detail::EuclideanDistance(q, center);
+    return std::sqrt(min_w) * std::max(0.0, d2 - radius);
+  }
+  std::string Name() const override { return "WeightedL2"; }
+
+  const std::vector<double>& weights() const { return w_; }
+
+ private:
+  std::vector<double> w_;
+};
+
+/// Generalized ellipsoid (quadratic-form) distance
+/// d(a,b) = sqrt((a-b)^T W (a-b)) for a symmetric positive semi-definite
+/// matrix W — the full MindReader/MARS relevance-feedback metric the paper
+/// cites ([13], [21]): cross-dimension correlations learned from feedback
+/// become off-diagonal entries of W. Feature-based indexes answer it on
+/// the same tree; distance-based ones cannot.
+///
+/// MINDIST lower bounds use d_W(x,y) >= sqrt(lambda_min(W)) * ||x-y||_2
+/// with lambda_min bounded from below (cheaply, conservatively) by the
+/// Gershgorin circle theorem: lambda_min >= min_i(W_ii - sum_{j!=i}|W_ij|),
+/// clamped at 0. A zero bound disables box/sphere pruning but never
+/// affects correctness.
+class QuadraticFormMetric final : public DistanceMetric {
+ public:
+  /// `matrix` is row-major dim x dim; it must be symmetric PSD (checked
+  /// only for symmetry; PSD is the caller's contract as with [13]).
+  QuadraticFormMetric(uint32_t dim, std::vector<double> matrix)
+      : dim_(dim), w_(std::move(matrix)) {
+    HT_CHECK(w_.size() == static_cast<size_t>(dim_) * dim_);
+    double lo = std::numeric_limits<double>::max();
+    for (uint32_t i = 0; i < dim_; ++i) {
+      HT_CHECK(w_[i * dim_ + i] >= 0.0);
+      double off = 0.0;
+      for (uint32_t j = 0; j < dim_; ++j) {
+        HT_CHECK(std::fabs(w_[i * dim_ + j] - w_[j * dim_ + i]) < 1e-9);
+        if (j != i) off += std::fabs(w_[i * dim_ + j]);
+      }
+      lo = std::min(lo, w_[i * dim_ + i] - off);
+    }
+    sqrt_lambda_min_ = std::sqrt(std::max(0.0, lo));
+  }
+
+  double Distance(std::span<const float> a,
+                  std::span<const float> b) const override {
+    double s = 0.0;
+    for (uint32_t i = 0; i < dim_; ++i) {
+      const double di = static_cast<double>(a[i]) - b[i];
+      const double* row = &w_[static_cast<size_t>(i) * dim_];
+      double acc = 0.0;
+      for (uint32_t j = 0; j < dim_; ++j) {
+        acc += row[j] * (static_cast<double>(a[j]) - b[j]);
+      }
+      s += di * acc;
+    }
+    return std::sqrt(std::max(0.0, s));
+  }
+
+  double MinDistToBox(std::span<const float> q,
+                      const Box& box) const override {
+    if (sqrt_lambda_min_ == 0.0) return 0.0;
+    double s = 0.0;
+    for (uint32_t d = 0; d < box.dim(); ++d) {
+      const double g = metric_detail::AxisGap(q[d], box.lo(d), box.hi(d));
+      s += g * g;
+    }
+    return sqrt_lambda_min_ * std::sqrt(s);
+  }
+
+  double MinDistToSphere(std::span<const float> q,
+                         std::span<const float> center,
+                         double radius) const override {
+    const double d2 = metric_detail::EuclideanDistance(q, center);
+    return sqrt_lambda_min_ * std::max(0.0, d2 - radius);
+  }
+
+  std::string Name() const override { return "QuadraticForm"; }
+
+  /// The Gershgorin lower bound actually used for pruning (tests).
+  double sqrt_lambda_min() const { return sqrt_lambda_min_; }
+
+ private:
+  uint32_t dim_;
+  std::vector<double> w_;
+  double sqrt_lambda_min_ = 0.0;
+};
+
+}  // namespace ht

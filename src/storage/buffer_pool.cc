@@ -1,0 +1,161 @@
+#include "storage/buffer_pool.h"
+
+namespace ht {
+
+// ---------------------------------------------------------------------------
+// PageHandle
+// ---------------------------------------------------------------------------
+
+uint8_t* PageHandle::data() {
+  HT_CHECK(valid());
+  return pool_->FindFrame(id_)->page.data();
+}
+
+const uint8_t* PageHandle::data() const {
+  HT_CHECK(valid());
+  return pool_->FindFrame(id_)->page.data();
+}
+
+size_t PageHandle::size() const {
+  HT_CHECK(valid());
+  return pool_->page_size();
+}
+
+void PageHandle::MarkDirty() {
+  HT_CHECK(valid());
+  pool_->FindFrame(id_)->dirty = true;
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(id_);
+    pool_ = nullptr;
+    id_ = kInvalidPageId;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+// ---------------------------------------------------------------------------
+
+BufferPool::BufferPool(PagedFile* file, size_t capacity_pages)
+    : file_(file), capacity_(capacity_pages) {}
+
+BufferPool::~BufferPool() {
+  // Best effort write-back; durability requires an explicit FlushAll.
+  (void)FlushAll();
+}
+
+BufferPool::Frame* BufferPool::FindFrame(PageId id) {
+  auto it = frames_.find(id);
+  return it == frames_.end() ? nullptr : it->second.get();
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId id) {
+  ++stats_.logical_reads;
+  Frame* f = FindFrame(id);
+  if (f == nullptr) {
+    HT_RETURN_NOT_OK(EvictOneIfNeeded());
+    auto frame = std::make_unique<Frame>(file_->page_size());
+    HT_RETURN_NOT_OK(file_->Read(id, &frame->page));
+    ++stats_.physical_reads;
+    f = frame.get();
+    frames_.emplace(id, std::move(frame));
+  } else if (f->in_lru) {
+    lru_.erase(f->lru_it);
+    f->in_lru = false;
+  }
+  ++f->pins;
+  return PageHandle(this, id);
+}
+
+Result<PageHandle> BufferPool::New() {
+  HT_ASSIGN_OR_RETURN(PageId id, file_->Allocate());
+  ++stats_.allocations;
+  ++stats_.logical_reads;  // a new node still costs one access to write
+  HT_RETURN_NOT_OK(EvictOneIfNeeded());
+  auto frame = std::make_unique<Frame>(file_->page_size());
+  frame->dirty = true;
+  frame->pins = 1;
+  frames_.emplace(id, std::move(frame));
+  return PageHandle(this, id);
+}
+
+Status BufferPool::Free(PageId id) {
+  Frame* f = FindFrame(id);
+  if (f != nullptr) {
+    if (f->pins != 0) {
+      return Status::InvalidArgument("BufferPool::Free of pinned page " +
+                                     std::to_string(id));
+    }
+    if (f->in_lru) lru_.erase(f->lru_it);
+    frames_.erase(id);
+  }
+  ++stats_.frees;
+  return file_->Free(id);
+}
+
+void BufferPool::Unpin(PageId id) {
+  Frame* f = FindFrame(id);
+  HT_CHECK(f != nullptr && f->pins > 0);
+  if (--f->pins == 0) {
+    lru_.push_front(id);
+    f->lru_it = lru_.begin();
+    f->in_lru = true;
+  }
+}
+
+Status BufferPool::EvictOneIfNeeded() {
+  if (capacity_ == 0 || frames_.size() < capacity_) return Status::OK();
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("buffer pool full and all pages pinned");
+  }
+  // Evict the least recently used unpinned page.
+  PageId victim = lru_.back();
+  lru_.pop_back();
+  Frame* f = FindFrame(victim);
+  HT_CHECK(f != nullptr && f->pins == 0);
+  HT_RETURN_NOT_OK(WriteBack(victim, f));
+  frames_.erase(victim);
+  ++stats_.evictions;
+  return Status::OK();
+}
+
+Status BufferPool::WriteBack(PageId id, Frame* f) {
+  if (f->dirty) {
+    HT_RETURN_NOT_OK(file_->Write(id, f->page));
+    ++stats_.writes;
+    f->dirty = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, f] : frames_) {
+    HT_RETURN_NOT_OK(WriteBack(id, f.get()));
+  }
+  return Status::OK();
+}
+
+Status BufferPool::EvictAll() {
+  HT_RETURN_NOT_OK(FlushAll());
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (it->second->pins == 0) {
+      if (it->second->in_lru) lru_.erase(it->second->lru_it);
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+size_t BufferPool::pinned_frames() const {
+  size_t n = 0;
+  for (const auto& [id, f] : frames_) {
+    if (f->pins > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace ht

@@ -1,0 +1,127 @@
+// Copyright 2026 The HybridTree Authors.
+// BufferPool: pin-counted LRU page cache over a PagedFile.
+//
+// All trees in the repository perform node I/O through a BufferPool. Every
+// Fetch/New counts one *logical* read — the unit the paper plots as "disk
+// accesses per query" (one random access per node visited). Pool misses
+// additionally count physical reads on the backing file.
+
+#pragma once
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/paged_file.h"
+
+namespace ht {
+
+class BufferPool;
+
+/// RAII pin on a buffered page. While a handle is alive the frame cannot be
+/// evicted. Call MarkDirty() after mutating data().
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept { MoveFrom(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  ~PageHandle() { Release(); }
+  HT_DISALLOW_COPY_AND_ASSIGN(PageHandle);
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+  uint8_t* data();
+  const uint8_t* data() const;
+  size_t size() const;
+  void MarkDirty();
+
+  /// Drops the pin early (before destruction).
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, PageId id) : pool_(pool), id_(id) {}
+  void MoveFrom(PageHandle& other) {
+    pool_ = other.pool_;
+    id_ = other.id_;
+    other.pool_ = nullptr;
+    other.id_ = kInvalidPageId;
+  }
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
+};
+
+/// LRU buffer pool. Not thread-safe (the index structures are single-
+/// threaded per the paper's evaluation; concurrency is future work).
+class BufferPool {
+ public:
+  /// `capacity_pages` of 0 means unbounded (everything stays cached, still
+  /// counting logical reads — the configuration the benchmarks use, since
+  /// the figure-of-merit is access counts, not cache behaviour).
+  BufferPool(PagedFile* file, size_t capacity_pages);
+  ~BufferPool();
+  HT_DISALLOW_COPY_AND_ASSIGN(BufferPool);
+
+  /// Fetches and pins page `id`.
+  Result<PageHandle> Fetch(PageId id);
+
+  /// Allocates a new page, pins it, and marks it dirty (so the zeroed or
+  /// caller-filled image reaches the file on eviction/flush).
+  Result<PageHandle> New();
+
+  /// Frees page `id`; it must be unpinned. Drops any cached frame.
+  Status Free(PageId id);
+
+  /// Writes all dirty frames back to the file.
+  Status FlushAll();
+
+  /// Drops every unpinned frame (writing back dirty ones). Used by the
+  /// harness to make each query cold.
+  Status EvictAll();
+
+  size_t page_size() const { return file_->page_size(); }
+  PagedFile* file() { return file_; }
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  /// Number of frames currently cached (for tests).
+  size_t cached_frames() const { return frames_.size(); }
+  /// Number of currently pinned frames (for tests).
+  size_t pinned_frames() const;
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    Page page;
+    int pins = 0;
+    bool dirty = false;
+    std::list<PageId>::iterator lru_it;  // valid iff pins == 0
+    bool in_lru = false;
+    explicit Frame(size_t page_size) : page(page_size) {}
+  };
+
+  Frame* FindFrame(PageId id);
+  void Unpin(PageId id);
+  Status EvictOneIfNeeded();
+  Status WriteBack(PageId id, Frame* f);
+
+  PagedFile* file_;
+  size_t capacity_;
+  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
+  std::list<PageId> lru_;  // front = most recent
+  IoStats stats_;
+};
+
+}  // namespace ht

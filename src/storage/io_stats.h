@@ -1,0 +1,41 @@
+// Copyright 2026 The HybridTree Authors.
+// I/O accounting for the paged storage engine and the evaluation harness.
+
+#pragma once
+
+#include <cstdint>
+
+namespace ht {
+
+/// Counters maintained by BufferPool / PagedFile. "Logical" reads count
+/// every page fetch requested by an index structure; "physical" reads count
+/// fetches that missed the buffer pool and touched the backing file.
+///
+/// The paper reports *disk accesses per query* assuming each visited node
+/// costs one random access, and normalizes sequential scan by a factor of
+/// 10 (sequential I/O ≈ 10x faster than random). The harness therefore uses
+/// logical reads with a cold (or bypassed) cache as the figure-of-merit and
+/// keeps physical counters for buffer-pool experiments.
+struct IoStats {
+  uint64_t logical_reads = 0;
+  uint64_t physical_reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocations = 0;
+  uint64_t frees = 0;
+  uint64_t evictions = 0;
+
+  void Reset() { *this = IoStats{}; }
+
+  IoStats Delta(const IoStats& since) const {
+    IoStats d;
+    d.logical_reads = logical_reads - since.logical_reads;
+    d.physical_reads = physical_reads - since.physical_reads;
+    d.writes = writes - since.writes;
+    d.allocations = allocations - since.allocations;
+    d.frees = frees - since.frees;
+    d.evictions = evictions - since.evictions;
+    return d;
+  }
+};
+
+}  // namespace ht

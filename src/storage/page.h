@@ -1,0 +1,36 @@
+// Copyright 2026 The HybridTree Authors.
+// Fixed-size page abstraction shared by all disk-based index structures.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace ht {
+
+/// Page identifier within a PagedFile. Page 0 is reserved by convention for
+/// file metadata; kInvalidPageId marks "no page".
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+/// Default page size used throughout the paper's evaluation (§4: "we use a
+/// page size of 4096 bytes").
+inline constexpr size_t kDefaultPageSize = 4096;
+
+/// A page image in memory. Owns `size` bytes, zero-initialized.
+class Page {
+ public:
+  explicit Page(size_t size = kDefaultPageSize) : data_(size, 0) {}
+
+  uint8_t* data() { return data_.data(); }
+  const uint8_t* data() const { return data_.data(); }
+  size_t size() const { return data_.size(); }
+
+  void Zero() { std::memset(data_.data(), 0, data_.size()); }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace ht

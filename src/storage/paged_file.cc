@@ -1,0 +1,224 @@
+#include "storage/paged_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/codec.h"
+
+namespace ht {
+
+// ---------------------------------------------------------------------------
+// MemPagedFile
+// ---------------------------------------------------------------------------
+
+MemPagedFile::MemPagedFile(size_t page_size) : page_size_(page_size) {}
+
+Status MemPagedFile::Read(PageId id, Page* out) {
+  if (id >= pages_.size() || pages_[id] == nullptr) {
+    return Status::NotFound("MemPagedFile: read of unallocated page " +
+                            std::to_string(id));
+  }
+  if (out->size() != page_size_) {
+    return Status::InvalidArgument("page buffer size mismatch");
+  }
+  std::memcpy(out->data(), pages_[id]->data(), page_size_);
+  ++stats_.physical_reads;
+  return Status::OK();
+}
+
+Status MemPagedFile::Write(PageId id, const Page& page) {
+  if (id >= pages_.size() || pages_[id] == nullptr) {
+    return Status::NotFound("MemPagedFile: write of unallocated page " +
+                            std::to_string(id));
+  }
+  if (page.size() != page_size_) {
+    return Status::InvalidArgument("page buffer size mismatch");
+  }
+  std::memcpy(pages_[id]->data(), page.data(), page_size_);
+  ++stats_.writes;
+  return Status::OK();
+}
+
+Result<PageId> MemPagedFile::Allocate() {
+  ++stats_.allocations;
+  if (!free_list_.empty()) {
+    PageId id = free_list_.back();
+    free_list_.pop_back();
+    pages_[id] = std::make_unique<Page>(page_size_);
+    return id;
+  }
+  pages_.push_back(std::make_unique<Page>(page_size_));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status MemPagedFile::Free(PageId id) {
+  if (id >= pages_.size() || pages_[id] == nullptr) {
+    return Status::InvalidArgument("MemPagedFile: double free of page " +
+                                   std::to_string(id));
+  }
+  pages_[id] = nullptr;
+  free_list_.push_back(id);
+  ++stats_.frees;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// DiskPagedFile
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr uint32_t kMagic = 0x48544446;  // "HTDF"
+constexpr size_t kSuperblockSize = 24;   // magic,pagesize,count,freehead + pad
+}  // namespace
+
+DiskPagedFile::DiskPagedFile(int fd, size_t page_size)
+    : fd_(fd), page_size_(page_size) {}
+
+DiskPagedFile::~DiskPagedFile() {
+  if (fd_ >= 0) {
+    // Best effort; callers needing durability must Sync() explicitly.
+    (void)WriteSuperblock();
+    ::close(fd_);
+  }
+}
+
+Result<std::unique_ptr<DiskPagedFile>> DiskPagedFile::Create(
+    const std::string& path, size_t page_size) {
+  if (page_size < 64) {
+    return Status::InvalidArgument("page size too small");
+  }
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  auto f = std::unique_ptr<DiskPagedFile>(new DiskPagedFile(fd, page_size));
+  HT_RETURN_NOT_OK(f->WriteSuperblock());
+  return f;
+}
+
+Result<std::unique_ptr<DiskPagedFile>> DiskPagedFile::Open(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::IOError("open(" + path + "): " + std::strerror(errno));
+  }
+  uint8_t sb[kSuperblockSize];
+  ssize_t n = ::pread(fd, sb, sizeof(sb), 0);
+  if (n != static_cast<ssize_t>(sizeof(sb))) {
+    ::close(fd);
+    return Status::Corruption("short superblock in " + path);
+  }
+  Reader r(sb, sizeof(sb));
+  uint32_t magic = r.GetU32();
+  uint32_t page_size = r.GetU32();
+  uint32_t page_count = r.GetU32();
+  uint32_t free_head = r.GetU32();
+  if (magic != kMagic) {
+    ::close(fd);
+    return Status::Corruption("bad magic in " + path);
+  }
+  auto f = std::unique_ptr<DiskPagedFile>(new DiskPagedFile(fd, page_size));
+  f->page_count_ = page_count;
+  f->free_head_ = free_head;
+  return f;
+}
+
+Status DiskPagedFile::WriteSuperblock() {
+  uint8_t sb[kSuperblockSize] = {0};
+  Writer w(sb, sizeof(sb));
+  w.PutU32(kMagic);
+  w.PutU32(static_cast<uint32_t>(page_size_));
+  w.PutU32(page_count_);
+  w.PutU32(free_head_);
+  return WriteRaw(0, sb, sizeof(sb));
+}
+
+Status DiskPagedFile::ReadRaw(uint64_t offset, void* buf, size_t n) {
+  ssize_t got = ::pread(fd_, buf, n, static_cast<off_t>(offset));
+  if (got != static_cast<ssize_t>(n)) {
+    return Status::IOError("pread failed: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status DiskPagedFile::WriteRaw(uint64_t offset, const void* buf, size_t n) {
+  ssize_t put = ::pwrite(fd_, buf, n, static_cast<off_t>(offset));
+  if (put != static_cast<ssize_t>(n)) {
+    return Status::IOError("pwrite failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status DiskPagedFile::Read(PageId id, Page* out) {
+  if (id >= page_count_) {
+    return Status::NotFound("DiskPagedFile: read of unallocated page " +
+                            std::to_string(id));
+  }
+  if (out->size() != page_size_) {
+    return Status::InvalidArgument("page buffer size mismatch");
+  }
+  ++stats_.physical_reads;
+  return ReadRaw((static_cast<uint64_t>(id) + 1) * page_size_, out->data(),
+                 page_size_);
+}
+
+Status DiskPagedFile::Write(PageId id, const Page& page) {
+  if (id >= page_count_) {
+    return Status::NotFound("DiskPagedFile: write of unallocated page " +
+                            std::to_string(id));
+  }
+  if (page.size() != page_size_) {
+    return Status::InvalidArgument("page buffer size mismatch");
+  }
+  ++stats_.writes;
+  return WriteRaw((static_cast<uint64_t>(id) + 1) * page_size_, page.data(),
+                  page_size_);
+}
+
+Result<PageId> DiskPagedFile::Allocate() {
+  ++stats_.allocations;
+  if (free_head_ != kInvalidPageId) {
+    PageId id = free_head_;
+    // The first 4 bytes of a free page link to the next free page.
+    uint8_t link[4];
+    HT_RETURN_NOT_OK(
+        ReadRaw((static_cast<uint64_t>(id) + 1) * page_size_, link, 4));
+    Reader r(link, 4);
+    free_head_ = r.GetU32();
+    return id;
+  }
+  PageId id = page_count_++;
+  // Extend the file with a zero page so subsequent reads succeed.
+  Page zero(page_size_);
+  HT_RETURN_NOT_OK(WriteRaw((static_cast<uint64_t>(id) + 1) * page_size_,
+                            zero.data(), page_size_));
+  return id;
+}
+
+Status DiskPagedFile::Free(PageId id) {
+  if (id >= page_count_) {
+    return Status::InvalidArgument("DiskPagedFile: free of unallocated page");
+  }
+  uint8_t link[4];
+  Writer w(link, 4);
+  w.PutU32(free_head_);
+  HT_RETURN_NOT_OK(
+      WriteRaw((static_cast<uint64_t>(id) + 1) * page_size_, link, 4));
+  free_head_ = id;
+  ++stats_.frees;
+  return Status::OK();
+}
+
+Status DiskPagedFile::Sync() {
+  HT_RETURN_NOT_OK(WriteSuperblock());
+  if (::fsync(fd_) != 0) {
+    return Status::IOError("fsync failed: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace ht

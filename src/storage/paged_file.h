@@ -1,0 +1,118 @@
+// Copyright 2026 The HybridTree Authors.
+// PagedFile: the backing store for all disk-based trees in the repository.
+//
+// Two backends implement the interface: DiskPagedFile (POSIX file I/O, used
+// by the persistence example and the persistence tests) and MemPagedFile
+// (in-memory, used by tests and by benchmarks where only *counted* I/O
+// matters — the paper's metrics are access counts and normalized ratios, so
+// the benchmarks do not need to pay real disk latency).
+//
+// Free pages are tracked with an intrusive freelist threaded through the
+// first 4 bytes of each free page, so allocation state persists on disk.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/io_stats.h"
+#include "storage/page.h"
+
+namespace ht {
+
+/// Abstract fixed-page-size random access file.
+class PagedFile {
+ public:
+  virtual ~PagedFile() = default;
+
+  /// Page size in bytes; constant for the lifetime of the file.
+  virtual size_t page_size() const = 0;
+
+  /// Number of pages ever allocated (including freed ones still on disk).
+  virtual PageId page_count() const = 0;
+
+  /// Reads page `id` into `out` (must have size() == page_size()).
+  virtual Status Read(PageId id, Page* out) = 0;
+
+  /// Writes `page` (size() == page_size()) as page `id`.
+  virtual Status Write(PageId id, const Page& page) = 0;
+
+  /// Allocates a fresh (or recycled) page id.
+  virtual Result<PageId> Allocate() = 0;
+
+  /// Returns page `id` to the freelist. The page must not be used again
+  /// until re-allocated.
+  virtual Status Free(PageId id) = 0;
+
+  /// Flushes buffered writes to durable storage (no-op for memory backend).
+  virtual Status Sync() = 0;
+
+  /// Raw file-level I/O statistics.
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ protected:
+  IoStats stats_;
+};
+
+/// In-memory backend.
+class MemPagedFile final : public PagedFile {
+ public:
+  explicit MemPagedFile(size_t page_size = kDefaultPageSize);
+
+  size_t page_size() const override { return page_size_; }
+  PageId page_count() const override {
+    return static_cast<PageId>(pages_.size());
+  }
+  Status Read(PageId id, Page* out) override;
+  Status Write(PageId id, const Page& page) override;
+  Result<PageId> Allocate() override;
+  Status Free(PageId id) override;
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  size_t page_size_;
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::vector<PageId> free_list_;
+};
+
+/// POSIX file backend. The freelist head lives in the caller's metadata
+/// page by convention; DiskPagedFile itself persists a tiny superblock
+/// (page count + freelist head) in a sidecar header region at offset 0,
+/// and user pages start at offset page_size.
+class DiskPagedFile final : public PagedFile {
+ public:
+  ~DiskPagedFile() override;
+
+  /// Creates a new file (truncating any existing one).
+  static Result<std::unique_ptr<DiskPagedFile>> Create(
+      const std::string& path, size_t page_size = kDefaultPageSize);
+
+  /// Opens an existing file created by Create().
+  static Result<std::unique_ptr<DiskPagedFile>> Open(const std::string& path);
+
+  size_t page_size() const override { return page_size_; }
+  PageId page_count() const override { return page_count_; }
+  Status Read(PageId id, Page* out) override;
+  Status Write(PageId id, const Page& page) override;
+  Result<PageId> Allocate() override;
+  Status Free(PageId id) override;
+  Status Sync() override;
+
+ private:
+  DiskPagedFile(int fd, size_t page_size);
+  Status WriteSuperblock();
+  Status ReadRaw(uint64_t offset, void* buf, size_t n);
+  Status WriteRaw(uint64_t offset, const void* buf, size_t n);
+
+  int fd_ = -1;
+  size_t page_size_ = 0;
+  PageId page_count_ = 0;
+  PageId free_head_ = kInvalidPageId;
+};
+
+}  // namespace ht

@@ -1,0 +1,104 @@
+// Unit tests for k-d bounding boxes.
+
+#include "geometry/box.h"
+
+#include <gtest/gtest.h>
+
+namespace ht {
+namespace {
+
+TEST(BoxTest, UnitCube) {
+  Box b = Box::UnitCube(3);
+  EXPECT_EQ(b.dim(), 3u);
+  EXPECT_FALSE(b.IsEmpty());
+  EXPECT_DOUBLE_EQ(b.Volume(), 1.0);
+  EXPECT_DOUBLE_EQ(b.Margin(), 3.0);
+}
+
+TEST(BoxTest, EmptyBoxBehaviour) {
+  Box e = Box::Empty(2);
+  EXPECT_TRUE(e.IsEmpty());
+  const float p[2] = {0.5f, 0.5f};
+  EXPECT_FALSE(e.ContainsPoint(p));
+  e.ExtendToInclude(std::span<const float>(p, 2));
+  EXPECT_FALSE(e.IsEmpty());
+  EXPECT_TRUE(e.ContainsPoint(p));
+  EXPECT_DOUBLE_EQ(e.Volume(), 0.0);
+}
+
+TEST(BoxTest, ContainsAndIntersects) {
+  Box a = Box::FromBounds({0.0f, 0.0f}, {0.5f, 0.5f});
+  Box b = Box::FromBounds({0.25f, 0.25f}, {0.75f, 0.75f});
+  Box c = Box::FromBounds({0.6f, 0.6f}, {0.9f, 0.9f});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(b.Intersects(c));
+  EXPECT_FALSE(a.ContainsBox(b));
+  EXPECT_TRUE(Box::UnitCube(2).ContainsBox(a));
+}
+
+TEST(BoxTest, ClosedBoundariesTouchCountsAsIntersection) {
+  Box a = Box::FromBounds({0.0f}, {0.5f});
+  Box b = Box::FromBounds({0.5f}, {1.0f});
+  EXPECT_TRUE(a.Intersects(b));
+  const float p = 0.5f;
+  EXPECT_TRUE(a.ContainsPoint(std::span<const float>(&p, 1)));
+  EXPECT_TRUE(b.ContainsPoint(std::span<const float>(&p, 1)));
+}
+
+TEST(BoxTest, IntersectionAndOverlapVolume) {
+  Box a = Box::FromBounds({0.0f, 0.0f}, {0.6f, 0.6f});
+  Box b = Box::FromBounds({0.4f, 0.4f}, {1.0f, 1.0f});
+  Box i = a.Intersection(b);
+  EXPECT_FLOAT_EQ(i.lo(0), 0.4f);
+  EXPECT_FLOAT_EQ(i.hi(0), 0.6f);
+  EXPECT_NEAR(a.OverlapVolume(b), 0.04, 1e-6);
+  Box c = Box::FromBounds({0.9f, 0.9f}, {1.0f, 1.0f});
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(c), 0.0);
+}
+
+TEST(BoxTest, ExtendToIncludeBox) {
+  Box a = Box::FromBounds({0.2f, 0.2f}, {0.4f, 0.4f});
+  Box b = Box::FromBounds({0.3f, 0.1f}, {0.5f, 0.3f});
+  a.ExtendToInclude(b);
+  EXPECT_FLOAT_EQ(a.lo(0), 0.2f);
+  EXPECT_FLOAT_EQ(a.lo(1), 0.1f);
+  EXPECT_FLOAT_EQ(a.hi(0), 0.5f);
+  EXPECT_FLOAT_EQ(a.hi(1), 0.4f);
+}
+
+TEST(BoxTest, MaxExtentDim) {
+  Box b = Box::FromBounds({0.0f, 0.0f, 0.0f}, {0.2f, 0.9f, 0.5f});
+  EXPECT_EQ(b.MaxExtentDim(), 1u);
+}
+
+TEST(BoxTest, EnlargementForPoint) {
+  Box b = Box::FromBounds({0.0f, 0.0f}, {0.5f, 0.5f});
+  const float inside[2] = {0.2f, 0.2f};
+  EXPECT_DOUBLE_EQ(b.EnlargementForPoint(std::span<const float>(inside, 2)),
+                   0.0);
+  const float outside[2] = {1.0f, 0.5f};
+  // Growing to (1.0, 0.5): volume 0.5 - 0.25 = 0.25.
+  EXPECT_NEAR(b.EnlargementForPoint(std::span<const float>(outside, 2)), 0.25,
+              1e-9);
+}
+
+TEST(BoxTest, MinkowskiOverlapProbability) {
+  // §3.2: P(query of side r overlaps BR) = prod(extent_d + r), clipped.
+  Box b = Box::FromBounds({0.0f, 0.0f}, {0.3f, 0.4f});
+  EXPECT_NEAR(b.MinkowskiOverlapProb(0.1), 0.4 * 0.5, 1e-6);
+  // Clipping: a huge query cannot exceed probability 1.
+  EXPECT_DOUBLE_EQ(b.MinkowskiOverlapProb(5.0), 1.0);
+}
+
+TEST(BoxTest, FromPointIsDegenerate) {
+  const float p[3] = {0.1f, 0.2f, 0.3f};
+  Box b = Box::FromPoint(std::span<const float>(p, 3));
+  EXPECT_TRUE(b.ContainsPoint(p));
+  EXPECT_DOUBLE_EQ(b.Volume(), 0.0);
+  EXPECT_FALSE(b.IsEmpty());
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,166 @@
+// Tests for bottom-up bulk loading.
+
+#include "core/bulk_load.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/generators.h"
+#include "data/workload.h"
+
+namespace ht {
+namespace {
+
+HybridTreeOptions Opts(uint32_t dim, size_t page = 1024) {
+  HybridTreeOptions o;
+  o.dim = dim;
+  o.page_size = page;
+  return o;
+}
+
+TEST(BulkLoadTest, EmptyAndTinyDatasets) {
+  MemPagedFile f1(1024);
+  auto empty = BulkLoad(Opts(4), &f1, Dataset(4, 0)).ValueOrDie();
+  EXPECT_EQ(empty->size(), 0u);
+  EXPECT_TRUE(empty->CheckInvariants().ok());
+
+  Rng rng(1601);
+  Dataset tiny = GenUniform(5, 4, rng);
+  MemPagedFile f2(1024);
+  auto tree = BulkLoad(Opts(4), &f2, tiny).ValueOrDie();
+  EXPECT_EQ(tree->size(), 5u);
+  EXPECT_EQ(tree->height(), 0u);  // fits in one data page
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST(BulkLoadTest, InvariantsAndExactQueries) {
+  Rng rng(1602);
+  Dataset data = GenClustered(8000, 6, 5, 0.07, rng);
+  MemPagedFile file(1024);
+  auto tree = BulkLoad(Opts(6), &file, data).ValueOrDie();
+  ASSERT_EQ(tree->size(), data.size());
+  ASSERT_GE(tree->height(), 1u);
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+
+  for (int q = 0; q < 20; ++q) {
+    auto centers = MakeQueryCenters(data, 1, rng);
+    Box query = MakeBoxQuery(centers[0], 0.25);
+    auto got = tree->SearchBox(query).ValueOrDie();
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, BruteForceBox(data, query)) << q;
+  }
+  L1Metric l1;
+  auto knn = tree->SearchKnn(data.Row(0), 10, l1).ValueOrDie();
+  auto want = BruteForceKnn(data, data.Row(0), 10, l1);
+  for (size_t i = 0; i < knn.size(); ++i) {
+    ASSERT_NEAR(knn[i].first, want[i].first, 1e-9);
+  }
+}
+
+TEST(BulkLoadTest, PacksTighterThanIncrementalInsertion) {
+  Rng rng(1603);
+  Dataset data = GenUniform(6000, 8, rng);
+  MemPagedFile f1(1024), f2(1024);
+  auto bulk = BulkLoad(Opts(8), &f1, data).ValueOrDie();
+  auto incr = HybridTree::Create(Opts(8), &f2).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(incr->Insert(data.Row(i), i).ok());
+  }
+  TreeStats sb = bulk->ComputeStats().ValueOrDie();
+  TreeStats si = incr->ComputeStats().ValueOrDie();
+  EXPECT_GT(sb.avg_data_utilization, 0.8);   // fill target 0.9
+  EXPECT_LT(sb.data_nodes, si.data_nodes);   // fewer, fuller pages
+}
+
+TEST(BulkLoadTest, TreeStaysDynamicAfterLoad) {
+  Rng rng(1604);
+  Dataset data = GenUniform(3000, 4, rng);
+  MemPagedFile file(1024);
+  auto tree = BulkLoad(Opts(4), &file, data).ValueOrDie();
+  // Insert more, delete some, re-check.
+  Rng rng2(1605);
+  Dataset more = GenUniform(500, 4, rng2);
+  for (size_t i = 0; i < more.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(more.Row(i), 100000 + i).ok());
+  }
+  for (size_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(tree->Delete(data.Row(i), i).ok());
+  }
+  EXPECT_EQ(tree->size(), 3000u + 500 - 300);
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST(BulkLoadTest, PersistsLikeAnyTree) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/bulk_persist.htf";
+  Rng rng(1606);
+  Dataset data = GenClustered(4000, 5, 4, 0.06, rng);
+  Box query = MakeBoxQuery(data.Row(7), 0.3);
+  std::vector<uint64_t> expect;
+  {
+    auto file = DiskPagedFile::Create(path, 1024).ValueOrDie();
+    HybridTreeOptions o = Opts(5);
+    auto tree = BulkLoad(o, file.get(), data).ValueOrDie();
+    expect = tree->SearchBox(query).ValueOrDie();
+    std::sort(expect.begin(), expect.end());
+    ASSERT_TRUE(tree->Flush().ok());
+  }
+  {
+    auto file = DiskPagedFile::Open(path).ValueOrDie();
+    auto tree = HybridTree::Open(file.get()).ValueOrDie();
+    ASSERT_TRUE(tree->CheckInvariants().ok());
+    auto got = tree->SearchBox(query).ValueOrDie();
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(BulkLoadTest, RejectsBadInput) {
+  Rng rng(1607);
+  Dataset data = GenUniform(100, 4, rng);
+  MemPagedFile file(1024);
+  EXPECT_FALSE(BulkLoad(Opts(5), &file, data).ok());  // dim mismatch
+  Dataset bad(2, 1);
+  bad.MutableRow(0)[0] = 2.0f;  // outside [0,1]
+  MemPagedFile file2(1024);
+  EXPECT_FALSE(BulkLoad(Opts(2), &file2, bad).ok());
+}
+
+TEST(BulkLoadTest, DuplicateHeavyData) {
+  Dataset data(3, 500);
+  Rng rng(1608);
+  for (size_t i = 0; i < data.size(); ++i) {
+    auto row = data.MutableRow(i);
+    row[0] = 0.5f;  // constant
+    row[1] = (i % 5) * 0.2f;  // five distinct values
+    row[2] = static_cast<float>(rng.NextDouble());
+  }
+  MemPagedFile file(512);
+  auto tree = BulkLoad(Opts(3, 512), &file, data).ValueOrDie();
+  EXPECT_EQ(tree->size(), 500u);
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+  auto got = tree->SearchBox(Box::UnitCube(3)).ValueOrDie();
+  EXPECT_EQ(got.size(), 500u);
+}
+
+TEST(BulkLoadTest, DuplicateHeavyColhistMeetsUtilizationFloor) {
+  // Regression: normalized color histograms are full of exact zeros; the
+  // tie-avoiding cut must not strand an under-filled leaf.
+  Rng rng(1609);
+  Dataset data = GenColhist(5000, 64, rng);
+  data.NormalizeUnitCube();
+  MemPagedFile file(kDefaultPageSize);
+  HybridTreeOptions o;
+  o.dim = 64;
+  auto tree = BulkLoad(o, &file, data).ValueOrDie();
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  TreeStats s = tree->ComputeStats().ValueOrDie();
+  const double cap = static_cast<double>(tree->data_node_capacity());
+  EXPECT_GE(s.min_data_utilization * cap + 1e-6,
+            std::floor(o.data_node_min_util * cap));
+}
+
+}  // namespace
+}  // namespace ht

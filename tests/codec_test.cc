@@ -1,0 +1,80 @@
+// Unit tests for the little-endian page codec.
+
+#include "common/codec.h"
+
+#include <gtest/gtest.h>
+
+namespace ht {
+namespace {
+
+TEST(CodecTest, RoundTripAllWidths) {
+  uint8_t buf[64];
+  Writer w(buf, sizeof(buf));
+  w.PutU8(0xab);
+  w.PutU16(0xbeef);
+  w.PutU32(0xdeadbeefu);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutI16(-12345);
+  w.PutI32(-123456789);
+  w.PutI64(-1234567890123456789LL);
+  w.PutF32(3.14159f);
+  w.PutF64(-2.718281828459045);
+  const size_t written = w.offset();
+
+  Reader r(buf, written);
+  EXPECT_EQ(r.GetU8(), 0xab);
+  EXPECT_EQ(r.GetU16(), 0xbeef);
+  EXPECT_EQ(r.GetU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.GetI16(), -12345);
+  EXPECT_EQ(r.GetI32(), -123456789);
+  EXPECT_EQ(r.GetI64(), -1234567890123456789LL);
+  EXPECT_FLOAT_EQ(r.GetF32(), 3.14159f);
+  EXPECT_DOUBLE_EQ(r.GetF64(), -2.718281828459045);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(CodecTest, LittleEndianLayout) {
+  uint8_t buf[4];
+  Writer w(buf, sizeof(buf));
+  w.PutU32(0x01020304u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[1], 0x03);
+  EXPECT_EQ(buf[2], 0x02);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(CodecTest, ShortReadIsCorruptionNotCrash) {
+  uint8_t buf[2] = {1, 2};
+  Reader r(buf, sizeof(buf));
+  EXPECT_EQ(r.GetU32(), 0u);  // zero-filled on failure
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(CodecTest, ShortReadIsSticky) {
+  uint8_t buf[6] = {0};
+  Reader r(buf, sizeof(buf));
+  r.GetU32();
+  EXPECT_TRUE(r.ok());
+  r.GetU32();  // fails
+  EXPECT_FALSE(r.ok());
+  // Even though 2 bytes remain, subsequent reads keep failing.
+  EXPECT_EQ(r.GetU16(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CodecTest, BytesRoundTrip) {
+  uint8_t buf[16];
+  const uint8_t src[5] = {9, 8, 7, 6, 5};
+  Writer w(buf, sizeof(buf));
+  w.PutBytes(src, sizeof(src));
+  uint8_t dst[5] = {0};
+  Reader r(buf, sizeof(buf));
+  r.GetBytes(dst, sizeof(dst));
+  EXPECT_TRUE(std::equal(src, src + 5, dst));
+}
+
+}  // namespace
+}  // namespace ht

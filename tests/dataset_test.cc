@@ -1,0 +1,98 @@
+// Unit tests for the Dataset container.
+
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ht {
+namespace {
+
+Dataset MakeCounting(uint32_t dim, size_t n) {
+  Dataset d(dim, n);
+  for (size_t i = 0; i < n; ++i) {
+    auto row = d.MutableRow(i);
+    for (uint32_t k = 0; k < dim; ++k) {
+      row[k] = static_cast<float>(i * dim + k);
+    }
+  }
+  return d;
+}
+
+TEST(DatasetTest, SizeAndRows) {
+  Dataset d = MakeCounting(3, 5);
+  EXPECT_EQ(d.dim(), 3u);
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_FLOAT_EQ(d.Row(2)[1], 7.0f);
+}
+
+TEST(DatasetTest, Append) {
+  Dataset d(2, 0);
+  const float row[2] = {1.0f, 2.0f};
+  d.Append(std::span<const float>(row, 2));
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_FLOAT_EQ(d.Row(0)[1], 2.0f);
+}
+
+TEST(DatasetTest, PrefixKeepsLeadingDims) {
+  Dataset d = MakeCounting(4, 3);
+  Dataset p = d.Prefix(2);
+  EXPECT_EQ(p.dim(), 2u);
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_FLOAT_EQ(p.Row(1)[0], d.Row(1)[0]);
+  EXPECT_FLOAT_EQ(p.Row(1)[1], d.Row(1)[1]);
+}
+
+TEST(DatasetTest, HeadKeepsLeadingRows) {
+  Dataset d = MakeCounting(2, 10);
+  Dataset h = d.Head(4);
+  EXPECT_EQ(h.size(), 4u);
+  EXPECT_FLOAT_EQ(h.Row(3)[0], d.Row(3)[0]);
+  EXPECT_EQ(d.Head(99).size(), 10u);  // clamped
+}
+
+TEST(DatasetTest, NormalizeUnitCube) {
+  Dataset d(2, 3);
+  float vals[3][2] = {{-1.0f, 10.0f}, {0.0f, 20.0f}, {1.0f, 10.0f}};
+  for (size_t i = 0; i < 3; ++i) {
+    auto row = d.MutableRow(i);
+    row[0] = vals[i][0];
+    row[1] = vals[i][1];
+  }
+  d.NormalizeUnitCube();
+  for (size_t i = 0; i < 3; ++i) {
+    for (uint32_t k = 0; k < 2; ++k) {
+      EXPECT_GE(d.Row(i)[k], 0.0f);
+      EXPECT_LE(d.Row(i)[k], 1.0f);
+    }
+  }
+  EXPECT_FLOAT_EQ(d.Row(0)[0], 0.0f);
+  EXPECT_FLOAT_EQ(d.Row(1)[0], 0.5f);
+  EXPECT_FLOAT_EQ(d.Row(2)[0], 1.0f);
+}
+
+TEST(DatasetTest, SaveLoadRoundTrip) {
+  const std::string path = std::string(::testing::TempDir()) + "/ds.bin";
+  Dataset d = MakeCounting(3, 7);
+  ASSERT_TRUE(d.SaveTo(path).ok());
+  Dataset back = Dataset::LoadFrom(path).ValueOrDie();
+  ASSERT_EQ(back.dim(), 3u);
+  ASSERT_EQ(back.size(), 7u);
+  for (size_t i = 0; i < 7; ++i) {
+    for (uint32_t k = 0; k < 3; ++k) {
+      EXPECT_FLOAT_EQ(back.Row(i)[k], d.Row(i)[k]);
+    }
+  }
+}
+
+TEST(DatasetTest, LoadGarbageFails) {
+  const std::string path = std::string(::testing::TempDir()) + "/garbage.bin";
+  FILE* f = fopen(path.c_str(), "wb");
+  fwrite("garbage", 1, 7, f);
+  fclose(f);
+  EXPECT_FALSE(Dataset::LoadFrom(path).ok());
+}
+
+}  // namespace
+}  // namespace ht

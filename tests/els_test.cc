@@ -1,0 +1,150 @@
+// Tests for Encoded Live Space (§3.4): conservativeness is the critical
+// property — a decoded box must always contain the encoded live region.
+
+#include "core/els.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ht {
+namespace {
+
+TEST(ElsBitsTest, PutGetRoundTrip) {
+  std::vector<uint8_t> buf(8, 0);
+  els_detail::PutBits(buf, 3, 0b1011, 4);
+  EXPECT_EQ(els_detail::GetBits(buf, 3, 4), 0b1011u);
+  els_detail::PutBits(buf, 13, 0x1ff, 9);
+  EXPECT_EQ(els_detail::GetBits(buf, 13, 9), 0x1ffu);
+  // First value untouched by second write.
+  EXPECT_EQ(els_detail::GetBits(buf, 3, 4), 0b1011u);
+}
+
+TEST(ElsBitsTest, OverwriteClearsOldBits) {
+  std::vector<uint8_t> buf(2, 0xff);
+  els_detail::PutBits(buf, 4, 0, 8);
+  EXPECT_EQ(els_detail::GetBits(buf, 4, 8), 0u);
+}
+
+TEST(ElsCodecTest, CodeBytesFormula) {
+  // Paper: 2 * number_of_dimensions * ELSPRECISION bits (Figure 4).
+  EXPECT_EQ(ElsCodec(2, 3).CodeBytes(), (2u * 2 * 3 + 7) / 8);
+  EXPECT_EQ(ElsCodec(64, 4).CodeBytes(), 64u);  // 512 bits
+  EXPECT_EQ(ElsCodec(5, 0).CodeBytes(), 0u);
+}
+
+TEST(ElsCodecTest, ZeroBitsDecodesToRef) {
+  ElsCodec codec(3, 0);
+  Box ref = Box::UnitCube(3);
+  Box live = Box::FromBounds({0.1f, 0.1f, 0.1f}, {0.2f, 0.2f, 0.2f});
+  ElsCode code = codec.Encode(live, ref);
+  EXPECT_TRUE(code.empty());
+  EXPECT_EQ(codec.Decode(code, ref), ref);
+}
+
+TEST(ElsCodecTest, DecodeContainsLive) {
+  ElsCodec codec(2, 4);
+  Box ref = Box::FromBounds({0.0f, 0.5f}, {1.0f, 1.0f});
+  Box live = Box::FromBounds({0.33f, 0.61f}, {0.47f, 0.93f});
+  Box dec = codec.Decode(codec.Encode(live, ref), ref);
+  EXPECT_TRUE(dec.ContainsBox(live));
+  EXPECT_TRUE(ref.ContainsBox(dec));
+}
+
+TEST(ElsCodecTest, HigherPrecisionIsTighter) {
+  Box ref = Box::UnitCube(4);
+  Box live = Box::FromBounds({0.31f, 0.11f, 0.72f, 0.05f},
+                             {0.39f, 0.25f, 0.77f, 0.06f});
+  double prev_vol = 2.0;
+  for (uint32_t bits : {1u, 2u, 4u, 8u, 12u}) {
+    ElsCodec codec(4, bits);
+    Box dec = codec.Decode(codec.Encode(live, ref), ref);
+    EXPECT_TRUE(dec.ContainsBox(live)) << "bits=" << bits;
+    const double vol = dec.Volume();
+    EXPECT_LE(vol, prev_vol + 1e-12) << "bits=" << bits;
+    prev_vol = vol;
+  }
+}
+
+TEST(ElsCodecTest, FullCodeDecodesToRef) {
+  for (uint32_t bits : {1u, 4u, 8u, 16u}) {
+    ElsCodec codec(3, bits);
+    Box ref = Box::FromBounds({0.2f, 0.0f, 0.4f}, {0.8f, 0.5f, 0.9f});
+    Box dec = codec.Decode(codec.FullCode(), ref);
+    for (uint32_t d = 0; d < 3; ++d) {
+      EXPECT_FLOAT_EQ(dec.lo(d), ref.lo(d));
+      EXPECT_FLOAT_EQ(dec.hi(d), ref.hi(d));
+    }
+  }
+}
+
+TEST(ElsCodecTest, LiveOutsideRefIsClipped) {
+  ElsCodec codec(1, 4);
+  Box ref = Box::FromBounds({0.5f}, {1.0f});
+  // Live extends past the ref (possible with overlapping partitions).
+  Box live = Box::FromBounds({0.2f}, {0.7f});
+  Box dec = codec.Decode(codec.Encode(live, ref), ref);
+  EXPECT_GE(dec.lo(0), 0.5f);
+  EXPECT_GE(dec.hi(0) + 1e-6f, 0.7f);
+}
+
+TEST(ElsCodecTest, ExtendToIncludeCoversPoint) {
+  ElsCodec codec(2, 4);
+  Box ref = Box::UnitCube(2);
+  Box live = Box::FromBounds({0.4f, 0.4f}, {0.5f, 0.5f});
+  ElsCode code = codec.Encode(live, ref);
+  const std::vector<float> p = {0.9f, 0.1f};
+  ElsCode grown = codec.ExtendToInclude(code, ref, p);
+  Box dec = codec.Decode(grown, ref);
+  EXPECT_TRUE(dec.ContainsPoint(p));
+  EXPECT_TRUE(dec.ContainsBox(codec.Decode(code, ref)));
+}
+
+TEST(ElsCodecTest, ReencodeRemainsConservative) {
+  ElsCodec codec(2, 4);
+  Box old_ref = Box::FromBounds({0.0f, 0.0f}, {0.5f, 1.0f});
+  Box new_ref = Box::FromBounds({0.0f, 0.0f}, {0.8f, 1.0f});  // widened
+  Box live = Box::FromBounds({0.12f, 0.3f}, {0.44f, 0.6f});
+  ElsCode code = codec.Encode(live, old_ref);
+  Box old_dec = codec.Decode(code, old_ref);
+  ElsCode re = codec.Reencode(code, old_ref, new_ref);
+  Box new_dec = codec.Decode(re, new_ref);
+  EXPECT_TRUE(new_dec.ContainsBox(old_dec));
+}
+
+/// Property sweep: random live boxes inside random refs stay contained
+/// after encode/decode at every precision.
+class ElsPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ElsPropertyTest, RandomizedConservativeness) {
+  const uint32_t bits = GetParam();
+  Rng rng(500 + bits);
+  for (int trial = 0; trial < 300; ++trial) {
+    const uint32_t dim = 1 + static_cast<uint32_t>(rng.NextBelow(8));
+    ElsCodec codec(dim, bits);
+    std::vector<float> rlo(dim), rhi(dim), llo(dim), lhi(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      float a = static_cast<float>(rng.NextDouble());
+      float b = static_cast<float>(rng.NextDouble());
+      rlo[d] = std::min(a, b);
+      rhi[d] = std::max(a, b) + 1e-3f;
+      float c = static_cast<float>(rng.Uniform(rlo[d], rhi[d]));
+      float e = static_cast<float>(rng.Uniform(rlo[d], rhi[d]));
+      llo[d] = std::min(c, e);
+      lhi[d] = std::max(c, e);
+    }
+    Box ref = Box::FromBounds(rlo, rhi);
+    Box live = Box::FromBounds(llo, lhi);
+    Box dec = codec.Decode(codec.Encode(live, ref), ref);
+    ASSERT_TRUE(dec.ContainsBox(live))
+        << "bits=" << bits << " live=" << live.ToString()
+        << " dec=" << dec.ToString() << " ref=" << ref.ToString();
+    ASSERT_TRUE(ref.ContainsBox(dec));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, ElsPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16));
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,118 @@
+// Tests for the evaluation harness (cost measurement + normalization).
+
+#include "eval/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "baselines/seqscan.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "eval/hybrid_adapter.h"
+
+namespace ht {
+namespace {
+
+TEST(HarnessTest, BuildsEveryKind) {
+  Rng rng(1501);
+  Dataset data = GenUniform(500, 4, rng);
+  BuildConfig config;
+  config.page_size = 1024;
+  for (IndexKind kind :
+       {IndexKind::kHybrid, IndexKind::kHybridVam, IndexKind::kHybridNoEls,
+        IndexKind::kSrTree, IndexKind::kHbTree, IndexKind::kKdbTree,
+        IndexKind::kRStarTree, IndexKind::kSeqScan}) {
+    auto b = BuildIndex(kind, data, config);
+    ASSERT_TRUE(b.ok()) << IndexKindName(kind);
+    EXPECT_EQ(b.ValueOrDie().index->size(), 500u);
+    EXPECT_GT(b.ValueOrDie().build_seconds, 0.0);
+    EXPECT_FALSE(IndexKindName(kind).empty());
+  }
+}
+
+TEST(HarnessTest, WorkloadCostsAreAveraged) {
+  Rng rng(1502);
+  Dataset data = GenUniform(2000, 3, rng);
+  BuildConfig config;
+  config.page_size = 512;
+  auto b = BuildIndex(IndexKind::kSeqScan, data, config).ValueOrDie();
+  std::vector<Box> queries(5, Box::UnitCube(3));
+  QueryCosts costs = RunBoxWorkload(b.index.get(), queries).ValueOrDie();
+  EXPECT_EQ(costs.queries, 5u);
+  EXPECT_DOUBLE_EQ(costs.avg_results, 2000.0);
+  // The scan reads all pages for every query.
+  auto* scan = dynamic_cast<SeqScan*>(b.index.get());
+  ASSERT_NE(scan, nullptr);
+  EXPECT_DOUBLE_EQ(costs.avg_accesses, static_cast<double>(scan->data_pages()));
+}
+
+TEST(HarnessTest, NormalizationMatchesPaperConventions) {
+  QueryCosts scan;
+  scan.avg_accesses = 1000;
+  scan.avg_cpu_seconds = 0.02;
+  // The scan itself: sequential I/O costs 1/10 per page -> 0.1; CPU 1.0.
+  NormalizedCosts n1 = Normalize(scan, /*sequential_io=*/true, 1000, scan);
+  EXPECT_DOUBLE_EQ(n1.io, 0.1);
+  EXPECT_DOUBLE_EQ(n1.cpu, 1.0);
+  // An index that reads 50 random pages: 50/1000 = 0.05; CPU ratio 0.25.
+  QueryCosts index;
+  index.avg_accesses = 50;
+  index.avg_cpu_seconds = 0.005;
+  NormalizedCosts n2 = Normalize(index, /*sequential_io=*/false, 1000, scan);
+  EXPECT_DOUBLE_EQ(n2.io, 0.05);
+  EXPECT_DOUBLE_EQ(n2.cpu, 0.25);
+}
+
+TEST(HarnessTest, RangeAndKnnWorkloads) {
+  Rng rng(1503);
+  Dataset data = GenClustered(1500, 4, 4, 0.08, rng);
+  BuildConfig config;
+  config.page_size = 1024;
+  auto b = BuildIndex(IndexKind::kHybrid, data, config).ValueOrDie();
+  auto centers = MakeQueryCenters(data, 8, rng);
+  L1Metric l1;
+  QueryCosts range = RunRangeWorkload(b.index.get(), centers, 0.3, l1)
+                         .ValueOrDie();
+  EXPECT_EQ(range.queries, 8u);
+  EXPECT_GT(range.avg_accesses, 0.0);
+  QueryCosts knn =
+      RunKnnWorkload(b.index.get(), centers, 5, l1).ValueOrDie();
+  EXPECT_DOUBLE_EQ(knn.avg_results, 5.0);
+}
+
+TEST(HarnessTest, EnvSizeParsesAndFallsBack) {
+  ::unsetenv("HT_TEST_ENVSIZE");
+  EXPECT_EQ(EnvSize("HT_TEST_ENVSIZE", 123), 123u);
+  ::setenv("HT_TEST_ENVSIZE", "4567", 1);
+  EXPECT_EQ(EnvSize("HT_TEST_ENVSIZE", 123), 4567u);
+  ::setenv("HT_TEST_ENVSIZE", "not-a-number", 1);
+  EXPECT_EQ(EnvSize("HT_TEST_ENVSIZE", 123), 123u);
+  ::setenv("HT_TEST_ENVSIZE", "", 1);
+  EXPECT_EQ(EnvSize("HT_TEST_ENVSIZE", 123), 123u);
+  ::unsetenv("HT_TEST_ENVSIZE");
+}
+
+TEST(HarnessTest, TablePrinterNumFormatting) {
+  EXPECT_EQ(TablePrinter::Num(0.12345, 2), "0.12");
+  EXPECT_EQ(TablePrinter::Num(3.0, 0), "3");
+  EXPECT_EQ(TablePrinter::Num(1234.5678, 1), "1234.6");
+}
+
+TEST(HarnessTest, HybridAdapterExposesTree) {
+  Rng rng(1504);
+  Dataset data = GenUniform(300, 2, rng);
+  BuildConfig config;
+  config.page_size = 512;
+  auto b = BuildIndex(IndexKind::kHybrid, data, config).ValueOrDie();
+  auto* adapter = dynamic_cast<HybridIndexAdapter*>(b.index.get());
+  ASSERT_NE(adapter, nullptr);
+  EXPECT_TRUE(adapter->tree().CheckInvariants().ok());
+  EXPECT_EQ(adapter->Name(), "HybridTree");
+  // Delete passthrough.
+  EXPECT_TRUE(adapter->Delete(data.Row(0), 0).ok());
+  EXPECT_EQ(adapter->size(), 299u);
+}
+
+}  // namespace
+}  // namespace ht

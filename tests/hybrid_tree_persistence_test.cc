@@ -1,0 +1,149 @@
+// Persistence tests: Flush to a DiskPagedFile, reopen, verify identical
+// query answers and intact invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/hybrid_tree.h"
+#include "data/generators.h"
+#include "data/workload.h"
+
+namespace ht {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(HybridTreePersistenceTest, FlushReopenAnswersIdentically) {
+  const std::string path = TempPath("tree_roundtrip.htf");
+  Rng rng(301);
+  Dataset data = GenClustered(2000, 4, 5, 0.08, rng);
+  std::vector<Box> queries;
+  for (int q = 0; q < 20; ++q) {
+    auto centers = MakeQueryCenters(data, 1, rng);
+    queries.push_back(MakeBoxQuery(centers[0], 0.25));
+  }
+
+  std::vector<std::vector<uint64_t>> expected;
+  {
+    auto file = DiskPagedFile::Create(path, 1024).ValueOrDie();
+    HybridTreeOptions o;
+    o.dim = 4;
+    o.page_size = 1024;
+    o.els_mode = ElsMode::kInMemory;
+    auto tree = HybridTree::Create(o, file.get()).ValueOrDie();
+    for (size_t i = 0; i < data.size(); ++i) {
+      ASSERT_TRUE(tree->Insert(data.Row(i), i).ok());
+    }
+    for (const Box& q : queries) {
+      auto r = tree->SearchBox(q).ValueOrDie();
+      std::sort(r.begin(), r.end());
+      expected.push_back(std::move(r));
+    }
+    ASSERT_TRUE(tree->Flush().ok());
+  }
+  {
+    auto file = DiskPagedFile::Open(path).ValueOrDie();
+    auto tree = HybridTree::Open(file.get()).ValueOrDie();
+    EXPECT_EQ(tree->size(), data.size());
+    EXPECT_EQ(tree->options().dim, 4u);
+    EXPECT_EQ(tree->options().els_mode, ElsMode::kInMemory);
+    ASSERT_TRUE(tree->CheckInvariants().ok());
+    for (size_t q = 0; q < queries.size(); ++q) {
+      auto r = tree->SearchBox(queries[q]).ValueOrDie();
+      std::sort(r.begin(), r.end());
+      ASSERT_EQ(r, expected[q]) << "query " << q;
+    }
+    // The reopened tree stays writable.
+    std::vector<float> p = {0.5f, 0.5f, 0.5f, 0.5f};
+    ASSERT_TRUE(tree->Insert(p, 999999).ok());
+    EXPECT_EQ(tree->size(), data.size() + 1);
+    ASSERT_TRUE(tree->CheckInvariants().ok());
+  }
+}
+
+TEST(HybridTreePersistenceTest, InPageElsFullyPersistent) {
+  const std::string path = TempPath("tree_elspage.htf");
+  Rng rng(307);
+  Dataset data = GenUniform(1500, 3, rng);
+  uint64_t accesses_before = 0;
+  Box query = MakeBoxQuery(data.Row(3), 0.15);
+  {
+    auto file = DiskPagedFile::Create(path, 1024).ValueOrDie();
+    HybridTreeOptions o;
+    o.dim = 3;
+    o.page_size = 1024;
+    o.els_mode = ElsMode::kInPage;
+    o.els_bits = 4;
+    auto tree = HybridTree::Create(o, file.get()).ValueOrDie();
+    for (size_t i = 0; i < data.size(); ++i) {
+      ASSERT_TRUE(tree->Insert(data.Row(i), i).ok());
+    }
+    tree->pool().ResetStats();
+    (void)tree->SearchBox(query).ValueOrDie();
+    accesses_before = tree->pool().stats().logical_reads;
+    ASSERT_TRUE(tree->Flush().ok());
+  }
+  {
+    auto file = DiskPagedFile::Open(path).ValueOrDie();
+    auto tree = HybridTree::Open(file.get()).ValueOrDie();
+    ASSERT_TRUE(tree->CheckInvariants().ok());
+    tree->pool().ResetStats();
+    auto got = tree->SearchBox(query).ValueOrDie();
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, BruteForceBox(data, query));
+    // In-page codes persist exactly: access counts match pre-flush.
+    EXPECT_EQ(tree->pool().stats().logical_reads, accesses_before);
+  }
+}
+
+TEST(HybridTreePersistenceTest, InMemoryElsRebuiltOnOpen) {
+  const std::string path = TempPath("tree_elsmem.htf");
+  Rng rng(311);
+  Dataset data = GenClustered(1500, 3, 4, 0.05, rng);
+  {
+    auto file = DiskPagedFile::Create(path, 1024).ValueOrDie();
+    HybridTreeOptions o;
+    o.dim = 3;
+    o.page_size = 1024;
+    o.els_mode = ElsMode::kInMemory;
+    o.els_bits = 4;
+    auto tree = HybridTree::Create(o, file.get()).ValueOrDie();
+    for (size_t i = 0; i < data.size(); ++i) {
+      ASSERT_TRUE(tree->Insert(data.Row(i), i).ok());
+    }
+    ASSERT_TRUE(tree->Flush().ok());
+  }
+  {
+    auto file = DiskPagedFile::Open(path).ValueOrDie();
+    auto tree = HybridTree::Open(file.get()).ValueOrDie();
+    // Invariants include ELS conservativeness — this verifies the rebuild
+    // produced valid codes.
+    ASSERT_TRUE(tree->CheckInvariants().ok());
+    TreeStats s = tree->ComputeStats().ValueOrDie();
+    EXPECT_GT(s.els_sidecar_bytes, 0u);
+    // Queries still exact.
+    Rng rng2(313);
+    for (int q = 0; q < 10; ++q) {
+      auto centers = MakeQueryCenters(data, 1, rng2);
+      Box query = MakeBoxQuery(centers[0], 0.2);
+      auto got = tree->SearchBox(query).ValueOrDie();
+      std::sort(got.begin(), got.end());
+      ASSERT_EQ(got, BruteForceBox(data, query));
+    }
+  }
+}
+
+TEST(HybridTreePersistenceTest, OpenRejectsNonTreeFile) {
+  const std::string path = TempPath("not_a_tree.htf");
+  auto file = DiskPagedFile::Create(path, 512).ValueOrDie();
+  EXPECT_FALSE(HybridTree::Open(file.get()).ok());  // empty file
+  (void)file->Allocate().ValueOrDie();               // page 0 exists, zeroed
+  EXPECT_FALSE(HybridTree::Open(file.get()).ok());
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,273 @@
+// Property tests: parameterized sweeps over dimensionality, page size,
+// split policy, ELS configuration and dataset shape. Every configuration
+// must (a) satisfy the structural invariants, (b) answer box queries
+// exactly, and (c) answer range/k-NN queries exactly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "core/hybrid_tree.h"
+#include "data/generators.h"
+#include "data/workload.h"
+
+namespace ht {
+namespace {
+
+struct Config {
+  uint32_t dim;
+  size_t page_size;
+  SplitPolicy policy;
+  ElsMode els_mode;
+  uint32_t els_bits;
+  int dataset;  // 0 uniform, 1 clustered, 2 colhist-like
+  size_t n;
+};
+
+std::string ConfigName(const ::testing::TestParamInfo<Config>& info) {
+  const Config& c = info.param;
+  std::string s = "d" + std::to_string(c.dim) + "_p" +
+                  std::to_string(c.page_size) + "_";
+  s += c.policy == SplitPolicy::kEdaOptimal ? "eda" : "vam";
+  s += c.els_mode == ElsMode::kOff
+           ? "_noels"
+           : (c.els_mode == ElsMode::kInMemory ? "_elsmem" : "_elspage");
+  s += std::to_string(c.els_bits);
+  s += "_ds" + std::to_string(c.dataset);
+  return s;
+}
+
+Dataset MakeData(const Config& c, Rng& rng) {
+  switch (c.dataset) {
+    case 0:
+      return GenUniform(c.n, c.dim, rng);
+    case 1:
+      return GenClustered(c.n, c.dim, 5, 0.07, rng);
+    default:
+      return GenColhist(c.n, c.dim, rng);
+  }
+}
+
+class HybridTreeSweep : public ::testing::TestWithParam<Config> {};
+
+TEST_P(HybridTreeSweep, InvariantsAndExactQueries) {
+  const Config& c = GetParam();
+  Rng rng(977 + c.dim * 13 + c.page_size + c.els_bits);
+  Dataset data = MakeData(c, rng);
+
+  HybridTreeOptions o;
+  o.dim = c.dim;
+  o.page_size = c.page_size;
+  o.split_policy = c.policy;
+  o.els_mode = c.els_mode;
+  o.els_bits = c.els_bits;
+  MemPagedFile file(c.page_size);
+  auto tree = HybridTree::Create(o, &file).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(data.Row(i), i).ok()) << i;
+  }
+  ASSERT_EQ(tree->size(), data.size());
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+
+  // Box queries vs brute force.
+  for (int q = 0; q < 10; ++q) {
+    auto centers = MakeQueryCenters(data, 1, rng);
+    Box query = MakeBoxQuery(centers[0], 0.2 + 0.3 * rng.NextDouble());
+    auto expect = BruteForceBox(data, query);
+    auto got = tree->SearchBox(query).ValueOrDie();
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expect) << "box query " << q;
+  }
+
+  // Range queries (L1, the paper's distance experiment metric).
+  L1Metric l1;
+  for (int q = 0; q < 5; ++q) {
+    auto centers = MakeQueryCenters(data, 1, rng);
+    const double radius = 0.1 + 0.3 * rng.NextDouble();
+    auto expect = BruteForceRange(data, centers[0], radius, l1);
+    auto got = tree->SearchRange(centers[0], radius, l1).ValueOrDie();
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expect) << "range query " << q;
+  }
+
+  // k-NN distances.
+  L2Metric l2;
+  for (int q = 0; q < 5; ++q) {
+    auto centers = MakeQueryCenters(data, 1, rng);
+    auto expect = BruteForceKnn(data, centers[0], 10, l2);
+    auto got = tree->SearchKnn(centers[0], 10, l2).ValueOrDie();
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i].first, expect[i].first, 1e-9) << "knn " << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndPages, HybridTreeSweep,
+    ::testing::Values(
+        Config{2, 512, SplitPolicy::kEdaOptimal, ElsMode::kInMemory, 4, 0, 1500},
+        Config{3, 512, SplitPolicy::kEdaOptimal, ElsMode::kInMemory, 4, 1, 1500},
+        Config{4, 1024, SplitPolicy::kEdaOptimal, ElsMode::kInMemory, 4, 0, 1500},
+        Config{8, 1024, SplitPolicy::kEdaOptimal, ElsMode::kInMemory, 4, 1, 1200},
+        Config{16, 2048, SplitPolicy::kEdaOptimal, ElsMode::kInMemory, 4, 2, 1200},
+        Config{32, 4096, SplitPolicy::kEdaOptimal, ElsMode::kInMemory, 4, 2, 1000}),
+    ConfigName);
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, HybridTreeSweep,
+    ::testing::Values(
+        Config{4, 512, SplitPolicy::kVamSplit, ElsMode::kInMemory, 4, 0, 1500},
+        Config{8, 1024, SplitPolicy::kVamSplit, ElsMode::kInMemory, 4, 2, 1200},
+        Config{16, 2048, SplitPolicy::kVamSplit, ElsMode::kOff, 0, 1, 1000}),
+    ConfigName);
+
+INSTANTIATE_TEST_SUITE_P(
+    ElsConfigs, HybridTreeSweep,
+    ::testing::Values(
+        Config{4, 512, SplitPolicy::kEdaOptimal, ElsMode::kOff, 0, 0, 1500},
+        Config{4, 512, SplitPolicy::kEdaOptimal, ElsMode::kInMemory, 1, 0, 1500},
+        Config{4, 512, SplitPolicy::kEdaOptimal, ElsMode::kInMemory, 8, 0, 1500},
+        Config{4, 512, SplitPolicy::kEdaOptimal, ElsMode::kInMemory, 16, 0, 1500},
+        Config{4, 1024, SplitPolicy::kEdaOptimal, ElsMode::kInPage, 4, 0, 1500},
+        Config{8, 2048, SplitPolicy::kEdaOptimal, ElsMode::kInPage, 8, 2, 1000}),
+    ConfigName);
+
+/// ELS pruning must never drop results, and must pay off the way Figure
+/// 5(c) reports: a steep improvement from no ELS to ~4 bits, then a
+/// plateau. (Access counts are not strictly monotone in precision because
+/// split decisions read the decoded live boxes, so the tree *structure*
+/// itself varies slightly with precision.)
+TEST(HybridTreeElsProperty, ElsPrunesDeadSpace) {
+  Rng rng(991);
+  // High-dimensional sparse histograms: kd regions carry substantial dead
+  // space, the regime §3.4 targets ("this effect increases at higher
+  // dimensionality").
+  Dataset data = GenColhist(4000, 16, rng);
+  data.NormalizeUnitCube();
+  auto centers = MakeQueryCenters(data, 40, rng);
+  const double side = CalibrateBoxSide(data, 0.01, 20, rng);
+
+  std::map<uint32_t, uint64_t> accesses_by_bits;
+  for (uint32_t bits : {0u, 2u, 4u, 8u, 16u}) {
+    HybridTreeOptions o;
+    o.dim = 16;
+    o.page_size = 1024;
+    o.els_mode = bits == 0 ? ElsMode::kOff : ElsMode::kInMemory;
+    o.els_bits = bits;
+    MemPagedFile file(o.page_size);
+    auto tree = HybridTree::Create(o, &file).ValueOrDie();
+    for (size_t i = 0; i < data.size(); ++i) {
+      ASSERT_TRUE(tree->Insert(data.Row(i), i).ok());
+    }
+    uint64_t accesses = 0;
+    for (const auto& c : centers) {
+      Box q = MakeBoxQuery(c, side);
+      auto expect = BruteForceBox(data, q);
+      tree->pool().ResetStats();
+      auto got = tree->SearchBox(q).ValueOrDie();
+      accesses += tree->pool().stats().logical_reads;
+      std::sort(got.begin(), got.end());
+      ASSERT_EQ(got, expect) << "bits=" << bits;
+    }
+    accesses_by_bits[bits] = accesses;
+  }
+  // 4 bits must eliminate a large share of the dead-space accesses...
+  EXPECT_LT(accesses_by_bits[4], 0.7 * accesses_by_bits[0]);
+  // ...and further precision only fine-tunes (plateau within 25%).
+  EXPECT_LT(accesses_by_bits[8], 1.25 * accesses_by_bits[4]);
+  EXPECT_LT(accesses_by_bits[16], 1.25 * accesses_by_bits[4]);
+}
+
+/// Implicit dimensionality reduction (Lemma 1): a constant dimension is
+/// never used for splitting anywhere in the tree.
+TEST(HybridTreeLemma1, NonDiscriminatingDimensionNeverSplit) {
+  Rng rng(997);
+  const uint32_t dim = 6;
+  Dataset data(dim, 3000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    auto row = data.MutableRow(i);
+    for (uint32_t d = 0; d < dim; ++d) {
+      // Dimension 2 carries no information.
+      row[d] = d == 2 ? 0.5f : static_cast<float>(rng.NextDouble());
+    }
+  }
+  HybridTreeOptions o;
+  o.dim = dim;
+  o.page_size = 512;
+  MemPagedFile file(o.page_size);
+  auto tree = HybridTree::Create(o, &file).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(data.Row(i), i).ok());
+  }
+  // Inspect every index node: dimension 2 must be absent from every
+  // intra-node kd-tree. (Data node splits pick the max-extent dimension,
+  // which is never the constant one; Lemma 1 extends this to index nodes.)
+  // We verify through the public stats API by rebuilding UsedDims via a
+  // search-visible proxy: a box query that constrains ONLY dimension 2
+  // must touch every data node (no split can prune it).
+  TreeStats stats = tree->ComputeStats().ValueOrDie();
+  std::vector<float> lo(dim, 0.0f), hi(dim, 1.0f);
+  lo[2] = 0.49f;
+  hi[2] = 0.51f;
+  // Disable ELS pruning for this structural probe by re-creating the tree
+  // without ELS: the access count then reflects kd structure only.
+  HybridTreeOptions o2 = o;
+  o2.els_mode = ElsMode::kOff;
+  o2.els_bits = 0;
+  MemPagedFile file2(o2.page_size);
+  auto tree2 = HybridTree::Create(o2, &file2).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree2->Insert(data.Row(i), i).ok());
+  }
+  TreeStats stats2 = tree2->ComputeStats().ValueOrDie();
+  tree2->pool().ResetStats();
+  auto got = tree2->SearchBox(Box::FromBounds(lo, hi)).ValueOrDie();
+  EXPECT_EQ(got.size(), data.size());  // every point matches on dim 2
+  EXPECT_EQ(tree2->pool().stats().logical_reads,
+            stats2.data_nodes + stats2.index_nodes);
+  (void)stats;
+}
+
+/// The utilization guarantee (Table 1: "node utilization guarantee: yes")
+/// holds across dataset shapes and page sizes after pure insertion.
+class UtilizationSweep
+    : public ::testing::TestWithParam<std::tuple<int, size_t>> {};
+
+TEST_P(UtilizationSweep, DataNodesMeetFloor) {
+  const int dataset = std::get<0>(GetParam());
+  const size_t page = std::get<1>(GetParam());
+  Rng rng(1009 + dataset + page);
+  const uint32_t dim = 6;
+  Dataset data = dataset == 0 ? GenUniform(2500, dim, rng)
+                              : (dataset == 1
+                                     ? GenClustered(2500, dim, 4, 0.05, rng)
+                                     : GenColhist(2500, dim + 10, rng)
+                                           .Prefix(dim));
+  // COLHIST prefix rows are not normalized per-dim; renormalize to [0,1].
+  data.NormalizeUnitCube();
+  HybridTreeOptions o;
+  o.dim = dim;
+  o.page_size = page;
+  MemPagedFile file(page);
+  auto tree = HybridTree::Create(o, &file).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(data.Row(i), i).ok());
+  }
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+  TreeStats s = tree->ComputeStats().ValueOrDie();
+  const double cap = static_cast<double>(tree->data_node_capacity());
+  EXPECT_GE(s.min_data_utilization * cap + 1e-6,
+            std::floor(o.data_node_min_util * cap));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndPages, UtilizationSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(size_t{512}, size_t{1024},
+                                         size_t{4096})));
+
+}  // namespace
+}  // namespace ht

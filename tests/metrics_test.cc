@@ -1,0 +1,116 @@
+// Unit and property tests for distance metrics.
+
+#include "geometry/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ht {
+namespace {
+
+TEST(MetricsTest, PointDistances) {
+  const std::vector<float> a = {0.0f, 0.0f};
+  const std::vector<float> b = {3.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(L1Metric().Distance(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(L2Metric().Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(LInfMetric().Distance(a, b), 4.0);
+  EXPECT_NEAR(LpMetric(3).Distance(a, b), std::cbrt(27.0 + 64.0), 1e-12);
+}
+
+TEST(MetricsTest, GenericLpMatchesSpecializations) {
+  Rng rng(31);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<float> a(8), b(8);
+    for (int d = 0; d < 8; ++d) {
+      a[d] = static_cast<float>(rng.NextDouble());
+      b[d] = static_cast<float>(rng.NextDouble());
+    }
+    EXPECT_NEAR(LpMetric(1).Distance(a, b), L1Metric().Distance(a, b), 1e-9);
+    EXPECT_NEAR(LpMetric(2).Distance(a, b), L2Metric().Distance(a, b), 1e-9);
+  }
+}
+
+TEST(MetricsTest, MinDistZeroInsideBox) {
+  Box box = Box::FromBounds({0.2f, 0.2f}, {0.8f, 0.8f});
+  const std::vector<float> inside = {0.5f, 0.3f};
+  EXPECT_DOUBLE_EQ(L1Metric().MinDistToBox(inside, box), 0.0);
+  EXPECT_DOUBLE_EQ(L2Metric().MinDistToBox(inside, box), 0.0);
+  EXPECT_DOUBLE_EQ(LInfMetric().MinDistToBox(inside, box), 0.0);
+}
+
+TEST(MetricsTest, MinDistKnownValues) {
+  Box box = Box::FromBounds({0.0f, 0.0f}, {1.0f, 1.0f});
+  const std::vector<float> q = {2.0f, -1.0f};  // gaps: 1.0 and 1.0
+  EXPECT_DOUBLE_EQ(L1Metric().MinDistToBox(q, box), 2.0);
+  EXPECT_DOUBLE_EQ(L2Metric().MinDistToBox(q, box), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(LInfMetric().MinDistToBox(q, box), 1.0);
+}
+
+TEST(MetricsTest, WeightedL2RespectsWeights) {
+  WeightedL2Metric m({4.0, 0.0});
+  const std::vector<float> a = {0.0f, 0.0f};
+  const std::vector<float> b = {1.0f, 5.0f};
+  // Second dimension weight 0: ignored entirely.
+  EXPECT_DOUBLE_EQ(m.Distance(a, b), 2.0);
+  Box box = Box::FromBounds({2.0f, 9.0f}, {3.0f, 10.0f});
+  EXPECT_DOUBLE_EQ(m.MinDistToBox(a, box), 4.0);
+}
+
+/// Property: MinDistToBox is a valid lower bound of the distance to any
+/// point inside the box, and is attained by some point (for Lp).
+class MinDistLowerBoundTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinDistLowerBoundTest, LowerBoundsAllInteriorPoints) {
+  const int metric_id = GetParam();
+  std::unique_ptr<DistanceMetric> metric;
+  switch (metric_id) {
+    case 0: metric = std::make_unique<L1Metric>(); break;
+    case 1: metric = std::make_unique<L2Metric>(); break;
+    case 2: metric = std::make_unique<LInfMetric>(); break;
+    case 3: metric = std::make_unique<LpMetric>(3.0); break;
+    default:
+      metric = std::make_unique<WeightedL2Metric>(
+          std::vector<double>{0.5, 2.0, 1.0, 0.1});
+  }
+  Rng rng(1000 + metric_id);
+  const uint32_t dim = 4;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<float> lo(dim), hi(dim), q(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      float a = static_cast<float>(rng.NextDouble());
+      float b = static_cast<float>(rng.NextDouble());
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+      q[d] = static_cast<float>(rng.Uniform(-0.5, 1.5));
+    }
+    Box box = Box::FromBounds(lo, hi);
+    const double mind = metric->MinDistToBox(q, box);
+    for (int s = 0; s < 20; ++s) {
+      std::vector<float> x(dim);
+      for (uint32_t d = 0; d < dim; ++d) {
+        x[d] = static_cast<float>(rng.Uniform(box.lo(d), box.hi(d)));
+      }
+      EXPECT_GE(metric->Distance(q, x) + 1e-6, mind);
+    }
+    // The closest point (clamp) should attain the bound for Lp metrics.
+    std::vector<float> clamp(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      clamp[d] = std::clamp(q[d], box.lo(d), box.hi(d));
+    }
+    EXPECT_NEAR(metric->Distance(q, clamp), mind, 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MinDistLowerBoundTest,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(MetricsTest, Names) {
+  EXPECT_EQ(L1Metric().Name(), "L1");
+  EXPECT_EQ(L2Metric().Name(), "L2");
+  EXPECT_EQ(LInfMetric().Name(), "Linf");
+  EXPECT_EQ(WeightedL2Metric({1.0}).Name(), "WeightedL2");
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,233 @@
+// Tests for node page layouts and the intra-node kd-tree.
+
+#include "core/node.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ht {
+namespace {
+
+TEST(DataNodeTest, CapacityFormula) {
+  // 4-byte header, entries are 8 (id) + 4*dim bytes.
+  EXPECT_EQ(DataNode::Capacity(2, 4096), (4096u - 4) / 16);
+  EXPECT_EQ(DataNode::Capacity(64, 4096), (4096u - 4) / 264);
+  EXPECT_EQ(DataNode::Capacity(16, 4096), (4096u - 4) / 72);
+}
+
+TEST(DataNodeTest, SerializeDeserializeRoundTrip) {
+  DataNode node;
+  Rng rng(103);
+  for (int i = 0; i < 10; ++i) {
+    DataEntry e;
+    e.id = 1000 + i;
+    for (int d = 0; d < 4; ++d) {
+      e.vec.push_back(static_cast<float>(rng.NextDouble()));
+    }
+    node.entries.push_back(std::move(e));
+  }
+  std::vector<uint8_t> page(4096, 0xcc);
+  node.Serialize(page.data(), page.size(), 4);
+  EXPECT_EQ(PeekNodeKind(page.data()), NodeKind::kData);
+  DataNode back = DataNode::Deserialize(page.data(), page.size(), 4)
+                      .ValueOrDie();
+  ASSERT_EQ(back.entries.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(back.entries[i].id, node.entries[i].id);
+    EXPECT_EQ(back.entries[i].vec, node.entries[i].vec);
+  }
+}
+
+TEST(DataNodeTest, ComputeLiveBr) {
+  DataNode node;
+  node.entries.push_back(DataEntry{0, {0.2f, 0.8f}});
+  node.entries.push_back(DataEntry{1, {0.6f, 0.3f}});
+  Box br = node.ComputeLiveBr(2);
+  EXPECT_FLOAT_EQ(br.lo(0), 0.2f);
+  EXPECT_FLOAT_EQ(br.hi(0), 0.6f);
+  EXPECT_FLOAT_EQ(br.lo(1), 0.3f);
+  EXPECT_FLOAT_EQ(br.hi(1), 0.8f);
+}
+
+TEST(DataNodeTest, DeserializeWrongKindFails) {
+  std::vector<uint8_t> page(128, 0);
+  page[0] = static_cast<uint8_t>(NodeKind::kIndex);
+  EXPECT_FALSE(DataNode::Deserialize(page.data(), page.size(), 2).ok());
+}
+
+/// Builds the kd-tree of the paper's Figure 1 example (node I1 with
+/// children L1..L7 via internal nodes I2..I6, in a 6x6 space scaled to
+/// [0,1]: we keep the paper's raw coordinates and a [0,6]^2 "unit" box).
+struct Fig1 {
+  IndexNode node;
+  Box space = Box::FromBounds({0.0f, 0.0f}, {6.0f, 6.0f});
+  Fig1() {
+    // I4: dim=1(y), lsp=rsp=2 -> L1 (y<2), L2 (y>2) ... using the paper's
+    // dim numbering: dim 1 = x (index 0), dim 2 = y (index 1).
+    auto l1 = KdNode::MakeLeaf(11);
+    auto l2 = KdNode::MakeLeaf(12);
+    auto i4 = KdNode::MakeInternal(0, 2.0f, 2.0f, std::move(l1), std::move(l2));
+    auto l3 = KdNode::MakeLeaf(13);
+    // I2: dim=2(y idx 1), lsp=3, rsp=2 -> overlapping split.
+    auto i2 = KdNode::MakeInternal(1, 3.0f, 2.0f, std::move(i4), std::move(l3));
+    auto l4 = KdNode::MakeLeaf(14);
+    auto l5 = KdNode::MakeLeaf(15);
+    auto l6 = KdNode::MakeLeaf(16);
+    auto l7 = KdNode::MakeLeaf(17);
+    // I6: dim=2, lsp=1, rsp=1.
+    auto i6 = KdNode::MakeInternal(1, 1.0f, 1.0f, std::move(l5), std::move(l6));
+    // I5: dim=1 (x), lsp=5, rsp=4 -> overlapping.
+    auto i5 = KdNode::MakeInternal(0, 5.0f, 4.0f, std::move(i6), std::move(l7));
+    // I3: dim=2 (y), lsp=4, rsp=4.
+    auto i3 = KdNode::MakeInternal(1, 4.0f, 4.0f, std::move(i5), std::move(l4));
+    // I1 (root): dim=1 (x), lsp=3, rsp=3.
+    node.level = 1;
+    node.root = KdNode::MakeInternal(0, 3.0f, 3.0f, std::move(i2), std::move(i3));
+  }
+};
+
+TEST(IndexNodeTest, Figure1BrMapping) {
+  Fig1 f;
+  std::vector<ChildRef> kids;
+  f.node.CollectChildren(f.space, &kids);
+  ASSERT_EQ(kids.size(), 7u);
+  ASSERT_EQ(f.node.NumChildren(), 7u);
+  ASSERT_EQ(f.node.NumKdNodes(), 13u);
+
+  auto find = [&](PageId child) -> Box {
+    for (auto& k : kids) {
+      if (k.leaf->child == child) return k.kd_br;
+    }
+    ADD_FAILURE() << "child " << child << " not found";
+    return Box::Empty(2);
+  };
+  // Paper: BR(L3) = BR(I2) ∩ {y >= rsp=2} = [0,3] x [2,6].
+  Box l3 = find(13);
+  EXPECT_FLOAT_EQ(l3.lo(0), 0.0f);
+  EXPECT_FLOAT_EQ(l3.hi(0), 3.0f);
+  EXPECT_FLOAT_EQ(l3.lo(1), 2.0f);
+  EXPECT_FLOAT_EQ(l3.hi(1), 6.0f);
+  // L1: x in [0,2], y in [0,3].
+  Box l1 = find(11);
+  EXPECT_FLOAT_EQ(l1.hi(0), 2.0f);
+  EXPECT_FLOAT_EQ(l1.hi(1), 3.0f);
+  // L2: x in [2,3], y in [0,3].
+  Box l2 = find(12);
+  EXPECT_FLOAT_EQ(l2.lo(0), 2.0f);
+  EXPECT_FLOAT_EQ(l2.hi(1), 3.0f);
+  // L4: I3's right: x in [3,6], y in [4,6].
+  Box l4 = find(14);
+  EXPECT_FLOAT_EQ(l4.lo(0), 3.0f);
+  EXPECT_FLOAT_EQ(l4.lo(1), 4.0f);
+  // L7: I5's right: x in [4,6], y in [0,4].
+  Box l7 = find(17);
+  EXPECT_FLOAT_EQ(l7.lo(0), 4.0f);
+  EXPECT_FLOAT_EQ(l7.hi(1), 4.0f);
+  // Overlap: L3 (I2 right) overlaps I4's region (I2 left, y<=3) in y [2,3].
+  Box i4_left_region = find(11);
+  EXPECT_TRUE(l3.Intersects(i4_left_region));
+}
+
+TEST(IndexNodeTest, UsedDims) {
+  Fig1 f;
+  auto dims = f.node.UsedDims(2);
+  ASSERT_EQ(dims.size(), 2u);  // both x and y are used
+  auto single = IndexNode{};
+  single.level = 1;
+  single.root = KdNode::MakeLeaf(5);
+  EXPECT_TRUE(single.UsedDims(2).empty());
+}
+
+TEST(IndexNodeTest, SerializeDeserializeRoundTrip) {
+  Fig1 f;
+  std::vector<uint8_t> page(4096, 0xaa);
+  const size_t sz = f.node.SerializedSize(/*els_in_page=*/false);
+  EXPECT_LE(sz, page.size());
+  f.node.Serialize(page.data(), page.size(), false, 0);
+  EXPECT_EQ(PeekNodeKind(page.data()), NodeKind::kIndex);
+  IndexNode back =
+      IndexNode::Deserialize(page.data(), page.size(), false, 0).ValueOrDie();
+  EXPECT_EQ(back.level, 1);
+  EXPECT_EQ(back.NumChildren(), 7u);
+  EXPECT_EQ(back.NumKdNodes(), 13u);
+  // Same BR mapping after round trip.
+  std::vector<ChildRef> kids_a, kids_b;
+  f.node.CollectChildren(f.space, &kids_a);
+  back.CollectChildren(f.space, &kids_b);
+  ASSERT_EQ(kids_a.size(), kids_b.size());
+  for (size_t i = 0; i < kids_a.size(); ++i) {
+    EXPECT_EQ(kids_a[i].leaf->child, kids_b[i].leaf->child);
+    EXPECT_EQ(kids_a[i].kd_br, kids_b[i].kd_br);
+  }
+}
+
+TEST(IndexNodeTest, SerializeWithInPageEls) {
+  IndexNode node;
+  node.level = 2;
+  const size_t code_bytes = 4;
+  auto l = KdNode::MakeLeaf(7, ElsCode{1, 2, 3, 4});
+  auto r = KdNode::MakeLeaf(8, ElsCode{9, 8, 7, 6});
+  node.root = KdNode::MakeInternal(0, 0.5f, 0.4f, std::move(l), std::move(r));
+  std::vector<uint8_t> page(512, 0);
+  node.Serialize(page.data(), page.size(), true, code_bytes);
+  IndexNode back =
+      IndexNode::Deserialize(page.data(), page.size(), true, code_bytes)
+          .ValueOrDie();
+  ASSERT_EQ(back.NumChildren(), 2u);
+  EXPECT_EQ(back.root->left->els, (ElsCode{1, 2, 3, 4}));
+  EXPECT_EQ(back.root->right->els, (ElsCode{9, 8, 7, 6}));
+  EXPECT_FLOAT_EQ(back.root->lsp, 0.5f);
+  EXPECT_FLOAT_EQ(back.root->rsp, 0.4f);
+}
+
+TEST(IndexNodeTest, ElsBlobExtractAttachRoundTrip) {
+  IndexNode node;
+  node.level = 1;
+  auto l = KdNode::MakeLeaf(7, ElsCode{1, 2});
+  auto r = KdNode::MakeLeaf(8, ElsCode{3, 4});
+  node.root = KdNode::MakeInternal(1, 0.5f, 0.5f, std::move(l), std::move(r));
+  auto blob = node.ExtractElsBlob(2);
+  ASSERT_EQ(blob.size(), 4u);
+  // Wipe and reattach.
+  node.root->left->els.clear();
+  node.root->right->els.clear();
+  node.AttachElsBlob(blob, 2);
+  EXPECT_EQ(node.root->left->els, (ElsCode{1, 2}));
+  EXPECT_EQ(node.root->right->els, (ElsCode{3, 4}));
+  // Mismatched blob is ignored (stale sidecar safety).
+  node.AttachElsBlob(std::vector<uint8_t>{9}, 2);
+  EXPECT_EQ(node.root->left->els, (ElsCode{1, 2}));
+}
+
+TEST(IndexNodeTest, SerializedSizeMatchesWriterOffset) {
+  Fig1 f;
+  // 4-byte header + 6 internal * 15 + 7 leaves * 5 = 4 + 90 + 35 = 129.
+  EXPECT_EQ(f.node.SerializedSize(false), 129u);
+}
+
+TEST(IndexNodeTest, DeserializeCorruptFails) {
+  std::vector<uint8_t> page(64, 0);
+  page[0] = static_cast<uint8_t>(NodeKind::kIndex);
+  page[1] = 1;   // level
+  page[2] = 0;   // kd count = 0 -> corruption
+  page[3] = 0;
+  EXPECT_FALSE(IndexNode::Deserialize(page.data(), page.size(), false, 0).ok());
+}
+
+size_t CountKd(const KdNode* n) {
+  if (n == nullptr) return 0;
+  if (n->IsLeaf()) return 1;
+  return 1 + CountKd(n->left.get()) + CountKd(n->right.get());
+}
+
+TEST(KdNodeTest, CloneIsDeep) {
+  Fig1 f;
+  auto clone = f.node.root->Clone();
+  EXPECT_EQ(CountKd(clone.get()), CountKd(f.node.root.get()));
+  clone->lsp = 99.0f;
+  EXPECT_FLOAT_EQ(f.node.root->lsp, 3.0f);
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,153 @@
+// Unit tests for the in-memory and on-disk paged files.
+
+#include "storage/paged_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace ht {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+template <typename MakeFile>
+void RunBasicContract(MakeFile make) {
+  auto file = make();
+  EXPECT_EQ(file->page_count(), 0u);
+
+  auto p0 = file->Allocate();
+  ASSERT_TRUE(p0.ok());
+  auto p1 = file->Allocate();
+  ASSERT_TRUE(p1.ok());
+  EXPECT_NE(*p0, *p1);
+
+  Page page(file->page_size());
+  page.data()[0] = 42;
+  page.data()[file->page_size() - 1] = 24;
+  ASSERT_TRUE(file->Write(*p1, page).ok());
+
+  Page readback(file->page_size());
+  ASSERT_TRUE(file->Read(*p1, &readback).ok());
+  EXPECT_EQ(readback.data()[0], 42);
+  EXPECT_EQ(readback.data()[file->page_size() - 1], 24);
+
+  // Fresh pages read back zeroed.
+  ASSERT_TRUE(file->Read(*p0, &readback).ok());
+  EXPECT_EQ(readback.data()[0], 0);
+
+  // Free + reallocate recycles ids.
+  ASSERT_TRUE(file->Free(*p0).ok());
+  auto p2 = file->Allocate();
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(*p2, *p0);
+}
+
+TEST(MemPagedFileTest, BasicContract) {
+  RunBasicContract([] { return std::make_unique<MemPagedFile>(512); });
+}
+
+TEST(DiskPagedFileTest, BasicContract) {
+  RunBasicContract([] {
+    auto r = DiskPagedFile::Create(TempPath("basic.htf"), 512);
+    return std::move(r).ValueOrDie();
+  });
+}
+
+TEST(MemPagedFileTest, ReadUnallocatedFails) {
+  MemPagedFile file(256);
+  Page p(256);
+  EXPECT_TRUE(file.Read(3, &p).IsNotFound());
+}
+
+TEST(MemPagedFileTest, DoubleFreeFails) {
+  MemPagedFile file(256);
+  PageId id = file.Allocate().ValueOrDie();
+  EXPECT_TRUE(file.Free(id).ok());
+  EXPECT_TRUE(file.Free(id).IsInvalidArgument());
+}
+
+TEST(MemPagedFileTest, PageSizeMismatchRejected) {
+  MemPagedFile file(256);
+  PageId id = file.Allocate().ValueOrDie();
+  Page wrong(512);
+  EXPECT_TRUE(file.Read(id, &wrong).IsInvalidArgument());
+  EXPECT_TRUE(file.Write(id, wrong).IsInvalidArgument());
+}
+
+TEST(DiskPagedFileTest, PersistsAcrossReopen) {
+  const std::string path = TempPath("reopen.htf");
+  PageId id;
+  {
+    auto file = DiskPagedFile::Create(path, 1024).ValueOrDie();
+    id = file->Allocate().ValueOrDie();
+    Page page(1024);
+    for (size_t i = 0; i < 1024; ++i) {
+      page.data()[i] = static_cast<uint8_t>(i % 251);
+    }
+    ASSERT_TRUE(file->Write(id, page).ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  {
+    auto file = DiskPagedFile::Open(path).ValueOrDie();
+    EXPECT_EQ(file->page_size(), 1024u);
+    EXPECT_EQ(file->page_count(), 1u);
+    Page page(1024);
+    ASSERT_TRUE(file->Read(id, &page).ok());
+    for (size_t i = 0; i < 1024; ++i) {
+      ASSERT_EQ(page.data()[i], static_cast<uint8_t>(i % 251)) << i;
+    }
+  }
+}
+
+TEST(DiskPagedFileTest, FreelistPersists) {
+  const std::string path = TempPath("freelist.htf");
+  PageId freed;
+  {
+    auto file = DiskPagedFile::Create(path, 512).ValueOrDie();
+    (void)file->Allocate().ValueOrDie();
+    freed = file->Allocate().ValueOrDie();
+    (void)file->Allocate().ValueOrDie();
+    ASSERT_TRUE(file->Free(freed).ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  {
+    auto file = DiskPagedFile::Open(path).ValueOrDie();
+    EXPECT_EQ(file->Allocate().ValueOrDie(), freed);
+  }
+}
+
+TEST(DiskPagedFileTest, OpenMissingFileFails) {
+  auto r = DiskPagedFile::Open(TempPath("does-not-exist.htf"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(DiskPagedFileTest, OpenGarbageFails) {
+  const std::string path = TempPath("garbage.htf");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("not a paged file at all, just text", 1, 34, f);
+  std::fclose(f);
+  auto r = DiskPagedFile::Open(path);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(PagedFileTest, StatsCountOperations) {
+  MemPagedFile file(256);
+  PageId id = file.Allocate().ValueOrDie();
+  Page p(256);
+  ASSERT_TRUE(file.Write(id, p).ok());
+  ASSERT_TRUE(file.Read(id, &p).ok());
+  ASSERT_TRUE(file.Read(id, &p).ok());
+  EXPECT_EQ(file.stats().allocations, 1u);
+  EXPECT_EQ(file.stats().writes, 1u);
+  EXPECT_EQ(file.stats().physical_reads, 2u);
+  file.ResetStats();
+  EXPECT_EQ(file.stats().physical_reads, 0u);
+}
+
+}  // namespace
+}  // namespace ht

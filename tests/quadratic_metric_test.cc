@@ -1,0 +1,150 @@
+// Tests for the quadratic-form (generalized ellipsoid) metric and its use
+// through the hybrid tree — the full MindReader/MARS feedback metric.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/hybrid_tree.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "geometry/metrics.h"
+
+namespace ht {
+namespace {
+
+/// Random symmetric PSD matrix W = A^T A + eps*I (row-major).
+std::vector<double> RandomPsd(uint32_t dim, Rng& rng, double eps = 0.05) {
+  std::vector<double> a(static_cast<size_t>(dim) * dim);
+  for (auto& v : a) v = rng.Uniform(-1.0, 1.0);
+  std::vector<double> w(static_cast<size_t>(dim) * dim, 0.0);
+  for (uint32_t i = 0; i < dim; ++i) {
+    for (uint32_t j = 0; j < dim; ++j) {
+      double s = 0.0;
+      for (uint32_t k = 0; k < dim; ++k) s += a[k * dim + i] * a[k * dim + j];
+      w[i * dim + j] = s;
+    }
+  }
+  for (uint32_t i = 0; i < dim; ++i) w[i * dim + i] += eps;
+  return w;
+}
+
+TEST(QuadraticFormMetricTest, IdentityMatrixIsEuclidean) {
+  const uint32_t dim = 5;
+  std::vector<double> eye(dim * dim, 0.0);
+  for (uint32_t i = 0; i < dim; ++i) eye[i * dim + i] = 1.0;
+  QuadraticFormMetric qf(dim, eye);
+  L2Metric l2;
+  Rng rng(2001);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<float> a(dim), b(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      a[d] = static_cast<float>(rng.NextDouble());
+      b[d] = static_cast<float>(rng.NextDouble());
+    }
+    EXPECT_NEAR(qf.Distance(a, b), l2.Distance(a, b), 1e-9);
+  }
+  EXPECT_NEAR(qf.sqrt_lambda_min(), 1.0, 1e-12);
+}
+
+TEST(QuadraticFormMetricTest, DiagonalMatrixMatchesWeightedL2) {
+  const uint32_t dim = 4;
+  std::vector<double> diag(dim * dim, 0.0);
+  std::vector<double> weights = {2.0, 0.5, 1.0, 3.0};
+  for (uint32_t i = 0; i < dim; ++i) diag[i * dim + i] = weights[i];
+  QuadraticFormMetric qf(dim, diag);
+  WeightedL2Metric wl2(weights);
+  Rng rng(2003);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<float> a(dim), b(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      a[d] = static_cast<float>(rng.NextDouble());
+      b[d] = static_cast<float>(rng.NextDouble());
+    }
+    EXPECT_NEAR(qf.Distance(a, b), wl2.Distance(a, b), 1e-9);
+  }
+}
+
+TEST(QuadraticFormMetricTest, MinDistLowerBoundsInteriorPoints) {
+  const uint32_t dim = 4;
+  Rng rng(2005);
+  for (int trial = 0; trial < 50; ++trial) {
+    QuadraticFormMetric qf(dim, RandomPsd(dim, rng));
+    std::vector<float> lo(dim), hi(dim), q(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      float a = static_cast<float>(rng.NextDouble());
+      float b = static_cast<float>(rng.NextDouble());
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+      q[d] = static_cast<float>(rng.Uniform(-0.5, 1.5));
+    }
+    Box box = Box::FromBounds(lo, hi);
+    const double bound = qf.MinDistToBox(q, box);
+    for (int s = 0; s < 30; ++s) {
+      std::vector<float> x(dim);
+      for (uint32_t d = 0; d < dim; ++d) {
+        x[d] = static_cast<float>(rng.Uniform(box.lo(d), box.hi(d)));
+      }
+      ASSERT_GE(qf.Distance(q, x) + 1e-9, bound) << trial;
+    }
+  }
+}
+
+TEST(QuadraticFormMetricTest, HybridTreeAnswersExactly) {
+  const uint32_t dim = 6;
+  Rng rng(2007);
+  Dataset data = GenClustered(2500, dim, 5, 0.07, rng);
+  MemPagedFile file(1024);
+  HybridTreeOptions o;
+  o.dim = dim;
+  o.page_size = 1024;
+  auto tree = HybridTree::Create(o, &file).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    HT_CHECK_OK(tree->Insert(data.Row(i), i));
+  }
+  // Correlated feedback matrix: dims 0 and 1 move together.
+  std::vector<double> w(dim * dim, 0.0);
+  for (uint32_t i = 0; i < dim; ++i) w[i * dim + i] = 1.0;
+  w[0 * dim + 1] = w[1 * dim + 0] = 0.6;
+  QuadraticFormMetric qf(dim, w);
+  EXPECT_GT(qf.sqrt_lambda_min(), 0.0);
+
+  for (int q = 0; q < 10; ++q) {
+    auto centers = MakeQueryCenters(data, 1, rng);
+    auto got = tree->SearchRange(centers[0], 0.4, qf).ValueOrDie();
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, BruteForceRange(data, centers[0], 0.4, qf));
+    auto knn = tree->SearchKnn(centers[0], 8, qf).ValueOrDie();
+    auto want = BruteForceKnn(data, centers[0], 8, qf);
+    for (size_t i = 0; i < knn.size(); ++i) {
+      ASSERT_NEAR(knn[i].first, want[i].first, 1e-9);
+    }
+  }
+}
+
+TEST(QuadraticFormMetricTest, DiagonallyDominatedGershgorinIsZeroSafe) {
+  // Strong off-diagonals push the Gershgorin bound to 0: pruning disabled
+  // but answers still exact (bound of 0 is always sound).
+  const uint32_t dim = 3;
+  std::vector<double> w = {1.0, 0.9, 0.9,  //
+                           0.9, 1.0, 0.9,  //
+                           0.9, 0.9, 1.0};
+  QuadraticFormMetric qf(dim, w);
+  EXPECT_DOUBLE_EQ(qf.sqrt_lambda_min(), 0.0);
+  Rng rng(2011);
+  Dataset data = GenUniform(800, dim, rng);
+  MemPagedFile file(1024);
+  HybridTreeOptions o;
+  o.dim = dim;
+  o.page_size = 1024;
+  auto tree = HybridTree::Create(o, &file).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    HT_CHECK_OK(tree->Insert(data.Row(i), i));
+  }
+  auto got = tree->SearchRange(data.Row(0), 0.5, qf).ValueOrDie();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, BruteForceRange(data, data.Row(0), 0.5, qf));
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,95 @@
+// Unit tests for the deterministic RNG.
+
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ht {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform(2.0, 4.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsSane) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, GammaMeanMatchesShape) {
+  Rng rng(19);
+  for (double shape : {0.5, 1.0, 2.5, 7.0}) {
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) sum += rng.NextGamma(shape);
+    EXPECT_NEAR(sum / n, shape, 0.1 * shape + 0.03) << "shape=" << shape;
+  }
+}
+
+TEST(RngTest, NextBelowStaysBelow) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(ZipfSamplerTest, SkewsTowardSmallIndices) {
+  Rng rng(29);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+  // Rank-0 frequency for Zipf(1.0, n=100) is 1/H_100 ~= 0.1928.
+  EXPECT_NEAR(counts[0] / 100000.0, 0.1928, 0.02);
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,144 @@
+// Tests for the R*-tree baseline.
+
+#include "baselines/rstar_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/generators.h"
+#include "data/workload.h"
+
+namespace ht {
+namespace {
+
+TEST(RStarTreeTest, IndexCapacityShrinksWithDimensionality) {
+  // Table 1: DP-based fanout decreases linearly with k.
+  MemPagedFile f8(4096), f16(4096), f64(4096);
+  auto t8 = RStarTree::Create(8, &f8).ValueOrDie();
+  auto t16 = RStarTree::Create(16, &f16).ValueOrDie();
+  auto t64 = RStarTree::Create(64, &f64).ValueOrDie();
+  EXPECT_GT(t8->index_capacity(), t16->index_capacity());
+  EXPECT_GT(t16->index_capacity(), t64->index_capacity());
+  EXPECT_LT(t64->index_capacity(), 10u);  // severely degraded at 64-d
+}
+
+TEST(RStarTreeTest, MatchesBruteForceBoxSearch) {
+  Rng rng(457);
+  Dataset data = GenUniform(3000, 4, rng);
+  MemPagedFile file(512);
+  auto tree = RStarTree::Create(4, &file).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(data.Row(i), i).ok()) << i;
+  }
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+  for (int q = 0; q < 30; ++q) {
+    auto centers = MakeQueryCenters(data, 1, rng);
+    Box query = MakeBoxQuery(centers[0], 0.3);
+    auto got = tree->SearchBox(query).ValueOrDie();
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, BruteForceBox(data, query)) << q;
+  }
+}
+
+TEST(RStarTreeTest, RangeAndKnnMatchBruteForce) {
+  Rng rng(461);
+  Dataset data = GenClustered(2000, 3, 4, 0.07, rng);
+  MemPagedFile file(512);
+  auto tree = RStarTree::Create(3, &file).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(data.Row(i), i).ok());
+  }
+  L2Metric l2;
+  L1Metric l1;
+  for (int q = 0; q < 10; ++q) {
+    auto centers = MakeQueryCenters(data, 1, rng);
+    auto got = tree->SearchRange(centers[0], 0.25, l2).ValueOrDie();
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, BruteForceRange(data, centers[0], 0.25, l2));
+    auto got_k = tree->SearchKnn(centers[0], 10, l1).ValueOrDie();
+    auto want_k = BruteForceKnn(data, centers[0], 10, l1);
+    ASSERT_EQ(got_k.size(), want_k.size());
+    for (size_t i = 0; i < got_k.size(); ++i) {
+      ASSERT_NEAR(got_k[i].first, want_k[i].first, 1e-9);
+    }
+  }
+}
+
+TEST(RStarTreeTest, ForcedReinsertionsOccur) {
+  Rng rng(463);
+  Dataset data = GenClustered(3000, 4, 5, 0.05, rng);
+  MemPagedFile file(512);
+  auto tree = RStarTree::Create(4, &file).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(data.Row(i), i).ok());
+  }
+  RStarStats stats = tree->ComputeStats().ValueOrDie();
+  EXPECT_GT(stats.forced_reinsertions, 0u);
+  EXPECT_GT(stats.splits, 0u);
+  EXPECT_GT(stats.avg_leaf_utilization, 0.4);
+}
+
+TEST(RStarTreeTest, SiblingOverlapExistsAtHighDim) {
+  // Table 1: "degree of overlap: high" for BR hierarchies on real-ish
+  // correlated data.
+  Rng rng(467);
+  Dataset data = GenColhist(3000, 16, rng);
+  data.NormalizeUnitCube();
+  MemPagedFile file(1024);
+  auto tree = RStarTree::Create(16, &file).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(data.Row(i), i).ok());
+  }
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+  RStarStats stats = tree->ComputeStats().ValueOrDie();
+  EXPECT_GT(stats.index_nodes, 0u);
+}
+
+TEST(RStarTreeTest, DeleteCondensesAndStaysCorrect) {
+  Rng rng(479);
+  Dataset data = GenUniform(1200, 3, rng);
+  MemPagedFile file(512);
+  auto tree = RStarTree::Create(3, &file).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(data.Row(i), i).ok());
+  }
+  std::set<uint64_t> deleted;
+  for (size_t i = 0; i < data.size(); i += 2) {
+    ASSERT_TRUE(tree->Delete(data.Row(i), i).ok()) << i;
+    deleted.insert(i);
+  }
+  EXPECT_EQ(tree->size(), data.size() - deleted.size());
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+  Box q = MakeBoxQuery(data.Row(1), 0.4);
+  std::vector<uint64_t> expect;
+  for (uint64_t id : BruteForceBox(data, q)) {
+    if (!deleted.count(id)) expect.push_back(id);
+  }
+  auto got = tree->SearchBox(q).ValueOrDie();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expect);
+  EXPECT_TRUE(tree->Delete(data.Row(0), 0).IsNotFound());
+}
+
+TEST(RStarTreeTest, DeleteEverythingThenReuse) {
+  Rng rng(487);
+  Dataset data = GenUniform(600, 2, rng);
+  MemPagedFile file(512);
+  auto tree = RStarTree::Create(2, &file).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(data.Row(i), i).ok());
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree->Delete(data.Row(i), i).ok()) << i;
+  }
+  EXPECT_EQ(tree->size(), 0u);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(data.Row(i), i).ok());
+  }
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace ht

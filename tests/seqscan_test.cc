@@ -1,0 +1,89 @@
+// Tests for the sequential-scan baseline.
+
+#include "baselines/seqscan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/generators.h"
+#include "data/workload.h"
+
+namespace ht {
+namespace {
+
+TEST(SeqScanTest, MatchesBruteForceEverything) {
+  Rng rng(401);
+  Dataset data = GenUniform(1500, 4, rng);
+  MemPagedFile file(512);
+  auto scan = SeqScan::Create(4, &file).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(scan->Insert(data.Row(i), i).ok());
+  }
+  EXPECT_EQ(scan->size(), data.size());
+  EXPECT_TRUE(scan->sequential_io());
+
+  Box q = MakeBoxQuery(data.Row(7), 0.3);
+  auto got = scan->SearchBox(q).ValueOrDie();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, BruteForceBox(data, q));
+
+  L1Metric l1;
+  auto got_r = scan->SearchRange(data.Row(3), 0.5, l1).ValueOrDie();
+  std::sort(got_r.begin(), got_r.end());
+  EXPECT_EQ(got_r, BruteForceRange(data, data.Row(3), 0.5, l1));
+
+  L2Metric l2;
+  auto got_k = scan->SearchKnn(data.Row(9), 12, l2).ValueOrDie();
+  auto want_k = BruteForceKnn(data, data.Row(9), 12, l2);
+  ASSERT_EQ(got_k.size(), want_k.size());
+  for (size_t i = 0; i < got_k.size(); ++i) {
+    EXPECT_NEAR(got_k[i].first, want_k[i].first, 1e-12);
+  }
+}
+
+TEST(SeqScanTest, EveryQueryReadsEveryPage) {
+  Rng rng(409);
+  Dataset data = GenUniform(1000, 2, rng);
+  MemPagedFile file(256);
+  auto scan = SeqScan::Create(2, &file).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(scan->Insert(data.Row(i), i).ok());
+  }
+  const uint64_t pages = scan->data_pages();
+  EXPECT_EQ(pages, (data.size() + DataNode::Capacity(2, 256) - 1) /
+                       DataNode::Capacity(2, 256));
+  scan->pool().ResetStats();
+  (void)scan->SearchBox(Box::UnitCube(2)).ValueOrDie();
+  EXPECT_EQ(scan->pool().stats().logical_reads, pages);
+}
+
+TEST(SeqScanTest, DeleteCompactsPages) {
+  Rng rng(419);
+  Dataset data = GenUniform(300, 2, rng);
+  MemPagedFile file(256);
+  auto scan = SeqScan::Create(2, &file).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(scan->Insert(data.Row(i), i).ok());
+  }
+  const uint64_t pages_before = scan->data_pages();
+  for (size_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(scan->Delete(data.Row(i), i).ok()) << i;
+  }
+  EXPECT_EQ(scan->size(), 100u);
+  EXPECT_LT(scan->data_pages(), pages_before);
+  // The survivors are still all findable.
+  auto got = scan->SearchBox(Box::UnitCube(2)).ValueOrDie();
+  EXPECT_EQ(got.size(), 100u);
+  for (uint64_t id : got) EXPECT_GE(id, 200u);
+  EXPECT_TRUE(scan->Delete(data.Row(0), 0).IsNotFound());
+}
+
+TEST(SeqScanTest, CreateValidation) {
+  MemPagedFile file(256);
+  (void)file.Allocate().ValueOrDie();
+  EXPECT_FALSE(SeqScan::Create(2, &file).ok());  // non-empty file
+}
+
+}  // namespace
+}  // namespace ht

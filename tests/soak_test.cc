@@ -1,0 +1,135 @@
+// Randomized end-to-end soak: a single hybrid tree endures interleaved
+// inserts, deletes, box/range/k-NN queries, metric switches, flush/reopen
+// cycles and ELS rebuilds, with a shadow copy verifying every answer and
+// periodic invariant checks. Exercises the §3.5 claim that the tree is
+// "completely dynamic" with operations "interspersed ... without requiring
+// any reorganization".
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/hybrid_tree.h"
+#include "data/generators.h"
+#include "data/workload.h"
+
+namespace ht {
+namespace {
+
+class SoakTest : public ::testing::TestWithParam<ElsMode> {};
+
+TEST_P(SoakTest, MixedWorkloadAgainstShadow) {
+  const ElsMode mode = GetParam();
+  const uint32_t dim = 5;
+  const std::string path =
+      std::string(::testing::TempDir()) + "/soak_" +
+      std::to_string(static_cast<int>(mode)) + ".htf";
+
+  Rng rng(2201 + static_cast<int>(mode));
+  auto file = DiskPagedFile::Create(path, 1024).ValueOrDie();
+  HybridTreeOptions o;
+  o.dim = dim;
+  o.page_size = 1024;
+  o.els_mode = mode;
+  o.els_bits = mode == ElsMode::kOff ? 0 : 4;
+  auto tree = HybridTree::Create(o, file.get()).ValueOrDie();
+
+  std::map<uint64_t, std::vector<float>> shadow;  // id -> vector
+  uint64_t next_id = 0;
+  const L1Metric l1;
+  const L2Metric l2;
+  const LInfMetric linf;
+  const DistanceMetric* metrics[] = {&l1, &l2, &linf};
+
+  auto shadow_box = [&](const Box& q) {
+    std::vector<uint64_t> out;
+    for (const auto& [id, v] : shadow) {
+      if (q.ContainsPoint(v)) out.push_back(id);
+    }
+    return out;
+  };
+
+  for (int step = 0; step < 6000; ++step) {
+    const uint64_t op = rng.NextBelow(100);
+    if (op < 55 || shadow.size() < 50) {
+      // Insert.
+      std::vector<float> v(dim);
+      for (auto& x : v) x = static_cast<float>(rng.NextDouble());
+      ASSERT_TRUE(tree->Insert(v, next_id).ok()) << step;
+      shadow.emplace(next_id, std::move(v));
+      ++next_id;
+    } else if (op < 75) {
+      // Delete a random present entry.
+      auto it = shadow.begin();
+      std::advance(it, rng.NextBelow(shadow.size()));
+      ASSERT_TRUE(tree->Delete(it->second, it->first).ok()) << step;
+      shadow.erase(it);
+    } else if (op < 85) {
+      // Box query.
+      std::vector<float> c(dim);
+      for (auto& x : c) x = static_cast<float>(rng.NextDouble());
+      Box q = MakeBoxQuery(c, 0.2 + 0.4 * rng.NextDouble());
+      auto got = tree->SearchBox(q).ValueOrDie();
+      std::sort(got.begin(), got.end());
+      ASSERT_EQ(got, shadow_box(q)) << step;
+    } else if (op < 93) {
+      // Range query under a random metric.
+      const DistanceMetric& m = *metrics[rng.NextBelow(3)];
+      auto it = shadow.begin();
+      std::advance(it, rng.NextBelow(shadow.size()));
+      const double radius = 0.1 + 0.4 * rng.NextDouble();
+      auto got = tree->SearchRange(it->second, radius, m).ValueOrDie();
+      std::sort(got.begin(), got.end());
+      std::vector<uint64_t> want;
+      for (const auto& [id, v] : shadow) {
+        if (m.Distance(it->second, v) <= radius) want.push_back(id);
+      }
+      ASSERT_EQ(got, want) << step << " metric " << m.Name();
+    } else {
+      // k-NN distances.
+      const DistanceMetric& m = *metrics[rng.NextBelow(3)];
+      auto it = shadow.begin();
+      std::advance(it, rng.NextBelow(shadow.size()));
+      const size_t k = 1 + rng.NextBelow(8);
+      auto got = tree->SearchKnn(it->second, k, m).ValueOrDie();
+      std::vector<double> want;
+      for (const auto& [id, v] : shadow) {
+        want.push_back(m.Distance(it->second, v));
+      }
+      std::sort(want.begin(), want.end());
+      ASSERT_EQ(got.size(), std::min(k, shadow.size())) << step;
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_NEAR(got[i].first, want[i], 1e-9) << step;
+      }
+    }
+
+    if (step % 911 == 910) {
+      ASSERT_TRUE(tree->CheckInvariants().ok()) << "step " << step;
+    }
+    if (step % 1777 == 1776) {
+      // Flush, drop everything, reopen — mid-workload durability.
+      ASSERT_TRUE(tree->Flush().ok());
+      tree.reset();
+      file = DiskPagedFile::Open(path).ValueOrDie();
+      tree = HybridTree::Open(file.get()).ValueOrDie();
+      ASSERT_EQ(tree->size(), shadow.size()) << "step " << step;
+      ASSERT_TRUE(tree->CheckInvariants().ok()) << "step " << step;
+    }
+  }
+  EXPECT_EQ(tree->size(), shadow.size());
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+  // Full-scan cross-check at the end.
+  std::map<uint64_t, std::vector<float>> scanned;
+  HT_CHECK_OK(tree->ScanAll([&](uint64_t id, std::span<const float> v) {
+    scanned.emplace(id, std::vector<float>(v.begin(), v.end()));
+  }));
+  EXPECT_EQ(scanned, shadow);
+}
+
+INSTANTIATE_TEST_SUITE_P(ElsModes, SoakTest,
+                         ::testing::Values(ElsMode::kOff, ElsMode::kInMemory,
+                                           ElsMode::kInPage));
+
+}  // namespace
+}  // namespace ht

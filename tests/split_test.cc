@@ -1,0 +1,252 @@
+// Tests for the EDA-optimal split algorithms (§3.2, §3.3).
+
+#include "core/split.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace ht {
+namespace {
+
+std::vector<DataEntry> MakeEntries(const std::vector<std::vector<float>>& vs) {
+  std::vector<DataEntry> out;
+  for (size_t i = 0; i < vs.size(); ++i) {
+    out.push_back(DataEntry{i, vs[i]});
+  }
+  return out;
+}
+
+TEST(DataSplitTest, EdaPicksMaxExtentDimension) {
+  // BR is wide in dim 1; the EDA-optimal choice must split dim 1 no matter
+  // where the data sits (§3.2: independent of the data distribution).
+  Box br = Box::FromBounds({0.4f, 0.0f}, {0.6f, 1.0f});
+  auto entries = MakeEntries({{0.41f, 0.1f},
+                              {0.45f, 0.2f},
+                              {0.5f, 0.7f},
+                              {0.55f, 0.8f},
+                              {0.59f, 0.9f},
+                              {0.42f, 0.95f}});
+  DataSplit s = ChooseDataSplit(br, entries, 2, SplitPolicy::kEdaOptimal);
+  EXPECT_EQ(s.dim, 1u);
+  EXPECT_FALSE(s.degenerate);
+}
+
+TEST(DataSplitTest, PositionClosestToMiddle) {
+  Box br = Box::FromBounds({0.0f}, {1.0f});
+  auto entries = MakeEntries(
+      {{0.1f}, {0.2f}, {0.3f}, {0.45f}, {0.55f}, {0.8f}, {0.9f}, {0.95f}});
+  DataSplit s = ChooseDataSplit(br, entries, 2, SplitPolicy::kEdaOptimal);
+  // Middle of BR extent is 0.5; the candidate midpoint closest to it is
+  // (0.45+0.55)/2 = 0.5.
+  EXPECT_FLOAT_EQ(s.pos, 0.5f);
+  EXPECT_EQ(s.left.size(), 4u);
+  EXPECT_EQ(s.right.size(), 4u);
+}
+
+TEST(DataSplitTest, UtilizationShiftsPositionOffMiddle) {
+  Box br = Box::FromBounds({0.0f}, {1.0f});
+  // All points in the left fifth of the BR; splitting at the geometric
+  // middle would leave the right side empty. The split must shift left
+  // "just enough to satisfy the utilization requirement" (§3.2 footnote).
+  auto entries = MakeEntries(
+      {{0.01f}, {0.02f}, {0.05f}, {0.08f}, {0.12f}, {0.15f}, {0.18f}, {0.2f}});
+  DataSplit s = ChooseDataSplit(br, entries, 3, SplitPolicy::kEdaOptimal);
+  EXPECT_GE(s.left.size(), 3u);
+  EXPECT_GE(s.right.size(), 3u);
+  // Pos is the rightmost valid midpoint (closest to 0.5).
+  EXPECT_FLOAT_EQ(s.pos, (0.12f + 0.15f) / 2);
+}
+
+TEST(DataSplitTest, SplitIsCleanPartitionByValue) {
+  Rng rng(89);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::vector<float>> vs;
+    for (int i = 0; i < 30; ++i) {
+      vs.push_back({static_cast<float>(rng.NextDouble()),
+                    static_cast<float>(rng.NextDouble()),
+                    static_cast<float>(rng.NextDouble())});
+    }
+    auto entries = MakeEntries(vs);
+    Box br = Box::UnitCube(3);
+    DataSplit s = ChooseDataSplit(br, entries, 10, SplitPolicy::kEdaOptimal);
+    ASSERT_FALSE(s.degenerate);
+    ASSERT_EQ(s.left.size() + s.right.size(), entries.size());
+    for (uint32_t i : s.left) ASSERT_LE(entries[i].vec[s.dim], s.pos);
+    for (uint32_t i : s.right) ASSERT_GT(entries[i].vec[s.dim], s.pos);
+    ASSERT_GE(s.left.size(), 10u);
+    ASSERT_GE(s.right.size(), 10u);
+  }
+}
+
+TEST(DataSplitTest, DuplicateHeavyDataFallsBackToOtherDims) {
+  // Dim 0 has the max extent courtesy of one outlier, but every split
+  // position on it violates utilization; dim 1 must be used instead.
+  Box br = Box::FromBounds({0.0f, 0.3f}, {1.0f, 0.7f});
+  auto entries = MakeEntries({{0.0f, 0.31f},
+                              {1.0f, 0.42f},
+                              {1.0f, 0.48f},
+                              {1.0f, 0.55f},
+                              {1.0f, 0.61f},
+                              {1.0f, 0.69f}});
+  DataSplit s = ChooseDataSplit(br, entries, 2, SplitPolicy::kEdaOptimal);
+  EXPECT_EQ(s.dim, 1u);
+  EXPECT_FALSE(s.degenerate);
+}
+
+TEST(DataSplitTest, AllIdenticalPointsDegenerate) {
+  auto entries = MakeEntries(
+      {{0.5f, 0.5f}, {0.5f, 0.5f}, {0.5f, 0.5f}, {0.5f, 0.5f}});
+  DataSplit s =
+      ChooseDataSplit(Box::UnitCube(2), entries, 2, SplitPolicy::kEdaOptimal);
+  EXPECT_TRUE(s.degenerate);
+  EXPECT_EQ(s.left.size(), 2u);
+  EXPECT_EQ(s.right.size(), 2u);
+  EXPECT_FLOAT_EQ(s.pos, 0.5f);
+}
+
+TEST(DataSplitTest, VamPicksMaxVarianceDimension) {
+  // Dim 0 has the max extent (one outlier) but tiny variance; dim 1 has
+  // high variance. VAMSplit picks dim 1 where EDA picks dim 0.
+  Box br = Box::UnitCube(2);
+  std::vector<std::vector<float>> vs;
+  Rng rng(97);
+  for (int i = 0; i < 40; ++i) {
+    vs.push_back({0.5f, (i % 2) ? 0.1f : 0.9f});
+  }
+  vs.push_back({1.0f, 0.5f});
+  vs.push_back({0.0f, 0.5f});
+  auto entries = MakeEntries(vs);
+  DataSplit vam = ChooseDataSplit(br, entries, 10, SplitPolicy::kVamSplit);
+  EXPECT_EQ(vam.dim, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Bipartition
+// ---------------------------------------------------------------------------
+
+TEST(BipartitionTest, DisjointSegmentsSplitCleanly) {
+  std::vector<Segment> segs = {{0.0f, 0.2f}, {0.25f, 0.45f}, {0.5f, 0.7f},
+                               {0.75f, 1.0f}};
+  Bipartition p = BipartitionSegments(segs, 2);
+  EXPECT_EQ(p.left.size(), 2u);
+  EXPECT_EQ(p.right.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.overlap, 0.0);
+  EXPECT_LE(p.lsp, p.rsp);
+  // Left group must be the two leftmost segments.
+  std::vector<uint32_t> l = p.left;
+  std::sort(l.begin(), l.end());
+  EXPECT_EQ(l[0], 0u);
+  EXPECT_EQ(l[1], 1u);
+}
+
+TEST(BipartitionTest, OverlapOnlyWhenForced) {
+  // One long segment spans everything: overlap is unavoidable.
+  std::vector<Segment> segs = {{0.0f, 1.0f}, {0.0f, 0.3f}, {0.7f, 1.0f},
+                               {0.1f, 0.4f}};
+  Bipartition p = BipartitionSegments(segs, 2);
+  EXPECT_GT(p.overlap, 0.0);
+  EXPECT_GT(p.lsp, p.rsp);
+}
+
+TEST(BipartitionTest, BoundariesCoverTheirGroups) {
+  Rng rng(101);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t n = 2 + rng.NextBelow(40);
+    std::vector<Segment> segs(n);
+    for (auto& s : segs) {
+      float a = static_cast<float>(rng.NextDouble());
+      float b = static_cast<float>(rng.NextDouble());
+      s.lo = std::min(a, b);
+      s.hi = std::max(a, b);
+    }
+    const size_t min_count = 1 + rng.NextBelow(std::max<size_t>(1, n / 2));
+    Bipartition p = BipartitionSegments(segs, min_count);
+    ASSERT_EQ(p.left.size() + p.right.size(), n);
+    ASSERT_FALSE(p.left.empty());
+    ASSERT_FALSE(p.right.empty());
+    ASSERT_GE(p.left.size(), std::min(min_count, n / 2));
+    ASSERT_GE(p.right.size(), std::min(min_count, n / 2));
+    for (uint32_t i : p.left) ASSERT_LE(segs[i].hi, p.lsp);
+    for (uint32_t i : p.right) ASSERT_GE(segs[i].lo, p.rsp);
+    ASSERT_NEAR(p.overlap, std::max(0.0, double(p.lsp) - p.rsp), 1e-12);
+  }
+}
+
+TEST(IndexSplitCostTest, FixedModelFormula) {
+  // (w + r) / (s + r), §3.3.
+  EXPECT_DOUBLE_EQ(IndexSplitCost(0.5, 0.0, QuerySizeModel::kFixed, 0.1),
+                   0.1 / 0.6);
+  EXPECT_DOUBLE_EQ(IndexSplitCost(0.5, 0.2, QuerySizeModel::kFixed, 0.1),
+                   0.3 / 0.6);
+}
+
+TEST(IndexSplitCostTest, UniformModelClosedForm) {
+  // 1 + (w - s) ln((s+1)/s).
+  const double s = 0.25, w = 0.05;
+  EXPECT_NEAR(IndexSplitCost(s, w, QuerySizeModel::kUniform, 0.0),
+              1.0 + (w - s) * std::log((s + 1.0) / s), 1e-12);
+  // Numerically verify against the integral.
+  double integral = 0.0;
+  const int steps = 200000;
+  for (int i = 0; i < steps; ++i) {
+    const double r = (i + 0.5) / steps;
+    integral += (w + r) / (s + r) / steps;
+  }
+  EXPECT_NEAR(IndexSplitCost(s, w, QuerySizeModel::kUniform, 0.0), integral,
+              1e-5);
+}
+
+TEST(IndexSplitCostTest, MonotoneInOverlap) {
+  for (double w = 0.0; w < 0.5; w += 0.05) {
+    EXPECT_LT(IndexSplitCost(0.5, w, QuerySizeModel::kFixed, 0.1),
+              IndexSplitCost(0.5, w + 0.05, QuerySizeModel::kFixed, 0.1));
+  }
+}
+
+TEST(IndexSplitTest, PrefersCleanSplitDimension) {
+  // Children tile dim 0 cleanly but all span dim 1 fully: dim 0 must win.
+  std::vector<Box> kids = {
+      Box::FromBounds({0.0f, 0.0f}, {0.25f, 1.0f}),
+      Box::FromBounds({0.25f, 0.0f}, {0.5f, 1.0f}),
+      Box::FromBounds({0.5f, 0.0f}, {0.75f, 1.0f}),
+      Box::FromBounds({0.75f, 0.0f}, {1.0f, 1.0f}),
+  };
+  IndexSplit s =
+      ChooseIndexSplit(Box::UnitCube(2), kids, 1, {0, 1},
+                       SplitPolicy::kEdaOptimal, QuerySizeModel::kFixed, 0.1);
+  ASSERT_TRUE(s.valid);
+  EXPECT_EQ(s.dim, 0u);
+  EXPECT_DOUBLE_EQ(s.parts.overlap, 0.0);
+}
+
+TEST(IndexSplitTest, RestrictedCandidatesAreHonored) {
+  std::vector<Box> kids = {
+      Box::FromBounds({0.0f, 0.0f}, {0.5f, 0.5f}),
+      Box::FromBounds({0.5f, 0.0f}, {1.0f, 0.5f}),
+      Box::FromBounds({0.0f, 0.5f}, {0.5f, 1.0f}),
+      Box::FromBounds({0.5f, 0.5f}, {1.0f, 1.0f}),
+  };
+  // Restrict to dim 1 only (Lemma 1 style): result must use dim 1.
+  IndexSplit s =
+      ChooseIndexSplit(Box::UnitCube(2), kids, 1, {1},
+                       SplitPolicy::kEdaOptimal, QuerySizeModel::kFixed, 0.1);
+  ASSERT_TRUE(s.valid);
+  EXPECT_EQ(s.dim, 1u);
+}
+
+TEST(IndexSplitTest, DegenerateRegionFallsBack) {
+  std::vector<Box> kids = {Box::FromBounds({0.5f}, {0.5f}),
+                           Box::FromBounds({0.5f}, {0.5f})};
+  Box point_region = Box::FromBounds({0.5f}, {0.5f});
+  IndexSplit s =
+      ChooseIndexSplit(point_region, kids, 1, {0}, SplitPolicy::kEdaOptimal,
+                       QuerySizeModel::kFixed, 0.1);
+  ASSERT_TRUE(s.valid);
+  EXPECT_EQ(s.parts.left.size() + s.parts.right.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,140 @@
+// Tests for the X-tree baseline: exact query answers, chain (supernode)
+// mechanics, and the signature high-dimensional supernode growth.
+
+#include "baselines/x_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/generators.h"
+#include "data/workload.h"
+
+namespace ht {
+namespace {
+
+TEST(XTreeTest, MatchesBruteForceBoxSearch) {
+  Rng rng(2301);
+  Dataset data = GenUniform(3000, 4, rng);
+  MemPagedFile file(512);
+  auto tree = XTree::Create(4, &file).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(data.Row(i), i).ok()) << i;
+  }
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+  for (int q = 0; q < 30; ++q) {
+    auto centers = MakeQueryCenters(data, 1, rng);
+    Box query = MakeBoxQuery(centers[0], 0.3);
+    auto got = tree->SearchBox(query).ValueOrDie();
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, BruteForceBox(data, query)) << q;
+  }
+}
+
+TEST(XTreeTest, RangeAndKnnMatchBruteForce) {
+  Rng rng(2303);
+  Dataset data = GenClustered(2000, 3, 5, 0.06, rng);
+  MemPagedFile file(512);
+  auto tree = XTree::Create(3, &file).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(data.Row(i), i).ok());
+  }
+  L1Metric l1;
+  L2Metric l2;
+  for (int q = 0; q < 10; ++q) {
+    auto centers = MakeQueryCenters(data, 1, rng);
+    auto got = tree->SearchRange(centers[0], 0.3, l1).ValueOrDie();
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, BruteForceRange(data, centers[0], 0.3, l1));
+    auto got_k = tree->SearchKnn(centers[0], 10, l2).ValueOrDie();
+    auto want_k = BruteForceKnn(data, centers[0], 10, l2);
+    ASSERT_EQ(got_k.size(), want_k.size());
+    for (size_t i = 0; i < got_k.size(); ++i) {
+      ASSERT_NEAR(got_k[i].first, want_k[i].first, 1e-9);
+    }
+  }
+}
+
+TEST(XTreeTest, SupernodesEmergeOnInseparableData) {
+  // Supernodes form exactly when no acceptable (low-overlap) split exists.
+  // Heavy duplication makes regions genuinely inseparable: the node grows
+  // a page chain instead of splitting — the X-tree's defining behaviour.
+  Rng rng(2307);
+  MemPagedFile file(512);
+  auto tree = XTree::Create(8, &file).ValueOrDie();
+  Dataset data(8, 2000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    auto row = data.MutableRow(i);
+    // Four heavy duplicate sites: within a site no split can separate
+    // anything, so those leaves must grow chains.
+    const float base = (i % 4) * 0.25f + 0.1f;
+    for (uint32_t d = 0; d < 8; ++d) row[d] = base;
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(data.Row(i), i).ok()) << i;
+  }
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+  XTreeStats stats = tree->ComputeStats().ValueOrDie();
+  EXPECT_GT(stats.supernodes, 0u);
+  EXPECT_GT(stats.max_chain_pages, 1u);
+  // Queries remain exact through supernodes.
+  for (int q = 0; q < 10; ++q) {
+    auto centers = MakeQueryCenters(data, 1, rng);
+    Box query = MakeBoxQuery(centers[0], 0.2);
+    auto got = tree->SearchBox(query).ValueOrDie();
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, BruteForceBox(data, query)) << q;
+  }
+}
+
+TEST(XTreeTest, SupernodeReadsCostChainLength) {
+  Rng rng(2311);
+  MemPagedFile file(2048);
+  auto tree = XTree::Create(32, &file).ValueOrDie();
+  Dataset data = GenColhist(6000, 32, rng);
+  data.NormalizeUnitCube();
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(data.Row(i), i).ok());
+  }
+  XTreeStats stats = tree->ComputeStats().ValueOrDie();
+  tree->pool().ResetStats();
+  (void)tree->SearchBox(Box::UnitCube(32)).ValueOrDie();
+  // A full sweep reads every chained page, not just one per node.
+  EXPECT_EQ(tree->pool().stats().logical_reads, stats.total_pages);
+}
+
+TEST(XTreeTest, DeleteRemovesEntries) {
+  Rng rng(2313);
+  Dataset data = GenUniform(1000, 2, rng);
+  MemPagedFile file(512);
+  auto tree = XTree::Create(2, &file).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(tree->Insert(data.Row(i), i).ok());
+  }
+  for (size_t i = 0; i < 400; ++i) {
+    ASSERT_TRUE(tree->Delete(data.Row(i), i).ok()) << i;
+  }
+  EXPECT_EQ(tree->size(), 600u);
+  EXPECT_TRUE(tree->Delete(data.Row(0), 0).IsNotFound());
+  auto got = tree->SearchBox(Box::UnitCube(2)).ValueOrDie();
+  EXPECT_EQ(got.size(), 600u);
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+}
+
+TEST(XTreeTest, DuplicatePointsSupported) {
+  MemPagedFile file(512);
+  auto tree = XTree::Create(2, &file).ValueOrDie();
+  const std::vector<float> p = {0.5f, 0.5f};
+  for (uint64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(tree->Insert(p, i).ok()) << i;
+  }
+  auto hits =
+      tree->SearchBox(Box::FromBounds({0.5f, 0.5f}, {0.5f, 0.5f}))
+          .ValueOrDie();
+  EXPECT_EQ(hits.size(), 200u);
+  ASSERT_TRUE(tree->CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace ht
