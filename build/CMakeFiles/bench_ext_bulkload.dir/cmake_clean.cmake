@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_bulkload.dir/bench/bench_ext_bulkload.cc.o"
+  "CMakeFiles/bench_ext_bulkload.dir/bench/bench_ext_bulkload.cc.o.d"
+  "bench/bench_ext_bulkload"
+  "bench/bench_ext_bulkload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bulkload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

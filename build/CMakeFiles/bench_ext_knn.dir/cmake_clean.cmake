@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_knn.dir/bench/bench_ext_knn.cc.o"
+  "CMakeFiles/bench_ext_knn.dir/bench/bench_ext_knn.cc.o.d"
+  "bench/bench_ext_knn"
+  "bench/bench_ext_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5ab_eda_vs_vam.dir/bench/bench_fig5ab_eda_vs_vam.cc.o"
+  "CMakeFiles/bench_fig5ab_eda_vs_vam.dir/bench/bench_fig5ab_eda_vs_vam.cc.o.d"
+  "bench/bench_fig5ab_eda_vs_vam"
+  "bench/bench_fig5ab_eda_vs_vam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5ab_eda_vs_vam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

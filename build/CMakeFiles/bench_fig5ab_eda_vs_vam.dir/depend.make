@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5ab_eda_vs_vam.
+# This may be replaced when dependencies are built.

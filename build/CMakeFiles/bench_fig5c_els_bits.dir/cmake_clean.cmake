@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5c_els_bits.dir/bench/bench_fig5c_els_bits.cc.o"
+  "CMakeFiles/bench_fig5c_els_bits.dir/bench/bench_fig5c_els_bits.cc.o.d"
+  "bench/bench_fig5c_els_bits"
+  "bench/bench_fig5c_els_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c_els_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6ab_fourier.dir/bench/bench_fig6ab_fourier.cc.o"
+  "CMakeFiles/bench_fig6ab_fourier.dir/bench/bench_fig6ab_fourier.cc.o.d"
+  "bench/bench_fig6ab_fourier"
+  "bench/bench_fig6ab_fourier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6ab_fourier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6cd_colhist.dir/bench/bench_fig6cd_colhist.cc.o"
+  "CMakeFiles/bench_fig6cd_colhist.dir/bench/bench_fig6cd_colhist.cc.o.d"
+  "bench/bench_fig6cd_colhist"
+  "bench/bench_fig6cd_colhist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6cd_colhist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

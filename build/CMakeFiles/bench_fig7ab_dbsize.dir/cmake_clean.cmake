@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7ab_dbsize.dir/bench/bench_fig7ab_dbsize.cc.o"
+  "CMakeFiles/bench_fig7ab_dbsize.dir/bench/bench_fig7ab_dbsize.cc.o.d"
+  "bench/bench_fig7ab_dbsize"
+  "bench/bench_fig7ab_dbsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7ab_dbsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_els.dir/bench/bench_micro_els.cc.o"
+  "CMakeFiles/bench_micro_els.dir/bench/bench_micro_els.cc.o.d"
+  "bench/bench_micro_els"
+  "bench/bench_micro_els.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_els.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_intranode.dir/bench/bench_micro_intranode.cc.o"
+  "CMakeFiles/bench_micro_intranode.dir/bench/bench_micro_intranode.cc.o.d"
+  "bench/bench_micro_intranode"
+  "bench/bench_micro_intranode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_intranode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

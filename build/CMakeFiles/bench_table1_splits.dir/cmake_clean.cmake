@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_splits.dir/bench/bench_table1_splits.cc.o"
+  "CMakeFiles/bench_table1_splits.dir/bench/bench_table1_splits.cc.o.d"
+  "bench/bench_table1_splits"
+  "bench/bench_table1_splits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_splits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

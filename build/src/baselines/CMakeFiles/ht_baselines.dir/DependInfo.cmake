@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/hb_tree.cc" "src/baselines/CMakeFiles/ht_baselines.dir/hb_tree.cc.o" "gcc" "src/baselines/CMakeFiles/ht_baselines.dir/hb_tree.cc.o.d"
+  "/root/repo/src/baselines/kdb_tree.cc" "src/baselines/CMakeFiles/ht_baselines.dir/kdb_tree.cc.o" "gcc" "src/baselines/CMakeFiles/ht_baselines.dir/kdb_tree.cc.o.d"
+  "/root/repo/src/baselines/rstar_tree.cc" "src/baselines/CMakeFiles/ht_baselines.dir/rstar_tree.cc.o" "gcc" "src/baselines/CMakeFiles/ht_baselines.dir/rstar_tree.cc.o.d"
+  "/root/repo/src/baselines/seqscan.cc" "src/baselines/CMakeFiles/ht_baselines.dir/seqscan.cc.o" "gcc" "src/baselines/CMakeFiles/ht_baselines.dir/seqscan.cc.o.d"
+  "/root/repo/src/baselines/sr_tree.cc" "src/baselines/CMakeFiles/ht_baselines.dir/sr_tree.cc.o" "gcc" "src/baselines/CMakeFiles/ht_baselines.dir/sr_tree.cc.o.d"
+  "/root/repo/src/baselines/x_tree.cc" "src/baselines/CMakeFiles/ht_baselines.dir/x_tree.cc.o" "gcc" "src/baselines/CMakeFiles/ht_baselines.dir/x_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ht_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ht_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/ht_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_baselines.dir/hb_tree.cc.o"
+  "CMakeFiles/ht_baselines.dir/hb_tree.cc.o.d"
+  "CMakeFiles/ht_baselines.dir/kdb_tree.cc.o"
+  "CMakeFiles/ht_baselines.dir/kdb_tree.cc.o.d"
+  "CMakeFiles/ht_baselines.dir/rstar_tree.cc.o"
+  "CMakeFiles/ht_baselines.dir/rstar_tree.cc.o.d"
+  "CMakeFiles/ht_baselines.dir/seqscan.cc.o"
+  "CMakeFiles/ht_baselines.dir/seqscan.cc.o.d"
+  "CMakeFiles/ht_baselines.dir/sr_tree.cc.o"
+  "CMakeFiles/ht_baselines.dir/sr_tree.cc.o.d"
+  "CMakeFiles/ht_baselines.dir/x_tree.cc.o"
+  "CMakeFiles/ht_baselines.dir/x_tree.cc.o.d"
+  "libht_baselines.a"
+  "libht_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_common.dir/status.cc.o"
+  "CMakeFiles/ht_common.dir/status.cc.o.d"
+  "libht_common.a"
+  "libht_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

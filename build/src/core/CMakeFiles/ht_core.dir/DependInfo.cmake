@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bulk_load.cc" "src/core/CMakeFiles/ht_core.dir/bulk_load.cc.o" "gcc" "src/core/CMakeFiles/ht_core.dir/bulk_load.cc.o.d"
+  "/root/repo/src/core/els.cc" "src/core/CMakeFiles/ht_core.dir/els.cc.o" "gcc" "src/core/CMakeFiles/ht_core.dir/els.cc.o.d"
+  "/root/repo/src/core/hybrid_tree.cc" "src/core/CMakeFiles/ht_core.dir/hybrid_tree.cc.o" "gcc" "src/core/CMakeFiles/ht_core.dir/hybrid_tree.cc.o.d"
+  "/root/repo/src/core/node.cc" "src/core/CMakeFiles/ht_core.dir/node.cc.o" "gcc" "src/core/CMakeFiles/ht_core.dir/node.cc.o.d"
+  "/root/repo/src/core/split.cc" "src/core/CMakeFiles/ht_core.dir/split.cc.o" "gcc" "src/core/CMakeFiles/ht_core.dir/split.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/ht_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/ht_core.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ht_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ht_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/ht_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_core.dir/bulk_load.cc.o"
+  "CMakeFiles/ht_core.dir/bulk_load.cc.o.d"
+  "CMakeFiles/ht_core.dir/els.cc.o"
+  "CMakeFiles/ht_core.dir/els.cc.o.d"
+  "CMakeFiles/ht_core.dir/hybrid_tree.cc.o"
+  "CMakeFiles/ht_core.dir/hybrid_tree.cc.o.d"
+  "CMakeFiles/ht_core.dir/node.cc.o"
+  "CMakeFiles/ht_core.dir/node.cc.o.d"
+  "CMakeFiles/ht_core.dir/split.cc.o"
+  "CMakeFiles/ht_core.dir/split.cc.o.d"
+  "CMakeFiles/ht_core.dir/stats.cc.o"
+  "CMakeFiles/ht_core.dir/stats.cc.o.d"
+  "libht_core.a"
+  "libht_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_data.dir/dataset.cc.o"
+  "CMakeFiles/ht_data.dir/dataset.cc.o.d"
+  "CMakeFiles/ht_data.dir/generators.cc.o"
+  "CMakeFiles/ht_data.dir/generators.cc.o.d"
+  "CMakeFiles/ht_data.dir/workload.cc.o"
+  "CMakeFiles/ht_data.dir/workload.cc.o.d"
+  "libht_data.a"
+  "libht_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

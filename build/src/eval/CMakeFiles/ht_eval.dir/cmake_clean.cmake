@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_eval.dir/harness.cc.o"
+  "CMakeFiles/ht_eval.dir/harness.cc.o.d"
+  "libht_eval.a"
+  "libht_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_geometry.dir/box.cc.o"
+  "CMakeFiles/ht_geometry.dir/box.cc.o.d"
+  "libht_geometry.a"
+  "libht_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

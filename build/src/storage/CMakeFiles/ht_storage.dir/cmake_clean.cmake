@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/ht_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/ht_storage.dir/paged_file.cc.o"
+  "CMakeFiles/ht_storage.dir/paged_file.cc.o.d"
+  "libht_storage.a"
+  "libht_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_structure_test.dir/cross_structure_test.cc.o"
+  "CMakeFiles/cross_structure_test.dir/cross_structure_test.cc.o.d"
+  "cross_structure_test"
+  "cross_structure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

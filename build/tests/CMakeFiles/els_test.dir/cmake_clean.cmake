@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/els_test.dir/els_test.cc.o"
+  "CMakeFiles/els_test.dir/els_test.cc.o.d"
+  "els_test"
+  "els_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/els_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hb_tree_test.dir/hb_tree_test.cc.o"
+  "CMakeFiles/hb_tree_test.dir/hb_tree_test.cc.o.d"
+  "hb_tree_test"
+  "hb_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hb_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_tree_persistence_test.dir/hybrid_tree_persistence_test.cc.o"
+  "CMakeFiles/hybrid_tree_persistence_test.dir/hybrid_tree_persistence_test.cc.o.d"
+  "hybrid_tree_persistence_test"
+  "hybrid_tree_persistence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_tree_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

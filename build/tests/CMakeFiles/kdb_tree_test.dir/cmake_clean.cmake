@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdb_tree_test.dir/kdb_tree_test.cc.o"
+  "CMakeFiles/kdb_tree_test.dir/kdb_tree_test.cc.o.d"
+  "kdb_tree_test"
+  "kdb_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdb_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

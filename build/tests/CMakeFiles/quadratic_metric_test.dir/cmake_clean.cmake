@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quadratic_metric_test.dir/quadratic_metric_test.cc.o"
+  "CMakeFiles/quadratic_metric_test.dir/quadratic_metric_test.cc.o.d"
+  "quadratic_metric_test"
+  "quadratic_metric_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quadratic_metric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqscan_test.dir/seqscan_test.cc.o"
+  "CMakeFiles/seqscan_test.dir/seqscan_test.cc.o.d"
+  "seqscan_test"
+  "seqscan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqscan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

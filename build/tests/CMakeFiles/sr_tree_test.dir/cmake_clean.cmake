@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sr_tree_test.dir/sr_tree_test.cc.o"
+  "CMakeFiles/sr_tree_test.dir/sr_tree_test.cc.o.d"
+  "sr_tree_test"
+  "sr_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sr_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
