@@ -28,3 +28,5 @@ ht_add_gbench(bench_micro_els)
 ht_add_gbench(bench_micro_core)
 ht_add_bench(bench_ext_bulkload)
 ht_add_bench(bench_ext_knn)
+ht_add_bench(bench_throughput)
+target_link_libraries(bench_throughput PRIVATE ht_exec)

@@ -22,6 +22,8 @@ enum class StatusCode : unsigned char {
   kAlreadyExists = 7,
   kResourceExhausted = 8,
   kInternal = 9,
+  kCancelled = 10,
+  kDeadlineExceeded = 11,
 };
 
 /// Returned by all fallible operations. The OK state is represented by a
@@ -71,6 +73,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -84,6 +92,10 @@ class Status {
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsInvalidArgument() const {
     return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
   }
 
   /// Human-readable "Code: message" rendering for logs and tests.

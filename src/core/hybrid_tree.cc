@@ -190,9 +190,15 @@ void HybridTree::EnsureCodes(KdNode* n) {
 }
 
 Result<std::shared_ptr<const IndexNode>> HybridTree::ReadIndexNodeCached(
-    PageId id, const uint8_t* page_data, size_t page_size) {
-  auto it = node_cache_.find(id);
-  if (it != node_cache_.end()) return it->second;
+    PageId id, const uint8_t* page_data, size_t page_size) const {
+  if (concurrent_reads_) {
+    std::shared_lock<std::shared_mutex> lock(node_cache_mu_);
+    auto it = node_cache_.find(id);
+    if (it != node_cache_.end()) return it->second;
+  } else {
+    auto it = node_cache_.find(id);
+    if (it != node_cache_.end()) return it->second;
+  }
   HT_ASSIGN_OR_RETURN(
       IndexNode node,
       IndexNode::Deserialize(page_data, page_size, els_in_page(),
@@ -216,12 +222,36 @@ Result<std::shared_ptr<const IndexNode>> HybridTree::ReadIndexNodeCached(
   };
   fill(node.root.get(), Box::UnitCube(options_.dim));
   auto sp = std::make_shared<const IndexNode>(std::move(node));
+  if (concurrent_reads_) {
+    // Two readers may race to deserialize the same page; first to publish
+    // wins and both views are identical (the page is immutable while
+    // readers run).
+    std::unique_lock<std::shared_mutex> lock(node_cache_mu_);
+    auto [it, inserted] = node_cache_.try_emplace(id, std::move(sp));
+    return it->second;
+  }
   node_cache_[id] = sp;
   return sp;
 }
 
-Status HybridTree::WriteIndexNode(PageId id, IndexNode& node) {
+void HybridTree::InvalidateCachedNode(PageId id) {
+  if (concurrent_reads_) {
+    std::unique_lock<std::shared_mutex> lock(node_cache_mu_);
+    node_cache_.erase(id);
+    return;
+  }
   node_cache_.erase(id);
+}
+
+Status HybridTree::SetConcurrentReads(bool on) {
+  if (on == concurrent_reads_) return Status::OK();
+  HT_RETURN_NOT_OK(pool_->SetConcurrentMode(on));
+  concurrent_reads_ = on;
+  return Status::OK();
+}
+
+Status HybridTree::WriteIndexNode(PageId id, IndexNode& node) {
+  InvalidateCachedNode(id);
   if (els_enabled()) EnsureCodes(node.root.get());
   HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(id));
   node.Serialize(h.data(), h.size(), els_in_page(), codec_.CodeBytes());
@@ -601,7 +631,7 @@ Result<HybridTree::SplitResult> HybridTree::SplitIndexNode(PageId page,
 // Search
 // ---------------------------------------------------------------------------
 
-Result<std::vector<uint64_t>> HybridTree::SearchBox(const Box& query) {
+Result<std::vector<uint64_t>> HybridTree::SearchBox(const Box& query) const {
   if (query.dim() != options_.dim) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
@@ -612,7 +642,7 @@ Result<std::vector<uint64_t>> HybridTree::SearchBox(const Box& query) {
 }
 
 Status HybridTree::SearchBoxRec(PageId page, const Box& br, const Box& query,
-                                std::vector<uint64_t>* out) {
+                                std::vector<uint64_t>* out) const {
   HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page));
   const NodeKind kind = PeekNodeKind(h.data());
   if (kind == NodeKind::kData) {
@@ -653,20 +683,20 @@ Status HybridTree::SearchBoxRec(PageId page, const Box& br, const Box& query,
 }
 
 Result<std::vector<uint64_t>> HybridTree::SearchPoint(
-    std::span<const float> point) {
+    std::span<const float> point) const {
   if (point.size() != options_.dim) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
   return SearchBox(Box::FromPoint(point));
 }
 
-Result<uint64_t> HybridTree::CountBox(const Box& query) {
+Result<uint64_t> HybridTree::CountBox(const Box& query) const {
   HT_ASSIGN_OR_RETURN(auto ids, SearchBox(query));
   return static_cast<uint64_t>(ids.size());
 }
 
 Status HybridTree::ScanAll(
-    const std::function<void(uint64_t, std::span<const float>)>& visit) {
+    const std::function<void(uint64_t, std::span<const float>)>& visit) const {
   std::function<Status(PageId)> rec = [&](PageId page) -> Status {
     HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page));
     const NodeKind kind = PeekNodeKind(h.data());
@@ -694,7 +724,7 @@ Status HybridTree::ScanAll(
 
 Result<std::vector<uint64_t>> HybridTree::SearchRange(
     std::span<const float> center, double radius,
-    const DistanceMetric& metric) {
+    const DistanceMetric& metric) const {
   if (center.size() != options_.dim) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
@@ -707,7 +737,7 @@ Result<std::vector<uint64_t>> HybridTree::SearchRange(
 Status HybridTree::SearchRangeRec(PageId page, const Box& br,
                                   std::span<const float> center, double radius,
                                   const DistanceMetric& metric,
-                                  std::vector<uint64_t>* out) {
+                                  std::vector<uint64_t>* out) const {
   HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page));
   const NodeKind kind = PeekNodeKind(h.data());
   if (kind == NodeKind::kData) {
@@ -743,13 +773,14 @@ Status HybridTree::SearchRangeRec(PageId page, const Box& br,
 }
 
 Result<std::vector<std::pair<double, uint64_t>>> HybridTree::SearchKnn(
-    std::span<const float> center, size_t k, const DistanceMetric& metric) {
+    std::span<const float> center, size_t k,
+    const DistanceMetric& metric) const {
   return SearchKnnApprox(center, k, metric, /*epsilon=*/0.0);
 }
 
 Result<std::vector<std::pair<double, uint64_t>>> HybridTree::SearchKnnApprox(
     std::span<const float> center, size_t k, const DistanceMetric& metric,
-    double epsilon) {
+    double epsilon) const {
   if (center.size() != options_.dim) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
@@ -844,7 +875,7 @@ Status HybridTree::Delete(std::span<const float> point, uint64_t id) {
     DataNode empty;
     HT_RETURN_NOT_OK(WriteDataNode(root_, empty));
     els_sidecar_.erase(root_);
-    node_cache_.erase(root_);
+    InvalidateCachedNode(root_);
     height_ = 0;
   } else {
     // Shrink the tree while the root is an index node with one child.
@@ -855,7 +886,7 @@ Status HybridTree::Delete(std::span<const float> point, uint64_t id) {
       if (!node.root->IsLeaf()) break;
       const PageId child = node.root->child;
       els_sidecar_.erase(root_);
-      node_cache_.erase(root_);
+      InvalidateCachedNode(root_);
       HT_RETURN_NOT_OK(pool_->Free(root_));
       root_ = child;
       --height_;
@@ -913,7 +944,7 @@ Result<HybridTree::DeleteOutcome> HybridTree::DeleteRec(
     out.orphans = std::move(child.orphans);
     if (child.eliminate_me) {
       els_sidecar_.erase(kid.leaf->child);
-      node_cache_.erase(kid.leaf->child);
+      InvalidateCachedNode(kid.leaf->child);
       HT_RETURN_NOT_OK(pool_->Free(kid.leaf->child));
       if (kid.leaf == node.root.get()) {
         // Last child gone: eliminate this node too (parent frees the page).
@@ -1179,7 +1210,7 @@ Status HybridTree::CollectSubtreeEntries(PageId page,
 }
 
 
-HybridTree::KnnCursor::KnnCursor(HybridTree* tree,
+HybridTree::KnnCursor::KnnCursor(const HybridTree* tree,
                                  std::span<const float> center,
                                  const DistanceMetric* metric)
     : tree_(tree),
@@ -1190,8 +1221,8 @@ HybridTree::KnnCursor::KnnCursor(HybridTree* tree,
   }
 }
 
-HybridTree::KnnCursor HybridTree::OpenKnnCursor(std::span<const float> center,
-                                                const DistanceMetric& metric) {
+HybridTree::KnnCursor HybridTree::OpenKnnCursor(
+    std::span<const float> center, const DistanceMetric& metric) const {
   HT_CHECK(center.size() == options_.dim);
   return KnnCursor(this, center, &metric);
 }

@@ -17,6 +17,18 @@
 // The tree is fully dynamic (inserts/deletes interleave with queries) and
 // supports point, box, distance-range and k-NN queries under arbitrary
 // user-supplied distance metrics (§3.5).
+//
+// Concurrency: shared-read / exclusive-write. All query methods (SearchBox,
+// SearchPoint, CountBox, ScanAll, SearchRange, SearchKnn[Approx], cursors)
+// are const and keep their traversal state in per-query stack/heap
+// structures, so after SetConcurrentReads(true) any number of threads may
+// run them concurrently against one tree (the buffer pool switches to its
+// lock-striped mode and the parsed-node cache takes a shared_mutex; see
+// storage/buffer_pool.h). Mutation (Insert, Delete, Flush, RebuildEls)
+// requires exclusive access: the caller must guarantee no query is in
+// flight — the exclusive-write half of the protocol is enforced by the
+// caller (e.g. exec::QueryExecutor runs only reads), not by this class.
+// Mode switches themselves require the same exclusivity.
 
 #pragma once
 
@@ -24,6 +36,7 @@
 #include <memory>
 #include <optional>
 #include <queue>
+#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -72,29 +85,31 @@ class HybridTree {
   Status Delete(std::span<const float> point, uint64_t id);
 
   /// All ids whose vectors lie inside `query` (closed box).
-  Result<std::vector<uint64_t>> SearchBox(const Box& query);
+  Result<std::vector<uint64_t>> SearchBox(const Box& query) const;
 
   /// All ids stored at exactly `point` (point query; §3.5 lists point
   /// queries among the supported feature-based queries).
-  Result<std::vector<uint64_t>> SearchPoint(std::span<const float> point);
+  Result<std::vector<uint64_t>> SearchPoint(
+      std::span<const float> point) const;
 
   /// Number of objects inside `query` without materializing the id list.
-  Result<uint64_t> CountBox(const Box& query);
+  Result<uint64_t> CountBox(const Box& query) const;
 
   /// Visits every stored (id, vector) pair (unspecified order). Used for
   /// exports and integrity audits; reads each page exactly once.
-  Status ScanAll(
-      const std::function<void(uint64_t, std::span<const float>)>& visit);
+  Status ScanAll(const std::function<void(uint64_t, std::span<const float>)>&
+                     visit) const;
 
   /// All ids within `radius` of `center` under `metric`.
-  Result<std::vector<uint64_t>> SearchRange(std::span<const float> center,
-                                            double radius,
-                                            const DistanceMetric& metric);
+  Result<std::vector<uint64_t>> SearchRange(
+      std::span<const float> center, double radius,
+      const DistanceMetric& metric) const;
 
   /// The k nearest neighbors of `center` as (distance, id), ascending.
   /// Best-first branch-and-bound (Hjaltason–Samet) over live regions.
   Result<std::vector<std::pair<double, uint64_t>>> SearchKnn(
-      std::span<const float> center, size_t k, const DistanceMetric& metric);
+      std::span<const float> center, size_t k,
+      const DistanceMetric& metric) const;
 
   /// (1+epsilon)-approximate k-NN (the paper's future-work item): subtrees
   /// are pruned when MINDIST * (1 + epsilon) exceeds the current k-th
@@ -102,7 +117,7 @@ class HybridTree {
   /// of the true k-th nearest distance. epsilon = 0 is exact.
   Result<std::vector<std::pair<double, uint64_t>>> SearchKnnApprox(
       std::span<const float> center, size_t k, const DistanceMetric& metric,
-      double epsilon);
+      double epsilon) const;
 
   /// Incremental nearest-neighbor cursor ("distance browsing"): yields
   /// entries strictly in ascending distance order, fetching pages lazily —
@@ -124,16 +139,16 @@ class HybridTree {
       PageId page;      // valid when !is_entry
       bool operator>(const Item& o) const { return dist > o.dist; }
     };
-    KnnCursor(HybridTree* tree, std::span<const float> center,
+    KnnCursor(const HybridTree* tree, std::span<const float> center,
               const DistanceMetric* metric);
 
-    HybridTree* tree_;
+    const HybridTree* tree_;
     std::vector<float> center_;
     const DistanceMetric* metric_;
     std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue_;
   };
   KnnCursor OpenKnnCursor(std::span<const float> center,
-                          const DistanceMetric& metric);
+                          const DistanceMetric& metric) const;
 
   /// Writes all dirty pages + metadata to the backing file.
   Status Flush();
@@ -146,6 +161,18 @@ class HybridTree {
   /// Buffer pool, exposed for access accounting by the harness
   /// (pool().stats().logical_reads is "disk accesses").
   BufferPool& pool() { return *pool_; }
+  const BufferPool& pool() const { return *pool_; }
+
+  /// Enables (or disables) concurrent read mode: the buffer pool switches
+  /// to its lock-striped mode and the parsed-node cache starts taking its
+  /// shared_mutex, after which any number of threads may run the const
+  /// query methods concurrently (shared-read half of the protocol). The
+  /// caller keeps the exclusive-write half: no Insert/Delete/Flush while
+  /// queries are in flight, and the mode switch itself requires that no
+  /// query is running. Single-threaded performance is unaffected while the
+  /// mode is off (no locks are taken anywhere on the read path).
+  Status SetConcurrentReads(bool on);
+  bool concurrent_reads() const { return concurrent_reads_; }
 
   /// Maximum entries per data node at the current configuration.
   size_t data_node_capacity() const { return data_capacity_; }
@@ -187,9 +214,13 @@ class HybridTree {
   /// Read-path variant: returns the parsed node from the in-memory cache
   /// (decoded live boxes precomputed), deserializing `page_data` on a miss.
   /// Does NOT fetch from the pool — the caller already did (and paid the
-  /// logical read). Mutating paths must not use this.
+  /// logical read). Mutating paths must not use this. Safe to call from
+  /// concurrent readers when concurrent_reads_ is on.
   Result<std::shared_ptr<const IndexNode>> ReadIndexNodeCached(
-      PageId id, const uint8_t* page_data, size_t page_size);
+      PageId id, const uint8_t* page_data, size_t page_size) const;
+  /// Drops `id` from the parsed-node cache (write paths, before rewriting
+  /// or freeing the page).
+  void InvalidateCachedNode(PageId id);
   Status WriteIndexNode(PageId id, IndexNode& node);
   Result<NodeKind> PeekKind(PageId id);
   Status WriteMeta();
@@ -241,12 +272,14 @@ class HybridTree {
   bool RemoveKdLeaf(IndexNode& node, const Box& node_br, KdNode* target);
 
   // --- search -------------------------------------------------------------
+  // Const and re-entrant: all traversal state lives in the per-query
+  // arguments and locals, never on the tree object.
   Status SearchBoxRec(PageId page, const Box& br, const Box& query,
-                      std::vector<uint64_t>* out);
+                      std::vector<uint64_t>* out) const;
   Status SearchRangeRec(PageId page, const Box& br,
                         std::span<const float> center, double radius,
                         const DistanceMetric& metric,
-                        std::vector<uint64_t>* out);
+                        std::vector<uint64_t>* out) const;
 
   // --- maintenance --------------------------------------------------------
   /// DFS recomputing ELS codes; returns this subtree's exact live box.
@@ -279,7 +312,16 @@ class HybridTree {
   /// in-memory view of an index page, with each leaf's live box already
   /// decoded. Invalidated whenever the page is written or freed. Access
   /// counts are unaffected (callers fetch the page first regardless).
-  std::unordered_map<PageId, std::shared_ptr<const IndexNode>> node_cache_;
+  /// Guarded by node_cache_mu_ when concurrent_reads_ is on; mutable
+  /// because filling the cache is part of the const read path.
+  mutable std::unordered_map<PageId, std::shared_ptr<const IndexNode>>
+      node_cache_;
+  mutable std::shared_mutex node_cache_mu_;
+
+  /// Concurrent read mode (see SetConcurrentReads). Only flipped under
+  /// write exclusivity, so plain (unsynchronized) reads of the flag are
+  /// safe: worker threads are created after the flip.
+  bool concurrent_reads_ = false;
 };
 
 }  // namespace ht

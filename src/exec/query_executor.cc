@@ -1,0 +1,146 @@
+#include "exec/query_executor.h"
+
+#include <utility>
+
+#include "common/timing.h"
+
+namespace ht {
+
+namespace {
+
+/// Runs one query against the tree's const read paths, filling `out`.
+void RunOne(const HybridTree& tree, const Query& q,
+            const DistanceMetric* metric, QueryResult* out) {
+  switch (q.type) {
+    case Query::Type::kBox: {
+      auto r = tree.SearchBox(q.box);
+      if (r.ok()) {
+        out->ids = std::move(r).ValueUnsafe();
+      } else {
+        out->status = r.status();
+      }
+      return;
+    }
+    case Query::Type::kRange: {
+      auto r = tree.SearchRange(q.center, q.radius, *metric);
+      if (r.ok()) {
+        out->ids = std::move(r).ValueUnsafe();
+      } else {
+        out->status = r.status();
+      }
+      return;
+    }
+    case Query::Type::kKnn: {
+      auto r = tree.SearchKnn(q.center, q.k, *metric);
+      if (r.ok()) {
+        out->neighbors = std::move(r).ValueUnsafe();
+      } else {
+        out->status = r.status();
+      }
+      return;
+    }
+  }
+  out->status = Status::InvalidArgument("unknown query type");
+}
+
+}  // namespace
+
+Result<BatchReport> QueryExecutor::Run(const Workload& workload,
+                                       const ExecOptions& options) {
+  if (tree_ == nullptr || pool_ == nullptr) {
+    return Status::InvalidArgument("QueryExecutor requires a tree and a pool");
+  }
+  if (workload.metric == nullptr) {
+    for (const Query& q : workload.queries) {
+      if (q.type != Query::Type::kBox) {
+        return Status::InvalidArgument(
+            "workload has range/knn queries but no metric");
+      }
+    }
+  }
+
+  cancel_.store(false, std::memory_order_relaxed);
+
+  const size_t n = workload.queries.size();
+  const size_t n_workers = pool_->num_threads();
+
+  BatchReport report;
+  report.results.resize(n);
+  report.per_worker_io.assign(n_workers, IoStats{});
+  std::vector<std::vector<double>> worker_latencies(n_workers);
+
+  // Shared-read phase begins: no tree mutation until the pool barrier.
+  const bool was_concurrent = tree_->concurrent_reads();
+  HT_RETURN_NOT_OK(tree_->SetConcurrentReads(true));
+
+  std::atomic<size_t> next{0};
+  WallTimer batch_timer;
+  const double deadline = options.deadline_seconds;
+  const std::atomic<bool>* external_cancel = options.cancel;
+
+  for (size_t w = 0; w < n_workers; ++w) {
+    Status submit = pool_->Submit([&, w]() -> Status {
+      IoStatsScope io_scope(&report.per_worker_io[w]);
+      std::vector<double>& latencies = worker_latencies[w];
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return Status::OK();
+        QueryResult& slot = report.results[i];
+        if (cancel_.load(std::memory_order_relaxed) ||
+            (external_cancel != nullptr &&
+             external_cancel->load(std::memory_order_relaxed))) {
+          slot.status = Status::Cancelled("batch cancelled");
+          continue;
+        }
+        if (deadline > 0.0 && batch_timer.Seconds() > deadline) {
+          slot.status = Status::DeadlineExceeded("batch deadline exceeded");
+          continue;
+        }
+        WallTimer t;
+        RunOne(*tree_, workload.queries[i], workload.metric, &slot);
+        if (slot.status.ok()) {
+          slot.seconds = t.Seconds();
+          latencies.push_back(slot.seconds);
+        }
+      }
+    });
+    if (!submit.ok()) {
+      (void)pool_->Wait();
+      (void)tree_->SetConcurrentReads(was_concurrent);
+      return submit;
+    }
+  }
+
+  Status pool_status = pool_->Wait();
+  report.wall_seconds = batch_timer.Seconds();
+
+  // Shared-read phase over; restore the serial configuration.
+  HT_RETURN_NOT_OK(tree_->SetConcurrentReads(was_concurrent));
+  HT_RETURN_NOT_OK(pool_status);
+
+  std::vector<double> all_latencies;
+  for (const auto& v : worker_latencies) {
+    all_latencies.insert(all_latencies.end(), v.begin(), v.end());
+  }
+  report.latency = SummarizeLatencies(std::move(all_latencies));
+  for (const IoStats& io : report.per_worker_io) report.io.Accumulate(io);
+
+  for (const QueryResult& r : report.results) {
+    if (r.status.ok()) {
+      ++report.completed;
+    } else if (r.status.IsCancelled()) {
+      ++report.cancelled;
+    } else if (r.status.IsDeadlineExceeded()) {
+      ++report.expired;
+    } else {
+      ++report.failed;
+    }
+  }
+  if (report.wall_seconds > 0.0) {
+    report.qps =
+        static_cast<double>(report.completed) / report.wall_seconds;
+  }
+  return report;
+}
+
+}  // namespace ht

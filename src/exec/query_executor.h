@@ -1,0 +1,147 @@
+// Copyright 2026 The HybridTree Authors.
+// QueryExecutor: serves a batch of box / distance-range / k-NN queries
+// concurrently against one shared HybridTree.
+//
+// This is the serving layer the ROADMAP's north star asks for: tree search
+// parallelizes trivially across queries once traversal state is per-query
+// (KDTREE 2 makes the same observation), so the executor fans a Workload
+// out to a ThreadPool, runs every query through the tree's const,
+// re-entrant read paths, and aggregates per-worker IoStats plus latency
+// percentiles (p50/p95/p99).
+//
+// Concurrency protocol (shared-read / exclusive-write): Run() flips the
+// tree into concurrent-read mode for the duration of the batch and flips
+// it back afterwards. While Run() is in flight the caller MUST NOT mutate
+// the tree (Insert/Delete/Flush) — readers share, writers exclude. Between
+// batches the tree is back in its serial single-threaded configuration, so
+// the paper benchmarks and their exact logical-read accounting are
+// unaffected.
+//
+// Work distribution is a single atomic cursor over the query array: workers
+// claim the next unclaimed query, write its result into its private slot
+// (no two workers ever touch the same slot), and record latency and I/O in
+// worker-local structures merged after the pool barrier. Results are
+// therefore byte-identical to a single-threaded run regardless of
+// scheduling.
+//
+// Cancellation and deadlines: Run() honours an optional external cancel
+// flag and the executor's own Cancel(), checked before each query; a
+// per-batch deadline marks queries that had not started in time as
+// DeadlineExceeded. Queries already executing always finish (index reads
+// are short); the batch report counts completed/cancelled/expired queries
+// separately.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/hybrid_tree.h"
+#include "exec/latency.h"
+#include "exec/thread_pool.h"
+#include "geometry/box.h"
+#include "geometry/metrics.h"
+#include "storage/io_stats.h"
+
+namespace ht {
+
+/// One query of a batch workload.
+struct Query {
+  enum class Type : uint8_t { kBox = 0, kRange = 1, kKnn = 2 };
+
+  Type type = Type::kBox;
+  Box box;                    // kBox
+  std::vector<float> center;  // kRange / kKnn
+  double radius = 0.0;        // kRange
+  size_t k = 0;               // kKnn
+
+  static Query MakeBox(Box b) {
+    Query q;
+    q.type = Type::kBox;
+    q.box = std::move(b);
+    return q;
+  }
+  static Query MakeRange(std::vector<float> center, double radius) {
+    Query q;
+    q.type = Type::kRange;
+    q.center = std::move(center);
+    q.radius = radius;
+    return q;
+  }
+  static Query MakeKnn(std::vector<float> center, size_t k) {
+    Query q;
+    q.type = Type::kKnn;
+    q.center = std::move(center);
+    q.k = k;
+    return q;
+  }
+};
+
+/// A batch of queries. `metric` is required when any query is a range or
+/// k-NN query and must outlive the Run() call.
+struct Workload {
+  std::vector<Query> queries;
+  const DistanceMetric* metric = nullptr;
+};
+
+/// Per-batch execution controls.
+struct ExecOptions {
+  /// Wall-clock budget for the batch in seconds; 0 = no deadline. Queries
+  /// not started when the budget expires finish as DeadlineExceeded.
+  double deadline_seconds = 0.0;
+  /// Optional external cancellation flag, polled before each query.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Outcome of one query. Exactly one of `ids` / `neighbors` is populated
+/// (by query type) when `status` is OK.
+struct QueryResult {
+  Status status;
+  std::vector<uint64_t> ids;                          // box / range
+  std::vector<std::pair<double, uint64_t>> neighbors; // knn
+  double seconds = 0.0;  // latency (successful queries only)
+};
+
+/// Aggregated outcome of a batch.
+struct BatchReport {
+  std::vector<QueryResult> results;  // one slot per workload query, in order
+  size_t completed = 0;  // status OK
+  size_t cancelled = 0;  // status Cancelled
+  size_t expired = 0;    // status DeadlineExceeded
+  size_t failed = 0;     // any other non-OK status
+  double wall_seconds = 0.0;
+  double qps = 0.0;  // completed / wall_seconds
+  LatencySummary latency;            // over completed queries
+  IoStats io;                        // sum of per_worker_io
+  std::vector<IoStats> per_worker_io;  // one entry per pool worker
+};
+
+/// Batch query executor over one shared tree and one thread pool. Neither
+/// is owned; both must outlive the executor. The pool may be reused across
+/// executors/batches (Run() uses ThreadPool::Wait() as its barrier, so
+/// don't share one pool between concurrently Run()ing executors).
+class QueryExecutor {
+ public:
+  QueryExecutor(HybridTree* tree, ThreadPool* pool)
+      : tree_(tree), pool_(pool) {}
+
+  /// Executes the workload. Blocks until every query has a result slot.
+  /// Statuses of individual queries are per-slot; Run() itself only fails
+  /// on invalid arguments or pool/mode-switch errors.
+  Result<BatchReport> Run(const Workload& workload,
+                          const ExecOptions& options = {});
+
+  /// Requests cancellation of the batch currently Run()ning (callable from
+  /// any thread). Queries not yet started finish as Cancelled.
+  void Cancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+ private:
+  HybridTree* tree_;
+  ThreadPool* pool_;
+  std::atomic<bool> cancel_{false};
+};
+
+}  // namespace ht

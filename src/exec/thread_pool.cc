@@ -1,0 +1,75 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ht {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { (void)Shutdown(); }
+
+Status ThreadPool::Submit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return Status::InvalidArgument("ThreadPool::Submit after Shutdown");
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return Status::OK();
+}
+
+Status ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  Status s = std::move(first_error_);
+  first_error_ = Status::OK();
+  return s;
+}
+
+Status ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Status s = std::move(first_error_);
+  first_error_ = Status::OK();
+  return s;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    Status s = task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      if (!s.ok() && first_error_.ok()) first_error_ = std::move(s);
+    }
+    // A finished task can only make the pool idle; waiters re-check.
+    idle_cv_.notify_all();
+  }
+}
+
+}  // namespace ht

@@ -1,0 +1,64 @@
+// Copyright 2026 The HybridTree Authors.
+// ThreadPool: fixed-size worker pool with a FIFO work queue, graceful
+// shutdown, and Status-based error propagation (no exceptions — tasks
+// return ht::Status like every other fallible operation in the library).
+//
+// Lifecycle: workers start in the constructor and exit when Shutdown()
+// (or the destructor) is called AND the queue has drained — shutdown is
+// graceful, every submitted task runs. Wait() is a barrier for callers
+// that reuse the pool across batches: it blocks until the queue is empty
+// and no task is running, then returns (and clears) the first non-OK
+// Status produced by a task since the previous Wait()/Shutdown().
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace ht {
+
+class ThreadPool {
+ public:
+  /// A fallible unit of work. The first non-OK return value is retained
+  /// and surfaced by Wait()/Shutdown(); later tasks still run.
+  using Task = std::function<Status()>;
+
+  /// Starts `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+  HT_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `task`; InvalidArgument after Shutdown() has begun.
+  Status Submit(Task task);
+
+  /// Blocks until every submitted task has finished. Returns the first
+  /// non-OK task Status since the last Wait()/Shutdown() (and resets it).
+  Status Wait();
+
+  /// Drains the queue, joins all workers, and rejects future Submits.
+  /// Idempotent. Returns the first non-OK task Status like Wait().
+  Status Shutdown();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // signaled on submit and shutdown
+  std::condition_variable idle_cv_;  // signaled when the pool may be idle
+  std::deque<Task> queue_;
+  std::vector<std::thread> workers_;
+  size_t running_ = 0;  // tasks currently executing
+  bool stop_ = false;
+  Status first_error_;
+};
+
+}  // namespace ht

@@ -2,34 +2,35 @@
 
 namespace ht {
 
+namespace {
+/// Thread-local per-worker accounting sink (see IoStatsScope).
+thread_local IoStats* g_tls_io_sink = nullptr;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// IoStatsScope
+// ---------------------------------------------------------------------------
+
+IoStatsScope::IoStatsScope(IoStats* sink) : prev_(g_tls_io_sink) {
+  g_tls_io_sink = sink;
+}
+
+IoStatsScope::~IoStatsScope() { g_tls_io_sink = prev_; }
+
 // ---------------------------------------------------------------------------
 // PageHandle
 // ---------------------------------------------------------------------------
 
-uint8_t* PageHandle::data() {
-  HT_CHECK(valid());
-  return pool_->FindFrame(id_)->page.data();
-}
-
-const uint8_t* PageHandle::data() const {
-  HT_CHECK(valid());
-  return pool_->FindFrame(id_)->page.data();
-}
-
 size_t PageHandle::size() const {
-  HT_CHECK(valid());
+  HT_DCHECK(valid());
   return pool_->page_size();
-}
-
-void PageHandle::MarkDirty() {
-  HT_CHECK(valid());
-  pool_->FindFrame(id_)->dirty = true;
 }
 
 void PageHandle::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(id_);
+    pool_->Unpin(id_, frame_);
     pool_ = nullptr;
+    frame_ = nullptr;
     id_ = kInvalidPageId;
   }
 }
@@ -39,121 +40,229 @@ void PageHandle::Release() {
 // ---------------------------------------------------------------------------
 
 BufferPool::BufferPool(PagedFile* file, size_t capacity_pages)
-    : file_(file), capacity_(capacity_pages) {}
+    : file_(file), capacity_(capacity_pages), shard_capacity_(capacity_pages) {}
 
 BufferPool::~BufferPool() {
   // Best effort write-back; durability requires an explicit FlushAll.
   (void)FlushAll();
 }
 
-BufferPool::Frame* BufferPool::FindFrame(PageId id) {
-  auto it = frames_.find(id);
-  return it == frames_.end() ? nullptr : it->second.get();
+Status BufferPool::SetConcurrentMode(bool on) {
+  if (on == concurrent_) return Status::OK();
+  if (pinned_frames() != 0) {
+    return Status::InvalidArgument(
+        "BufferPool mode switch requires no pinned frames");
+  }
+  // Collect every cached frame, flip the mode, and re-bucket under the new
+  // ShardIndex mapping. LRU recency is rebuilt arbitrarily; recency order
+  // across a mode switch is not meaningful anyway.
+  std::unordered_map<PageId, std::unique_ptr<Frame>> all;
+  for (Shard& s : shards_) {
+    for (auto& [id, f] : s.frames) {
+      if (f->in_lru) {
+        s.lru.erase(f->lru_it);
+        f->in_lru = false;
+      }
+      all.emplace(id, std::move(f));
+    }
+    s.frames.clear();
+    s.lru.clear();
+  }
+  concurrent_ = on;
+  shard_capacity_ =
+      concurrent_ ? (capacity_ == 0 ? 0 : (capacity_ + kShardCount - 1) /
+                                              kShardCount)
+                  : capacity_;
+  for (auto& [id, f] : all) {
+    Shard& s = ShardFor(id);
+    s.lru.push_front(id);
+    f->lru_it = s.lru.begin();
+    f->in_lru = true;
+    s.frames.emplace(id, std::move(f));
+  }
+  return Status::OK();
 }
 
 Result<PageHandle> BufferPool::Fetch(PageId id) {
-  ++stats_.logical_reads;
-  Frame* f = FindFrame(id);
-  if (f == nullptr) {
-    HT_RETURN_NOT_OK(EvictOneIfNeeded());
+  Shard& shard = ShardFor(id);
+  auto lock = LockShard(shard);
+  ++shard.stats.logical_reads;
+  if (IoStats* tls = g_tls_io_sink) ++tls->logical_reads;
+  Frame* f;
+  auto it = shard.frames.find(id);
+  if (it == shard.frames.end()) {
+    HT_RETURN_NOT_OK(EvictOneIfNeeded(shard));
     auto frame = std::make_unique<Frame>(file_->page_size());
-    HT_RETURN_NOT_OK(file_->Read(id, &frame->page));
-    ++stats_.physical_reads;
+    {
+      auto flock = LockFile();
+      HT_RETURN_NOT_OK(file_->Read(id, &frame->page));
+    }
+    ++shard.stats.physical_reads;
+    if (IoStats* tls = g_tls_io_sink) ++tls->physical_reads;
     f = frame.get();
-    frames_.emplace(id, std::move(frame));
-  } else if (f->in_lru) {
-    lru_.erase(f->lru_it);
-    f->in_lru = false;
+    shard.frames.emplace(id, std::move(frame));
+  } else {
+    f = it->second.get();
+    if (f->in_lru) {
+      shard.lru.erase(f->lru_it);
+      f->in_lru = false;
+    }
   }
   ++f->pins;
-  return PageHandle(this, id);
+  return PageHandle(this, id, f);
 }
 
 Result<PageHandle> BufferPool::New() {
-  HT_ASSIGN_OR_RETURN(PageId id, file_->Allocate());
-  ++stats_.allocations;
-  ++stats_.logical_reads;  // a new node still costs one access to write
-  HT_RETURN_NOT_OK(EvictOneIfNeeded());
+  PageId id;
+  {
+    auto flock = LockFile();
+    HT_ASSIGN_OR_RETURN(id, file_->Allocate());
+  }
+  Shard& shard = ShardFor(id);
+  auto lock = LockShard(shard);
+  ++shard.stats.allocations;
+  ++shard.stats.logical_reads;  // a new node still costs one access to write
+  if (IoStats* tls = g_tls_io_sink) {
+    ++tls->allocations;
+    ++tls->logical_reads;
+  }
+  HT_RETURN_NOT_OK(EvictOneIfNeeded(shard));
   auto frame = std::make_unique<Frame>(file_->page_size());
   frame->dirty = true;
   frame->pins = 1;
-  frames_.emplace(id, std::move(frame));
-  return PageHandle(this, id);
+  Frame* f = frame.get();
+  shard.frames.emplace(id, std::move(frame));
+  return PageHandle(this, id, f);
 }
 
 Status BufferPool::Free(PageId id) {
-  Frame* f = FindFrame(id);
-  if (f != nullptr) {
-    if (f->pins != 0) {
-      return Status::InvalidArgument("BufferPool::Free of pinned page " +
-                                     std::to_string(id));
+  Shard& shard = ShardFor(id);
+  {
+    auto lock = LockShard(shard);
+    auto it = shard.frames.find(id);
+    if (it != shard.frames.end()) {
+      Frame* f = it->second.get();
+      if (f->pins != 0) {
+        return Status::InvalidArgument("BufferPool::Free of pinned page " +
+                                       std::to_string(id));
+      }
+      if (f->in_lru) shard.lru.erase(f->lru_it);
+      shard.frames.erase(it);
     }
-    if (f->in_lru) lru_.erase(f->lru_it);
-    frames_.erase(id);
+    ++shard.stats.frees;
+    if (IoStats* tls = g_tls_io_sink) ++tls->frees;
   }
-  ++stats_.frees;
+  auto flock = LockFile();
   return file_->Free(id);
 }
 
-void BufferPool::Unpin(PageId id) {
-  Frame* f = FindFrame(id);
+void BufferPool::Unpin(PageId id, Frame* f) {
+  Shard& shard = ShardFor(id);
+  auto lock = LockShard(shard);
   HT_CHECK(f != nullptr && f->pins > 0);
   if (--f->pins == 0) {
-    lru_.push_front(id);
-    f->lru_it = lru_.begin();
+    shard.lru.push_front(id);
+    f->lru_it = shard.lru.begin();
     f->in_lru = true;
   }
 }
 
-Status BufferPool::EvictOneIfNeeded() {
-  if (capacity_ == 0 || frames_.size() < capacity_) return Status::OK();
-  if (lru_.empty()) {
+Status BufferPool::EvictOneIfNeeded(Shard& shard) {
+  if (shard_capacity_ == 0 || shard.frames.size() < shard_capacity_) {
+    return Status::OK();
+  }
+  if (shard.lru.empty()) {
     return Status::ResourceExhausted("buffer pool full and all pages pinned");
   }
-  // Evict the least recently used unpinned page.
-  PageId victim = lru_.back();
-  lru_.pop_back();
-  Frame* f = FindFrame(victim);
-  HT_CHECK(f != nullptr && f->pins == 0);
-  HT_RETURN_NOT_OK(WriteBack(victim, f));
-  frames_.erase(victim);
-  ++stats_.evictions;
+  // Evict the least recently used unpinned page (of this shard).
+  PageId victim = shard.lru.back();
+  shard.lru.pop_back();
+  auto it = shard.frames.find(victim);
+  HT_CHECK(it != shard.frames.end() && it->second->pins == 0);
+  HT_RETURN_NOT_OK(WriteBack(victim, it->second.get()));
+  shard.frames.erase(it);
+  ++shard.stats.evictions;
+  if (IoStats* tls = g_tls_io_sink) ++tls->evictions;
   return Status::OK();
 }
 
 Status BufferPool::WriteBack(PageId id, Frame* f) {
   if (f->dirty) {
-    HT_RETURN_NOT_OK(file_->Write(id, f->page));
-    ++stats_.writes;
+    {
+      auto flock = LockFile();
+      HT_RETURN_NOT_OK(file_->Write(id, f->page));
+    }
+    Shard& shard = ShardFor(id);  // caller already holds the shard lock
+    ++shard.stats.writes;
+    if (IoStats* tls = g_tls_io_sink) ++tls->writes;
     f->dirty = false;
   }
   return Status::OK();
 }
 
 Status BufferPool::FlushAll() {
-  for (auto& [id, f] : frames_) {
-    HT_RETURN_NOT_OK(WriteBack(id, f.get()));
+  for (Shard& shard : shards_) {
+    auto lock = LockShard(shard);
+    for (auto& [id, f] : shard.frames) {
+      HT_RETURN_NOT_OK(WriteBack(id, f.get()));
+    }
   }
   return Status::OK();
 }
 
 Status BufferPool::EvictAll() {
   HT_RETURN_NOT_OK(FlushAll());
-  for (auto it = frames_.begin(); it != frames_.end();) {
-    if (it->second->pins == 0) {
-      if (it->second->in_lru) lru_.erase(it->second->lru_it);
-      it = frames_.erase(it);
-    } else {
-      ++it;
+  for (Shard& shard : shards_) {
+    auto lock = LockShard(shard);
+    for (auto it = shard.frames.begin(); it != shard.frames.end();) {
+      if (it->second->pins == 0) {
+        if (it->second->in_lru) shard.lru.erase(it->second->lru_it);
+        it = shard.frames.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   return Status::OK();
 }
 
+const IoStats& BufferPool::stats() const {
+  agg_stats_ = StatsSnapshot();
+  return agg_stats_;
+}
+
+IoStats BufferPool::StatsSnapshot() const {
+  IoStats total;
+  for (const Shard& shard : shards_) {
+    auto lock = LockShard(shard);
+    total.Accumulate(shard.stats);
+  }
+  return total;
+}
+
+void BufferPool::ResetStats() {
+  for (Shard& shard : shards_) {
+    auto lock = LockShard(shard);
+    shard.stats.Reset();
+  }
+}
+
+size_t BufferPool::cached_frames() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    auto lock = LockShard(shard);
+    n += shard.frames.size();
+  }
+  return n;
+}
+
 size_t BufferPool::pinned_frames() const {
   size_t n = 0;
-  for (const auto& [id, f] : frames_) {
-    if (f->pins > 0) ++n;
+  for (const Shard& shard : shards_) {
+    auto lock = LockShard(shard);
+    for (const auto& [id, f] : shard.frames) {
+      if (f->pins > 0) ++n;
+    }
   }
   return n;
 }

@@ -5,11 +5,39 @@
 // Fetch/New counts one *logical* read — the unit the paper plots as "disk
 // accesses per query" (one random access per node visited). Pool misses
 // additionally count physical reads on the backing file.
+//
+// Threading model. The pool has two modes:
+//
+//   * Serial mode (the default, and the state every pool starts in): no
+//     locks are taken anywhere — behaviour, performance, and accounting are
+//     exactly the classic single-threaded pool the paper figures use.
+//
+//   * Concurrent mode (SetConcurrentMode(true)): frames are partitioned
+//     into kShardCount lock-striped shards, each with its own mutex, frame
+//     map, LRU list, and IoStats counters, so concurrent readers can
+//     pin/unpin pages safely. Backing-file I/O (misses, write-backs,
+//     allocation) is serialized behind one file mutex. Logical-read
+//     accounting stays exact: every Fetch/New increments its shard's
+//     counter under the shard lock, and stats() sums the shards.
+//
+// The intended usage protocol is shared-read / exclusive-write (see
+// core/hybrid_tree.h): any number of threads may Fetch/Release concurrently
+// in concurrent mode, but mutation (MarkDirty, New, Free) requires the
+// caller to hold exclusive access to the index. Mode switches require
+// quiescence (no pinned frames, no threads inside the pool).
+//
+// Per-worker accounting: a worker thread may install a thread-local
+// IoStatsScope; while it is alive, every pool operation performed by that
+// thread is additionally counted into the scope's sink. This is how the
+// query executor attributes I/O to individual workers without contending
+// on shared counters.
 
 #pragma once
 
+#include <array>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/macros.h"
@@ -21,8 +49,22 @@ namespace ht {
 
 class BufferPool;
 
+namespace internal {
+/// One cached page. Heap-allocated and address-stable for its lifetime in
+/// the pool, so pinned handles can keep a direct pointer.
+struct PageFrame {
+  Page page;
+  int pins = 0;
+  bool dirty = false;
+  std::list<PageId>::iterator lru_it;  // valid iff in_lru
+  bool in_lru = false;
+  explicit PageFrame(size_t page_size) : page(page_size) {}
+};
+}  // namespace internal
+
 /// RAII pin on a buffered page. While a handle is alive the frame cannot be
-/// evicted. Call MarkDirty() after mutating data().
+/// evicted. Call MarkDirty() after mutating data(). The handle caches the
+/// frame pointer, so data()/MarkDirty() are lock-free in both pool modes.
 class PageHandle {
  public:
   PageHandle() = default;
@@ -39,38 +81,78 @@ class PageHandle {
 
   bool valid() const { return pool_ != nullptr; }
   PageId id() const { return id_; }
-  uint8_t* data();
-  const uint8_t* data() const;
+  uint8_t* data() {
+    HT_DCHECK(valid());
+    return frame_->page.data();
+  }
+  const uint8_t* data() const {
+    HT_DCHECK(valid());
+    return frame_->page.data();
+  }
   size_t size() const;
-  void MarkDirty();
+  /// Requires exclusive access to the index (writers only; see the
+  /// threading model above).
+  void MarkDirty() {
+    HT_DCHECK(valid());
+    frame_->dirty = true;
+  }
 
   /// Drops the pin early (before destruction).
   void Release();
 
  private:
   friend class BufferPool;
-  PageHandle(BufferPool* pool, PageId id) : pool_(pool), id_(id) {}
+  PageHandle(BufferPool* pool, PageId id, internal::PageFrame* frame)
+      : pool_(pool), frame_(frame), id_(id) {}
   void MoveFrom(PageHandle& other) {
     pool_ = other.pool_;
+    frame_ = other.frame_;
     id_ = other.id_;
     other.pool_ = nullptr;
+    other.frame_ = nullptr;
     other.id_ = kInvalidPageId;
   }
 
   BufferPool* pool_ = nullptr;
+  internal::PageFrame* frame_ = nullptr;
   PageId id_ = kInvalidPageId;
 };
 
-/// LRU buffer pool. Not thread-safe (the index structures are single-
-/// threaded per the paper's evaluation; concurrency is future work).
+/// Installs a thread-local IoStats sink for the calling thread: while the
+/// scope is alive, every BufferPool operation this thread performs is also
+/// counted into `*sink` (in addition to the pool's own counters). Scopes
+/// nest; destruction restores the previous sink.
+class IoStatsScope {
+ public:
+  explicit IoStatsScope(IoStats* sink);
+  ~IoStatsScope();
+  HT_DISALLOW_COPY_AND_ASSIGN(IoStatsScope);
+
+ private:
+  IoStats* prev_;
+};
+
+/// LRU buffer pool (see the threading model in the file comment).
 class BufferPool {
  public:
   /// `capacity_pages` of 0 means unbounded (everything stays cached, still
   /// counting logical reads — the configuration the benchmarks use, since
-  /// the figure-of-merit is access counts, not cache behaviour).
+  /// the figure-of-merit is access counts, not cache behaviour). In
+  /// concurrent mode a nonzero capacity is enforced per shard
+  /// (ceil(capacity / kShardCount) frames each), so global LRU order is
+  /// approximate; serial mode keeps the exact global LRU.
   BufferPool(PagedFile* file, size_t capacity_pages);
   ~BufferPool();
   HT_DISALLOW_COPY_AND_ASSIGN(BufferPool);
+
+  /// Number of lock stripes used in concurrent mode.
+  static constexpr size_t kShardCount = 16;
+
+  /// Switches between serial (lock-free) and concurrent (lock-striped)
+  /// mode. Requires quiescence: no pinned frames and no other thread inside
+  /// the pool. Cached frames are re-bucketed; stats are preserved.
+  Status SetConcurrentMode(bool on);
+  bool concurrent_mode() const { return concurrent_; }
 
   /// Fetches and pins page `id`.
   Result<PageHandle> Fetch(PageId id);
@@ -92,36 +174,58 @@ class BufferPool {
   size_t page_size() const { return file_->page_size(); }
   PagedFile* file() { return file_; }
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  /// Sum of the shard counters. The returned reference stays valid but is
+  /// only refreshed by the next stats() call. Call from one thread at a
+  /// time; safe while readers run in concurrent mode (shard locks are
+  /// taken), racy only if two threads call stats() simultaneously.
+  const IoStats& stats() const;
+  /// Same totals, returned by value (preferred in concurrent code).
+  IoStats StatsSnapshot() const;
+  void ResetStats();
 
   /// Number of frames currently cached (for tests).
-  size_t cached_frames() const { return frames_.size(); }
+  size_t cached_frames() const;
   /// Number of currently pinned frames (for tests).
   size_t pinned_frames() const;
 
  private:
   friend class PageHandle;
 
-  struct Frame {
-    Page page;
-    int pins = 0;
-    bool dirty = false;
-    std::list<PageId>::iterator lru_it;  // valid iff pins == 0
-    bool in_lru = false;
-    explicit Frame(size_t page_size) : page(page_size) {}
+  using Frame = internal::PageFrame;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<PageId, std::unique_ptr<Frame>> frames;
+    std::list<PageId> lru;  // front = most recent; unpinned frames only
+    IoStats stats;
   };
 
-  Frame* FindFrame(PageId id);
-  void Unpin(PageId id);
-  Status EvictOneIfNeeded();
+  size_t ShardIndex(PageId id) const {
+    return concurrent_ ? static_cast<size_t>(id) % kShardCount : 0;
+  }
+  Shard& ShardFor(PageId id) { return shards_[ShardIndex(id)]; }
+  /// Empty (no-op) lock in serial mode, a real lock in concurrent mode.
+  std::unique_lock<std::mutex> LockShard(const Shard& s) const {
+    return concurrent_ ? std::unique_lock<std::mutex>(s.mu)
+                       : std::unique_lock<std::mutex>();
+  }
+  std::unique_lock<std::mutex> LockFile() const {
+    return concurrent_ ? std::unique_lock<std::mutex>(file_mu_)
+                       : std::unique_lock<std::mutex>();
+  }
+
+  void Unpin(PageId id, Frame* f);
+  /// Caller holds the shard lock (concurrent mode) or is single-threaded.
+  Status EvictOneIfNeeded(Shard& shard);
   Status WriteBack(PageId id, Frame* f);
 
   PagedFile* file_;
   size_t capacity_;
-  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
-  std::list<PageId> lru_;  // front = most recent
-  IoStats stats_;
+  size_t shard_capacity_;  // derived: per-shard cap in the current mode
+  bool concurrent_ = false;
+  std::array<Shard, kShardCount> shards_;
+  mutable std::mutex file_mu_;  // guards file_ I/O in concurrent mode
+  mutable IoStats agg_stats_;   // scratch for stats()
 };
 
 }  // namespace ht

@@ -26,6 +26,16 @@ struct IoStats {
 
   void Reset() { *this = IoStats{}; }
 
+  /// Adds `other` into this (used to merge per-shard / per-worker counters).
+  void Accumulate(const IoStats& other) {
+    logical_reads += other.logical_reads;
+    physical_reads += other.physical_reads;
+    writes += other.writes;
+    allocations += other.allocations;
+    frees += other.frees;
+    evictions += other.evictions;
+  }
+
   IoStats Delta(const IoStats& since) const {
     IoStats d;
     d.logical_reads = logical_reads - since.logical_reads;
