@@ -1,0 +1,237 @@
+// Extension (beyond the paper): query hot-path microbenchmark for the
+// batched data-page distance kernels (DistanceMetric::BatchDistance /
+// BatchDistanceWithBound) and the zero-allocation SearchScratch k-NN path.
+//
+// Part 1 scans real serialized data pages (paper page size, FOURIER 16-d)
+// three ways and reports points/second:
+//   scalar      one virtual Distance() call per row (the pre-batch path)
+//   batch       one virtual BatchDistance() call per page
+//   batch+bound one BatchDistanceWithBound() call per page, bound set to
+//               the query's true k-NN distance (the bound a k-NN search
+//               reaches at steady state) -> early abandoning kicks in.
+//
+// Part 2 runs identical k-NN workloads against two trees built from the
+// same data, one with HybridTreeOptions::disable_batch_kernels (the scalar
+// reference path) and one with the default batched path, cross-checks that
+// the results are byte-identical, and reports QPS.
+//
+// Machine-readable output: BENCH_hotpath.json in the working directory.
+//
+// Env overrides (on top of bench_common.h): HT_BENCH_N (default 100000).
+
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/timing.h"
+#include "core/bulk_load.h"
+#include "core/hybrid_tree.h"
+#include "core/node.h"
+#include "geometry/metrics.h"
+
+using namespace ht;
+using namespace ht::bench;
+
+namespace {
+
+constexpr uint32_t kDim = 16;
+constexpr size_t kPageSize = kDefaultPageSize;
+constexpr size_t kKnnK = 10;
+
+/// The dataset serialized as real data pages at real capacity.
+struct PageSet {
+  std::vector<std::vector<uint8_t>> pages;
+  size_t total_points = 0;
+};
+
+PageSet SerializePages(const Dataset& data) {
+  PageSet ps;
+  const size_t cap = DataNode::Capacity(kDim, kPageSize);
+  for (size_t base = 0; base < data.size(); base += cap) {
+    DataNode node;
+    const size_t n = std::min(cap, data.size() - base);
+    for (size_t i = 0; i < n; ++i) {
+      const auto row = data.Row(base + i);
+      node.entries.push_back(
+          {base + i, std::vector<float>(row.begin(), row.end())});
+    }
+    ps.pages.emplace_back(kPageSize);
+    node.Serialize(ps.pages.back().data(), kPageSize, kDim);
+    ps.total_points += n;
+  }
+  return ps;
+}
+
+double Checksum(const std::vector<double>& v, double bound) {
+  double s = 0.0;
+  for (double d : v) {
+    if (d <= bound) s += d;
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = EnvSize("HT_BENCH_N", 100000);
+  const size_t n_queries = Queries();
+  PrintHeader(
+      "Extension: batched distance kernels + zero-allocation k-NN path",
+      "beyond the paper: data-page scan throughput, scalar vs batch vs "
+      "batch+early-abandon; end-to-end k-NN QPS",
+      "FOURIER 16-d, n=" + std::to_string(n) + ", page=" +
+          std::to_string(kPageSize) + "B, queries=" +
+          std::to_string(n_queries) + ", k=" + std::to_string(kKnnK) +
+          ", L2 metric");
+
+  Rng rng(20260806);
+  Dataset data = GenFourier(n, kDim, rng);
+  auto centers = MakeQueryCenters(data, n_queries, rng);
+  L2Metric l2;
+
+  // Trees for part 2 (and for the true k-NN bounds used in part 1).
+  HybridTreeOptions opts;
+  opts.dim = kDim;
+  opts.page_size = kPageSize;
+  MemPagedFile file_batch(kPageSize), file_scalar(kPageSize);
+  auto tree_batch = BulkLoad(opts, &file_batch, data).ValueOrDie();
+  opts.disable_batch_kernels = true;
+  auto tree_scalar = BulkLoad(opts, &file_scalar, data).ValueOrDie();
+
+  // Per-query k-NN distances = the steady-state search bound.
+  std::vector<double> knn_bound(centers.size());
+  for (size_t q = 0; q < centers.size(); ++q) {
+    auto nn = tree_batch->SearchKnn(centers[q], kKnnK, l2).ValueOrDie();
+    knn_bound[q] = nn.back().first;
+  }
+
+  // -------------------------------------------------------------------
+  // Part 1: raw data-page scan throughput.
+  // -------------------------------------------------------------------
+  PageSet ps = SerializePages(data);
+  std::vector<double> out(DataNode::Capacity(kDim, kPageSize));
+  double sink = 0.0;
+
+  auto scan_pass = [&](int mode, size_t q) {
+    const std::span<const float> query(centers[q]);
+    const double bound = knn_bound[q];
+    for (const auto& page : ps.pages) {
+      DataPageScan scan(page.data(), kPageSize, kDim);
+      const size_t rows = scan.count();
+      const float* blk = scan.block();
+      if (mode == 0 || blk == nullptr) {
+        for (size_t i = 0; i < rows; ++i) {
+          out[i] = l2.Distance(query, scan.vec(i));
+        }
+      } else if (mode == 1) {
+        l2.BatchDistance(query, blk, scan.stride_floats(), rows, out.data());
+      } else {
+        l2.BatchDistanceWithBound(query, blk, scan.stride_floats(), rows,
+                                  bound, out.data());
+      }
+      sink += Checksum(out, bound);
+    }
+  };
+
+  const char* kModeNames[] = {"scalar", "batch", "batch+bound"};
+  double points_per_sec[3] = {0, 0, 0};
+  for (int mode = 0; mode < 3; ++mode) {
+    scan_pass(mode, 0);  // warm-up
+    WallTimer t;
+    size_t scanned = 0;
+    for (size_t q = 0; q < centers.size(); ++q) {
+      scan_pass(mode, q);
+      scanned += ps.total_points;
+    }
+    points_per_sec[mode] = static_cast<double>(scanned) / t.Seconds();
+  }
+
+  std::printf("\nData-page scan throughput (%zu pages, %zu points):\n",
+              ps.pages.size(), ps.total_points);
+  TablePrinter kernel_table({"kernel", "Mpts/s", "speedup vs scalar"});
+  for (int mode = 0; mode < 3; ++mode) {
+    kernel_table.AddRow({kModeNames[mode],
+                         TablePrinter::Num(points_per_sec[mode] / 1e6, 1),
+                         TablePrinter::Num(
+                             points_per_sec[mode] / points_per_sec[0], 2)});
+  }
+  kernel_table.Print();
+
+  // -------------------------------------------------------------------
+  // Part 2: end-to-end k-NN QPS, scalar reference path vs batched path.
+  // -------------------------------------------------------------------
+  SearchScratch scratch;
+  std::vector<std::pair<double, uint64_t>> nn, ref;
+  bool identical = true;
+  double qps[2] = {0, 0};
+  HybridTree* trees[2] = {tree_scalar.get(), tree_batch.get()};
+  for (int which = 0; which < 2; ++which) {
+    // Warm-up pass (buffer pool, node cache, scratch).
+    for (size_t q = 0; q < centers.size(); ++q) {
+      HT_CHECK_OK(
+          trees[which]->SearchKnnInto(centers[q], kKnnK, l2, &scratch, &nn));
+    }
+    for (size_t q = 0; q < centers.size(); ++q) {
+      HT_CHECK_OK(
+          trees[which]->SearchKnnInto(centers[q], kKnnK, l2, &scratch, &nn));
+      // Cross-check against the scalar reference answer.
+      HT_CHECK_OK(trees[0]->SearchKnnInto(centers[q], kKnnK, l2, nullptr,
+                                          &ref));
+      if (nn != ref) identical = false;
+    }
+    WallTimer pure;
+    for (size_t q = 0; q < centers.size(); ++q) {
+      HT_CHECK_OK(
+          trees[which]->SearchKnnInto(centers[q], kKnnK, l2, &scratch, &nn));
+    }
+    qps[which] = static_cast<double>(centers.size()) / pure.Seconds();
+  }
+
+  std::printf("\nEnd-to-end k-NN (k=%zu, %zu queries):\n", kKnnK,
+              centers.size());
+  TablePrinter knn_table({"path", "QPS", "speedup"});
+  knn_table.AddRow({"scalar reference", TablePrinter::Num(qps[0], 0), "1.00"});
+  knn_table.AddRow({"batched kernels", TablePrinter::Num(qps[1], 0),
+                    TablePrinter::Num(qps[1] / qps[0], 2)});
+  knn_table.Print();
+  std::printf("Cross-check: batched results %s\n",
+              identical ? "byte-identical to the scalar path"
+                        : "MISMATCH (BUG)");
+  std::printf("(checksum %.6f)\n", sink);
+
+  // Machine-readable record.
+  FILE* json = std::fopen("BENCH_hotpath.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"hotpath\",\n"
+                 "  \"dataset\": \"fourier\",\n"
+                 "  \"dim\": %u,\n"
+                 "  \"n\": %zu,\n"
+                 "  \"queries\": %zu,\n"
+                 "  \"k\": %zu,\n"
+                 "  \"page_size\": %zu,\n"
+                 "  \"scan_points_per_sec\": {\n"
+                 "    \"scalar\": %.0f,\n"
+                 "    \"batch\": %.0f,\n"
+                 "    \"batch_bound\": %.0f\n"
+                 "  },\n"
+                 "  \"scan_speedup_batch\": %.3f,\n"
+                 "  \"scan_speedup_batch_bound\": %.3f,\n"
+                 "  \"knn_qps\": {\"scalar\": %.1f, \"batch\": %.1f},\n"
+                 "  \"knn_speedup\": %.3f,\n"
+                 "  \"results_identical\": %s\n"
+                 "}\n",
+                 kDim, n, centers.size(), kKnnK, kPageSize,
+                 points_per_sec[0], points_per_sec[1], points_per_sec[2],
+                 points_per_sec[1] / points_per_sec[0],
+                 points_per_sec[2] / points_per_sec[0], qps[0], qps[1],
+                 qps[1] / qps[0], identical ? "true" : "false");
+    std::fclose(json);
+    std::printf("Wrote BENCH_hotpath.json\n");
+  }
+  return identical ? 0 : 1;
+}

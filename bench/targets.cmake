@@ -30,3 +30,4 @@ ht_add_bench(bench_ext_bulkload)
 ht_add_bench(bench_ext_knn)
 ht_add_bench(bench_throughput)
 target_link_libraries(bench_throughput PRIVATE ht_exec)
+ht_add_bench(bench_hotpath)

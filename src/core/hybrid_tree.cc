@@ -340,8 +340,11 @@ ChildRef HybridTree::FindLeafForInsert(IndexNode& node,
   // §3.5: indexed subspaces are treated as BRs; the insertion target is the
   // child needing minimum enlargement, ties broken by BR size. Collect
   // every leaf whose kd region contains the point (overlaps can yield
-  // several) and rank them by live-region enlargement.
-  std::vector<ChildRef> candidates;
+  // several) and rank them by live-region enlargement. The candidates
+  // buffer is a member reused across the insert descent (cleared, capacity
+  // retained) instead of reallocating per visited node.
+  std::vector<ChildRef>& candidates = insert_candidates_;
+  candidates.clear();
   std::function<void(KdNode*, const Box&)> walk = [&](KdNode* n,
                                                       const Box& br) {
     if (n->IsLeaf()) {
@@ -558,6 +561,7 @@ Result<HybridTree::SplitResult> HybridTree::SplitIndexNode(PageId page,
                                                            IndexNode& node,
                                                            const Box& br) {
   std::vector<ChildRef> kids;
+  kids.reserve(node.NumChildren());
   node.CollectChildren(br, &kids);
   HT_CHECK(kids.size() >= 2);
   std::vector<Box> live_brs;
@@ -632,23 +636,40 @@ Result<HybridTree::SplitResult> HybridTree::SplitIndexNode(PageId page,
 // ---------------------------------------------------------------------------
 
 Result<std::vector<uint64_t>> HybridTree::SearchBox(const Box& query) const {
-  if (query.dim() != options_.dim) {
-    return Status::InvalidArgument("query dimensionality mismatch");
-  }
   std::vector<uint64_t> out;
-  HT_RETURN_NOT_OK(
-      SearchBoxRec(root_, Box::UnitCube(options_.dim), query, &out));
+  HT_RETURN_NOT_OK(SearchBoxInto(query, /*scratch=*/nullptr, &out));
   return out;
 }
 
-Status HybridTree::SearchBoxRec(PageId page, const Box& br, const Box& query,
+Status HybridTree::SearchBoxInto(const Box& query, SearchScratch* scratch,
+                                 std::vector<uint64_t>* out) const {
+  if (query.dim() != options_.dim) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  out->clear();
+  SearchScratch local;
+  if (scratch == nullptr) scratch = &local;
+  scratch->stack.clear();
+  return SearchBoxRec(root_, query, /*contained=*/false, scratch, out);
+}
+
+Status HybridTree::SearchBoxRec(PageId page, const Box& query, bool contained,
+                                SearchScratch* scratch,
                                 std::vector<uint64_t>* out) const {
   HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page));
   const NodeKind kind = PeekNodeKind(h.data());
   if (kind == NodeKind::kData) {
     DataPageScan scan(h.data(), h.size(), options_.dim);
     if (!scan.ok()) return Status::Corruption("expected data node page");
-    for (size_t i = 0; i < scan.count(); ++i) {
+    const size_t n = scan.count();
+    if (contained) {
+      // Scan-level pruning: an ancestor's live box was fully inside the
+      // query, so every entry qualifies — collect ids without per-point
+      // containment tests.
+      for (size_t i = 0; i < n; ++i) out->push_back(scan.id(i));
+      return Status::OK();
+    }
+    for (size_t i = 0; i < n; ++i) {
       if (query.ContainsPoint(scan.vec(i))) out->push_back(scan.id(i));
     }
     return Status::OK();
@@ -659,27 +680,40 @@ Status HybridTree::SearchBoxRec(PageId page, const Box& br, const Box& query,
 
   // Intra-node search is 1-d interval tests on the kd tree (the paper's
   // CPU advantage); the §3.4 two-step check uses the leaf's precomputed
-  // decoded live box. No per-step box construction.
-  (void)br;
-  std::function<Status(const KdNode*)> rec =
-      [&](const KdNode* n) -> Status {
+  // decoded live box. Iterative preorder (left first, matching the
+  // recursive formulation) over the shared scratch stack: this level only
+  // pops entries above its own base, so nested page descents can reuse the
+  // same stack.
+  auto& stack = scratch->stack;
+  const size_t base = stack.size();
+  stack.push_back(node->root.get());
+  while (stack.size() > base) {
+    const KdNode* n = stack.back();
+    stack.pop_back();
     if (n->IsLeaf()) {
-      if (els_enabled() && !query.Intersects(n->cached_live)) {
-        return Status::OK();
+      bool child_contained = contained;
+      if (!contained) {
+        if (els_enabled() && !query.Intersects(n->cached_live)) continue;
+        // cached_live is the decoded live box (ELS on) or the kd region
+        // (ELS off); either way all data below lies inside it, so full
+        // containment lets the whole subtree skip per-point tests.
+        child_contained = !options_.disable_batch_kernels &&
+                          query.ContainsBox(n->cached_live);
       }
-      return SearchBoxRec(n->child, Box::UnitCube(options_.dim), query,
-                          out);
+      const Status st =
+          SearchBoxRec(n->child, query, child_contained, scratch, out);
+      if (!st.ok()) {
+        stack.resize(base);  // drop this level's pending entries
+        return st;
+      }
+      continue;
     }
     const uint32_t d = n->split_dim;
-    if (query.lo(d) <= n->lsp) {
-      HT_RETURN_NOT_OK(rec(n->left.get()));
-    }
-    if (query.hi(d) >= n->rsp) {
-      HT_RETURN_NOT_OK(rec(n->right.get()));
-    }
-    return Status::OK();
-  };
-  return rec(node->root.get());
+    // Push right before left so the left subtree is processed first.
+    if (contained || query.hi(d) >= n->rsp) stack.push_back(n->right.get());
+    if (contained || query.lo(d) <= n->lsp) stack.push_back(n->left.get());
+  }
+  return Status::OK();
 }
 
 Result<std::vector<uint64_t>> HybridTree::SearchPoint(
@@ -725,25 +759,53 @@ Status HybridTree::ScanAll(
 Result<std::vector<uint64_t>> HybridTree::SearchRange(
     std::span<const float> center, double radius,
     const DistanceMetric& metric) const {
-  if (center.size() != options_.dim) {
-    return Status::InvalidArgument("query dimensionality mismatch");
-  }
   std::vector<uint64_t> out;
-  HT_RETURN_NOT_OK(SearchRangeRec(root_, Box::UnitCube(options_.dim), center,
-                                  radius, metric, &out));
+  HT_RETURN_NOT_OK(
+      SearchRangeInto(center, radius, metric, /*scratch=*/nullptr, &out));
   return out;
 }
 
-Status HybridTree::SearchRangeRec(PageId page, const Box& br,
-                                  std::span<const float> center, double radius,
-                                  const DistanceMetric& metric,
+Status HybridTree::SearchRangeInto(std::span<const float> center,
+                                   double radius,
+                                   const DistanceMetric& metric,
+                                   SearchScratch* scratch,
+                                   std::vector<uint64_t>* out) const {
+  if (center.size() != options_.dim) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  out->clear();
+  SearchScratch local;
+  if (scratch == nullptr) scratch = &local;
+  scratch->stack.clear();
+  return SearchRangeRec(root_, center, radius, metric, scratch, out);
+}
+
+Status HybridTree::SearchRangeRec(PageId page, std::span<const float> center,
+                                  double radius, const DistanceMetric& metric,
+                                  SearchScratch* scratch,
                                   std::vector<uint64_t>* out) const {
   HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page));
   const NodeKind kind = PeekNodeKind(h.data());
   if (kind == NodeKind::kData) {
     DataPageScan scan(h.data(), h.size(), options_.dim);
     if (!scan.ok()) return Status::Corruption("expected data node page");
-    for (size_t i = 0; i < scan.count(); ++i) {
+    const size_t n = scan.count();
+    const float* blk =
+        options_.disable_batch_kernels ? nullptr : scan.block();
+    if (blk != nullptr) {
+      // One virtual call per page; rows whose partial sum exceeds the
+      // radius are abandoned (their output is > radius, which is all the
+      // filter below looks at).
+      if (scratch->dist.size() < n) scratch->dist.resize(n);
+      metric.BatchDistanceWithBound(center, blk, scan.stride_floats(), n,
+                                    radius, scratch->dist.data());
+      const double* dist = scratch->dist.data();
+      for (size_t i = 0; i < n; ++i) {
+        if (dist[i] <= radius) out->push_back(scan.id(i));
+      }
+      return Status::OK();
+    }
+    for (size_t i = 0; i < n; ++i) {
       if (metric.Distance(center, scan.vec(i)) <= radius) {
         out->push_back(scan.id(i));
       }
@@ -754,22 +816,28 @@ Status HybridTree::SearchRangeRec(PageId page, const Box& br,
                       ReadIndexNodeCached(page, h.data(), h.size()));
   h.Release();
 
-  (void)br;
-  std::function<Status(const KdNode*)> rec =
-      [&](const KdNode* n) -> Status {
+  // Pruning happens at the leaves' live boxes (MINDIST > radius); internal
+  // kd nodes only route the left-first preorder walk.
+  auto& stack = scratch->stack;
+  const size_t base = stack.size();
+  stack.push_back(node->root.get());
+  while (stack.size() > base) {
+    const KdNode* n = stack.back();
+    stack.pop_back();
     if (n->IsLeaf()) {
-      if (metric.MinDistToBox(center, n->cached_live) > radius) {
-        return Status::OK();
+      if (metric.MinDistToBox(center, n->cached_live) > radius) continue;
+      const Status st =
+          SearchRangeRec(n->child, center, radius, metric, scratch, out);
+      if (!st.ok()) {
+        stack.resize(base);
+        return st;
       }
-      return SearchRangeRec(n->child, Box::UnitCube(options_.dim), center,
-                            radius, metric, out);
+      continue;
     }
-    // Internal pruning happens at the leaves' live boxes; the 1-d interval
-    // tests here only route the traversal.
-    HT_RETURN_NOT_OK(rec(n->left.get()));
-    return rec(n->right.get());
-  };
-  return rec(node->root.get());
+    stack.push_back(n->right.get());
+    stack.push_back(n->left.get());
+  }
+  return Status::OK();
 }
 
 Result<std::vector<std::pair<double, uint64_t>>> HybridTree::SearchKnn(
@@ -781,49 +849,94 @@ Result<std::vector<std::pair<double, uint64_t>>> HybridTree::SearchKnn(
 Result<std::vector<std::pair<double, uint64_t>>> HybridTree::SearchKnnApprox(
     std::span<const float> center, size_t k, const DistanceMetric& metric,
     double epsilon) const {
+  std::vector<std::pair<double, uint64_t>> out;
+  HT_RETURN_NOT_OK(
+      SearchKnnApproxInto(center, k, metric, epsilon, /*scratch=*/nullptr,
+                          &out));
+  return out;
+}
+
+Status HybridTree::SearchKnnInto(
+    std::span<const float> center, size_t k, const DistanceMetric& metric,
+    SearchScratch* scratch,
+    std::vector<std::pair<double, uint64_t>>* out) const {
+  return SearchKnnApproxInto(center, k, metric, /*epsilon=*/0.0, scratch, out);
+}
+
+Status HybridTree::SearchKnnApproxInto(
+    std::span<const float> center, size_t k, const DistanceMetric& metric,
+    double epsilon, SearchScratch* scratch,
+    std::vector<std::pair<double, uint64_t>>* out) const {
   if (center.size() != options_.dim) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
   if (epsilon < 0.0) {
     return Status::InvalidArgument("epsilon must be non-negative");
   }
-  std::vector<std::pair<double, uint64_t>> results;
-  if (k == 0 || count_ == 0) return results;
+  out->clear();
+  if (k == 0 || count_ == 0) return Status::OK();
+  SearchScratch local;
+  if (scratch == nullptr) scratch = &local;
   const double prune_factor = 1.0 + epsilon;
+  const bool use_batch = !options_.disable_batch_kernels;
 
   // Best-first branch-and-bound (Hjaltason–Samet): a min-heap of pending
-  // subtrees ordered by MINDIST to their live region, and a max-heap of the
-  // best k candidates seen so far.
-  struct PqItem {
-    double dist;
-    PageId page;
-    bool operator>(const PqItem& o) const { return dist > o.dist; }
+  // subtrees ordered by MINDIST to their live region, and a bounded
+  // max-heap of the best k candidates seen so far. Both heaps live in the
+  // scratch (vector-backed push_heap/pop_heap — operation-for-operation
+  // identical to std::priority_queue, but the backing stores are reused
+  // across queries).
+  auto& frontier = scratch->frontier;
+  frontier.clear();
+  frontier.push_back(SearchScratch::PageRef{0.0, root_});
+  const auto frontier_gt = [](const SearchScratch::PageRef& a,
+                              const SearchScratch::PageRef& b) {
+    return a.dist > b.dist;
   };
-  std::priority_queue<PqItem, std::vector<PqItem>, std::greater<PqItem>> pq;
-  pq.push(PqItem{0.0, root_});
 
-  std::priority_queue<std::pair<double, uint64_t>> best;  // max-heap
+  auto& best = scratch->best;
+  best.clear();
   auto kth = [&]() {
     return best.size() < k ? std::numeric_limits<double>::max()
-                           : best.top().first;
+                           : best.front().first;
+  };
+  auto offer = [&](double d, uint64_t id) {
+    if (best.size() < k) {
+      best.emplace_back(d, id);
+      std::push_heap(best.begin(), best.end());
+    } else if (d < best.front().first ||
+               (d == best.front().first && id < best.front().second)) {
+      std::pop_heap(best.begin(), best.end());
+      best.back() = std::make_pair(d, id);
+      std::push_heap(best.begin(), best.end());
+    }
   };
 
-  while (!pq.empty() && pq.top().dist * prune_factor <= kth()) {
-    PqItem item = pq.top();
-    pq.pop();
+  while (!frontier.empty() && frontier.front().dist * prune_factor <= kth()) {
+    std::pop_heap(frontier.begin(), frontier.end(), frontier_gt);
+    const SearchScratch::PageRef item = frontier.back();
+    frontier.pop_back();
     HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(item.page));
     const NodeKind kind = PeekNodeKind(h.data());
     if (kind == NodeKind::kData) {
       DataPageScan scan(h.data(), h.size(), options_.dim);
       if (!scan.ok()) return Status::Corruption("expected data node page");
-      for (size_t i = 0; i < scan.count(); ++i) {
-        const double d = metric.Distance(center, scan.vec(i));
-        if (best.size() < k) {
-          best.emplace(d, scan.id(i));
-        } else if (d < best.top().first ||
-                   (d == best.top().first && scan.id(i) < best.top().second)) {
-          best.pop();
-          best.emplace(d, scan.id(i));
+      const size_t n = scan.count();
+      const float* blk = use_batch ? scan.block() : nullptr;
+      if (blk != nullptr) {
+        // The bound at page entry is the k-th distance before this page;
+        // it can only shrink while scanning, so any row abandoned against
+        // it could never have entered the heap (and while the heap is not
+        // full the bound is +max, i.e. nothing is abandoned). The offers
+        // below therefore make exactly the scalar path's decisions.
+        if (scratch->dist.size() < n) scratch->dist.resize(n);
+        metric.BatchDistanceWithBound(center, blk, scan.stride_floats(), n,
+                                      kth(), scratch->dist.data());
+        const double* dist = scratch->dist.data();
+        for (size_t i = 0; i < n; ++i) offer(dist[i], scan.id(i));
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          offer(metric.Distance(center, scan.vec(i)), scan.id(i));
         }
       }
       continue;
@@ -831,26 +944,34 @@ Result<std::vector<std::pair<double, uint64_t>>> HybridTree::SearchKnnApprox(
     HT_ASSIGN_OR_RETURN(std::shared_ptr<const IndexNode> node,
                         ReadIndexNodeCached(item.page, h.data(), h.size()));
     h.Release();
-    std::function<void(const KdNode*)> rec = [&](const KdNode* n) {
+    auto& stack = scratch->stack;
+    stack.clear();
+    stack.push_back(node->root.get());
+    while (!stack.empty()) {
+      const KdNode* n = stack.back();
+      stack.pop_back();
       if (n->IsLeaf()) {
         const double d = metric.MinDistToBox(center, n->cached_live);
         if (d * prune_factor <= kth()) {
-          pq.push(PqItem{d, n->child});
+          frontier.push_back(SearchScratch::PageRef{d, n->child});
+          std::push_heap(frontier.begin(), frontier.end(), frontier_gt);
         }
-        return;
+        continue;
       }
-      rec(n->left.get());
-      rec(n->right.get());
-    };
-    rec(node->root.get());
+      // Left first (preorder), matching the recursive formulation so the
+      // frontier receives pushes in the same order.
+      stack.push_back(n->right.get());
+      stack.push_back(n->left.get());
+    }
   }
 
-  results.resize(best.size());
+  out->resize(best.size());
   for (size_t i = best.size(); i-- > 0;) {
-    results[i] = best.top();
-    best.pop();
+    (*out)[i] = best.front();
+    std::pop_heap(best.begin(), best.end());
+    best.pop_back();
   }
-  return results;
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -929,6 +1050,7 @@ Result<HybridTree::DeleteOutcome> HybridTree::DeleteRec(
 
   HT_ASSIGN_OR_RETURN(IndexNode node, ReadIndexNode(page));
   std::vector<ChildRef> kids;
+  kids.reserve(node.NumChildren());
   node.CollectChildren(br, &kids);
   for (const auto& kid : kids) {
     if (!kid.kd_br.ContainsPoint(point)) continue;
@@ -1202,6 +1324,7 @@ Status HybridTree::CollectSubtreeEntries(PageId page,
   }
   HT_ASSIGN_OR_RETURN(IndexNode node, ReadIndexNode(page));
   std::vector<ChildRef> kids;
+  kids.reserve(node.NumChildren());
   node.CollectChildren(Box::UnitCube(options_.dim), &kids);
   for (const auto& kid : kids) {
     HT_RETURN_NOT_OK(CollectSubtreeEntries(kid.leaf->child, out, pages));
@@ -1244,9 +1367,25 @@ HybridTree::KnnCursor::Next() {
     if (kind == NodeKind::kData) {
       DataPageScan scan(h.data(), h.size(), tree_->options_.dim);
       if (!scan.ok()) return Status::Corruption("expected data node page");
-      for (size_t i = 0; i < scan.count(); ++i) {
-        queue_.push(Item{metric_->Distance(center_, scan.vec(i)), true,
-                         scan.id(i), kInvalidPageId});
+      const size_t n = scan.count();
+      const float* blk = tree_->options_.disable_batch_kernels
+                             ? nullptr
+                             : scan.block();
+      if (blk != nullptr) {
+        // Every entry must be enqueued (the cursor may be asked for all of
+        // them), so the unbounded batch kernel applies — the win is one
+        // virtual call per page instead of one per point.
+        if (dist_.size() < n) dist_.resize(n);
+        metric_->BatchDistance(center_, blk, scan.stride_floats(), n,
+                               dist_.data());
+        for (size_t i = 0; i < n; ++i) {
+          queue_.push(Item{dist_[i], true, scan.id(i), kInvalidPageId});
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          queue_.push(Item{metric_->Distance(center_, scan.vec(i)), true,
+                           scan.id(i), kInvalidPageId});
+        }
       }
       continue;
     }
@@ -1254,16 +1393,19 @@ HybridTree::KnnCursor::Next() {
         std::shared_ptr<const IndexNode> node,
         tree_->ReadIndexNodeCached(item.page, h.data(), h.size()));
     h.Release();
-    std::function<void(const KdNode*)> walk = [&](const KdNode* n) {
+    stack_.clear();
+    stack_.push_back(node->root.get());
+    while (!stack_.empty()) {
+      const KdNode* n = stack_.back();
+      stack_.pop_back();
       if (n->IsLeaf()) {
         queue_.push(Item{metric_->MinDistToBox(center_, n->cached_live),
                          false, 0, n->child});
-        return;
+        continue;
       }
-      walk(n->left.get());
-      walk(n->right.get());
-    };
-    walk(node->root.get());
+      stack_.push_back(n->right.get());
+      stack_.push_back(n->left.get());
+    }
   }
   return std::optional<std::pair<double, uint64_t>>();
 }

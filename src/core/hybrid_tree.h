@@ -46,6 +46,7 @@
 #include "core/els.h"
 #include "core/node.h"
 #include "core/options.h"
+#include "core/search_scratch.h"
 #include "core/stats.h"
 #include "geometry/metrics.h"
 #include "storage/buffer_pool.h"
@@ -86,6 +87,35 @@ class HybridTree {
 
   /// All ids whose vectors lie inside `query` (closed box).
   Result<std::vector<uint64_t>> SearchBox(const Box& query) const;
+
+  // --- zero-allocation query variants --------------------------------------
+  // The *Into overloads are the steady-state hot path: `out` is cleared and
+  // filled (capacity reused), and `scratch` — which may be nullptr, at the
+  // cost of per-query allocation — holds every traversal buffer. Reusing
+  // both across queries makes the search loop allocation-free after one
+  // warm-up query (see core/search_scratch.h for the ownership rules).
+  // Results are identical to the value-returning APIs, which are thin
+  // wrappers over these.
+
+  /// SearchBox into a caller-owned buffer.
+  Status SearchBoxInto(const Box& query, SearchScratch* scratch,
+                       std::vector<uint64_t>* out) const;
+
+  /// SearchRange into a caller-owned buffer.
+  Status SearchRangeInto(std::span<const float> center, double radius,
+                         const DistanceMetric& metric, SearchScratch* scratch,
+                         std::vector<uint64_t>* out) const;
+
+  /// SearchKnn into a caller-owned buffer ((distance, id), ascending).
+  Status SearchKnnInto(std::span<const float> center, size_t k,
+                       const DistanceMetric& metric, SearchScratch* scratch,
+                       std::vector<std::pair<double, uint64_t>>* out) const;
+
+  /// SearchKnnApprox into a caller-owned buffer.
+  Status SearchKnnApproxInto(
+      std::span<const float> center, size_t k, const DistanceMetric& metric,
+      double epsilon, SearchScratch* scratch,
+      std::vector<std::pair<double, uint64_t>>* out) const;
 
   /// All ids stored at exactly `point` (point query; §3.5 lists point
   /// queries among the supported feature-based queries).
@@ -146,6 +176,8 @@ class HybridTree {
     std::vector<float> center_;
     const DistanceMetric* metric_;
     std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue_;
+    std::vector<double> dist_;           // batch-kernel output buffer
+    std::vector<const KdNode*> stack_;   // intra-node kd walk
   };
   KnnCursor OpenKnnCursor(std::span<const float> center,
                           const DistanceMetric& metric) const;
@@ -273,12 +305,16 @@ class HybridTree {
 
   // --- search -------------------------------------------------------------
   // Const and re-entrant: all traversal state lives in the per-query
-  // arguments and locals, never on the tree object.
-  Status SearchBoxRec(PageId page, const Box& br, const Box& query,
-                      std::vector<uint64_t>* out) const;
-  Status SearchRangeRec(PageId page, const Box& br,
-                        std::span<const float> center, double radius,
-                        const DistanceMetric& metric,
+  // scratch and locals, never on the tree object. `contained` marks that
+  // an ancestor's live box was fully inside the query, so every point
+  // below qualifies without per-point tests (scan-level pruning). The kd
+  // walks share scratch->stack across page-nesting levels via a base
+  // marker (each level only pops entries it pushed).
+  Status SearchBoxRec(PageId page, const Box& query, bool contained,
+                      SearchScratch* scratch, std::vector<uint64_t>* out) const;
+  Status SearchRangeRec(PageId page, std::span<const float> center,
+                        double radius, const DistanceMetric& metric,
+                        SearchScratch* scratch,
                         std::vector<uint64_t>* out) const;
 
   // --- maintenance --------------------------------------------------------
@@ -307,6 +343,13 @@ class HybridTree {
   /// ELS sidecar for ElsMode::kInMemory: page id -> packed leaf codes in
   /// left-to-right leaf order.
   std::unordered_map<PageId, std::vector<uint8_t>> els_sidecar_;
+
+  /// Insert-path scratch: candidate leaves collected by FindLeafForInsert,
+  /// reused across calls (cleared, capacity retained) instead of being
+  /// reallocated per visited node. Safe as a member because mutation runs
+  /// under the exclusive-write half of the concurrency protocol, and each
+  /// use completes before InsertRec recurses into the chosen child.
+  std::vector<ChildRef> insert_candidates_;
 
   /// Parsed-node cache for the read paths (searches, cursors): the decoded
   /// in-memory view of an index page, with each leaf's live box already

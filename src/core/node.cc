@@ -83,6 +83,17 @@ uint64_t DataPageScan::id(size_t i) const {
   return v;
 }
 
+const float* DataPageScan::block() const {
+  if (!ok_) return nullptr;
+  if constexpr (std::endian::native == std::endian::little) {
+    // Entries start at offset 4 with a 4-divisible stride, so every row's
+    // float payload (8 bytes past the entry start) is 4-byte aligned.
+    return reinterpret_cast<const float*>(page_ + DataNode::kHeaderBytes + 8);
+  } else {
+    return nullptr;
+  }
+}
+
 std::span<const float> DataPageScan::vec(size_t i) const {
   HT_DCHECK(i < count_);
   const uint8_t* p = page_ + DataNode::kHeaderBytes + i * stride_ + 8;

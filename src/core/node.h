@@ -73,6 +73,16 @@ class DataPageScan {
   uint64_t id(size_t i) const;
   std::span<const float> vec(size_t i) const;
 
+  /// Little-endian fast path for batch distance kernels: the page's float
+  /// payload as one contiguous row-major block. Row i's vector starts at
+  /// block() + i * stride_floats() (the next entry's 8-byte id prefix
+  /// rides along inside the stride). Returns nullptr when the page is not
+  /// a valid data page or on big-endian hosts — callers must then fall
+  /// back to per-row vec().
+  const float* block() const;
+  /// Row-to-row stride of block(), in floats (= dim + 2).
+  size_t stride_floats() const { return stride_ / sizeof(float); }
+
  private:
   const uint8_t* page_;
   uint32_t dim_;

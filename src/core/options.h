@@ -76,6 +76,13 @@ struct HybridTreeOptions {
   /// Buffer pool capacity in pages; 0 = unbounded (benchmarks measure
   /// logical accesses, which are cache-independent).
   size_t buffer_pool_pages = 0;
+
+  /// Kill switch for the batched data-page distance kernels and the
+  /// scan-level containment shortcut (forces the per-point scalar
+  /// reference hot path). Results are identical either way — this exists
+  /// for the byte-identity tests and bench_hotpath's before/after
+  /// comparison. Runtime-only: not persisted by Flush()/Open().
+  bool disable_batch_kernels = false;
 };
 
 }  // namespace ht

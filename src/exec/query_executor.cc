@@ -8,37 +8,26 @@ namespace ht {
 
 namespace {
 
-/// Runs one query against the tree's const read paths, filling `out`.
+/// Runs one query against the tree's const read paths, writing results
+/// straight into the slot's vectors through the *Into APIs so the worker's
+/// pooled scratch (and the slot's own capacity, on retry) is reused.
 void RunOne(const HybridTree& tree, const Query& q,
-            const DistanceMetric* metric, QueryResult* out) {
+            const DistanceMetric* metric, SearchScratch* scratch,
+            QueryResult* out) {
   switch (q.type) {
-    case Query::Type::kBox: {
-      auto r = tree.SearchBox(q.box);
-      if (r.ok()) {
-        out->ids = std::move(r).ValueUnsafe();
-      } else {
-        out->status = r.status();
-      }
+    case Query::Type::kBox:
+      out->status = tree.SearchBoxInto(q.box, scratch, &out->ids);
       return;
-    }
-    case Query::Type::kRange: {
-      auto r = tree.SearchRange(q.center, q.radius, *metric);
-      if (r.ok()) {
-        out->ids = std::move(r).ValueUnsafe();
-      } else {
-        out->status = r.status();
-      }
+    case Query::Type::kRange:
+      out->status =
+          tree.SearchRangeInto(q.center, q.radius, *metric, scratch,
+                               &out->ids);
       return;
-    }
-    case Query::Type::kKnn: {
-      auto r = tree.SearchKnn(q.center, q.k, *metric);
-      if (r.ok()) {
-        out->neighbors = std::move(r).ValueUnsafe();
-      } else {
-        out->status = r.status();
-      }
+    case Query::Type::kKnn:
+      out->status =
+          tree.SearchKnnInto(q.center, q.k, *metric, scratch,
+                             &out->neighbors);
       return;
-    }
   }
   out->status = Status::InvalidArgument("unknown query type");
 }
@@ -68,6 +57,9 @@ Result<BatchReport> QueryExecutor::Run(const Workload& workload,
   report.results.resize(n);
   report.per_worker_io.assign(n_workers, IoStats{});
   std::vector<std::vector<double>> worker_latencies(n_workers);
+  // One scratch per worker, persisted across Run() calls so the hot-path
+  // buffers stay warm between batches. Never shrunk.
+  if (worker_scratch_.size() < n_workers) worker_scratch_.resize(n_workers);
 
   // Shared-read phase begins: no tree mutation until the pool barrier.
   const bool was_concurrent = tree_->concurrent_reads();
@@ -82,6 +74,7 @@ Result<BatchReport> QueryExecutor::Run(const Workload& workload,
     Status submit = pool_->Submit([&, w]() -> Status {
       IoStatsScope io_scope(&report.per_worker_io[w]);
       std::vector<double>& latencies = worker_latencies[w];
+      SearchScratch& scratch = worker_scratch_[w];
       for (;;) {
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return Status::OK();
@@ -97,7 +90,8 @@ Result<BatchReport> QueryExecutor::Run(const Workload& workload,
           continue;
         }
         WallTimer t;
-        RunOne(*tree_, workload.queries[i], workload.metric, &slot);
+        RunOne(*tree_, workload.queries[i], workload.metric, &scratch,
+               &slot);
         if (slot.status.ok()) {
           slot.seconds = t.Seconds();
           latencies.push_back(slot.seconds);

@@ -24,6 +24,12 @@
 // therefore byte-identical to a single-threaded run regardless of
 // scheduling.
 //
+// Hot-path buffers: the executor pools one SearchScratch per worker,
+// persisted across queries AND across Run() batches, and routes every
+// query through the tree's *Into APIs. After each worker's first query of
+// its first batch, the steady-state search loop performs no heap
+// allocation (see core/search_scratch.h).
+//
 // Cancellation and deadlines: Run() honours an optional external cancel
 // flag and the executor's own Cancel(), checked before each query; a
 // per-batch deadline marks queries that had not started in time as
@@ -142,6 +148,9 @@ class QueryExecutor {
   HybridTree* tree_;
   ThreadPool* pool_;
   std::atomic<bool> cancel_{false};
+  /// One SearchScratch per pool worker (index = worker slot), grown in
+  /// Run() and kept warm across batches. Workers never share an entry.
+  std::vector<SearchScratch> worker_scratch_;
 };
 
 }  // namespace ht

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <memory>
 #include <span>
@@ -49,6 +50,43 @@ class DistanceMetric {
     return 0.0;
   }
 
+  // --- Batched distance kernels (query hot path) ---------------------------
+  //
+  // `pts` is a row-major block of `n` rows of q.size() host-order floats
+  // with `stride` floats between consecutive row starts — exactly the float
+  // payload of a serialized data page (see DataPageScan::block()). One
+  // virtual dispatch covers the whole page; inside, the loop runs over raw
+  // pointers and auto-vectorizes.
+  //
+  // Contract: out[i] must be bit-identical to Distance(q, row_i). Batch
+  // kernels are an execution strategy, never an approximation. The default
+  // implementation loops over rows calling the virtual Distance() — sound
+  // for every metric, and the scalar baseline bench_hotpath measures.
+  virtual void BatchDistance(std::span<const float> q, const float* pts,
+                             size_t stride, size_t n, double* out) const {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = Distance(q, std::span<const float>(pts + i * stride, q.size()));
+    }
+  }
+
+  /// Early-abandoning variant. `bound` (>= 0, may be +infinity or
+  /// numeric_limits<double>::max()) is the caller's current pruning
+  /// threshold — a query radius or the k-th candidate distance. For every
+  /// row whose true distance is <= bound, out[i] is the exact,
+  /// bit-identical distance; a row whose distance exceeds bound may be
+  /// abandoned mid-accumulation, in which case out[i] is any value > bound
+  /// (specialized kernels write +infinity). Callers must therefore only
+  /// ever test out[i] <= bound — never consume an above-bound value as a
+  /// distance. Outputs are NaN-free for NaN-free inputs. The default never
+  /// abandons (always sound).
+  virtual void BatchDistanceWithBound(std::span<const float> q,
+                                      const float* pts, size_t stride,
+                                      size_t n, double bound,
+                                      double* out) const {
+    (void)bound;
+    BatchDistance(q, pts, stride, n, out);
+  }
+
   virtual std::string Name() const = 0;
 };
 
@@ -61,6 +99,22 @@ inline double EuclideanDistance(std::span<const float> a,
     s += diff * diff;
   }
   return std::sqrt(s);
+}
+
+/// Early-abandon checkpoint interval: partial sums are tested against the
+/// bound only every kAbandonBlock dimensions so the accumulation loop stays
+/// auto-vectorizable between checkpoints (the KDTREE2 trick).
+inline constexpr size_t kAbandonBlock = 8;
+
+/// Abandon threshold in squared-distance space: the smallest partial sum
+/// that *provably* implies sqrt(full_sum) > bound. Monotone non-negative
+/// accumulation means full_sum >= partial_sum, and sqrt is correctly
+/// rounded, so a few ulps of slack over bound^2 make the implication hold
+/// under rounding; without the slack a row with distance == bound could be
+/// wrongly abandoned. +infinity (never abandon) for unbounded inputs.
+inline double AbandonSquare(double bound) {
+  const double b2 = bound * bound;
+  return b2 + 8.0 * std::numeric_limits<double>::epsilon() * b2;
 }
 }  // namespace metric_detail
 
@@ -99,7 +153,11 @@ class LpMetric : public DistanceMetric {
   }
 
   std::string Name() const override {
-    return "L" + std::to_string(p_);
+    // %g trims trailing zeros: "L2" for p = 2.0, "L2.5" for p = 2.5
+    // (std::to_string would print "L2.000000").
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "L%g", p_);
+    return buf;
   }
 
   double p() const { return p_; }
@@ -134,6 +192,38 @@ class L1Metric final : public DistanceMetric {
     // ||x||_1 >= ||x||_2, so the Euclidean gap lower-bounds the L1 gap.
     return std::max(0.0, metric_detail::EuclideanDistance(q, center) - radius);
   }
+  void BatchDistance(std::span<const float> q, const float* pts, size_t stride,
+                     size_t n, double* out) const override {
+    const size_t dim = q.size();
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = pts + i * stride;
+      double s = 0.0;
+      for (size_t d = 0; d < dim; ++d) {
+        s += std::fabs(static_cast<double>(q[d]) - row[d]);
+      }
+      out[i] = s;
+    }
+  }
+  void BatchDistanceWithBound(std::span<const float> q, const float* pts,
+                              size_t stride, size_t n, double bound,
+                              double* out) const override {
+    // L1 accumulates the distance itself, so the partial sum compares
+    // against the bound directly (monotone: abandoning is exact).
+    const size_t dim = q.size();
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = pts + i * stride;
+      double s = 0.0;
+      size_t d = 0;
+      while (d < dim) {
+        const size_t end = std::min(dim, d + metric_detail::kAbandonBlock);
+        for (; d < end; ++d) {
+          s += std::fabs(static_cast<double>(q[d]) - row[d]);
+        }
+        if (s > bound) break;
+      }
+      out[i] = d == dim ? s : std::numeric_limits<double>::infinity();
+    }
+  }
   std::string Name() const override { return "L1"; }
 };
 
@@ -162,6 +252,39 @@ class L2Metric final : public DistanceMetric {
                          std::span<const float> center,
                          double radius) const override {
     return std::max(0.0, metric_detail::EuclideanDistance(q, center) - radius);
+  }
+  void BatchDistance(std::span<const float> q, const float* pts, size_t stride,
+                     size_t n, double* out) const override {
+    const size_t dim = q.size();
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = pts + i * stride;
+      double s = 0.0;
+      for (size_t d = 0; d < dim; ++d) {
+        const double diff = static_cast<double>(q[d]) - row[d];
+        s += diff * diff;
+      }
+      out[i] = std::sqrt(s);
+    }
+  }
+  void BatchDistanceWithBound(std::span<const float> q, const float* pts,
+                              size_t stride, size_t n, double bound,
+                              double* out) const override {
+    const double b2 = metric_detail::AbandonSquare(bound);
+    const size_t dim = q.size();
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = pts + i * stride;
+      double s = 0.0;
+      size_t d = 0;
+      while (d < dim) {
+        const size_t end = std::min(dim, d + metric_detail::kAbandonBlock);
+        for (; d < end; ++d) {
+          const double diff = static_cast<double>(q[d]) - row[d];
+          s += diff * diff;
+        }
+        if (s > b2) break;
+      }
+      out[i] = d == dim ? std::sqrt(s) : std::numeric_limits<double>::infinity();
+    }
   }
   std::string Name() const override { return "L2"; }
 };
@@ -195,6 +318,40 @@ class LInfMetric final : public DistanceMetric {
     return std::max(0.0, (d2 - radius) /
                              std::sqrt(static_cast<double>(q.size())));
   }
+  void BatchDistance(std::span<const float> q, const float* pts, size_t stride,
+                     size_t n, double* out) const override {
+    const size_t dim = q.size();
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = pts + i * stride;
+      double m = 0.0;
+      for (size_t d = 0; d < dim; ++d) {
+        const double diff = std::fabs(static_cast<double>(q[d]) - row[d]);
+        if (diff > m) m = diff;
+      }
+      out[i] = m;
+    }
+  }
+  void BatchDistanceWithBound(std::span<const float> q, const float* pts,
+                              size_t stride, size_t n, double bound,
+                              double* out) const override {
+    // The running max is the distance so far; exceeding the bound once is
+    // final (max is monotone), so abandoning is exact.
+    const size_t dim = q.size();
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = pts + i * stride;
+      double m = 0.0;
+      size_t d = 0;
+      while (d < dim) {
+        const size_t end = std::min(dim, d + metric_detail::kAbandonBlock);
+        for (; d < end; ++d) {
+          const double diff = std::fabs(static_cast<double>(q[d]) - row[d]);
+          if (diff > m) m = diff;
+        }
+        if (m > bound) break;
+      }
+      out[i] = d == dim ? m : std::numeric_limits<double>::infinity();
+    }
+  }
   std::string Name() const override { return "Linf"; }
 };
 
@@ -206,7 +363,12 @@ class WeightedL2Metric final : public DistanceMetric {
  public:
   explicit WeightedL2Metric(std::vector<double> weights)
       : w_(std::move(weights)) {
-    for (double w : w_) HT_CHECK(w >= 0.0);
+    double min_w = std::numeric_limits<double>::max();
+    for (double w : w_) {
+      HT_CHECK(w >= 0.0);
+      min_w = std::min(min_w, w);
+    }
+    sqrt_min_w_ = std::sqrt(min_w);
   }
 
   double Distance(std::span<const float> a,
@@ -230,11 +392,45 @@ class WeightedL2Metric final : public DistanceMetric {
   double MinDistToSphere(std::span<const float> q,
                          std::span<const float> center,
                          double radius) const override {
-    // d_w(q,x) >= sqrt(min_d w_d) * ||q - x||_2.
-    double min_w = std::numeric_limits<double>::max();
-    for (double w : w_) min_w = std::min(min_w, w);
+    // d_w(q,x) >= sqrt(min_d w_d) * ||q - x||_2. sqrt(min_w) is fixed for
+    // the life of the metric, so it is computed once in the constructor.
     const double d2 = metric_detail::EuclideanDistance(q, center);
-    return std::sqrt(min_w) * std::max(0.0, d2 - radius);
+    return sqrt_min_w_ * std::max(0.0, d2 - radius);
+  }
+  void BatchDistance(std::span<const float> q, const float* pts, size_t stride,
+                     size_t n, double* out) const override {
+    const size_t dim = q.size();
+    const double* w = w_.data();
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = pts + i * stride;
+      double s = 0.0;
+      for (size_t d = 0; d < dim; ++d) {
+        const double diff = static_cast<double>(q[d]) - row[d];
+        s += w[d] * diff * diff;
+      }
+      out[i] = std::sqrt(s);
+    }
+  }
+  void BatchDistanceWithBound(std::span<const float> q, const float* pts,
+                              size_t stride, size_t n, double bound,
+                              double* out) const override {
+    const double b2 = metric_detail::AbandonSquare(bound);
+    const size_t dim = q.size();
+    const double* w = w_.data();
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = pts + i * stride;
+      double s = 0.0;
+      size_t d = 0;
+      while (d < dim) {
+        const size_t end = std::min(dim, d + metric_detail::kAbandonBlock);
+        for (; d < end; ++d) {
+          const double diff = static_cast<double>(q[d]) - row[d];
+          s += w[d] * diff * diff;
+        }
+        if (s > b2) break;
+      }
+      out[i] = d == dim ? std::sqrt(s) : std::numeric_limits<double>::infinity();
+    }
   }
   std::string Name() const override { return "WeightedL2"; }
 
@@ -242,6 +438,7 @@ class WeightedL2Metric final : public DistanceMetric {
 
  private:
   std::vector<double> w_;
+  double sqrt_min_w_ = 0.0;
 };
 
 /// Generalized ellipsoid (quadratic-form) distance

@@ -104,7 +104,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   } else {
     f = it->second.get();
     if (f->in_lru) {
-      shard.lru.erase(f->lru_it);
+      shard.lru_spares.splice(shard.lru_spares.begin(), shard.lru, f->lru_it);
       f->in_lru = false;
     }
   }
@@ -161,7 +161,13 @@ void BufferPool::Unpin(PageId id, Frame* f) {
   auto lock = LockShard(shard);
   HT_CHECK(f != nullptr && f->pins > 0);
   if (--f->pins == 0) {
-    shard.lru.push_front(id);
+    if (!shard.lru_spares.empty()) {
+      shard.lru_spares.front() = id;
+      shard.lru.splice(shard.lru.begin(), shard.lru_spares,
+                       shard.lru_spares.begin());
+    } else {
+      shard.lru.push_front(id);
+    }
     f->lru_it = shard.lru.begin();
     f->in_lru = true;
   }

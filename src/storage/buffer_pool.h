@@ -197,6 +197,11 @@ class BufferPool {
     mutable std::mutex mu;
     std::unordered_map<PageId, std::unique_ptr<Frame>> frames;
     std::list<PageId> lru;  // front = most recent; unpinned frames only
+    /// Recycled LRU nodes: the pin/unpin hot path moves nodes between
+    /// `lru` and this list with splice() instead of erasing/reinserting,
+    /// so a warm Fetch/Release cycle performs no heap allocation. Bounded
+    /// by the peak number of simultaneously pinned frames.
+    std::list<PageId> lru_spares;
     IoStats stats;
   };
 

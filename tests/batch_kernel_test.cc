@@ -1,0 +1,285 @@
+// Property tests for the batched data-page distance kernels
+// (DistanceMetric::BatchDistance / BatchDistanceWithBound) and for the
+// end-to-end byte-identity of the batched query hot path against the
+// scalar reference path (HybridTreeOptions::disable_batch_kernels).
+//
+// The batch-kernel contract under test (see geometry/metrics.h):
+//  * BatchDistance(q, pts, stride, n, out) writes out[i] bit-identical to
+//    Distance(q, row_i) for every row.
+//  * BatchDistanceWithBound(q, ..., bound, out) writes out[i]
+//    bit-identical to Distance(q, row_i) whenever that distance is
+//    <= bound; abandoned rows only promise out[i] > bound. Callers may
+//    only test out[i] <= bound.
+//  * No NaNs are produced for finite inputs, including abandoned rows.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/hybrid_tree.h"
+#include "core/node.h"
+#include "data/generators.h"
+#include "geometry/metrics.h"
+
+namespace ht {
+namespace {
+
+constexpr size_t kPageSize = 16384;
+
+/// Builds the metric under test by index (owning pointer so the fixture
+/// can sweep heterogeneous metric types).
+std::unique_ptr<DistanceMetric> MakeMetric(int which, uint32_t dim) {
+  switch (which) {
+    case 0:
+      return std::make_unique<L1Metric>();
+    case 1:
+      return std::make_unique<L2Metric>();
+    case 2:
+      return std::make_unique<LInfMetric>();
+    case 3: {
+      std::vector<double> w(dim);
+      for (uint32_t d = 0; d < dim; ++d) w[d] = 0.25 + 0.1 * d;
+      return std::make_unique<WeightedL2Metric>(std::move(w));
+    }
+    case 4:
+      // Generic Lp: exercises the default (virtual per-row) batch path.
+      return std::make_unique<LpMetric>(2.5);
+    default: {
+      // Identity quadratic form: also the default batch path.
+      std::vector<double> eye(static_cast<size_t>(dim) * dim, 0.0);
+      for (uint32_t d = 0; d < dim; ++d) eye[static_cast<size_t>(d) * dim + d] = 1.0;
+      return std::make_unique<QuadraticFormMetric>(dim, std::move(eye));
+    }
+  }
+}
+
+Dataset MakeData(int which, size_t n, uint32_t dim, Rng& rng) {
+  switch (which) {
+    case 0:
+      return GenFourier(n, dim, rng);
+    case 1:
+      return GenColhist(n, dim, rng);
+    default:
+      return GenUniform(n, dim, rng);
+  }
+}
+
+/// Serializes rows of `data` (plus edge rows) into a data page and returns
+/// the scan. The query vector is appended as a row too (distance 0 edge).
+DataNode FillNode(const Dataset& data, uint32_t dim,
+                  const std::vector<float>& query) {
+  DataNode node;
+  const size_t capacity = DataNode::Capacity(dim, kPageSize);
+  const size_t n = std::min(data.size(), capacity - 3);
+  for (size_t i = 0; i < n; ++i) {
+    const auto row = data.Row(i);
+    node.entries.push_back({i, std::vector<float>(row.begin(), row.end())});
+  }
+  // Edge rows: all-zero, all-one, and an exact copy of the query.
+  node.entries.push_back({9000, std::vector<float>(dim, 0.0f)});
+  node.entries.push_back({9001, std::vector<float>(dim, 1.0f)});
+  node.entries.push_back({9002, query});
+  return node;
+}
+
+struct KernelCase {
+  int metric;
+  int dataset;
+  uint32_t dim;
+};
+
+std::string KernelCaseName(const ::testing::TestParamInfo<KernelCase>& info) {
+  static const char* kMetrics[] = {"L1",  "L2",  "LInf",
+                                   "WL2", "Lp25", "Quad"};
+  static const char* kData[] = {"fourier", "colhist", "uniform"};
+  const KernelCase& c = info.param;
+  return std::string(kMetrics[c.metric]) + "_" + kData[c.dataset] + "_d" +
+         std::to_string(c.dim);
+}
+
+class BatchKernelSweep : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(BatchKernelSweep, BitIdenticalToScalar) {
+  const KernelCase& c = GetParam();
+  Rng rng(4242 + c.metric * 7 + c.dataset * 3 + c.dim);
+  Dataset data = MakeData(c.dataset, 200, c.dim, rng);
+  auto metric = MakeMetric(c.metric, c.dim);
+
+  std::vector<float> query(c.dim);
+  for (uint32_t d = 0; d < c.dim; ++d) {
+    query[d] = static_cast<float>(rng.NextDouble());
+  }
+
+  DataNode node = FillNode(data, c.dim, query);
+  std::vector<uint8_t> page(kPageSize);
+  node.Serialize(page.data(), kPageSize, c.dim);
+  DataPageScan scan(page.data(), kPageSize, c.dim);
+  ASSERT_TRUE(scan.ok());
+  const size_t n = scan.count();
+  ASSERT_EQ(n, node.entries.size());
+  const float* blk = scan.block();
+  if (blk == nullptr) GTEST_SKIP() << "big-endian host: no block fast path";
+
+  // Scalar reference, computed through the per-row virtual interface.
+  std::vector<double> ref(n);
+  for (size_t i = 0; i < n; ++i) ref[i] = metric->Distance(query, scan.vec(i));
+
+  // Unbounded kernel: bit-identical everywhere.
+  std::vector<double> batch(n, -1.0);
+  metric->BatchDistance(query, blk, scan.stride_floats(), n, batch.data());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_FALSE(std::isnan(batch[i])) << "row " << i;
+    ASSERT_EQ(std::bit_cast<uint64_t>(batch[i]), std::bit_cast<uint64_t>(ref[i]))
+        << "row " << i << ": batch " << batch[i] << " vs scalar " << ref[i];
+  }
+
+  // Bounded kernel at several bounds, including 0, a mid quantile and
+  // +inf (where it must agree with the unbounded kernel everywhere).
+  std::vector<double> sorted_ref = ref;
+  std::sort(sorted_ref.begin(), sorted_ref.end());
+  const double bounds[] = {0.0, sorted_ref[n / 4], sorted_ref[n / 2],
+                           sorted_ref[n - 1],
+                           std::numeric_limits<double>::infinity()};
+  for (double bound : bounds) {
+    std::vector<double> bd(n, -1.0);
+    metric->BatchDistanceWithBound(query, blk, scan.stride_floats(), n, bound,
+                                   bd.data());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_FALSE(std::isnan(bd[i])) << "row " << i << " bound " << bound;
+      if (ref[i] <= bound) {
+        ASSERT_EQ(std::bit_cast<uint64_t>(bd[i]),
+                  std::bit_cast<uint64_t>(ref[i]))
+            << "row " << i << " bound " << bound;
+      } else {
+        ASSERT_GT(bd[i], bound) << "row " << i;
+      }
+    }
+  }
+}
+
+TEST_P(BatchKernelSweep, EmptyPageIsANoOp) {
+  const KernelCase& c = GetParam();
+  auto metric = MakeMetric(c.metric, c.dim);
+  DataNode empty;
+  std::vector<uint8_t> page(kPageSize);
+  empty.Serialize(page.data(), kPageSize, c.dim);
+  DataPageScan scan(page.data(), kPageSize, c.dim);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan.count(), 0u);
+  const std::vector<float> query(c.dim, 0.5f);
+  double sentinel = -7.0;
+  // n == 0 must not read pts or write out (pts may be null-ish here).
+  metric->BatchDistance(query, scan.block(), scan.stride_floats(), 0,
+                        &sentinel);
+  metric->BatchDistanceWithBound(query, scan.block(), scan.stride_floats(), 0,
+                                 0.5, &sentinel);
+  EXPECT_EQ(sentinel, -7.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetricsDataDims, BatchKernelSweep,
+    ::testing::ValuesIn([] {
+      std::vector<KernelCase> cases;
+      for (int m = 0; m < 6; ++m) {
+        for (int ds = 0; ds < 3; ++ds) {
+          for (uint32_t dim : {8u, 16u, 32u}) {
+            cases.push_back({m, ds, dim});
+          }
+        }
+      }
+      return cases;
+    }()),
+    KernelCaseName);
+
+// ---------------------------------------------------------------------------
+// End-to-end byte-identity: batched hot path vs scalar reference path.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<HybridTree> BuildTree(const Dataset& data, uint32_t dim,
+                                      bool disable_batch, MemPagedFile* file) {
+  HybridTreeOptions o;
+  o.dim = dim;
+  o.page_size = 4096;
+  o.disable_batch_kernels = disable_batch;
+  auto tree = HybridTree::Create(o, file).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_TRUE(tree->Insert(data.Row(i), i).ok());
+  }
+  return tree;
+}
+
+TEST(BatchPathByteIdentity, BoxRangeKnnMatchScalarPath) {
+  const uint32_t dim = 16;
+  Rng rng(515);
+  Dataset data = GenFourier(3000, dim, rng);
+
+  MemPagedFile f_batch(4096), f_scalar(4096);
+  auto batch_tree = BuildTree(data, dim, /*disable_batch=*/false, &f_batch);
+  auto scalar_tree = BuildTree(data, dim, /*disable_batch=*/true, &f_scalar);
+
+  L2Metric l2;
+  L1Metric l1;
+  for (int q = 0; q < 25; ++q) {
+    std::vector<float> center(dim), lo(dim), hi(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      center[d] = static_cast<float>(rng.NextDouble());
+      const float side = static_cast<float>(0.1 + 0.4 * rng.NextDouble());
+      lo[d] = center[d] - side;
+      hi[d] = center[d] + side;
+    }
+    Box box = Box::FromBounds(lo, hi);
+
+    // Box: identical ids in identical order (exercises per-point and,
+    // with the unit cube below, the scan-level containment path).
+    auto b0 = batch_tree->SearchBox(box).ValueOrDie();
+    auto b1 = scalar_tree->SearchBox(box).ValueOrDie();
+    EXPECT_EQ(b0, b1) << "box query " << q;
+
+    // Range: bounded kernel vs scalar loop.
+    const double radius = 0.2 + 0.6 * rng.NextDouble();
+    auto r0 = batch_tree->SearchRange(center, radius, l2).ValueOrDie();
+    auto r1 = scalar_tree->SearchRange(center, radius, l2).ValueOrDie();
+    EXPECT_EQ(r0, r1) << "range query " << q;
+    auto r2 = batch_tree->SearchRange(center, radius, l1).ValueOrDie();
+    auto r3 = scalar_tree->SearchRange(center, radius, l1).ValueOrDie();
+    EXPECT_EQ(r2, r3) << "L1 range query " << q;
+
+    // k-NN: bit-identical (distance, id) pairs in identical order.
+    for (size_t k : {1u, 10u, 64u}) {
+      auto n0 = batch_tree->SearchKnn(center, k, l2).ValueOrDie();
+      auto n1 = scalar_tree->SearchKnn(center, k, l2).ValueOrDie();
+      ASSERT_EQ(n0.size(), n1.size()) << "knn query " << q << " k " << k;
+      for (size_t i = 0; i < n0.size(); ++i) {
+        EXPECT_EQ(std::bit_cast<uint64_t>(n0[i].first),
+                  std::bit_cast<uint64_t>(n1[i].first))
+            << "knn query " << q << " k " << k << " rank " << i;
+        EXPECT_EQ(n0[i].second, n1[i].second)
+            << "knn query " << q << " k " << k << " rank " << i;
+      }
+    }
+  }
+
+  // The whole space: every leaf is contained, so the batched tree takes
+  // the scan-level "emit everything" shortcut on every data page.
+  auto all0 = batch_tree->SearchBox(Box::UnitCube(dim)).ValueOrDie();
+  auto all1 = scalar_tree->SearchBox(Box::UnitCube(dim)).ValueOrDie();
+  EXPECT_EQ(all0, all1);
+  EXPECT_EQ(all0.size(), data.size());
+}
+
+// Satellite: Lp metric names are trimmed ("L2", not "L2.000000").
+TEST(MetricNameTest, LpNamesAreTrimmed) {
+  EXPECT_EQ(LpMetric(2.0).Name(), "L2");
+  EXPECT_EQ(LpMetric(1.0).Name(), "L1");
+  EXPECT_EQ(LpMetric(2.5).Name(), "L2.5");
+}
+
+}  // namespace
+}  // namespace ht
