@@ -65,7 +65,7 @@ int main() {
   std::printf("\nThroughput vs worker threads (batch of %zu queries):\n",
               w.queries.size());
   TablePrinter table({"threads", "wall (s)", "QPS", "speedup", "p50 (us)",
-                      "p95 (us)", "p99 (us)", "reads/query"});
+                      "p95 (us)", "p99 (us)", "reads/query", "hit rate"});
   double qps_1 = 0.0;
   std::vector<QueryResult> reference;
   bool all_match = true;
@@ -95,7 +95,8 @@ int main() {
          TablePrinter::Num(report.latency.p99 * 1e6, 0),
          TablePrinter::Num(static_cast<double>(report.io.logical_reads) /
                                static_cast<double>(report.completed),
-                           1)});
+                           1),
+         TablePrinter::Num(tree->pool().StatsSnapshot().HitRate(), 3)});
   }
   table.Print();
   std::printf("Cross-check vs 1 worker: results %s\n",

@@ -69,7 +69,8 @@ Result<std::unique_ptr<HybridTree>> HybridTree::Create(
   return tree;
 }
 
-Result<std::unique_ptr<HybridTree>> HybridTree::Open(PagedFile* file) {
+Result<std::unique_ptr<HybridTree>> HybridTree::Open(PagedFile* file,
+                                                     size_t buffer_pool_pages) {
   if (file->page_count() == 0) {
     return Status::InvalidArgument("Open requires a non-empty file");
   }
@@ -102,6 +103,7 @@ Result<std::unique_ptr<HybridTree>> HybridTree::Open(PagedFile* file) {
   if (options.page_size != file->page_size()) {
     return Status::Corruption("meta page size mismatch");
   }
+  options.buffer_pool_pages = buffer_pool_pages;
 
   auto tree = std::unique_ptr<HybridTree>(new HybridTree(options, file));
   tree->meta_page_ = 0;
@@ -650,6 +652,7 @@ Status HybridTree::SearchBoxInto(const Box& query, SearchScratch* scratch,
   SearchScratch local;
   if (scratch == nullptr) scratch = &local;
   scratch->stack.clear();
+  scratch->descents.clear();
   return SearchBoxRec(root_, query, /*contained=*/false, scratch, out);
 }
 
@@ -683,9 +686,14 @@ Status HybridTree::SearchBoxRec(PageId page, const Box& query, bool contained,
   // decoded live box. Iterative preorder (left first, matching the
   // recursive formulation) over the shared scratch stack: this level only
   // pops entries above its own base, so nested page descents can reuse the
-  // same stack.
+  // same stack. Qualifying children are collected first and descended
+  // second, so the whole batch can be prefetched in one round trip; the
+  // descent order is the walk's preorder, keeping results byte-identical
+  // with prefetch on or off.
   auto& stack = scratch->stack;
+  auto& descents = scratch->descents;
   const size_t base = stack.size();
+  const size_t dbase = descents.size();
   stack.push_back(node->root.get());
   while (stack.size() > base) {
     const KdNode* n = stack.back();
@@ -700,12 +708,7 @@ Status HybridTree::SearchBoxRec(PageId page, const Box& query, bool contained,
         child_contained = !options_.disable_batch_kernels &&
                           query.ContainsBox(n->cached_live);
       }
-      const Status st =
-          SearchBoxRec(n->child, query, child_contained, scratch, out);
-      if (!st.ok()) {
-        stack.resize(base);  // drop this level's pending entries
-        return st;
-      }
+      descents.push_back(SearchScratch::Descent{n->child, child_contained});
       continue;
     }
     const uint32_t d = n->split_dim;
@@ -713,6 +716,23 @@ Status HybridTree::SearchBoxRec(PageId page, const Box& query, bool contained,
     if (contained || query.hi(d) >= n->rsp) stack.push_back(n->right.get());
     if (contained || query.lo(d) <= n->lsp) stack.push_back(n->left.get());
   }
+  if (options_.prefetch_depth > 0 && descents.size() - dbase > 1) {
+    auto& ids = scratch->prefetch_ids;
+    ids.clear();
+    for (size_t i = dbase; i < descents.size(); ++i) {
+      ids.push_back(descents[i].page);
+    }
+    pool_->Prefetch(ids);
+  }
+  for (size_t i = dbase; i < descents.size(); ++i) {
+    const Status st = SearchBoxRec(descents[i].page, query,
+                                   descents[i].contained, scratch, out);
+    if (!st.ok()) {
+      descents.resize(dbase);  // drop this level's pending entries
+      return st;
+    }
+  }
+  descents.resize(dbase);
   return Status::OK();
 }
 
@@ -745,13 +765,25 @@ Status HybridTree::ScanAll(
     HT_ASSIGN_OR_RETURN(std::shared_ptr<const IndexNode> node,
                         ReadIndexNodeCached(page, h.data(), h.size()));
     h.Release();
-    std::function<Status(const KdNode*)> walk =
-        [&](const KdNode* n) -> Status {
-      if (n->IsLeaf()) return rec(n->child);
-      HT_RETURN_NOT_OK(walk(n->left.get()));
-      return walk(n->right.get());
+    // Read-ahead: an index node commits to visiting every child, so batch
+    // the whole fanout into one prefetch round trip before descending
+    // (bulk-loaded trees allocate children contiguously, so this coalesces
+    // into sequential vectored reads).
+    std::vector<PageId> children;
+    std::function<void(const KdNode*)> collect = [&](const KdNode* n) {
+      if (n->IsLeaf()) {
+        children.push_back(n->child);
+        return;
+      }
+      collect(n->left.get());
+      collect(n->right.get());
     };
-    return walk(node->root.get());
+    collect(node->root.get());
+    if (options_.prefetch_depth > 0 && children.size() > 1) {
+      pool_->Prefetch(children);
+    }
+    for (PageId child : children) HT_RETURN_NOT_OK(rec(child));
+    return Status::OK();
   };
   return rec(root_);
 }
@@ -777,6 +809,7 @@ Status HybridTree::SearchRangeInto(std::span<const float> center,
   SearchScratch local;
   if (scratch == nullptr) scratch = &local;
   scratch->stack.clear();
+  scratch->descents.clear();
   return SearchRangeRec(root_, center, radius, metric, scratch, out);
 }
 
@@ -817,26 +850,41 @@ Status HybridTree::SearchRangeRec(PageId page, std::span<const float> center,
   h.Release();
 
   // Pruning happens at the leaves' live boxes (MINDIST > radius); internal
-  // kd nodes only route the left-first preorder walk.
+  // kd nodes only route the left-first preorder walk. As in SearchBoxRec,
+  // children are collected, batch-prefetched, then descended in preorder.
   auto& stack = scratch->stack;
+  auto& descents = scratch->descents;
   const size_t base = stack.size();
+  const size_t dbase = descents.size();
   stack.push_back(node->root.get());
   while (stack.size() > base) {
     const KdNode* n = stack.back();
     stack.pop_back();
     if (n->IsLeaf()) {
       if (metric.MinDistToBox(center, n->cached_live) > radius) continue;
-      const Status st =
-          SearchRangeRec(n->child, center, radius, metric, scratch, out);
-      if (!st.ok()) {
-        stack.resize(base);
-        return st;
-      }
+      descents.push_back(SearchScratch::Descent{n->child, false});
       continue;
     }
     stack.push_back(n->right.get());
     stack.push_back(n->left.get());
   }
+  if (options_.prefetch_depth > 0 && descents.size() - dbase > 1) {
+    auto& ids = scratch->prefetch_ids;
+    ids.clear();
+    for (size_t i = dbase; i < descents.size(); ++i) {
+      ids.push_back(descents[i].page);
+    }
+    pool_->Prefetch(ids);
+  }
+  for (size_t i = dbase; i < descents.size(); ++i) {
+    const Status st = SearchRangeRec(descents[i].page, center, radius, metric,
+                                     scratch, out);
+    if (!st.ok()) {
+      descents.resize(dbase);
+      return st;
+    }
+  }
+  descents.resize(dbase);
   return Status::OK();
 }
 
@@ -912,10 +960,40 @@ Status HybridTree::SearchKnnApproxInto(
     }
   };
 
+  const size_t prefetch_depth = options_.prefetch_depth;
+  const auto frontier_lt = [](const SearchScratch::PageRef& a,
+                              const SearchScratch::PageRef& b) {
+    return a.dist < b.dist;
+  };
+
   while (!frontier.empty() && frontier.front().dist * prune_factor <= kth()) {
     std::pop_heap(frontier.begin(), frontier.end(), frontier_gt);
     const SearchScratch::PageRef item = frontier.back();
     frontier.pop_back();
+    if (prefetch_depth > 0 && !pool_->Cached(item.page)) {
+      // Frontier-driven prefetch: batch the popped page with the next-best
+      // prefetch_depth frontier pages that survive the current prune bound
+      // (they are the pages the traversal will pop next unless the bound
+      // tightens). Gated on the popped page missing the pool: while the
+      // traversal pops pages a previous batch brought in, no I/O is issued
+      // at all, so blocking round trips collapse to roughly
+      // pops / (depth + 1) instead of one per pop.
+      auto& ids = scratch->prefetch_ids;
+      ids.clear();
+      ids.push_back(item.page);
+      auto& top = scratch->prefetch_top;
+      const size_t b = std::min(prefetch_depth, frontier.size());
+      if (b > 0) {
+        top.resize(b);
+        std::partial_sort_copy(frontier.begin(), frontier.end(), top.begin(),
+                               top.end(), frontier_lt);
+        const double bound = kth();
+        for (const auto& r : top) {
+          if (r.dist * prune_factor <= bound) ids.push_back(r.page);
+        }
+      }
+      pool_->Prefetch(ids);
+    }
     HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(item.page));
     const NodeKind kind = PeekNodeKind(h.data());
     if (kind == NodeKind::kData) {
@@ -1128,6 +1206,21 @@ Result<Box> HybridTree::RebuildElsRec(PageId page, const Box& br) {
   }
   HT_ASSIGN_OR_RETURN(IndexNode node, ReadIndexNode(page));
   Box node_live = Box::Empty(options_.dim);
+  // Read-ahead for the Open()-path DFS: every child will be visited, so
+  // batch the fanout into one round trip before recursing.
+  if (options_.prefetch_depth > 0) {
+    std::vector<PageId> children;
+    std::function<void(const KdNode*)> collect = [&](const KdNode* n) {
+      if (n->IsLeaf()) {
+        children.push_back(n->child);
+        return;
+      }
+      collect(n->left.get());
+      collect(n->right.get());
+    };
+    collect(node.root.get());
+    if (children.size() > 1) pool_->Prefetch(children);
+  }
   std::function<Status(KdNode*, const Box&)> rec =
       [&](KdNode* n, const Box& nbr) -> Status {
     if (n->IsLeaf()) {

@@ -72,10 +72,13 @@ class HybridTree {
       const HybridTreeOptions& options, PagedFile* file);
 
   /// Opens a tree previously persisted via Flush(). Options are read back
-  /// from the metadata page; `buffer_pool_pages` may be overridden. With
-  /// ElsMode::kInMemory the ELS sidecar is rebuilt by one DFS over the
-  /// tree (codes are exact after the rebuild).
-  static Result<std::unique_ptr<HybridTree>> Open(PagedFile* file);
+  /// from the metadata page; `buffer_pool_pages` overrides the pool
+  /// capacity (0 = unbounded, the persisted default — runtime knobs are
+  /// not stored in the metadata page). With ElsMode::kInMemory the ELS
+  /// sidecar is rebuilt by one DFS over the tree (codes are exact after
+  /// the rebuild).
+  static Result<std::unique_ptr<HybridTree>> Open(
+      PagedFile* file, size_t buffer_pool_pages = 0);
 
   /// Inserts a point (coordinates must lie in the normalized feature space
   /// [0,1]^dim). Duplicate (point, id) pairs are allowed.
@@ -205,6 +208,13 @@ class HybridTree {
   /// mode is off (no locks are taken anywhere on the read path).
   Status SetConcurrentReads(bool on);
   bool concurrent_reads() const { return concurrent_reads_; }
+
+  /// Sets the frontier-driven prefetch depth (see
+  /// HybridTreeOptions::prefetch_depth). Like SetConcurrentReads, flip it
+  /// only under write exclusivity (no query in flight); queries read the
+  /// value without synchronization.
+  void SetPrefetchDepth(size_t depth) { options_.prefetch_depth = depth; }
+  size_t prefetch_depth() const { return options_.prefetch_depth; }
 
   /// Maximum entries per data node at the current configuration.
   size_t data_node_capacity() const { return data_capacity_; }

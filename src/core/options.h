@@ -83,6 +83,16 @@ struct HybridTreeOptions {
   /// for the byte-identity tests and bench_hotpath's before/after
   /// comparison. Runtime-only: not persisted by Flush()/Open().
   bool disable_batch_kernels = false;
+
+  /// Frontier-driven prefetch depth for the cold-cache I/O pipeline: on
+  /// each best-first k-NN pop the tree prefetches up to this many
+  /// next-best frontier pages alongside the popped one, and box/range
+  /// descents prefetch all qualifying children of an index node before
+  /// recursing. 0 disables prefetch (the default, and the paper's access
+  /// pattern). Results and logical-read counts are identical at any
+  /// depth — prefetch only batches and overlaps physical I/O. Runtime-only:
+  /// not persisted by Flush()/Open(); adjustable via SetPrefetchDepth().
+  size_t prefetch_depth = 0;
 };
 
 }  // namespace ht

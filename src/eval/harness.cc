@@ -108,11 +108,14 @@ Result<QueryCosts> RunWorkload(SpatialIndex* index, size_t n, RunOne run) {
   QueryCosts costs;
   costs.queries = n;
   uint64_t total_accesses = 0;
+  uint64_t total_physical = 0;
   uint64_t total_results = 0;
   for (size_t q = 0; q < n; ++q) {
     index->pool().ResetStats();
     HT_ASSIGN_OR_RETURN(size_t results, run(q));
-    total_accesses += index->pool().stats().logical_reads;
+    const IoStats io = index->pool().stats();
+    total_accesses += io.logical_reads;
+    total_physical += io.physical_reads;
     total_results += results;
   }
   // Timing pass: the queries are single-threaded and CPU-bound (all pages
@@ -131,6 +134,14 @@ Result<QueryCosts> RunWorkload(SpatialIndex* index, size_t n, RunOne run) {
   } while (timer.Seconds() < 0.05 && reps < 1000);
   costs.avg_accesses =
       static_cast<double>(total_accesses) / static_cast<double>(n);
+  costs.avg_physical =
+      static_cast<double>(total_physical) / static_cast<double>(n);
+  {
+    IoStats window;
+    window.logical_reads = total_accesses;
+    window.physical_reads = total_physical;
+    costs.hit_rate = window.HitRate();
+  }
   costs.avg_cpu_seconds =
       timer.Seconds() / (static_cast<double>(reps) * static_cast<double>(n));
   costs.avg_results =

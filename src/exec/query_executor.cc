@@ -48,6 +48,12 @@ Result<BatchReport> QueryExecutor::Run(const Workload& workload,
     }
   }
 
+  if (options.io_pool == pool_ && options.io_pool != nullptr) {
+    return Status::InvalidArgument(
+        "io_pool must be distinct from the query pool (prefetch fills "
+        "queued behind queries that wait on them would deadlock)");
+  }
+
   cancel_.store(false, std::memory_order_relaxed);
 
   const size_t n = workload.queries.size();
@@ -64,6 +70,19 @@ Result<BatchReport> QueryExecutor::Run(const Workload& workload,
   // Shared-read phase begins: no tree mutation until the pool barrier.
   const bool was_concurrent = tree_->concurrent_reads();
   HT_RETURN_NOT_OK(tree_->SetConcurrentReads(true));
+  if (options.io_pool != nullptr) {
+    // Route prefetch fills to the dedicated I/O pool for this batch. The
+    // adapter keeps storage independent of exec (it only sees a callable).
+    ThreadPool* io = options.io_pool;
+    tree_->pool().SetPrefetchExecutor([io](std::function<void()> fill) {
+      return io
+          ->Submit([f = std::move(fill)]() mutable {
+            f();
+            return Status::OK();
+          })
+          .ok();
+    });
+  }
 
   std::atomic<size_t> next{0};
   WallTimer batch_timer;
@@ -100,6 +119,7 @@ Result<BatchReport> QueryExecutor::Run(const Workload& workload,
     });
     if (!submit.ok()) {
       (void)pool_->Wait();
+      if (options.io_pool != nullptr) tree_->pool().SetPrefetchExecutor(nullptr);
       (void)tree_->SetConcurrentReads(was_concurrent);
       return submit;
     }
@@ -108,7 +128,10 @@ Result<BatchReport> QueryExecutor::Run(const Workload& workload,
   Status pool_status = pool_->Wait();
   report.wall_seconds = batch_timer.Seconds();
 
-  // Shared-read phase over; restore the serial configuration.
+  // Shared-read phase over: detach the prefetch executor (blocks until
+  // in-flight fills drain — they reference this batch's buffer pool
+  // state), then restore the serial configuration.
+  if (options.io_pool != nullptr) tree_->pool().SetPrefetchExecutor(nullptr);
   HT_RETURN_NOT_OK(tree_->SetConcurrentReads(was_concurrent));
   HT_RETURN_NOT_OK(pool_status);
 

@@ -100,6 +100,14 @@ struct ExecOptions {
   double deadline_seconds = 0.0;
   /// Optional external cancellation flag, polled before each query.
   const std::atomic<bool>* cancel = nullptr;
+  /// Optional dedicated I/O pool for async prefetch fills: when set, Run()
+  /// attaches it to the tree's buffer pool for the duration of the batch
+  /// (see BufferPool::SetPrefetchExecutor), so queries with a nonzero
+  /// prefetch depth overlap their cold-cache reads with computation. MUST
+  /// be a different pool from the query pool — a fill task queued behind
+  /// the very queries waiting for it would deadlock the batch; Run()
+  /// rejects io_pool == the query pool. Not owned; must outlive Run().
+  ThreadPool* io_pool = nullptr;
 };
 
 /// Outcome of one query. Exactly one of `ids` / `neighbors` is populated

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+
 namespace ht {
 
 namespace {
@@ -43,12 +45,14 @@ BufferPool::BufferPool(PagedFile* file, size_t capacity_pages)
     : file_(file), capacity_(capacity_pages), shard_capacity_(capacity_pages) {}
 
 BufferPool::~BufferPool() {
+  DrainPrefetch();
   // Best effort write-back; durability requires an explicit FlushAll.
   (void)FlushAll();
 }
 
 Status BufferPool::SetConcurrentMode(bool on) {
   if (on == concurrent_) return Status::OK();
+  DrainPrefetch();
   if (pinned_frames() != 0) {
     return Status::InvalidArgument(
         "BufferPool mode switch requires no pinned frames");
@@ -88,28 +92,286 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   auto lock = LockShard(shard);
   ++shard.stats.logical_reads;
   if (IoStats* tls = g_tls_io_sink) ++tls->logical_reads;
-  Frame* f;
-  auto it = shard.frames.find(id);
-  if (it == shard.frames.end()) {
-    HT_RETURN_NOT_OK(EvictOneIfNeeded(shard));
-    auto frame = std::make_unique<Frame>(file_->page_size());
-    {
-      auto flock = LockFile();
-      HT_RETURN_NOT_OK(file_->Read(id, &frame->page));
+  bool checked_inflight = false;
+  for (;;) {
+    auto it = shard.frames.find(id);
+    if (it != shard.frames.end()) {
+      Frame* f = it->second.get();
+      if (f->prefetched) {
+        f->prefetched = false;
+        ++shard.stats.prefetch_hits;
+        if (IoStats* tls = g_tls_io_sink) ++tls->prefetch_hits;
+      }
+      if (f->in_lru) {
+        shard.lru_spares.splice(shard.lru_spares.begin(), shard.lru,
+                                f->lru_it);
+        f->in_lru = false;
+      }
+      ++f->pins;
+      return PageHandle(this, id, f);
     }
-    ++shard.stats.physical_reads;
-    if (IoStats* tls = g_tls_io_sink) ++tls->physical_reads;
-    f = frame.get();
-    shard.frames.emplace(id, std::move(frame));
-  } else {
-    f = it->second.get();
-    if (f->in_lru) {
-      shard.lru_spares.splice(shard.lru_spares.begin(), shard.lru, f->lru_it);
-      f->in_lru = false;
+    // Miss. If an async prefetch of this page is in flight, wait for the
+    // fill instead of issuing a duplicate read, then re-check the map.
+    // The atomic fast path keeps the no-prefetch miss free of prefetch_mu_
+    // traffic; the guard also keeps serial mode (non-owning shard lock)
+    // out of the unlock/relock dance. The dance runs at most once: the
+    // shard lock is dropped during it, so the map MUST be re-checked
+    // afterwards (a racing Fetch/fill may have installed the frame in the
+    // window — installing a duplicate would dangle the returned pin), and
+    // the one-shot guard keeps a busy in-flight set elsewhere in the pool
+    // from looping this fetch forever.
+    if (concurrent_ && !checked_inflight &&
+        inflight_count_.load(std::memory_order_acquire) > 0) {
+      checked_inflight = true;
+      lock.unlock();
+      {
+        std::unique_lock<std::mutex> pl(prefetch_mu_);
+        while (inflight_.count(id) != 0) {
+          prefetch_cv_.wait(pl);
+        }
+      }
+      lock.lock();
+      // The fill installed the frame (retry finds it) or dropped it
+      // (no room / read error: retry falls through to a normal miss).
+      continue;
+    }
+    break;
+  }
+  HT_RETURN_NOT_OK(EvictOneIfNeeded(shard));
+  auto frame = std::make_unique<Frame>(file_->page_size());
+  {
+    // Shared lock: positional reads run concurrently with each other and
+    // only exclude allocation/extension and write-back.
+    auto flock = LockFileShared();
+    HT_RETURN_NOT_OK(file_->Read(id, &frame->page));
+  }
+  ++shard.stats.physical_reads;
+  if (IoStats* tls = g_tls_io_sink) ++tls->physical_reads;
+  Frame* f = frame.get();
+  f->pins = 1;
+  shard.frames.emplace(id, std::move(frame));
+  return PageHandle(this, id, f);
+}
+
+Status BufferPool::FetchMany(std::span<const PageId> ids,
+                             std::vector<PageHandle>* out) {
+  out->clear();
+  if (ids.empty()) return Status::OK();
+  out->reserve(ids.size());
+
+  // Pass 1: pin hits, leave placeholder handles for misses, and collect
+  // each distinct missing id once (ReadBatch tolerates duplicates, but a
+  // duplicate here would install two frames for one page).
+  std::vector<PageId> miss_ids;
+  std::vector<std::unique_ptr<Frame>> miss_frames;
+  std::vector<Page*> miss_pages;
+  std::unordered_map<PageId, size_t> miss_slot;  // id -> index in miss_*
+  for (PageId id : ids) {
+    Shard& shard = ShardFor(id);
+    auto lock = LockShard(shard);
+    ++shard.stats.logical_reads;
+    if (IoStats* tls = g_tls_io_sink) ++tls->logical_reads;
+    auto it = shard.frames.find(id);
+    if (it != shard.frames.end()) {
+      Frame* f = it->second.get();
+      if (f->prefetched) {
+        f->prefetched = false;
+        ++shard.stats.prefetch_hits;
+        if (IoStats* tls = g_tls_io_sink) ++tls->prefetch_hits;
+      }
+      if (f->in_lru) {
+        shard.lru_spares.splice(shard.lru_spares.begin(), shard.lru,
+                                f->lru_it);
+        f->in_lru = false;
+      }
+      ++f->pins;
+      out->push_back(PageHandle(this, id, f));
+    } else {
+      out->push_back(PageHandle());
+      if (miss_slot.emplace(id, miss_ids.size()).second) {
+        miss_ids.push_back(id);
+        auto frame = std::make_unique<Frame>(file_->page_size());
+        miss_pages.push_back(&frame->page);
+        miss_frames.push_back(std::move(frame));
+      }
     }
   }
-  ++f->pins;
-  return PageHandle(this, id, f);
+  if (miss_ids.empty()) return Status::OK();
+
+  // One round trip for every miss.
+  Status read_status;
+  {
+    auto flock = LockFileShared();
+    read_status = file_->ReadBatch(miss_ids, miss_pages);
+  }
+  if (!read_status.ok()) {
+    out->clear();  // releases every pass-1 pin
+    return read_status;
+  }
+  {
+    Shard& shard = ShardFor(miss_ids[0]);
+    auto lock = LockShard(shard);
+    ++shard.stats.batch_reads;
+    if (IoStats* tls = g_tls_io_sink) ++tls->batch_reads;
+  }
+
+  // Pass 2: install each miss (first occurrence) and pin every occurrence.
+  // A frame may already be present — installed by an earlier duplicate in
+  // this very batch, or by a racing Fetch/prefetch fill — in which case the
+  // existing frame wins and our read is discarded.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if ((*out)[i].valid()) continue;
+    const PageId id = ids[i];
+    Shard& shard = ShardFor(id);
+    auto lock = LockShard(shard);
+    Frame* f;
+    auto it = shard.frames.find(id);
+    if (it != shard.frames.end()) {
+      f = it->second.get();
+      f->prefetched = false;  // pinned through us, not through a prior hit
+      if (f->in_lru) {
+        shard.lru_spares.splice(shard.lru_spares.begin(), shard.lru,
+                                f->lru_it);
+        f->in_lru = false;
+      }
+    } else {
+      Status evict_status = EvictOneIfNeeded(shard);
+      if (!evict_status.ok()) {
+        if (lock.owns_lock()) lock.unlock();  // out->clear() re-locks shards
+        out->clear();
+        return evict_status;
+      }
+      ++shard.stats.physical_reads;
+      if (IoStats* tls = g_tls_io_sink) ++tls->physical_reads;
+      auto& frame = miss_frames[miss_slot.find(id)->second];
+      HT_CHECK(frame != nullptr);
+      f = frame.get();
+      shard.frames.emplace(id, std::move(frame));
+    }
+    ++f->pins;
+    (*out)[i] = PageHandle(this, id, f);
+  }
+  return Status::OK();
+}
+
+void BufferPool::Prefetch(std::span<const PageId> ids) {
+  if (ids.empty()) return;
+  // Filter: keep each id once, and only if not already cached. Linear
+  // dedup — prefetch batches are a handful of pages (the frontier depth).
+  std::vector<PageId> need;
+  need.reserve(ids.size());
+  for (PageId id : ids) {
+    if (std::find(need.begin(), need.end(), id) != need.end()) continue;
+    Shard& shard = ShardFor(id);
+    auto lock = LockShard(shard);
+    if (shard.frames.find(id) != shard.frames.end()) continue;
+    need.push_back(id);
+  }
+  if (need.empty()) return;
+
+  bool async = false;
+  if (concurrent_ && async_exec_) {
+    std::lock_guard<std::mutex> pl(prefetch_mu_);
+    need.erase(std::remove_if(need.begin(), need.end(),
+                              [this](PageId id) {
+                                return inflight_.count(id) != 0;
+                              }),
+               need.end());
+    if (need.empty()) return;
+    inflight_.insert(need.begin(), need.end());
+    inflight_count_.fetch_add(need.size(), std::memory_order_release);
+    async = true;
+  }
+
+  {
+    Shard& shard = ShardFor(need[0]);
+    auto lock = LockShard(shard);
+    shard.stats.prefetch_issued += need.size();
+    if (IoStats* tls = g_tls_io_sink) tls->prefetch_issued += need.size();
+  }
+
+  if (async) {
+    std::vector<PageId> task_ids = need;
+    const bool accepted = async_exec_([this, ids2 = std::move(task_ids)]() mutable {
+      FillPrefetch(std::move(ids2), /*async=*/true);
+    });
+    // Executor refused (e.g. saturated queue): fill on this thread, still
+    // clearing the inflight marks we just planted.
+    if (!accepted) FillPrefetch(std::move(need), /*async=*/true);
+  } else {
+    FillPrefetch(std::move(need), /*async=*/false);
+  }
+}
+
+void BufferPool::FillPrefetch(std::vector<PageId> ids, bool async) {
+  std::vector<std::unique_ptr<Frame>> frames;
+  std::vector<Page*> pages;
+  frames.reserve(ids.size());
+  pages.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    frames.push_back(std::make_unique<Frame>(file_->page_size()));
+    pages.push_back(&frames.back()->page);
+  }
+  Status read_status;
+  {
+    auto flock = LockFileShared();
+    read_status = file_->ReadBatch(ids, pages);
+  }
+  // Read errors are swallowed: prefetch is best-effort, and the Fetch that
+  // actually needs the page will surface the error.
+  if (read_status.ok()) {
+    {
+      Shard& shard = ShardFor(ids[0]);
+      auto lock = LockShard(shard);
+      ++shard.stats.batch_reads;
+      if (IoStats* tls = g_tls_io_sink) ++tls->batch_reads;
+    }
+    for (size_t i = 0; i < ids.size(); ++i) {
+      const PageId id = ids[i];
+      Shard& shard = ShardFor(id);
+      auto lock = LockShard(shard);
+      if (shard.frames.find(id) != shard.frames.end()) continue;  // raced
+      if (!EvictOneIfNeeded(shard).ok()) continue;  // no room: drop page
+      ++shard.stats.physical_reads;
+      if (IoStats* tls = g_tls_io_sink) ++tls->physical_reads;
+      Frame* f = frames[i].get();
+      f->prefetched = true;
+      shard.lru.push_front(id);
+      f->lru_it = shard.lru.begin();
+      f->in_lru = true;
+      shard.frames.emplace(id, std::move(frames[i]));
+    }
+  }
+  if (async) {
+    // Clear the in-flight marks only after every shard lock is released
+    // (lock order: prefetch_mu_ never follows a shard lock) and notify
+    // both Fetch waiters and DrainPrefetch. The notify happens under the
+    // lock on purpose: once a drainer (e.g. the destructor) re-acquires
+    // prefetch_mu_ and sees inflight_ empty, this thread is provably done
+    // touching the condition variable, so tearing the pool down is safe.
+    std::lock_guard<std::mutex> pl(prefetch_mu_);
+    for (PageId id : ids) inflight_.erase(id);
+    inflight_count_.fetch_sub(ids.size(), std::memory_order_release);
+    prefetch_cv_.notify_all();
+  }
+}
+
+bool BufferPool::Cached(PageId id) const {
+  const Shard& shard = shards_[ShardIndex(id)];
+  auto lock = LockShard(shard);
+  return shard.frames.find(id) != shard.frames.end();
+}
+
+void BufferPool::DrainPrefetch() {
+  std::unique_lock<std::mutex> pl(prefetch_mu_);
+  prefetch_cv_.wait(pl, [this] { return inflight_.empty(); });
+}
+
+void BufferPool::SetPrefetchExecutor(AsyncExec exec) {
+  // Quiesce before swapping so no in-flight task outlives its executor's
+  // guarantees (detaching is documented to block until fills drain).
+  DrainPrefetch();
+  async_exec_ = std::move(exec);
 }
 
 Result<PageHandle> BufferPool::New() {
@@ -217,6 +479,9 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::EvictAll() {
+  // Finish any in-flight prefetch first: a fill landing after the sweep
+  // would silently warm a cache the caller just made cold.
+  DrainPrefetch();
   HT_RETURN_NOT_OK(FlushAll());
   for (Shard& shard : shards_) {
     auto lock = LockShard(shard);

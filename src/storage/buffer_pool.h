@@ -15,10 +15,33 @@
 //   * Concurrent mode (SetConcurrentMode(true)): frames are partitioned
 //     into kShardCount lock-striped shards, each with its own mutex, frame
 //     map, LRU list, and IoStats counters, so concurrent readers can
-//     pin/unpin pages safely. Backing-file I/O (misses, write-backs,
-//     allocation) is serialized behind one file mutex. Logical-read
-//     accounting stays exact: every Fetch/New increments its shard's
-//     counter under the shard lock, and stats() sums the shards.
+//     pin/unpin pages safely. Backing-file reads (misses, batch fills,
+//     prefetch fills) run under a SHARED file lock — pread/preadv are
+//     positional and thread-safe, so concurrent misses no longer serialize
+//     behind each other; only allocation/extension, Free, and dirty
+//     write-back take the file lock exclusively. Logical-read accounting
+//     stays exact: every Fetch/New increments its shard's counter under
+//     the shard lock, and stats() sums the shards.
+//
+// Batched and prefetching I/O (the cold-cache pipeline):
+//
+//   * FetchMany pins a whole batch of pages, reading every miss in ONE
+//     PagedFile::ReadBatch round trip (DiskPagedFile coalesces adjacent
+//     pages into vectored preadv calls).
+//
+//   * Prefetch is a best-effort, NON-pinning fill: pages already cached
+//     (or already in flight) are skipped, the rest are read in one batch
+//     and parked unpinned at the LRU front. With an attached async
+//     executor (SetPrefetchExecutor, concurrent mode only) the fill runs
+//     on a background I/O thread and overlaps with the caller; otherwise
+//     it is a synchronous batched round trip. Prefetch counts NO logical
+//     reads — prefetched fills are physical reads only, so the paper's
+//     figure-of-merit (logical accesses) is byte-identical with prefetch
+//     on or off. prefetch_issued / prefetch_hits / batch_reads counters
+//     expose pipeline effectiveness; a Fetch that lands on a prefetched
+//     frame counts one prefetch_hit (first pin only). A Fetch that misses
+//     while the page's fill is in flight waits for the fill instead of
+//     re-reading (async mode), so prefetched I/O is never duplicated.
 //
 // The intended usage protocol is shared-read / exclusive-write (see
 // core/hybrid_tree.h): any number of threads may Fetch/Release concurrently
@@ -35,10 +58,17 @@
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <condition_variable>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
+#include <span>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "common/macros.h"
 #include "common/result.h"
@@ -58,6 +88,9 @@ struct PageFrame {
   bool dirty = false;
   std::list<PageId>::iterator lru_it;  // valid iff in_lru
   bool in_lru = false;
+  /// Set when the frame was filled by Prefetch and not yet pinned; the
+  /// first Fetch that pins it counts one prefetch_hit and clears this.
+  bool prefetched = false;
   explicit PageFrame(size_t page_size) : page(page_size) {}
 };
 }  // namespace internal
@@ -157,6 +190,41 @@ class BufferPool {
   /// Fetches and pins page `id`.
   Result<PageHandle> Fetch(PageId id);
 
+  /// Fetches and pins every page of `ids` (out->at(i) pins ids[i]); all
+  /// misses are read from the backing file in ONE ReadBatch round trip.
+  /// Duplicate ids are allowed (each handle holds its own pin on the
+  /// shared frame). Each requested page counts one logical read, exactly
+  /// like an equivalent sequence of Fetch calls. On error no pins are
+  /// retained. All ids must resolve simultaneously, so a bounded pool
+  /// needs capacity for the whole batch on top of existing pins.
+  Status FetchMany(std::span<const PageId> ids, std::vector<PageHandle>* out);
+
+  /// Best-effort, non-pinning prefetch: pages already cached or already in
+  /// flight are skipped; the remaining misses are read in one batch and
+  /// inserted unpinned at the LRU front, tagged as prefetched. Counts NO
+  /// logical reads (fills are physical reads only) and never evicts a
+  /// pinned frame — pages that don't fit are silently dropped, as are
+  /// read errors (the later Fetch will surface them). Runs asynchronously
+  /// on the attached executor when one is set and the pool is in
+  /// concurrent mode; synchronously (one batched round trip) otherwise.
+  void Prefetch(std::span<const PageId> ids);
+
+  /// Task-submission hook for async prefetch, e.g. wrapping
+  /// exec::ThreadPool::Submit (the storage layer stays independent of the
+  /// exec layer). The callback returns false if it cannot accept the task,
+  /// in which case the fill runs synchronously. Passing nullptr detaches
+  /// the executor and BLOCKS until all in-flight fills have drained.
+  /// Attach/detach from one thread at a time, not concurrently with
+  /// Prefetch callers.
+  using AsyncExec = std::function<bool(std::function<void()>)>;
+  void SetPrefetchExecutor(AsyncExec exec);
+
+  /// True if page `id` currently has a frame (pinned or not). A point-in-
+  /// time probe — the answer can be stale by the time the caller acts on
+  /// it — used to gate prefetch batching (only batch when the next fetch
+  /// would miss anyway). Counts nothing.
+  bool Cached(PageId id) const;
+
   /// Allocates a new page, pins it, and marks it dirty (so the zeroed or
   /// caller-filled image reaches the file on eviction/flush).
   Result<PageHandle> New();
@@ -214,9 +282,17 @@ class BufferPool {
     return concurrent_ ? std::unique_lock<std::mutex>(s.mu)
                        : std::unique_lock<std::mutex>();
   }
-  std::unique_lock<std::mutex> LockFile() const {
-    return concurrent_ ? std::unique_lock<std::mutex>(file_mu_)
-                       : std::unique_lock<std::mutex>();
+  /// Exclusive file lock: allocation/extension, Free, and write-back.
+  std::unique_lock<std::shared_mutex> LockFile() const {
+    return concurrent_ ? std::unique_lock<std::shared_mutex>(file_mu_)
+                       : std::unique_lock<std::shared_mutex>();
+  }
+  /// Shared file lock: miss reads, batch fills, prefetch fills. Positional
+  /// reads may run concurrently with each other; the shared/exclusive
+  /// split only keeps them from overlapping a write-back of the same file.
+  std::shared_lock<std::shared_mutex> LockFileShared() const {
+    return concurrent_ ? std::shared_lock<std::shared_mutex>(file_mu_)
+                       : std::shared_lock<std::shared_mutex>();
   }
 
   void Unpin(PageId id, Frame* f);
@@ -224,13 +300,35 @@ class BufferPool {
   Status EvictOneIfNeeded(Shard& shard);
   Status WriteBack(PageId id, Frame* f);
 
+  /// Reads `ids` (all distinct, none cached at issue time) in one batch
+  /// and installs the frames unpinned + prefetch-tagged. Runs on the
+  /// caller's thread (sync mode) or an executor thread (async mode); in
+  /// async mode, clears the ids from inflight_ when done. Never holds a
+  /// shard lock while touching prefetch_mu_.
+  void FillPrefetch(std::vector<PageId> ids, bool async);
+  /// Blocks until no prefetch fill is in flight.
+  void DrainPrefetch();
+
   PagedFile* file_;
   size_t capacity_;
   size_t shard_capacity_;  // derived: per-shard cap in the current mode
   bool concurrent_ = false;
   std::array<Shard, kShardCount> shards_;
-  mutable std::mutex file_mu_;  // guards file_ I/O in concurrent mode
-  mutable IoStats agg_stats_;   // scratch for stats()
+  /// Readers shared, allocation/Free/write-back exclusive (see LockFile*).
+  mutable std::shared_mutex file_mu_;
+  mutable IoStats agg_stats_;  // scratch for stats()
+
+  /// Async prefetch state. inflight_ holds ids whose background fill has
+  /// been scheduled but not finished; Fetch waits on prefetch_cv_ instead
+  /// of issuing a duplicate read. Lock order: prefetch_mu_ may be taken
+  /// with no shard lock held, or before a shard lock — never after one.
+  AsyncExec async_exec_;
+  std::mutex prefetch_mu_;
+  std::condition_variable prefetch_cv_;
+  std::unordered_set<PageId> inflight_;
+  /// == inflight_.size(); lets the Fetch miss path skip the prefetch_mu_
+  /// round trip entirely when nothing is in flight (the common case).
+  std::atomic<size_t> inflight_count_{0};
 };
 
 }  // namespace ht

@@ -23,8 +23,27 @@ struct IoStats {
   uint64_t allocations = 0;
   uint64_t frees = 0;
   uint64_t evictions = 0;
+  /// Number of ReadBatch round trips issued to a backing file (each may
+  /// cover many pages; the per-page cost is in physical_reads).
+  uint64_t batch_reads = 0;
+  /// Pages handed to the prefetch pipeline (scheduled for a best-effort,
+  /// non-pinning fill). Prefetched fills count as physical reads only —
+  /// never as logical reads, which stay the paper's figure-of-merit.
+  uint64_t prefetch_issued = 0;
+  /// Fetches that hit a frame brought in by prefetch (first pin only).
+  uint64_t prefetch_hits = 0;
 
   void Reset() { *this = IoStats{}; }
+
+  /// Buffer-pool hit rate over the counted window: the fraction of logical
+  /// reads served without touching the backing file.
+  double HitRate() const {
+    if (logical_reads == 0) return 0.0;
+    const uint64_t misses =
+        physical_reads < logical_reads ? physical_reads : logical_reads;
+    return 1.0 - static_cast<double>(misses) /
+                     static_cast<double>(logical_reads);
+  }
 
   /// Adds `other` into this (used to merge per-shard / per-worker counters).
   void Accumulate(const IoStats& other) {
@@ -34,6 +53,9 @@ struct IoStats {
     allocations += other.allocations;
     frees += other.frees;
     evictions += other.evictions;
+    batch_reads += other.batch_reads;
+    prefetch_issued += other.prefetch_issued;
+    prefetch_hits += other.prefetch_hits;
   }
 
   IoStats Delta(const IoStats& since) const {
@@ -44,6 +66,9 @@ struct IoStats {
     d.allocations = allocations - since.allocations;
     d.frees = frees - since.frees;
     d.evictions = evictions - since.evictions;
+    d.batch_reads = batch_reads - since.batch_reads;
+    d.prefetch_issued = prefetch_issued - since.prefetch_issued;
+    d.prefetch_hits = prefetch_hits - since.prefetch_hits;
     return d;
   }
 };

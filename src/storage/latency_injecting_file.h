@@ -1,0 +1,102 @@
+// Copyright 2026 The HybridTree Authors.
+// LatencyInjectingPagedFile: a PagedFile decorator that charges a fixed
+// per-call plus per-page delay on every read, making cold-I/O experiments
+// deterministic and portable. The I/O-pipeline cost model it encodes:
+//
+//     cost(Read)          = per_call + per_page
+//     cost(ReadBatch(n))  = per_call + n * per_page
+//
+// i.e. a batched/vectored read pays the call setup (seek, syscall,
+// device latency) once, so coalescing n misses into one round trip saves
+// (n-1) * per_call — exactly the effect bench_io sweeps and the prefetch
+// integration test asserts via read_calls().
+//
+// Delays use sleep_for (not a busy spin), so a background prefetch thread
+// genuinely overlaps injected latency with the query thread's CPU work
+// even on a single-core host.
+//
+// Thread-safety matches the wrapped file: reads may run concurrently (the
+// call counter is atomic); mutation requires external serialization.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "storage/paged_file.h"
+
+namespace ht {
+
+class LatencyInjectingPagedFile final : public PagedFile {
+ public:
+  /// Wraps `base` (not owned; must outlive this wrapper). Latencies are in
+  /// seconds and may be changed at any quiescent point via set_latency().
+  explicit LatencyInjectingPagedFile(PagedFile* base,
+                                     double per_call_seconds = 0.0,
+                                     double per_page_seconds = 0.0)
+      : base_(base) {
+    set_latency(per_call_seconds, per_page_seconds);
+  }
+
+  void set_latency(double per_call_seconds, double per_page_seconds) {
+    per_call_ns_.store(ToNs(per_call_seconds), std::memory_order_relaxed);
+    per_page_ns_.store(ToNs(per_page_seconds), std::memory_order_relaxed);
+  }
+
+  /// Number of blocking read round trips observed (Read and ReadBatch
+  /// calls each count once, regardless of batch size).
+  uint64_t read_calls() const {
+    return read_calls_.load(std::memory_order_relaxed);
+  }
+  void ResetReadCalls() { read_calls_.store(0, std::memory_order_relaxed); }
+
+  size_t page_size() const override { return base_->page_size(); }
+  PageId page_count() const override { return base_->page_count(); }
+
+  Status Read(PageId id, Page* out) override {
+    read_calls_.fetch_add(1, std::memory_order_relaxed);
+    Inject(1);
+    return base_->Read(id, out);
+  }
+
+  Status ReadBatch(std::span<const PageId> ids,
+                   std::span<Page* const> outs) override {
+    if (ids.empty()) return base_->ReadBatch(ids, outs);
+    read_calls_.fetch_add(1, std::memory_order_relaxed);
+    Inject(ids.size());
+    return base_->ReadBatch(ids, outs);
+  }
+
+  // Writes/allocation are not delayed: the experiments this wrapper
+  // serves measure the read path (the paper's "disk accesses per query").
+  Status Write(PageId id, const Page& page) override {
+    return base_->Write(id, page);
+  }
+  Result<PageId> Allocate() override { return base_->Allocate(); }
+  Status Free(PageId id) override { return base_->Free(id); }
+  Status Sync() override { return base_->Sync(); }
+
+  IoStats stats() const override { return base_->stats(); }
+  void ResetStats() override { base_->ResetStats(); }
+
+ private:
+  static int64_t ToNs(double seconds) {
+    return static_cast<int64_t>(seconds * 1e9);
+  }
+
+  void Inject(size_t pages) {
+    const int64_t ns =
+        per_call_ns_.load(std::memory_order_relaxed) +
+        static_cast<int64_t>(pages) *
+            per_page_ns_.load(std::memory_order_relaxed);
+    if (ns > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+  }
+
+  PagedFile* base_;
+  std::atomic<int64_t> per_call_ns_{0};
+  std::atomic<int64_t> per_page_ns_{0};
+  std::atomic<uint64_t> read_calls_{0};
+};
+
+}  // namespace ht

@@ -1,14 +1,52 @@
 #include "storage/paged_file.h"
 
 #include <fcntl.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <numeric>
 
 #include "common/codec.h"
 
 namespace ht {
+
+// ---------------------------------------------------------------------------
+// PagedFile (base)
+// ---------------------------------------------------------------------------
+
+IoStats PagedFile::stats() const {
+  IoStats s;
+  s.physical_reads = counters_.physical_reads.load(std::memory_order_relaxed);
+  s.writes = counters_.writes.load(std::memory_order_relaxed);
+  s.allocations = counters_.allocations.load(std::memory_order_relaxed);
+  s.frees = counters_.frees.load(std::memory_order_relaxed);
+  s.batch_reads = counters_.batch_reads.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PagedFile::ResetStats() {
+  counters_.physical_reads.store(0, std::memory_order_relaxed);
+  counters_.writes.store(0, std::memory_order_relaxed);
+  counters_.allocations.store(0, std::memory_order_relaxed);
+  counters_.frees.store(0, std::memory_order_relaxed);
+  counters_.batch_reads.store(0, std::memory_order_relaxed);
+}
+
+Status PagedFile::ReadBatch(std::span<const PageId> ids,
+                            std::span<Page* const> outs) {
+  if (ids.size() != outs.size()) {
+    return Status::InvalidArgument("ReadBatch: ids/outs length mismatch");
+  }
+  if (ids.empty()) return Status::OK();
+  counters_.batch_reads.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    HT_RETURN_NOT_OK(Read(ids[i], outs[i]));
+  }
+  return Status::OK();
+}
 
 // ---------------------------------------------------------------------------
 // MemPagedFile
@@ -25,7 +63,30 @@ Status MemPagedFile::Read(PageId id, Page* out) {
     return Status::InvalidArgument("page buffer size mismatch");
   }
   std::memcpy(out->data(), pages_[id]->data(), page_size_);
-  ++stats_.physical_reads;
+  BumpReads(1);
+  return Status::OK();
+}
+
+Status MemPagedFile::ReadBatch(std::span<const PageId> ids,
+                               std::span<Page* const> outs) {
+  if (ids.size() != outs.size()) {
+    return Status::InvalidArgument("ReadBatch: ids/outs length mismatch");
+  }
+  if (ids.empty()) return Status::OK();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] >= pages_.size() || pages_[ids[i]] == nullptr) {
+      return Status::NotFound("MemPagedFile: batch read of unallocated page " +
+                              std::to_string(ids[i]));
+    }
+    if (outs[i] == nullptr || outs[i]->size() != page_size_) {
+      return Status::InvalidArgument("page buffer size mismatch");
+    }
+  }
+  counters_.batch_reads.fetch_add(1, std::memory_order_relaxed);
+  BumpReads(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    std::memcpy(outs[i]->data(), pages_[ids[i]]->data(), page_size_);
+  }
   return Status::OK();
 }
 
@@ -38,12 +99,12 @@ Status MemPagedFile::Write(PageId id, const Page& page) {
     return Status::InvalidArgument("page buffer size mismatch");
   }
   std::memcpy(pages_[id]->data(), page.data(), page_size_);
-  ++stats_.writes;
+  counters_.writes.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Result<PageId> MemPagedFile::Allocate() {
-  ++stats_.allocations;
+  counters_.allocations.fetch_add(1, std::memory_order_relaxed);
   if (!free_list_.empty()) {
     PageId id = free_list_.back();
     free_list_.pop_back();
@@ -61,7 +122,7 @@ Status MemPagedFile::Free(PageId id) {
   }
   pages_[id] = nullptr;
   free_list_.push_back(id);
-  ++stats_.frees;
+  counters_.frees.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -136,19 +197,46 @@ Status DiskPagedFile::WriteSuperblock() {
   return WriteRaw(0, sb, sizeof(sb));
 }
 
+// POSIX permits pread/pwrite to transfer fewer bytes than requested (and
+// to fail with EINTR before transferring anything); a short transfer is
+// not an error, so both raw helpers loop until the full range is moved.
+
 Status DiskPagedFile::ReadRaw(uint64_t offset, void* buf, size_t n) {
-  ssize_t got = ::pread(fd_, buf, n, static_cast<off_t>(offset));
-  if (got != static_cast<ssize_t>(n)) {
-    return Status::IOError("pread failed: " + std::string(std::strerror(errno)));
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t left = n;
+  while (left > 0) {
+    const ssize_t got = ::pread(fd_, p, left, static_cast<off_t>(offset));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (got == 0) {
+      return Status::IOError("pread hit EOF mid-read (file truncated?)");
+    }
+    p += got;
+    offset += static_cast<uint64_t>(got);
+    left -= static_cast<size_t>(got);
   }
   return Status::OK();
 }
 
 Status DiskPagedFile::WriteRaw(uint64_t offset, const void* buf, size_t n) {
-  ssize_t put = ::pwrite(fd_, buf, n, static_cast<off_t>(offset));
-  if (put != static_cast<ssize_t>(n)) {
-    return Status::IOError("pwrite failed: " +
-                           std::string(std::strerror(errno)));
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  size_t left = n;
+  while (left > 0) {
+    const ssize_t put = ::pwrite(fd_, p, left, static_cast<off_t>(offset));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pwrite failed: " +
+                             std::string(std::strerror(errno)));
+    }
+    if (put == 0) {
+      return Status::IOError("pwrite made no progress");
+    }
+    p += put;
+    offset += static_cast<uint64_t>(put);
+    left -= static_cast<size_t>(put);
   }
   return Status::OK();
 }
@@ -161,9 +249,93 @@ Status DiskPagedFile::Read(PageId id, Page* out) {
   if (out->size() != page_size_) {
     return Status::InvalidArgument("page buffer size mismatch");
   }
-  ++stats_.physical_reads;
+  BumpReads(1);
   return ReadRaw((static_cast<uint64_t>(id) + 1) * page_size_, out->data(),
                  page_size_);
+}
+
+Status DiskPagedFile::ReadBatch(std::span<const PageId> ids,
+                                std::span<Page* const> outs) {
+  if (ids.size() != outs.size()) {
+    return Status::InvalidArgument("ReadBatch: ids/outs length mismatch");
+  }
+  if (ids.empty()) return Status::OK();
+  // Validate the whole batch before any I/O so a bad id cannot leave the
+  // caller with a half-filled batch it believes succeeded.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] >= page_count_) {
+      return Status::NotFound("DiskPagedFile: batch read of unallocated page " +
+                              std::to_string(ids[i]));
+    }
+    if (outs[i] == nullptr || outs[i]->size() != page_size_) {
+      return Status::InvalidArgument("page buffer size mismatch");
+    }
+  }
+  counters_.batch_reads.fetch_add(1, std::memory_order_relaxed);
+  BumpReads(ids.size());
+
+  // Sort request indices by file offset; runs of strictly adjacent pages
+  // coalesce into one vectored preadv call each. Duplicate ids break a run
+  // (equal offsets are not adjacent), so every occurrence is still filled.
+  std::vector<uint32_t> order(ids.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](uint32_t a, uint32_t b) { return ids[a] < ids[b]; });
+
+  // Linux caps one vectored call at IOV_MAX (1024) segments.
+  constexpr size_t kMaxIov = 1024;
+  std::vector<struct iovec> iov;
+  size_t run_start = 0;
+  while (run_start < order.size()) {
+    size_t run_end = run_start + 1;
+    while (run_end < order.size() &&
+           ids[order[run_end]] == ids[order[run_end - 1]] + 1 &&
+           run_end - run_start < kMaxIov) {
+      ++run_end;
+    }
+    iov.clear();
+    for (size_t i = run_start; i < run_end; ++i) {
+      iov.push_back({outs[order[i]]->data(), page_size_});
+    }
+    uint64_t offset =
+        (static_cast<uint64_t>(ids[order[run_start]]) + 1) * page_size_;
+    // Loop on short transfers / EINTR, advancing through the iovec array.
+    size_t vec_idx = 0;
+    size_t vec_off = 0;  // bytes already filled in iov[vec_idx]
+    while (vec_idx < iov.size()) {
+      struct iovec first = iov[vec_idx];
+      first.iov_base = static_cast<uint8_t*>(first.iov_base) + vec_off;
+      first.iov_len -= vec_off;
+      std::vector<struct iovec> rest;
+      rest.push_back(first);
+      rest.insert(rest.end(), iov.begin() + vec_idx + 1, iov.end());
+      ssize_t got = ::preadv(fd_, rest.data(), static_cast<int>(rest.size()),
+                             static_cast<off_t>(offset));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("preadv failed: " +
+                               std::string(std::strerror(errno)));
+      }
+      if (got == 0) {
+        return Status::IOError("preadv hit EOF mid-batch (file truncated?)");
+      }
+      offset += static_cast<uint64_t>(got);
+      size_t advanced = static_cast<size_t>(got);
+      while (advanced > 0 && vec_idx < iov.size()) {
+        const size_t remaining = iov[vec_idx].iov_len - vec_off;
+        if (advanced >= remaining) {
+          advanced -= remaining;
+          ++vec_idx;
+          vec_off = 0;
+        } else {
+          vec_off += advanced;
+          advanced = 0;
+        }
+      }
+    }
+    run_start = run_end;
+  }
+  return Status::OK();
 }
 
 Status DiskPagedFile::Write(PageId id, const Page& page) {
@@ -174,13 +346,13 @@ Status DiskPagedFile::Write(PageId id, const Page& page) {
   if (page.size() != page_size_) {
     return Status::InvalidArgument("page buffer size mismatch");
   }
-  ++stats_.writes;
+  counters_.writes.fetch_add(1, std::memory_order_relaxed);
   return WriteRaw((static_cast<uint64_t>(id) + 1) * page_size_, page.data(),
                   page_size_);
 }
 
 Result<PageId> DiskPagedFile::Allocate() {
-  ++stats_.allocations;
+  counters_.allocations.fetch_add(1, std::memory_order_relaxed);
   if (free_head_ != kInvalidPageId) {
     PageId id = free_head_;
     // The first 4 bytes of a free page link to the next free page.
@@ -209,7 +381,7 @@ Status DiskPagedFile::Free(PageId id) {
   HT_RETURN_NOT_OK(
       WriteRaw((static_cast<uint64_t>(id) + 1) * page_size_, link, 4));
   free_head_ = id;
-  ++stats_.frees;
+  counters_.frees.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -12,7 +12,9 @@
 
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,6 +27,15 @@
 namespace ht {
 
 /// Abstract fixed-page-size random access file.
+///
+/// Thread-safety contract (the basis of the buffer pool's prefetch
+/// pipeline): Read() and ReadBatch() are safe to call concurrently from
+/// multiple threads, and concurrently with Write()/writes of *other*
+/// pages — the disk backend uses positional pread/preadv (no shared file
+/// offset) and the memory backend only touches the target page's bytes.
+/// Allocate(), Free(), Sync(), and a Write() racing a Read() of the SAME
+/// page require external serialization (BufferPool keeps its file mutex
+/// for exactly those).
 class PagedFile {
  public:
   virtual ~PagedFile() = default;
@@ -37,6 +48,17 @@ class PagedFile {
 
   /// Reads page `id` into `out` (must have size() == page_size()).
   virtual Status Read(PageId id, Page* out) = 0;
+
+  /// Reads ids[i] into *outs[i] in one round trip. `ids` and `outs` must
+  /// have equal length; every output page must have size() == page_size().
+  /// Duplicate ids are allowed (each occurrence is filled). Backends
+  /// validate the whole batch before issuing I/O, so on error no promise
+  /// is made about output contents but the file itself is untouched.
+  /// Counts one batch_read plus ids.size() physical reads.
+  /// The default implementation is a loop over Read(); DiskPagedFile
+  /// overrides it with offset-sorted, coalesced preadv calls.
+  virtual Status ReadBatch(std::span<const PageId> ids,
+                           std::span<Page* const> outs);
 
   /// Writes `page` (size() == page_size()) as page `id`.
   virtual Status Write(PageId id, const Page& page) = 0;
@@ -51,12 +73,29 @@ class PagedFile {
   /// Flushes buffered writes to durable storage (no-op for memory backend).
   virtual Status Sync() = 0;
 
-  /// Raw file-level I/O statistics.
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  /// Snapshot of the raw file-level I/O statistics. Counters are relaxed
+  /// atomics so concurrent readers (prefetch threads + query threads) can
+  /// bump them without locks; the snapshot is not a consistent cut across
+  /// counters, which is fine for accounting.
+  virtual IoStats stats() const;
+  virtual void ResetStats();
 
  protected:
-  IoStats stats_;
+  /// Lock-free counters (see stats()). Only the fields a raw file can
+  /// observe are tracked; logical reads and cache behaviour belong to
+  /// BufferPool.
+  struct Counters {
+    std::atomic<uint64_t> physical_reads{0};
+    std::atomic<uint64_t> writes{0};
+    std::atomic<uint64_t> allocations{0};
+    std::atomic<uint64_t> frees{0};
+    std::atomic<uint64_t> batch_reads{0};
+  };
+  void BumpReads(uint64_t n) {
+    counters_.physical_reads.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  Counters counters_;
 };
 
 /// In-memory backend.
@@ -69,6 +108,10 @@ class MemPagedFile final : public PagedFile {
     return static_cast<PageId>(pages_.size());
   }
   Status Read(PageId id, Page* out) override;
+  // Nothing to coalesce in memory, but the whole batch is still validated
+  // before the first copy so a bad id cannot leave a half-filled batch.
+  Status ReadBatch(std::span<const PageId> ids,
+                   std::span<Page* const> outs) override;
   Status Write(PageId id, const Page& page) override;
   Result<PageId> Allocate() override;
   Status Free(PageId id) override;
@@ -98,6 +141,10 @@ class DiskPagedFile final : public PagedFile {
   size_t page_size() const override { return page_size_; }
   PageId page_count() const override { return page_count_; }
   Status Read(PageId id, Page* out) override;
+  /// Scatter-gather implementation: requests are sorted by file offset,
+  /// adjacent pages are coalesced into single vectored preadv calls.
+  Status ReadBatch(std::span<const PageId> ids,
+                   std::span<Page* const> outs) override;
   Status Write(PageId id, const Page& page) override;
   Result<PageId> Allocate() override;
   Status Free(PageId id) override;

@@ -4,6 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
 namespace ht {
 namespace {
 
@@ -141,6 +147,314 @@ TEST(BufferPoolTest, FlushWritesDirtyPagesToFile) {
   Page raw(256);
   ASSERT_TRUE(file.Read(id, &raw).ok());
   EXPECT_EQ(raw.data()[3], 99);
+}
+
+// --- FetchMany / Prefetch --------------------------------------------------
+
+/// Allocates `n` pages directly in `file`, stamping page i's first byte
+/// with `i + 1` so tests can verify contents after a batch fetch.
+std::vector<PageId> AllocStamped(MemPagedFile& file, size_t n) {
+  std::vector<PageId> ids;
+  for (size_t i = 0; i < n; ++i) {
+    ids.push_back(file.Allocate().ValueOrDie());
+    Page p(file.page_size());
+    p.data()[0] = static_cast<uint8_t>(i + 1);
+    EXPECT_TRUE(file.Write(ids.back(), p).ok());
+  }
+  return ids;
+}
+
+TEST(BufferPoolTest, FetchManyMissesUseOneBatchRead) {
+  MemPagedFile file(256);
+  std::vector<PageId> ids = AllocStamped(file, 4);
+  BufferPool pool(&file, 0);
+  file.ResetStats();
+
+  std::vector<PageHandle> handles;
+  ASSERT_TRUE(pool.FetchMany(ids, &handles).ok());
+  ASSERT_EQ(handles.size(), ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(handles[i].id(), ids[i]);
+    EXPECT_EQ(handles[i].data()[0], static_cast<uint8_t>(i + 1));
+  }
+  EXPECT_EQ(pool.pinned_frames(), ids.size());
+  // One batched round trip for all four misses; logical accounting is
+  // identical to four separate Fetch calls.
+  EXPECT_EQ(file.stats().batch_reads, 1u);
+  EXPECT_EQ(pool.stats().logical_reads, 4u);
+  EXPECT_EQ(pool.stats().physical_reads, 4u);
+  EXPECT_EQ(pool.stats().batch_reads, 1u);
+  handles.clear();
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+}
+
+TEST(BufferPoolTest, FetchManyMixedHitsAndMisses) {
+  MemPagedFile file(256);
+  std::vector<PageId> ids = AllocStamped(file, 3);
+  BufferPool pool(&file, 0);
+  { PageHandle warm = pool.Fetch(ids[0]).ValueOrDie(); }
+  pool.ResetStats();
+  file.ResetStats();
+
+  std::vector<PageHandle> handles;
+  ASSERT_TRUE(pool.FetchMany(ids, &handles).ok());
+  EXPECT_EQ(pool.stats().logical_reads, 3u);
+  EXPECT_EQ(pool.stats().physical_reads, 2u);  // ids[0] was already cached
+  EXPECT_EQ(file.stats().batch_reads, 1u);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(handles[i].data()[0], static_cast<uint8_t>(i + 1));
+  }
+}
+
+TEST(BufferPoolTest, FetchManyDuplicateIdsPinEachOccurrence) {
+  MemPagedFile file(256);
+  std::vector<PageId> ids = AllocStamped(file, 2);
+  BufferPool pool(&file, 0);
+  file.ResetStats();
+
+  std::vector<PageId> req = {ids[0], ids[0], ids[1], ids[0]};
+  std::vector<PageHandle> handles;
+  ASSERT_TRUE(pool.FetchMany(req, &handles).ok());
+  ASSERT_EQ(handles.size(), 4u);
+  EXPECT_EQ(handles[0].data()[0], 1);
+  EXPECT_EQ(handles[1].data()[0], 1);
+  EXPECT_EQ(handles[2].data()[0], 2);
+  EXPECT_EQ(handles[3].data()[0], 1);
+  // Two distinct frames, each duplicate holds its own pin on the shared one.
+  EXPECT_EQ(pool.cached_frames(), 2u);
+  EXPECT_EQ(pool.stats().logical_reads, 4u);
+  EXPECT_EQ(pool.stats().physical_reads, 2u);  // the file read is deduped
+  handles.pop_back();
+  EXPECT_EQ(pool.pinned_frames(), 2u);  // ids[0] still pinned twice
+}
+
+TEST(BufferPoolTest, FetchManyErrorRetainsNoPins) {
+  MemPagedFile file(256);
+  std::vector<PageId> ids = AllocStamped(file, 2);
+  BufferPool pool(&file, 0);
+
+  std::vector<PageId> bad = {ids[0], static_cast<PageId>(9999), ids[1]};
+  std::vector<PageHandle> handles;
+  EXPECT_FALSE(pool.FetchMany(bad, &handles).ok());
+  EXPECT_TRUE(handles.empty());
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+}
+
+TEST(BufferPoolTest, FetchManyRespectsCapacity) {
+  MemPagedFile file(256);
+  std::vector<PageId> ids = AllocStamped(file, 3);
+  BufferPool pool(&file, 2);
+
+  // All three pages must be pinned simultaneously, which cannot fit.
+  std::vector<PageHandle> handles;
+  auto s = pool.FetchMany(ids, &handles);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(handles.empty());
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+  EXPECT_LE(pool.cached_frames(), 2u);
+  // A batch that fits still works.
+  std::vector<PageId> two = {ids[0], ids[1]};
+  ASSERT_TRUE(pool.FetchMany(two, &handles).ok());
+  EXPECT_EQ(handles.size(), 2u);
+}
+
+TEST(BufferPoolTest, PrefetchFillsUnpinnedWithoutLogicalReads) {
+  MemPagedFile file(256);
+  std::vector<PageId> ids = AllocStamped(file, 3);
+  BufferPool pool(&file, 0);
+  file.ResetStats();
+
+  pool.Prefetch(ids);
+  // Frames are resident but unpinned; nothing counted as a logical access.
+  EXPECT_EQ(pool.cached_frames(), 3u);
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+  for (PageId id : ids) EXPECT_TRUE(pool.Cached(id));
+  EXPECT_EQ(pool.stats().logical_reads, 0u);
+  EXPECT_EQ(pool.stats().physical_reads, 3u);
+  EXPECT_EQ(pool.stats().prefetch_issued, 3u);
+  EXPECT_EQ(pool.stats().prefetch_hits, 0u);
+  EXPECT_EQ(file.stats().batch_reads, 1u);
+}
+
+TEST(BufferPoolTest, PrefetchHitCountedOncePerPrefetchedFrame) {
+  MemPagedFile file(256);
+  std::vector<PageId> ids = AllocStamped(file, 2);
+  BufferPool pool(&file, 0);
+  pool.Prefetch(ids);
+  file.ResetStats();
+
+  {
+    PageHandle h = pool.Fetch(ids[0]).ValueOrDie();
+    EXPECT_EQ(h.data()[0], 1);
+  }
+  { PageHandle again = pool.Fetch(ids[0]).ValueOrDie(); }
+  // The first pin of a prefetched frame is the hit; re-fetching it is an
+  // ordinary cache hit.
+  EXPECT_EQ(pool.stats().prefetch_hits, 1u);
+  EXPECT_EQ(pool.stats().logical_reads, 2u);
+  EXPECT_EQ(file.stats().physical_reads, 0u);  // prefetch already paid it
+}
+
+TEST(BufferPoolTest, PrefetchSkipsCachedPages) {
+  MemPagedFile file(256);
+  std::vector<PageId> ids = AllocStamped(file, 2);
+  BufferPool pool(&file, 0);
+  { PageHandle warm = pool.Fetch(ids[0]).ValueOrDie(); }
+  pool.ResetStats();
+  file.ResetStats();
+
+  pool.Prefetch(ids);
+  EXPECT_EQ(pool.stats().prefetch_issued, 1u);  // only the miss
+  EXPECT_EQ(pool.stats().physical_reads, 1u);
+  // Prefetching an all-cached batch is a no-op, not an empty ReadBatch.
+  file.ResetStats();
+  pool.ResetStats();
+  pool.Prefetch(ids);
+  EXPECT_EQ(pool.stats().prefetch_issued, 0u);
+  EXPECT_EQ(file.stats().batch_reads, 0u);
+}
+
+TEST(BufferPoolTest, PrefetchNeverEvictsPinnedFrames) {
+  MemPagedFile file(256);
+  std::vector<PageId> ids = AllocStamped(file, 4);
+  BufferPool pool(&file, 2);
+  PageHandle a = pool.Fetch(ids[0]).ValueOrDie();
+  PageHandle b = pool.Fetch(ids[1]).ValueOrDie();
+
+  // Pool is full of pins: the prefetch reads are silently dropped.
+  std::vector<PageId> rest = {ids[2], ids[3]};
+  pool.Prefetch(rest);
+  EXPECT_EQ(pool.cached_frames(), 2u);
+  EXPECT_TRUE(pool.Cached(ids[0]));
+  EXPECT_TRUE(pool.Cached(ids[1]));
+  EXPECT_FALSE(pool.Cached(ids[2]));
+  EXPECT_FALSE(pool.Cached(ids[3]));
+  a.Release();
+  b.Release();
+  // With room again the same prefetch lands.
+  pool.Prefetch(rest);
+  EXPECT_TRUE(pool.Cached(ids[2]) || pool.Cached(ids[3]));
+}
+
+TEST(BufferPoolTest, FetchManyCountsPrefetchHits) {
+  MemPagedFile file(256);
+  std::vector<PageId> ids = AllocStamped(file, 2);
+  BufferPool pool(&file, 0);
+  pool.Prefetch(ids);
+  file.ResetStats();
+
+  std::vector<PageHandle> handles;
+  ASSERT_TRUE(pool.FetchMany(ids, &handles).ok());
+  EXPECT_EQ(pool.stats().prefetch_hits, 2u);
+  EXPECT_EQ(file.stats().physical_reads, 0u);
+}
+
+TEST(BufferPoolTest, AsyncPrefetchFillsViaExecutor) {
+  MemPagedFile file(256);
+  std::vector<PageId> ids = AllocStamped(file, 3);
+  BufferPool pool(&file, 0);
+  ASSERT_TRUE(pool.SetConcurrentMode(true).ok());
+
+  std::mutex mu;
+  std::vector<std::thread> workers;
+  pool.SetPrefetchExecutor([&](std::function<void()> fill) {
+    std::lock_guard<std::mutex> g(mu);
+    workers.emplace_back(std::move(fill));
+    return true;
+  });
+  pool.Prefetch(ids);
+  // Detaching blocks until the background fill has drained.
+  pool.SetPrefetchExecutor(nullptr);
+  for (auto& t : workers) t.join();
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_TRUE(pool.Cached(ids[i]));
+    PageHandle h = pool.Fetch(ids[i]).ValueOrDie();
+    EXPECT_EQ(h.data()[0], static_cast<uint8_t>(i + 1));
+  }
+  IoStats s = pool.StatsSnapshot();
+  EXPECT_EQ(s.prefetch_issued, 3u);
+  EXPECT_EQ(s.prefetch_hits, 3u);
+  EXPECT_EQ(s.logical_reads, 3u);  // only the Fetches, never the fill
+}
+
+TEST(BufferPoolTest, FetchWaitsForInflightFillInsteadOfRereading) {
+  MemPagedFile file(256);
+  std::vector<PageId> ids = AllocStamped(file, 1);
+  BufferPool pool(&file, 0);
+  ASSERT_TRUE(pool.SetConcurrentMode(true).ok());
+
+  // An executor that parks the fill instead of running it, so the page
+  // stays in flight until this test chooses to complete it.
+  std::function<void()> parked;
+  pool.SetPrefetchExecutor([&](std::function<void()> fill) {
+    parked = std::move(fill);
+    return true;
+  });
+  pool.Prefetch(ids);
+  ASSERT_TRUE(parked != nullptr);
+  file.ResetStats();
+
+  std::thread reader([&] {
+    PageHandle h = pool.Fetch(ids[0]).ValueOrDie();
+    EXPECT_EQ(h.data()[0], 1);
+  });
+  // Let the reader reach the in-flight wait, then complete the fill.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  parked();
+  reader.join();
+  // The reader reused the prefetched fill: exactly one physical read.
+  EXPECT_EQ(file.stats().physical_reads, 1u);
+  EXPECT_EQ(pool.StatsSnapshot().prefetch_hits, 1u);
+  pool.SetPrefetchExecutor(nullptr);
+}
+
+TEST(BufferPoolTest, ConcurrentPrefetchAndFetchStress) {
+  // TSAN target: readers fetch while background fills install frames.
+  MemPagedFile file(256);
+  const size_t kPages = 64;
+  std::vector<PageId> ids = AllocStamped(file, kPages);
+  BufferPool pool(&file, 32);
+  ASSERT_TRUE(pool.SetConcurrentMode(true).ok());
+
+  std::mutex mu;
+  std::vector<std::thread> fills;
+  pool.SetPrefetchExecutor([&](std::function<void()> fill) {
+    std::lock_guard<std::mutex> g(mu);
+    fills.emplace_back(std::move(fill));
+    return true;
+  });
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 200;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      uint32_t state = 0x9e3779b9u * static_cast<uint32_t>(t + 1);
+      for (int i = 0; i < kIters; ++i) {
+        state = state * 1664525u + 1013904223u;
+        const size_t base = state % kPages;
+        PageId batch[4];
+        for (size_t j = 0; j < 4; ++j) batch[j] = ids[(base + j) % kPages];
+        if (i % 3 == 0) pool.Prefetch(batch);
+        auto r = pool.Fetch(ids[(base + 2) % kPages]);
+        ASSERT_TRUE(r.ok());
+        PageHandle h = std::move(r).ValueOrDie();
+        EXPECT_EQ(h.data()[0],
+                  static_cast<uint8_t>(((base + 2) % kPages) + 1));
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  pool.SetPrefetchExecutor(nullptr);
+  for (auto& t : fills) t.join();
+  ASSERT_TRUE(pool.SetConcurrentMode(false).ok());
+
+  // Every page still reads back correctly after the storm.
+  for (size_t i = 0; i < kPages; ++i) {
+    PageHandle h = pool.Fetch(ids[i]).ValueOrDie();
+    EXPECT_EQ(h.data()[0], static_cast<uint8_t>(i + 1));
+  }
 }
 
 }  // namespace

@@ -5,7 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
+
+#include "storage/latency_injecting_file.h"
 
 namespace ht {
 namespace {
@@ -133,6 +137,142 @@ TEST(DiskPagedFileTest, OpenGarbageFails) {
   std::fclose(f);
   auto r = DiskPagedFile::Open(path);
   EXPECT_FALSE(r.ok());
+}
+
+// --- ReadBatch -------------------------------------------------------------
+
+/// Allocates `n` pages, stamping page i's bytes with (i * 31 + j) % 251.
+template <typename File>
+std::vector<PageId> StampPages(File& file, size_t n) {
+  std::vector<PageId> ids;
+  for (size_t i = 0; i < n; ++i) {
+    ids.push_back(file.Allocate().ValueOrDie());
+    Page p(file.page_size());
+    for (size_t j = 0; j < p.size(); ++j) {
+      p.data()[j] = static_cast<uint8_t>((i * 31 + j) % 251);
+    }
+    EXPECT_TRUE(file.Write(ids.back(), p).ok());
+  }
+  return ids;
+}
+
+void ExpectStamp(const Page& p, size_t i) {
+  for (size_t j = 0; j < p.size(); ++j) {
+    ASSERT_EQ(p.data()[j], static_cast<uint8_t>((i * 31 + j) % 251))
+        << "page " << i << " byte " << j;
+  }
+}
+
+template <typename MakeFile>
+void RunReadBatchContract(MakeFile make) {
+  auto file = make();
+  const size_t kPages = 6;
+  std::vector<PageId> ids = StampPages(*file, kPages);
+
+  // Empty batch: OK, no I/O counted.
+  file->ResetStats();
+  ASSERT_TRUE(file->ReadBatch({}, {}).ok());
+  EXPECT_EQ(file->stats().batch_reads, 0u);
+  EXPECT_EQ(file->stats().physical_reads, 0u);
+
+  // Full batch in reverse order (exercises the offset sort): one
+  // batch_read, n physical reads, every page correct.
+  std::vector<Page> pages;
+  std::vector<Page*> outs;
+  for (size_t i = 0; i < kPages; ++i) pages.emplace_back(file->page_size());
+  for (size_t i = 0; i < kPages; ++i) outs.push_back(&pages[i]);
+  std::vector<PageId> reversed(ids.rbegin(), ids.rend());
+  ASSERT_TRUE(file->ReadBatch(reversed, outs).ok());
+  for (size_t i = 0; i < kPages; ++i) ExpectStamp(pages[i], kPages - 1 - i);
+  EXPECT_EQ(file->stats().batch_reads, 1u);
+  EXPECT_EQ(file->stats().physical_reads, kPages);
+
+  // Duplicate ids: each occurrence is filled (duplicates break coalesced
+  // runs, so this also exercises the run-splitting path on disk).
+  std::vector<PageId> dups = {ids[2], ids[2], ids[3], ids[2]};
+  std::vector<Page> dpages;
+  std::vector<Page*> douts;
+  for (size_t i = 0; i < dups.size(); ++i) {
+    dpages.emplace_back(file->page_size());
+  }
+  for (size_t i = 0; i < dups.size(); ++i) douts.push_back(&dpages[i]);
+  ASSERT_TRUE(file->ReadBatch(dups, douts).ok());
+  ExpectStamp(dpages[0], 2);
+  ExpectStamp(dpages[1], 2);
+  ExpectStamp(dpages[2], 3);
+  ExpectStamp(dpages[3], 2);
+
+  // Unallocated id mid-batch: NotFound, and validation happens before any
+  // I/O — output pages keep whatever they held (here: the stamp above).
+  std::vector<PageId> bad = {ids[0], static_cast<PageId>(9999), ids[1]};
+  std::vector<Page*> bouts = {&dpages[0], &dpages[1], &dpages[2]};
+  file->ResetStats();
+  EXPECT_TRUE(file->ReadBatch(bad, bouts).IsNotFound());
+  EXPECT_EQ(file->stats().physical_reads, 0u);
+
+  // Length mismatch between ids and outs.
+  std::vector<PageId> two = {ids[0], ids[1]};
+  std::vector<Page*> one = {&dpages[0]};
+  EXPECT_TRUE(file->ReadBatch(two, one).IsInvalidArgument());
+
+  // Wrong-size output page.
+  Page wrong(file->page_size() * 2);
+  std::vector<Page*> wouts = {&wrong};
+  std::vector<PageId> wids = {ids[0]};
+  EXPECT_TRUE(file->ReadBatch(wids, wouts).IsInvalidArgument());
+}
+
+TEST(MemPagedFileTest, ReadBatchContract) {
+  RunReadBatchContract([] { return std::make_unique<MemPagedFile>(512); });
+}
+
+TEST(DiskPagedFileTest, ReadBatchContract) {
+  RunReadBatchContract([] {
+    auto r = DiskPagedFile::Create(TempPath("batch.htf"), 512);
+    return std::move(r).ValueOrDie();
+  });
+}
+
+TEST(DiskPagedFileTest, ReadBatchCoalescingBoundaries) {
+  // Mix of adjacent runs and gaps: ids 0,1,2 | 4 | 6,7 (page 3 and 5 are
+  // allocated but skipped), submitted shuffled. Contents must be exact
+  // regardless of how runs coalesce into preadv calls.
+  auto file = DiskPagedFile::Create(TempPath("coalesce.htf"), 256).ValueOrDie();
+  std::vector<PageId> all = StampPages(*file, 8);
+  std::vector<PageId> want = {all[6], all[0], all[4], all[2], all[7], all[1]};
+  std::vector<size_t> stamp = {6, 0, 4, 2, 7, 1};
+  std::vector<Page> pages;
+  std::vector<Page*> outs;
+  for (size_t i = 0; i < want.size(); ++i) {
+    pages.emplace_back(file->page_size());
+  }
+  for (size_t i = 0; i < want.size(); ++i) outs.push_back(&pages[i]);
+  file->ResetStats();
+  ASSERT_TRUE(file->ReadBatch(want, outs).ok());
+  for (size_t i = 0; i < want.size(); ++i) ExpectStamp(pages[i], stamp[i]);
+  EXPECT_EQ(file->stats().batch_reads, 1u);
+  EXPECT_EQ(file->stats().physical_reads, want.size());
+}
+
+TEST(LatencyInjectingFileTest, CountsRoundTripsAndDelegates) {
+  MemPagedFile base(256);
+  std::vector<PageId> ids = StampPages(base, 3);
+  LatencyInjectingPagedFile lat(&base);  // zero latency: counting only
+  Page p(256);
+  ASSERT_TRUE(lat.Read(ids[0], &p).ok());
+  ExpectStamp(p, 0);
+  std::vector<Page> pages;
+  std::vector<Page*> outs;
+  for (size_t i = 0; i < 3; ++i) pages.emplace_back(256);
+  for (size_t i = 0; i < 3; ++i) outs.push_back(&pages[i]);
+  ASSERT_TRUE(lat.ReadBatch(ids, outs).ok());
+  for (size_t i = 0; i < 3; ++i) ExpectStamp(pages[i], i);
+  // One Read + one ReadBatch = two blocking round trips, regardless of
+  // batch size; the wrapped file still counts 4 physical reads.
+  EXPECT_EQ(lat.read_calls(), 2u);
+  EXPECT_EQ(lat.stats().physical_reads, 4u);
+  lat.ResetReadCalls();
+  EXPECT_EQ(lat.read_calls(), 0u);
 }
 
 TEST(PagedFileTest, StatsCountOperations) {
