@@ -1,0 +1,133 @@
+// Copyright 2026 The HybridTree Authors.
+// Fuzz target: the binary page codec (common/codec.h) and the ELS bit
+// packer / coder (core/els.h).
+//
+// Input layout: [dim u8][bits u8][payload...]. The payload drives three
+// independent exercises:
+//   1. Reader over the raw payload — arbitrary interleaved typed reads
+//      must bound-check, never crash, and report torn input via status().
+//   2. els_detail::PutBits/GetBits — packed writes at fuzz-chosen bit
+//      offsets/widths must read back exactly (the integer-promotion
+//      hotspot from the UBSan hunt).
+//   3. ElsCodec — Encode/Decode round-trips on fuzz-built boxes must obey
+//      the conservativeness contract (decoded ⊇ live∩ref), as must
+//      Reencode under a region change and ExtendToInclude for any point.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/macros.h"
+#include "core/els.h"
+#include "fuzz_input.h"
+#include "geometry/box.h"
+
+namespace ht {
+namespace {
+
+/// A non-degenerate box inside the unit cube (lo <= hi per dimension).
+Box UnitBox(fuzz::Input& in, uint32_t dim) {
+  std::vector<float> lo(dim), hi(dim);
+  for (uint32_t d = 0; d < dim; ++d) {
+    float a = in.Unit(), b = in.Unit();
+    lo[d] = a < b ? a : b;
+    hi[d] = a < b ? b : a;
+  }
+  return Box::FromBounds(std::move(lo), std::move(hi));
+}
+
+void FuzzReader(const uint8_t* data, size_t size) {
+  Reader r(data, size);
+  // A fixed instruction wheel of typed reads, driven until exhaustion;
+  // the Reader must clamp every access and latch a Corruption status.
+  for (int i = 0; r.ok() && i < 64; ++i) {
+    switch (i % 7) {
+      case 0: (void)r.GetU8(); break;
+      case 1: (void)r.GetU16(); break;
+      case 2: (void)r.GetU32(); break;
+      case 3: (void)r.GetU64(); break;
+      case 4: (void)r.GetF32(); break;
+      case 5: (void)r.GetF64(); break;
+      default: {
+        uint8_t sink[3];
+        r.GetBytes(sink, sizeof(sink));
+        break;
+      }
+    }
+  }
+  (void)r.status();
+}
+
+void FuzzBitPacker(fuzz::Input& in) {
+  // Up to 16 packed (offset, width, value) writes, then exact reads.
+  // PutBits writes into a pre-sized buffer (Encode allocates CodeBytes()
+  // up front), so size for the worst case: start offset + 16 * 16 bits.
+  struct Put {
+    size_t off;
+    uint32_t nbits;
+    uint32_t value;
+  };
+  std::vector<Put> puts;
+  const int n = static_cast<int>(in.InRange(1, 16));
+  size_t off = in.InRange(0, 64);
+  std::vector<uint8_t> buf((off + 16 * 16 + 7) / 8 + 4, 0);
+  for (int i = 0; i < n; ++i) {
+    const uint32_t nbits = in.InRange(1, 16);
+    const uint32_t value = in.U32() & ((1u << nbits) - 1);
+    els_detail::PutBits(buf, off, value, nbits);
+    puts.push_back({off, nbits, value});
+    off += nbits;
+  }
+  for (const Put& p : puts) {
+    HT_CHECK(els_detail::GetBits(buf, p.off, p.nbits) == p.value);
+  }
+}
+
+void FuzzElsCodec(fuzz::Input& in, uint32_t dim, uint32_t bits) {
+  ElsCodec codec(dim, bits);
+  const Box ref = UnitBox(in, dim);
+  const Box live = UnitBox(in, dim);
+
+  const ElsCode code = codec.Encode(live, ref);
+  HT_CHECK(code.size() == codec.CodeBytes());
+  const Box dec = codec.Decode(code, ref);
+  // Conservativeness: decoding never loses live space inside the region.
+  const Box clipped = live.Intersection(ref);
+  if (!clipped.IsEmpty()) {
+    HT_CHECK(dec.ContainsBox(clipped));
+  }
+
+  // Region migration must stay conservative w.r.t. the old decoded box.
+  const Box new_ref = UnitBox(in, dim);
+  const ElsCode moved = codec.Reencode(code, ref, new_ref);
+  const Box moved_dec = codec.Decode(moved, new_ref);
+  const Box dec_in_new = dec.Intersection(new_ref);
+  if (!dec_in_new.IsEmpty()) {
+    HT_CHECK(moved_dec.ContainsBox(dec_in_new));
+  }
+
+  // Growing a code to cover a point must actually cover it (when the
+  // point is inside the reference region at all).
+  std::vector<float> p(dim);
+  for (uint32_t d = 0; d < dim; ++d) p[d] = in.Unit();
+  const ElsCode grown = codec.ExtendToInclude(code, ref, p);
+  if (ref.ContainsPoint(p)) {
+    HT_CHECK(codec.Decode(grown, ref).ContainsPoint(p));
+  }
+
+  // The full code covers the whole region.
+  HT_CHECK(codec.Decode(codec.FullCode(), ref).ContainsBox(ref));
+}
+
+}  // namespace
+}  // namespace ht
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  ht::fuzz::Input in(data, size);
+  const uint32_t dim = in.InRange(1, 16);
+  const uint32_t bits = in.InRange(1, 16);
+  ht::FuzzReader(in.rest(), in.rest_size());
+  ht::FuzzBitPacker(in);
+  ht::FuzzElsCodec(in, dim, bits);
+  return 0;
+}

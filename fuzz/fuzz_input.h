@@ -1,0 +1,55 @@
+// Copyright 2026 The HybridTree Authors.
+// Minimal byte-stream consumer for the fuzz harnesses: structure-aware
+// targets peel typed values off the front of the raw input. Exhausted
+// streams return zeros, so every input prefix is a valid program.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace ht::fuzz {
+
+class Input {
+ public:
+  Input(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool empty() const { return off_ >= size_; }
+  size_t remaining() const { return size_ - off_; }
+
+  uint8_t U8() {
+    if (off_ >= size_) return 0;
+    return data_[off_++];
+  }
+
+  uint16_t U16() { return static_cast<uint16_t>(U8() | (U8() << 8)); }
+
+  uint32_t U32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(U8()) << (8 * i);
+    return v;
+  }
+
+  /// A value in [lo, hi] (inclusive); lo when the range is degenerate.
+  uint32_t InRange(uint32_t lo, uint32_t hi) {
+    if (hi <= lo) return lo;
+    return lo + U32() % (hi - lo + 1);
+  }
+
+  /// A float in [0, 1] — always finite, the normalized feature space.
+  float Unit() {
+    return static_cast<float>(U16()) / 65535.0f;
+  }
+
+  /// The rest of the stream as a raw span.
+  const uint8_t* rest() const { return data_ + off_; }
+  size_t rest_size() const { return size_ - off_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t off_ = 0;
+};
+
+}  // namespace ht::fuzz

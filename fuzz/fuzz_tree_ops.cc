@@ -1,0 +1,156 @@
+// Copyright 2026 The HybridTree Authors.
+// Fuzz target: a tree-operation interpreter. The input is a little
+// program — a config prefix followed by opcodes — replayed against a
+// HybridTree AND a SeqScan baseline over the same in-memory file
+// abstraction. Every query's result is cross-checked between the two;
+// the deep validator runs at checkpoints; a final flush/reopen round
+// trips the whole state through the page images.
+//
+// This is the structure-aware half of the fuzz suite: instead of feeding
+// random bytes to a parser, it feeds random *workloads* to the live data
+// structure, hunting for divergence between the hybrid tree's pruned
+// search paths and ground truth.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "baselines/seqscan.h"
+#include "common/macros.h"
+#include "core/hybrid_tree.h"
+#include "fuzz_input.h"
+#include "geometry/metrics.h"
+
+namespace ht {
+namespace {
+
+constexpr size_t kMaxOps = 300;
+constexpr size_t kMaxLive = 600;
+
+void RunProgram(fuzz::Input& in) {
+  HybridTreeOptions o;
+  o.dim = in.InRange(2, 8);
+  o.page_size = 512;
+  o.els_mode = static_cast<ElsMode>(in.InRange(0, 2));
+  o.els_bits = o.els_mode == ElsMode::kOff ? 0 : in.InRange(1, 8);
+
+  MemPagedFile tree_file(o.page_size);
+  MemPagedFile scan_file(o.page_size);
+  auto tree_r = HybridTree::Create(o, &tree_file);
+  auto scan_r = SeqScan::Create(o.dim, &scan_file);
+  HT_CHECK(tree_r.ok() && scan_r.ok());
+  std::unique_ptr<HybridTree> tree = std::move(tree_r).ValueOrDie();
+  std::unique_ptr<SeqScan> scan = std::move(scan_r).ValueOrDie();
+  tree->pool().SetPinTracking(true);
+
+  // The oracle's view of what is stored: (id -> vector).
+  std::vector<std::pair<uint64_t, std::vector<float>>> live;
+  uint64_t next_id = 0;
+  const L2Metric l2;
+
+  auto point = [&]() {
+    std::vector<float> p(o.dim);
+    for (auto& x : p) x = in.Unit();
+    return p;
+  };
+  auto check_sorted_eq = [](std::vector<uint64_t> a, std::vector<uint64_t> b) {
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    HT_CHECK(a == b);
+  };
+
+  for (size_t op_count = 0; op_count < kMaxOps && !in.empty(); ++op_count) {
+    const uint8_t op = in.U8();
+    switch (op % 6) {
+      case 0:
+      case 1: {  // insert (weighted 2x: programs should grow trees)
+        if (live.size() >= kMaxLive) break;
+        std::vector<float> p = point();
+        HT_CHECK_OK(tree->Insert(p, next_id));
+        HT_CHECK_OK(scan->Insert(p, next_id));
+        live.emplace_back(next_id, std::move(p));
+        ++next_id;
+        break;
+      }
+      case 2: {  // delete a live entry
+        if (live.empty()) break;
+        const size_t i = in.InRange(0, static_cast<uint32_t>(live.size() - 1));
+        HT_CHECK_OK(tree->Delete(live[i].second, live[i].first));
+        HT_CHECK_OK(scan->Delete(live[i].second, live[i].first));
+        live[i] = std::move(live.back());
+        live.pop_back();
+        break;
+      }
+      case 3: {  // box query
+        std::vector<float> lo = point(), hi = lo;
+        const float side = in.Unit();
+        for (uint32_t d = 0; d < o.dim; ++d) hi[d] += side;
+        const Box q = Box::FromBounds(std::move(lo), std::move(hi));
+        auto a = tree->SearchBox(q);
+        auto b = scan->SearchBox(q);
+        HT_CHECK(a.ok() && b.ok());
+        check_sorted_eq(std::move(a).ValueOrDie(), std::move(b).ValueOrDie());
+        break;
+      }
+      case 4: {  // range query
+        const std::vector<float> c = point();
+        const double radius = 0.05 + in.Unit();
+        auto a = tree->SearchRange(c, radius, l2);
+        auto b = scan->SearchRange(c, radius, l2);
+        HT_CHECK(a.ok() && b.ok());
+        check_sorted_eq(std::move(a).ValueOrDie(), std::move(b).ValueOrDie());
+        break;
+      }
+      default: {  // k-NN: distances must match ground truth exactly
+        if (live.empty()) break;
+        const std::vector<float> c = point();
+        const size_t k = in.InRange(1, 8);
+        auto a = tree->SearchKnn(c, k, l2);
+        auto b = scan->SearchKnn(c, k, l2);
+        HT_CHECK(a.ok() && b.ok());
+        HT_CHECK(a->size() == b->size());
+        for (size_t i = 0; i < a->size(); ++i) {
+          // Batch kernels may sum in a different order than the scalar
+          // metric; distances agree to accumulation noise.
+          HT_CHECK(std::abs((*a)[i].first - (*b)[i].first) <= 1e-9);
+        }
+        break;
+      }
+    }
+    if (op_count % 64 == 63) {
+      HT_CHECK_OK(tree->CheckInvariants());
+    }
+  }
+
+  HT_CHECK(tree->size() == live.size());
+  HT_CHECK_OK(tree->CheckInvariants());
+
+  // Durability: everything must survive a flush + cold reopen.
+  HT_CHECK_OK(tree->Flush());
+  tree.reset();
+  auto reopened = HybridTree::Open(&tree_file);
+  HT_CHECK(reopened.ok());
+  tree = std::move(reopened).ValueOrDie();
+  HT_CHECK(tree->size() == live.size());
+  HT_CHECK_OK(tree->CheckInvariants());
+  auto all = tree->SearchBox(Box::UnitCube(o.dim));
+  HT_CHECK(all.ok());
+  std::vector<uint64_t> want;
+  want.reserve(live.size());
+  for (const auto& [id, v] : live) want.push_back(id);
+  std::sort(want.begin(), want.end());
+  std::vector<uint64_t> got = std::move(all).ValueOrDie();
+  std::sort(got.begin(), got.end());
+  HT_CHECK(got == want);
+}
+
+}  // namespace
+}  // namespace ht
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  ht::fuzz::Input in(data, size);
+  ht::RunProgram(in);
+  return 0;
+}

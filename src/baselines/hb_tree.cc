@@ -53,7 +53,7 @@ Status HbTree::WriteDataNode(PageId id, const DataNode& node) {
 
 Result<IndexNode> HbTree::ReadIndexNode(PageId id) {
   HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(id));
-  return IndexNode::Deserialize(h.data(), h.size(), false, 0);
+  return IndexNode::Deserialize(h.data(), h.size(), false, 0, dim_);
 }
 
 Status HbTree::WriteIndexNode(PageId id, const IndexNode& node) {
@@ -454,7 +454,7 @@ Result<std::vector<uint64_t>> HbTree::SearchBox(const Box& query) {
       return Status::OK();
     }
     HT_ASSIGN_OR_RETURN(IndexNode node, IndexNode::Deserialize(
-                                            h.data(), h.size(), false, 0));
+                                            h.data(), h.size(), false, 0, dim_));
     h.Release();
     std::function<Status(const KdNode*)> walk =
         [&](const KdNode* n) -> Status {
@@ -495,7 +495,7 @@ Result<std::vector<uint64_t>> HbTree::SearchRange(
       return Status::OK();
     }
     HT_ASSIGN_OR_RETURN(IndexNode node, IndexNode::Deserialize(
-                                            h.data(), h.size(), false, 0));
+                                            h.data(), h.size(), false, 0, dim_));
     h.Release();
     std::function<Status(const KdNode*, const Box&)> walk =
         [&](const KdNode* n, const Box& nbr) -> Status {
@@ -548,7 +548,7 @@ Result<std::vector<std::pair<double, uint64_t>>> HbTree::SearchKnn(
       continue;
     }
     HT_ASSIGN_OR_RETURN(IndexNode node, IndexNode::Deserialize(
-                                            h.data(), h.size(), false, 0));
+                                            h.data(), h.size(), false, 0, dim_));
     h.Release();
     std::function<void(const KdNode*, const Box&)> walk =
         [&](const KdNode* n, const Box& nbr) {

@@ -54,7 +54,7 @@ Status KdbTree::WriteDataNode(PageId id, const DataNode& node) {
 
 Result<IndexNode> KdbTree::ReadIndexNode(PageId id) {
   HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(id));
-  return IndexNode::Deserialize(h.data(), h.size(), /*els_in_page=*/false, 0);
+  return IndexNode::Deserialize(h.data(), h.size(), /*els_in_page=*/false, 0, dim_);
 }
 
 Status KdbTree::WriteIndexNode(PageId id, const IndexNode& node) {
@@ -364,7 +364,7 @@ Result<std::vector<uint64_t>> KdbTree::SearchBox(const Box& query) {
       return Status::OK();
     }
     HT_ASSIGN_OR_RETURN(IndexNode node, IndexNode::Deserialize(
-                                            h.data(), h.size(), false, 0));
+                                            h.data(), h.size(), false, 0, dim_));
     h.Release();
     std::function<Status(const KdNode*)> walk =
         [&](const KdNode* n) -> Status {
@@ -402,7 +402,7 @@ Result<std::vector<uint64_t>> KdbTree::SearchRange(
       return Status::OK();
     }
     HT_ASSIGN_OR_RETURN(IndexNode node, IndexNode::Deserialize(
-                                            h.data(), h.size(), false, 0));
+                                            h.data(), h.size(), false, 0, dim_));
     h.Release();
     std::function<Status(const KdNode*, const Box&)> walk =
         [&](const KdNode* n, const Box& nbr) -> Status {
@@ -456,7 +456,7 @@ Result<std::vector<std::pair<double, uint64_t>>> KdbTree::SearchKnn(
       continue;
     }
     HT_ASSIGN_OR_RETURN(IndexNode node, IndexNode::Deserialize(
-                                            h.data(), h.size(), false, 0));
+                                            h.data(), h.size(), false, 0, dim_));
     h.Release();
     std::function<void(const KdNode*, const Box&)> walk =
         [&](const KdNode* n, const Box& nbr) {

@@ -4,28 +4,44 @@
 // The library does not use C++ exceptions: fallible operations return
 // ht::Status or ht::Result<T>, and these macros propagate failures up the
 // call stack (Arrow/RocksDB style).
+//
+// Macro contracts (locked by status_test.cc):
+//   * Every macro evaluates its expression argument EXACTLY ONCE — side
+//     effects in the argument run once on both the success and the failure
+//     path — except HT_DCHECK under NDEBUG, whose condition is compiled but
+//     never evaluated (conditions must be side-effect free).
+//   * Internal temporaries use __COUNTER__-unique names, so macros nest and
+//     repeat within one scope without shadowing, and an argument expression
+//     may itself contain a variable named like any internal temporary.
+//   * Arguments containing top-level commas (e.g. std::pair<A, B> in
+//     HT_ASSIGN_OR_RETURN's lhs) must be parenthesized or aliased by the
+//     caller; the preprocessor splits on commas before C++ sees them.
 
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 
-// Propagates a non-ok Status from the current function.
-#define HT_RETURN_NOT_OK(expr)                    \
-  do {                                            \
-    ::ht::Status _st = (expr);                    \
-    if (!_st.ok()) return _st;                    \
+#define HT_CONCAT_(a, b) a##b
+#define HT_CONCAT(a, b) HT_CONCAT_(a, b)
+
+// Propagates a non-ok Status from the current function. `expr` is
+// evaluated exactly once.
+#define HT_RETURN_NOT_OK(expr) \
+  HT_RETURN_NOT_OK_IMPL(HT_CONCAT(_ht_status_, __COUNTER__), expr)
+
+#define HT_RETURN_NOT_OK_IMPL(st, expr)   \
+  do {                                    \
+    ::ht::Status st = (expr);             \
+    if (!st.ok()) return st;              \
   } while (0)
 
-// Evaluates an expression producing Result<T>; on success binds the value
-// to `lhs`, on failure returns the error Status.
+// Evaluates an expression producing Result<T> exactly once; on success
+// binds the value to `lhs`, on failure returns the error Status.
 #define HT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
   auto tmp = (rexpr);                             \
   if (!tmp.ok()) return tmp.status();             \
   lhs = std::move(tmp).ValueUnsafe();
-
-#define HT_CONCAT_(a, b) a##b
-#define HT_CONCAT(a, b) HT_CONCAT_(a, b)
 
 #define HT_ASSIGN_OR_RETURN(lhs, rexpr) \
   HT_ASSIGN_OR_RETURN_IMPL(HT_CONCAT(_ht_result_, __COUNTER__), lhs, rexpr)
@@ -41,19 +57,27 @@
     }                                                                      \
   } while (0)
 
-#define HT_CHECK_OK(expr)                                                  \
+// Aborts on a non-ok Status. `expr` is evaluated exactly once.
+#define HT_CHECK_OK(expr) \
+  HT_CHECK_OK_IMPL(HT_CONCAT(_ht_status_, __COUNTER__), expr)
+
+#define HT_CHECK_OK_IMPL(st, expr)                                         \
   do {                                                                     \
-    ::ht::Status _st = (expr);                                             \
-    if (!_st.ok()) {                                                       \
+    ::ht::Status st = (expr);                                              \
+    if (!st.ok()) {                                                        \
       std::fprintf(stderr, "HT_CHECK_OK failed at %s:%d: %s\n", __FILE__,  \
-                   __LINE__, _st.ToString().c_str());                      \
+                   __LINE__, st.ToString().c_str());                       \
       std::abort();                                                        \
     }                                                                      \
   } while (0)
 
 #ifdef NDEBUG
-#define HT_DCHECK(cond) \
-  do {                  \
+// The condition stays visible to the compiler (type errors and unused-
+// variable warnings behave identically in both build types) but is never
+// evaluated at runtime.
+#define HT_DCHECK(cond)        \
+  do {                         \
+    if (false) { (void)(cond); } \
   } while (0)
 #else
 #define HT_DCHECK(cond) HT_CHECK(cond)

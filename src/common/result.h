@@ -14,8 +14,11 @@ namespace ht {
 /// Holds either a value of type T or an error Status. Construction from a
 /// non-OK Status yields the error state; construction from T yields the
 /// value state. Constructing from an OK Status is a programming error.
+///
+/// [[nodiscard]] for the same reason as Status: ignoring a Result loses
+/// both the value and the error (see status.h).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : var_(std::move(value)) {}  // NOLINT implicit
   Result(Status status) : var_(std::move(status)) {  // NOLINT implicit

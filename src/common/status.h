@@ -28,7 +28,13 @@ enum class StatusCode : unsigned char {
 
 /// Returned by all fallible operations. The OK state is represented by a
 /// null internal pointer, so returning Status::OK() costs one pointer move.
-class Status {
+///
+/// The class itself is [[nodiscard]]: every function returning a Status —
+/// across src/common, src/storage, src/core, src/exec, and src/baselines —
+/// makes the caller handle (or explicitly void-cast) the result. Combined
+/// with HT_WERROR=ON in CI, a silently dropped error is a build break, not
+/// a latent index corruption.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string msg) {

@@ -9,6 +9,7 @@
 
 #include "common/codec.h"
 #include "core/split.h"
+#include "core/validator.h"
 
 namespace ht {
 
@@ -142,7 +143,9 @@ Status HybridTree::WriteMeta() {
 Status HybridTree::Flush() {
   HT_RETURN_NOT_OK(WriteMeta());
   HT_RETURN_NOT_OK(pool_->FlushAll());
-  return file_->Sync();
+  HT_RETURN_NOT_OK(file_->Sync());
+  DebugValidate();
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -171,7 +174,7 @@ Result<IndexNode> HybridTree::ReadIndexNode(PageId id) {
   HT_ASSIGN_OR_RETURN(
       IndexNode node,
       IndexNode::Deserialize(h.data(), h.size(), els_in_page(),
-                             codec_.CodeBytes()));
+                             codec_.CodeBytes(), options_.dim));
   if (options_.els_mode == ElsMode::kInMemory && options_.els_bits > 0) {
     auto it = els_sidecar_.find(id);
     if (it != els_sidecar_.end()) {
@@ -204,7 +207,7 @@ Result<std::shared_ptr<const IndexNode>> HybridTree::ReadIndexNodeCached(
   HT_ASSIGN_OR_RETURN(
       IndexNode node,
       IndexNode::Deserialize(page_data, page_size, els_in_page(),
-                             codec_.CodeBytes()));
+                             codec_.CodeBytes(), options_.dim));
   if (options_.els_mode == ElsMode::kInMemory && options_.els_bits > 0) {
     auto sit = els_sidecar_.find(id);
     if (sit != els_sidecar_.end()) {
@@ -319,6 +322,7 @@ Status HybridTree::Insert(std::span<const float> point, uint64_t id) {
     ++height_;
   }
   ++count_;
+  DebugValidate();
   return Status::OK();
 }
 
@@ -1097,6 +1101,7 @@ Status HybridTree::Delete(std::span<const float> point, uint64_t id) {
   for (auto& e : outcome.orphans) {
     HT_RETURN_NOT_OK(Insert(e.vec, e.id));
   }
+  DebugValidate();
   return Status::OK();
 }
 
@@ -1195,6 +1200,7 @@ Status HybridTree::RebuildEls() {
   HT_ASSIGN_OR_RETURN(Box live,
                       RebuildElsRec(root_, Box::UnitCube(options_.dim)));
   (void)live;
+  DebugValidate();
   return Status::OK();
 }
 
@@ -1325,84 +1331,19 @@ Status HybridTree::ComputeStatsRec(PageId page, const Box& br,
 }
 
 Status HybridTree::CheckInvariants() {
-  uint64_t entries_seen = 0;
-  const Box cube = Box::UnitCube(options_.dim);
-  HT_RETURN_NOT_OK(CheckInvariantsRec(root_, cube, cube, height_,
-                                      /*is_root=*/true, &entries_seen));
-  if (entries_seen != count_) {
-    return Status::Corruption("entry count mismatch: tree says " +
-                              std::to_string(count_) + ", traversal found " +
-                              std::to_string(entries_seen));
-  }
-  return Status::OK();
+  // The checks live in TreeValidator (src/core/validator.h), which is
+  // strictly stronger than the old in-class walk: it also verifies ELS
+  // conservativeness against exact subtree live boxes, the codec
+  // round-trip contract, child-page uniqueness, and pin accounting.
+  TreeValidator validator(this);
+  return validator.Validate();
 }
 
-Status HybridTree::CheckInvariantsRec(PageId page, const Box& kd_br,
-                                      const Box& live, uint32_t expected_level,
-                                      bool is_root, uint64_t* entries_seen) {
-  HT_ASSIGN_OR_RETURN(NodeKind kind, PeekKind(page));
-  if (kind == NodeKind::kData) {
-    if (expected_level != 0) {
-      return Status::Corruption("data node at nonzero level");
-    }
-    HT_ASSIGN_OR_RETURN(DataNode node, ReadDataNode(page));
-    if (node.entries.size() > data_capacity_) {
-      return Status::Corruption("data node over capacity");
-    }
-    if (!is_root && node.entries.size() < data_min_count_) {
-      return Status::Corruption("data node under utilization floor");
-    }
-    for (const auto& e : node.entries) {
-      if (!kd_br.ContainsPoint(e.vec)) {
-        return Status::Corruption(
-            "entry " + std::to_string(e.id) + " outside its kd region " +
-            kd_br.ToString() + " at " + Box::FromPoint(e.vec).ToString());
-      }
-      if (!live.ContainsPoint(e.vec)) {
-        return Status::Corruption(
-            "entry " + std::to_string(e.id) + " outside its live region " +
-            live.ToString() + " at " + Box::FromPoint(e.vec).ToString());
-      }
-    }
-    *entries_seen += node.entries.size();
-    return Status::OK();
-  }
-
-  if (expected_level == 0) {
-    return Status::Corruption("index node at level 0");
-  }
-  HT_ASSIGN_OR_RETURN(IndexNode node, ReadIndexNode(page));
-  if (node.level != expected_level) {
-    return Status::Corruption("index node level mismatch");
-  }
-  if (node.SerializedSize(els_in_page()) > options_.page_size) {
-    return Status::Corruption("index node over page size");
-  }
-  if (node.NumChildren() < 1) {
-    return Status::Corruption("index node without children");
-  }
-  const Box local_base = Box::UnitCube(options_.dim);
-  std::function<Status(const KdNode*, const Box&)> rec =
-      [&](const KdNode* n, const Box& nbr) -> Status {
-    if (n->IsLeaf()) {
-      // Accumulate constraints down the path: the child's data must lie in
-      // the intersection of every ancestor's local leaf region / live box.
-      const Box child_kd = kd_br.Intersection(nbr);
-      const Box dec = els_enabled() ? codec_.Decode(n->els, nbr) : nbr;
-      const Box child_live = live.Intersection(dec);
-      return CheckInvariantsRec(n->child, child_kd, child_live,
-                                expected_level - 1,
-                                /*is_root=*/false, entries_seen);
-    }
-    const uint32_t d = n->split_dim;
-    if (d >= options_.dim) return Status::Corruption("kd split dim OOB");
-    if (n->lsp < nbr.lo(d) || n->rsp > nbr.hi(d)) {
-      return Status::Corruption("kd split positions outside region");
-    }
-    HT_RETURN_NOT_OK(rec(n->left.get(), KdLeftBr(nbr, *n)));
-    return rec(n->right.get(), KdRightBr(nbr, *n));
-  };
-  return rec(node.root.get(), local_base);
+void HybridTree::DebugValidate() {
+#ifdef HT_DEBUG_VALIDATE
+  TreeValidator validator(this);
+  HT_CHECK_OK(validator.Validate());
+#endif
 }
 
 Status HybridTree::CollectSubtreeEntries(PageId page,

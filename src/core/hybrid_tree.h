@@ -239,6 +239,9 @@ class HybridTree {
   friend Result<std::unique_ptr<HybridTree>> BulkLoad(
       const HybridTreeOptions& options, PagedFile* file, const Dataset& data,
       const BulkLoadOptions& bulk);
+  /// Deep validation (src/core/validator.h) reads private node I/O and
+  /// tree metadata; CheckInvariants() delegates to it.
+  friend class TreeValidator;
 
   HybridTree(const HybridTreeOptions& options, PagedFile* file);
 
@@ -332,11 +335,12 @@ class HybridTree {
   Result<Box> RebuildElsRec(PageId page, const Box& br);
   Status ComputeStatsRec(PageId page, const Box& br, TreeStats* stats,
                          double* data_util_sum);
-  Status CheckInvariantsRec(PageId page, const Box& kd_br, const Box& live,
-                            uint32_t expected_level, bool is_root,
-                            uint64_t* entries_seen);
   Status CollectSubtreeEntries(PageId page, std::vector<DataEntry>* out,
                                std::vector<PageId>* pages);
+  /// No-op unless built with -DHT_DEBUG_VALIDATE=ON, in which case it runs
+  /// a full TreeValidator pass (including buffer-pool pin accounting) and
+  /// aborts on any violation. Called after every mutating operation.
+  void DebugValidate();
 
   HybridTreeOptions options_;
   PagedFile* file_;

@@ -288,7 +288,7 @@ void IndexNode::Serialize(uint8_t* page, size_t page_size, bool els_in_page,
 
 Result<IndexNode> IndexNode::Deserialize(const uint8_t* page, size_t page_size,
                                          bool els_in_page,
-                                         size_t els_code_bytes) {
+                                         size_t els_code_bytes, uint32_t dim) {
   Reader r(page, page_size);
   const uint8_t kind = r.GetU8();
   if (kind != static_cast<uint8_t>(NodeKind::kIndex)) {
@@ -319,6 +319,9 @@ Result<IndexNode> IndexNode::Deserialize(const uint8_t* page, size_t page_size,
       }
     } else {
       raw.dim = r.GetU16();
+      if (dim != 0 && raw.dim >= dim) {
+        return Status::Corruption("kd split dimension out of range");
+      }
       raw.lsp = r.GetF32();
       raw.rsp = r.GetF32();
       raw.left = r.GetU16();
@@ -343,7 +346,10 @@ Result<IndexNode> IndexNode::Deserialize(const uint8_t* page, size_t page_size,
       n->split_dim = raw.dim;
       n->lsp = raw.lsp;
       n->rsp = raw.rsp;
-      if (raw.left <= static_cast<uint16_t>(i) ||
+      // raw.left == raw.right would pass the null checks (both are still
+      // unconsumed here) and then the second move below would leave a
+      // half-linked internal node — found by fuzzing, so checked first.
+      if (raw.left == raw.right || raw.left <= static_cast<uint16_t>(i) ||
           raw.right <= static_cast<uint16_t>(i) || !nodes[raw.left] ||
           !nodes[raw.right]) {
         return Status::Corruption("kd tree preorder violated");

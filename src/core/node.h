@@ -169,9 +169,13 @@ struct IndexNode {
 
   void Serialize(uint8_t* page, size_t page_size, bool els_in_page,
                  size_t els_code_bytes) const;
+  /// `dim`, when nonzero, bounds every kd split dimension: a corrupt page
+  /// whose split_dim is out of range is rejected here instead of causing
+  /// out-of-bounds Box access in CollectChildren / the search walks.
   static Result<IndexNode> Deserialize(const uint8_t* page, size_t page_size,
                                        bool els_in_page,
-                                       size_t els_code_bytes);
+                                       size_t els_code_bytes,
+                                       uint32_t dim = 0);
 
   /// ELS sidecar support (ElsMode::kInMemory): extract / attach the leaf
   /// codes in deterministic left-to-right leaf order.

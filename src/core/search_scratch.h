@@ -1,0 +1,69 @@
+// Copyright 2026 The HybridTree Authors.
+// Reusable per-query buffers for the HybridTree search hot paths.
+//
+// A SearchScratch owns every dynamically-sized structure a search needs:
+// the batch-kernel distance output buffer (page granularity), the
+// best-first traversal frontier (a vector-backed binary min-heap), the
+// bounded k-NN candidate heap (a vector-backed binary max-heap, replacing
+// std::priority_queue so the backing store survives across queries), and
+// the intra-node kd-walk stack. Buffers are cleared — never shrunk — at
+// the start of each search, so after one warm-up query the steady-state
+// search loop performs no heap allocation (verified by search_alloc_test).
+//
+// Ownership rules:
+//  * One scratch serves one query at a time. It may be reused freely
+//    across queries, query types, and trees.
+//  * Concurrent queries need distinct scratches — exec::QueryExecutor
+//    pools one per worker thread.
+//  * Passing nullptr to the scratch-taking search overloads makes the tree
+//    use a function-local scratch: always correct, but it re-allocates per
+//    query. Callers on a hot path should hold a scratch.
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace ht {
+
+struct KdNode;
+
+class SearchScratch {
+ public:
+  SearchScratch() = default;
+  SearchScratch(SearchScratch&&) = default;
+  SearchScratch& operator=(SearchScratch&&) = default;
+
+ private:
+  friend class HybridTree;
+
+  /// Pending subtree of the best-first k-NN traversal, keyed by the
+  /// MINDIST lower bound to its live region.
+  struct PageRef {
+    double dist;
+    PageId page;
+  };
+
+  /// One child page a box/range descent has committed to visiting:
+  /// collected during the intra-node kd walk, prefetched as a batch, then
+  /// descended in the original preorder (so results are byte-identical
+  /// with prefetch on or off). `contained` carries the box search's
+  /// scan-level-pruning flag; range search leaves it false.
+  struct Descent {
+    PageId page;
+    bool contained;
+  };
+
+  std::vector<double> dist;       // batch-kernel outputs, one per page row
+  std::vector<PageRef> frontier;  // k-NN best-first min-heap backing store
+  std::vector<std::pair<double, uint64_t>> best;  // bounded k max-heap
+  std::vector<const KdNode*> stack;               // intra-node kd walk
+  std::vector<Descent> descents;  // collect-then-descend (base-marked)
+  std::vector<PageId> prefetch_ids;   // batch under construction
+  std::vector<PageRef> prefetch_top;  // k-NN next-best frontier sample
+};
+
+}  // namespace ht

@@ -1,6 +1,8 @@
 #include "storage/buffer_pool.h"
 
 #include <algorithm>
+#include <map>
+#include <string>
 
 namespace ht {
 
@@ -31,9 +33,11 @@ size_t PageHandle::size() const {
 void PageHandle::Release() {
   if (pool_ != nullptr) {
     pool_->Unpin(id_, frame_);
+    if (pin_token_ != 0) pool_->UntrackPin(pin_token_);
     pool_ = nullptr;
     frame_ = nullptr;
     id_ = kInvalidPageId;
+    pin_token_ = 0;
   }
 }
 
@@ -42,7 +46,11 @@ void PageHandle::Release() {
 // ---------------------------------------------------------------------------
 
 BufferPool::BufferPool(PagedFile* file, size_t capacity_pages)
-    : file_(file), capacity_(capacity_pages), shard_capacity_(capacity_pages) {}
+    : file_(file), capacity_(capacity_pages), shard_capacity_(capacity_pages) {
+#ifdef HT_DEBUG_VALIDATE
+  pin_tracking_.store(true, std::memory_order_relaxed);
+#endif
+}
 
 BufferPool::~BufferPool() {
   DrainPrefetch();
@@ -87,7 +95,7 @@ Status BufferPool::SetConcurrentMode(bool on) {
   return Status::OK();
 }
 
-Result<PageHandle> BufferPool::Fetch(PageId id) {
+Result<PageHandle> BufferPool::Fetch(PageId id, std::source_location loc) {
   Shard& shard = ShardFor(id);
   auto lock = LockShard(shard);
   ++shard.stats.logical_reads;
@@ -108,7 +116,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
         f->in_lru = false;
       }
       ++f->pins;
-      return PageHandle(this, id, f);
+      return PageHandle(this, id, f, TrackPin(id, loc));
     }
     // Miss. If an async prefetch of this page is in flight, wait for the
     // fill instead of issuing a duplicate read, then re-check the map.
@@ -150,11 +158,12 @@ Result<PageHandle> BufferPool::Fetch(PageId id) {
   Frame* f = frame.get();
   f->pins = 1;
   shard.frames.emplace(id, std::move(frame));
-  return PageHandle(this, id, f);
+  return PageHandle(this, id, f, TrackPin(id, loc));
 }
 
 Status BufferPool::FetchMany(std::span<const PageId> ids,
-                             std::vector<PageHandle>* out) {
+                             std::vector<PageHandle>* out,
+                             std::source_location loc) {
   out->clear();
   if (ids.empty()) return Status::OK();
   out->reserve(ids.size());
@@ -185,7 +194,7 @@ Status BufferPool::FetchMany(std::span<const PageId> ids,
         f->in_lru = false;
       }
       ++f->pins;
-      out->push_back(PageHandle(this, id, f));
+      out->push_back(PageHandle(this, id, f, TrackPin(id, loc)));
     } else {
       out->push_back(PageHandle());
       if (miss_slot.emplace(id, miss_ids.size()).second) {
@@ -249,7 +258,7 @@ Status BufferPool::FetchMany(std::span<const PageId> ids,
       shard.frames.emplace(id, std::move(frame));
     }
     ++f->pins;
-    (*out)[i] = PageHandle(this, id, f);
+    (*out)[i] = PageHandle(this, id, f, TrackPin(id, loc));
   }
   return Status::OK();
 }
@@ -374,7 +383,7 @@ void BufferPool::SetPrefetchExecutor(AsyncExec exec) {
   async_exec_ = std::move(exec);
 }
 
-Result<PageHandle> BufferPool::New() {
+Result<PageHandle> BufferPool::New(std::source_location loc) {
   PageId id;
   {
     auto flock = LockFile();
@@ -394,7 +403,7 @@ Result<PageHandle> BufferPool::New() {
   frame->pins = 1;
   Frame* f = frame.get();
   shard.frames.emplace(id, std::move(frame));
-  return PageHandle(this, id, f);
+  return PageHandle(this, id, f, TrackPin(id, loc));
 }
 
 Status BufferPool::Free(PageId id) {
@@ -536,6 +545,74 @@ size_t BufferPool::pinned_frames() const {
     }
   }
   return n;
+}
+
+// ---------------------------------------------------------------------------
+// Debug pin tracking
+// ---------------------------------------------------------------------------
+
+void BufferPool::SetPinTracking(bool on) {
+  {
+    std::lock_guard<std::mutex> lk(pin_mu_);
+    live_pins_.clear();
+  }
+  pin_tracking_.store(on, std::memory_order_relaxed);
+}
+
+uint64_t BufferPool::TrackPin(PageId id, const std::source_location& loc) {
+  if (!pin_tracking_.load(std::memory_order_relaxed)) return 0;
+  const uint64_t token =
+      next_pin_token_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lk(pin_mu_);
+  live_pins_.emplace(token,
+                     PinSite{id, loc.file_name(), loc.line(),
+                             loc.function_name()});
+  return token;
+}
+
+void BufferPool::UntrackPin(uint64_t token) {
+  std::lock_guard<std::mutex> lk(pin_mu_);
+  live_pins_.erase(token);
+}
+
+Status BufferPool::AssertNoPins() const {
+  // Count pins under the shard locks first; pin_mu_ is a leaf lock, so the
+  // attribution pass runs after every shard lock is released.
+  uint64_t total_pins = 0;
+  uint64_t frames = 0;
+  for (const Shard& shard : shards_) {
+    auto lock = LockShard(shard);
+    for (const auto& [id, f] : shard.frames) {
+      if (f->pins > 0) {
+        ++frames;
+        total_pins += static_cast<uint64_t>(f->pins);
+      }
+    }
+  }
+  if (total_pins == 0) return Status::OK();
+
+  std::string msg = "buffer pool pin leak: " + std::to_string(total_pins) +
+                    " pin(s) on " + std::to_string(frames) + " frame(s)";
+  if (pin_tracking_.load(std::memory_order_relaxed)) {
+    // Group live registrations by call site for attribution.
+    std::map<std::string, std::pair<uint64_t, std::string>> by_site;
+    std::lock_guard<std::mutex> lk(pin_mu_);
+    for (const auto& [token, site] : live_pins_) {
+      std::string key = std::string(site.file) + ":" +
+                        std::to_string(site.line) + " (" + site.function + ")";
+      auto& slot = by_site[key];
+      ++slot.first;
+      if (!slot.second.empty()) slot.second += ",";
+      slot.second += std::to_string(site.page);
+    }
+    for (const auto& [site, info] : by_site) {
+      msg += "\n  " + std::to_string(info.first) + " pin(s) from " + site +
+             " on page(s) [" + info.second + "]";
+    }
+  } else {
+    msg += " (enable SetPinTracking for call-site attribution)";
+  }
+  return Status::Internal(std::move(msg));
 }
 
 }  // namespace ht

@@ -65,6 +65,7 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <source_location>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -135,20 +136,25 @@ class PageHandle {
 
  private:
   friend class BufferPool;
-  PageHandle(BufferPool* pool, PageId id, internal::PageFrame* frame)
-      : pool_(pool), frame_(frame), id_(id) {}
+  PageHandle(BufferPool* pool, PageId id, internal::PageFrame* frame,
+             uint64_t pin_token = 0)
+      : pool_(pool), frame_(frame), id_(id), pin_token_(pin_token) {}
   void MoveFrom(PageHandle& other) {
     pool_ = other.pool_;
     frame_ = other.frame_;
     id_ = other.id_;
+    pin_token_ = other.pin_token_;
     other.pool_ = nullptr;
     other.frame_ = nullptr;
     other.id_ = kInvalidPageId;
+    other.pin_token_ = 0;
   }
 
   BufferPool* pool_ = nullptr;
   internal::PageFrame* frame_ = nullptr;
   PageId id_ = kInvalidPageId;
+  /// Debug pin-tracking registry key; 0 when tracking was off at pin time.
+  uint64_t pin_token_ = 0;
 };
 
 /// Installs a thread-local IoStats sink for the calling thread: while the
@@ -187,8 +193,12 @@ class BufferPool {
   Status SetConcurrentMode(bool on);
   bool concurrent_mode() const { return concurrent_; }
 
-  /// Fetches and pins page `id`.
-  Result<PageHandle> Fetch(PageId id);
+  /// Fetches and pins page `id`. The defaulted source_location captures
+  /// the caller for debug pin-leak attribution (see SetPinTracking); it
+  /// costs nothing while tracking is off.
+  Result<PageHandle> Fetch(
+      PageId id,
+      std::source_location loc = std::source_location::current());
 
   /// Fetches and pins every page of `ids` (out->at(i) pins ids[i]); all
   /// misses are read from the backing file in ONE ReadBatch round trip.
@@ -197,7 +207,8 @@ class BufferPool {
   /// like an equivalent sequence of Fetch calls. On error no pins are
   /// retained. All ids must resolve simultaneously, so a bounded pool
   /// needs capacity for the whole batch on top of existing pins.
-  Status FetchMany(std::span<const PageId> ids, std::vector<PageHandle>* out);
+  Status FetchMany(std::span<const PageId> ids, std::vector<PageHandle>* out,
+                   std::source_location loc = std::source_location::current());
 
   /// Best-effort, non-pinning prefetch: pages already cached or already in
   /// flight are skipped; the remaining misses are read in one batch and
@@ -227,7 +238,8 @@ class BufferPool {
 
   /// Allocates a new page, pins it, and marks it dirty (so the zeroed or
   /// caller-filled image reaches the file on eviction/flush).
-  Result<PageHandle> New();
+  Result<PageHandle> New(
+      std::source_location loc = std::source_location::current());
 
   /// Frees page `id`; it must be unpinned. Drops any cached frame.
   Status Free(PageId id);
@@ -255,6 +267,29 @@ class BufferPool {
   size_t cached_frames() const;
   /// Number of currently pinned frames (for tests).
   size_t pinned_frames() const;
+
+  // --- debug pin tracking (leak attribution) -------------------------------
+  // Every search/insert/delete must release all pins it takes; a leaked pin
+  // wedges eviction and — under the shared-read protocol — blocks mode
+  // switches forever. With tracking ON, each pin records the source
+  // location of the Fetch/FetchMany/New that created it, and AssertNoPins
+  // attributes outstanding pins to those call sites. Tracking defaults to
+  // ON in HT_DEBUG_VALIDATE builds and OFF otherwise (the hot path then
+  // pays one relaxed atomic load per pin).
+
+  /// Enables/disables pin tracking. Flip only while no frame is pinned and
+  /// no other thread is inside the pool (same quiescence rule as
+  /// SetConcurrentMode).
+  void SetPinTracking(bool on);
+  bool pin_tracking() const {
+    return pin_tracking_.load(std::memory_order_relaxed);
+  }
+
+  /// OK iff no frame is pinned. Otherwise an Internal error naming every
+  /// outstanding pin — with file:line:function attribution when tracking
+  /// was on at pin time — so the leaking call site is identified directly
+  /// from the failure message.
+  Status AssertNoPins() const;
 
  private:
   friend class PageHandle;
@@ -296,6 +331,10 @@ class BufferPool {
   }
 
   void Unpin(PageId id, Frame* f);
+  /// Registers a live pin in the tracking registry; returns the token the
+  /// handle must carry (0 when tracking is off).
+  uint64_t TrackPin(PageId id, const std::source_location& loc);
+  void UntrackPin(uint64_t token);
   /// Caller holds the shard lock (concurrent mode) or is single-threaded.
   Status EvictOneIfNeeded(Shard& shard);
   Status WriteBack(PageId id, Frame* f);
@@ -329,6 +368,21 @@ class BufferPool {
   /// == inflight_.size(); lets the Fetch miss path skip the prefetch_mu_
   /// round trip entirely when nothing is in flight (the common case).
   std::atomic<size_t> inflight_count_{0};
+
+  /// Debug pin tracking (see SetPinTracking). Token -> pin site for every
+  /// live pin taken while tracking was on. pin_mu_ is a leaf lock: it may
+  /// be acquired while a shard lock is held, and nothing is ever acquired
+  /// under it.
+  struct PinSite {
+    PageId page;
+    const char* file;
+    unsigned line;
+    const char* function;
+  };
+  std::atomic<bool> pin_tracking_{false};
+  std::atomic<uint64_t> next_pin_token_{1};
+  mutable std::mutex pin_mu_;
+  std::unordered_map<uint64_t, PinSite> live_pins_;
 };
 
 }  // namespace ht

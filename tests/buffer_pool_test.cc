@@ -457,5 +457,77 @@ TEST(BufferPoolTest, ConcurrentPrefetchAndFetchStress) {
   }
 }
 
+// --- debug pin tracking ------------------------------------------------------
+
+TEST(PinTrackingTest, AssertNoPinsOkWhenAllReleased) {
+  MemPagedFile file(256);
+  BufferPool pool(&file, 4);
+  pool.SetPinTracking(true);
+  PageId id;
+  {
+    PageHandle h = pool.New().ValueOrDie();
+    id = h.id();
+  }
+  {
+    PageHandle h = pool.Fetch(id).ValueOrDie();
+  }
+  EXPECT_TRUE(pool.AssertNoPins().ok());
+}
+
+TEST(PinTrackingTest, LeakIsAttributedToTheFetchCallSite) {
+  MemPagedFile file(256);
+  BufferPool pool(&file, 4);
+  pool.SetPinTracking(true);
+  PageId id;
+  {
+    PageHandle h = pool.New().ValueOrDie();
+    id = h.id();
+  }
+  PageHandle leaked = pool.Fetch(id).ValueOrDie();  // held across the check
+  Status s = pool.AssertNoPins();
+  ASSERT_FALSE(s.ok());
+  // The message must carry the pin count, this file, and the page id.
+  EXPECT_NE(s.message().find("1 pin(s)"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.message().find("buffer_pool_test"), std::string::npos)
+      << s.ToString();
+  EXPECT_NE(s.message().find(std::to_string(id)), std::string::npos)
+      << s.ToString();
+  leaked.Release();
+  EXPECT_TRUE(pool.AssertNoPins().ok());
+}
+
+TEST(PinTrackingTest, FetchManyAndMovesKeepTheRegistryExact) {
+  MemPagedFile file(256);
+  BufferPool pool(&file, 8);
+  std::vector<PageId> ids;
+  for (int i = 0; i < 3; ++i) {
+    PageHandle h = pool.New().ValueOrDie();
+    ids.push_back(h.id());
+  }
+  pool.SetPinTracking(true);
+  std::vector<PageHandle> handles;
+  ASSERT_TRUE(pool.FetchMany(ids, &handles).ok());
+  EXPECT_FALSE(pool.AssertNoPins().ok());
+  // Moving a handle must transfer (not duplicate) its registration.
+  PageHandle moved = std::move(handles[1]);
+  handles.clear();
+  Status s = pool.AssertNoPins();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("1 pin(s)"), std::string::npos) << s.ToString();
+  moved.Release();
+  EXPECT_TRUE(pool.AssertNoPins().ok());
+}
+
+TEST(PinTrackingTest, UntrackedLeakStillDetected) {
+  MemPagedFile file(256);
+  BufferPool pool(&file, 4);
+  pool.SetPinTracking(false);
+  PageHandle h = pool.New().ValueOrDie();
+  Status s = pool.AssertNoPins();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("SetPinTracking"), std::string::npos)
+      << s.ToString();
+}
+
 }  // namespace
 }  // namespace ht

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "core/hybrid_tree.h"
 #include "data/generators.h"
 
@@ -98,6 +100,31 @@ TEST(CorruptionTest, PreorderCycleRejected) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(CorruptionTest, AliasedKdChildrenRejected) {
+  // An internal record with left == right passes the stale-slot null
+  // checks and then double-moves the child, leaving a half-linked node
+  // whose traversal dereferences null (found by fuzz_node). Must be
+  // rejected at decode time.
+  std::vector<uint8_t> page(512, 0);
+  page[0] = static_cast<uint8_t>(NodeKind::kIndex);
+  page[1] = 1;  // level
+  page[2] = 3;  // three records
+  page[3] = 0;
+  size_t off = 4;
+  page[off] = 0;        // internal
+  page[off + 11] = 1;   // left = 1
+  page[off + 13] = 1;   // right = 1 (aliased!)
+  off += 15;
+  page[off] = 1;  // leaf, child 5
+  page[off + 1] = 5;
+  off += 5;
+  page[off] = 1;  // leaf, child 6
+  page[off + 1] = 6;
+  auto r = IndexNode::Deserialize(page.data(), page.size(), false, 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
 TEST(CorruptionTest, DataPageScanRejectsWrongKind) {
   std::vector<uint8_t> page(256, 0);
   page[0] = static_cast<uint8_t>(NodeKind::kIndex);
@@ -113,6 +140,146 @@ TEST(CorruptionTest, DataPageScanRejectsOversizedCount) {
   DataPageScan scan(page.data(), page.size(), 4);
   EXPECT_FALSE(scan.ok());
   EXPECT_EQ(scan.count(), 0u);
+}
+
+// --- seeded semantic corruptions ------------------------------------------
+//
+// Damage that deserializes FINE — every field parses, every range check in
+// Deserialize passes — but breaks a structural promise. Only the deep
+// validator (TreeValidator, reached through CheckInvariants) can see it.
+
+struct SeededFixture {
+  static constexpr size_t kPage = 1024;
+  MemPagedFile file{kPage};
+  std::unique_ptr<HybridTree> tree;
+  Dataset data;
+  size_t code_bytes = 0;
+
+  SeededFixture() {
+    Rng rng(1803);
+    data = GenUniform(2000, 4, rng);
+    HybridTreeOptions o;
+    o.dim = 4;
+    o.page_size = kPage;
+    // In-page ELS: the codes live in the index pages themselves, so byte
+    // corruption survives a reopen (kInMemory would recompute them).
+    o.els_mode = ElsMode::kInPage;
+    tree = HybridTree::Create(o, &file).ValueOrDie();
+    code_bytes = (2 * o.dim * o.els_bits + 7) / 8;
+    for (size_t i = 0; i < data.size(); ++i) {
+      HT_CHECK_OK(tree->Insert(data.Row(i), i));
+    }
+    HT_CHECK_OK(tree->Flush());
+  }
+
+  /// Offsets of the kd records of a serialized index page, in preorder.
+  /// Record layout: internal = tag u8, dim u16, lsp f32, rsp f32, left
+  /// u16, right u16; leaf = tag u8, child u32, ELS code bytes.
+  struct Record {
+    size_t offset;
+    bool leaf;
+  };
+  std::vector<Record> ScanRecords(const Page& p) {
+    uint16_t count = 0;
+    std::memcpy(&count, p.data() + 2, 2);
+    std::vector<Record> recs;
+    size_t off = 4;
+    for (uint16_t i = 0; i < count; ++i) {
+      const bool leaf = p.data()[off] == 1;
+      recs.push_back({off, leaf});
+      off += leaf ? (5 + code_bytes) : 15;
+    }
+    return recs;
+  }
+
+  Status ReopenAndValidate() {
+    auto reopened = HybridTree::Open(&file);
+    if (!reopened.ok()) return reopened.status();
+    return reopened.ValueOrDie()->CheckInvariants();
+  }
+};
+
+TEST(CorruptionTest, ValidatorDetectsFlippedSplitPositions) {
+  SeededFixture f;
+  Page p(SeededFixture::kPage);
+  HT_CHECK_OK(f.file.Read(f.tree->root_page(), &p));
+  auto recs = f.ScanRecords(p);
+  ASSERT_FALSE(recs.empty());
+  ASSERT_FALSE(recs[0].leaf) << "root kd record should be an internal split";
+  // lsp/rsp pushed outside the node's region: a split can never partition
+  // space it does not own.
+  const float bad_lsp = -0.5f, bad_rsp = 1.5f;
+  std::memcpy(p.data() + recs[0].offset + 3, &bad_lsp, 4);
+  std::memcpy(p.data() + recs[0].offset + 7, &bad_rsp, 4);
+  HT_CHECK_OK(f.file.Write(f.tree->root_page(), p));
+  Status s = f.ReopenAndValidate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_NE(s.message().find("split positions"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(CorruptionTest, ValidatorDetectsTruncatedElsWords) {
+  SeededFixture f;
+  Page p(SeededFixture::kPage);
+  HT_CHECK_OK(f.file.Read(f.tree->root_page(), &p));
+  auto recs = f.ScanRecords(p);
+  // Zero a leaf's ELS words: the code now decodes to a degenerate corner
+  // box that cannot cover the child's data.
+  bool patched = false;
+  for (const auto& r : recs) {
+    if (!r.leaf) continue;
+    std::memset(p.data() + r.offset + 5, 0, f.code_bytes);
+    patched = true;
+    break;
+  }
+  ASSERT_TRUE(patched);
+  HT_CHECK_OK(f.file.Write(f.tree->root_page(), p));
+  Status s = f.ReopenAndValidate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST(CorruptionTest, ValidatorDetectsChildPointingAtMetaPage) {
+  SeededFixture f;
+  Page p(SeededFixture::kPage);
+  HT_CHECK_OK(f.file.Read(f.tree->root_page(), &p));
+  auto recs = f.ScanRecords(p);
+  bool patched = false;
+  for (const auto& r : recs) {
+    if (!r.leaf) continue;
+    const uint32_t meta = 0;
+    std::memcpy(p.data() + r.offset + 1, &meta, 4);
+    patched = true;
+    break;
+  }
+  ASSERT_TRUE(patched);
+  HT_CHECK_OK(f.file.Write(f.tree->root_page(), p));
+  Status s = f.ReopenAndValidate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_NE(s.message().find("meta page"), std::string::npos) << s.ToString();
+}
+
+TEST(CorruptionTest, ValidatorDetectsDuplicatedChildPage) {
+  SeededFixture f;
+  Page p(SeededFixture::kPage);
+  HT_CHECK_OK(f.file.Read(f.tree->root_page(), &p));
+  auto recs = f.ScanRecords(p);
+  // Point two kd leaves at the same child: a shared subtree (or cycle)
+  // that every per-page check is blind to.
+  std::vector<size_t> leaves;
+  for (const auto& r : recs) {
+    if (r.leaf) leaves.push_back(r.offset);
+  }
+  ASSERT_GE(leaves.size(), 2u);
+  std::memcpy(p.data() + leaves[1] + 1, p.data() + leaves[0] + 1, 4);
+  HT_CHECK_OK(f.file.Write(f.tree->root_page(), p));
+  Status s = f.ReopenAndValidate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  EXPECT_NE(s.message().find("more than once"), std::string::npos)
+      << s.ToString();
 }
 
 TEST(CorruptionTest, TruncatedDatasetFileRejected) {

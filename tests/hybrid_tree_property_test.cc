@@ -65,6 +65,10 @@ TEST_P(HybridTreeSweep, InvariantsAndExactQueries) {
   o.els_bits = c.els_bits;
   MemPagedFile file(c.page_size);
   auto tree = HybridTree::Create(o, &file).ValueOrDie();
+  // Pin tracking attributes any page-pin leak to its Fetch call site;
+  // CheckInvariants (and, under HT_DEBUG_VALIDATE, every mutating op)
+  // asserts the pool is fully unpinned.
+  tree->pool().SetPinTracking(true);
   for (size_t i = 0; i < data.size(); ++i) {
     ASSERT_TRUE(tree->Insert(data.Row(i), i).ok()) << i;
   }

@@ -23,6 +23,13 @@ namespace {
 std::atomic<size_t> g_allocations{0};
 }  // namespace
 
+// GCC flags free() inside a replaced operator delete as a mismatched
+// pair under some inlining decisions (notably -fsanitize=undefined); the
+// replacement new allocates with malloc, so the pairing is correct.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 void* operator new(size_t n) {
   g_allocations.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(n)) return p;
@@ -37,6 +44,9 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, size_t) noexcept { std::free(p); }
 void operator delete[](void* p, size_t) noexcept { std::free(p); }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 namespace ht {
 namespace {

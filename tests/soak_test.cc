@@ -34,6 +34,9 @@ TEST_P(SoakTest, MixedWorkloadAgainstShadow) {
   o.els_mode = mode;
   o.els_bits = mode == ElsMode::kOff ? 0 : 4;
   auto tree = HybridTree::Create(o, file.get()).ValueOrDie();
+  // Any pin leaked by the mixed workload below gets attributed to its
+  // Fetch call site by CheckInvariants' pin accounting.
+  tree->pool().SetPinTracking(true);
 
   std::map<uint64_t, std::vector<float>> shadow;  // id -> vector
   uint64_t next_id = 0;
@@ -113,6 +116,7 @@ TEST_P(SoakTest, MixedWorkloadAgainstShadow) {
       tree.reset();
       file = DiskPagedFile::Open(path).ValueOrDie();
       tree = HybridTree::Open(file.get()).ValueOrDie();
+      tree->pool().SetPinTracking(true);
       ASSERT_EQ(tree->size(), shadow.size()) << "step " << step;
       ASSERT_TRUE(tree->CheckInvariants().ok()) << "step " << step;
     }

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace ht {
 namespace {
 
@@ -82,6 +84,93 @@ Status FailThrough() {
 
 TEST(StatusTest, ReturnNotOkPropagates) {
   EXPECT_EQ(FailThrough().code(), StatusCode::kOutOfRange);
+}
+
+// --- macro hygiene contracts (see the contract block in common/macros.h) ---
+
+Status CountingStatus(int* evals, bool fail) {
+  ++*evals;
+  return fail ? Status::Internal("boom") : Status::OK();
+}
+
+Result<int> CountingResult(int* evals, bool fail) {
+  ++*evals;
+  if (fail) return Status::Internal("boom");
+  return 7;
+}
+
+Status ReturnNotOkTwice(int* evals, bool fail) {
+  // Two expansions in ONE scope: unique temporaries must not shadow.
+  HT_RETURN_NOT_OK(CountingStatus(evals, fail));
+  HT_RETURN_NOT_OK(CountingStatus(evals, fail));
+  return Status::OK();
+}
+
+TEST(MacroContractTest, ReturnNotOkEvaluatesExactlyOnce) {
+  int evals = 0;
+  EXPECT_TRUE(ReturnNotOkTwice(&evals, false).ok());
+  EXPECT_EQ(evals, 2);  // each expansion evaluated its argument once
+  evals = 0;
+  EXPECT_FALSE(ReturnNotOkTwice(&evals, true).ok());
+  EXPECT_EQ(evals, 1);  // first failure short-circuits, still one eval
+}
+
+Status AssignOrReturnTwice(int* evals, bool fail, int* out) {
+  HT_ASSIGN_OR_RETURN(int a, CountingResult(evals, fail));
+  HT_ASSIGN_OR_RETURN(int b, CountingResult(evals, fail));
+  *out = a + b;
+  return Status::OK();
+}
+
+TEST(MacroContractTest, AssignOrReturnEvaluatesExactlyOnce) {
+  int evals = 0;
+  int out = 0;
+  EXPECT_TRUE(AssignOrReturnTwice(&evals, false, &out).ok());
+  EXPECT_EQ(evals, 2);
+  EXPECT_EQ(out, 14);
+  evals = 0;
+  EXPECT_FALSE(AssignOrReturnTwice(&evals, true, &out).ok());
+  EXPECT_EQ(evals, 1);
+}
+
+Status ReturnNotOkAroundCallerTemp(int* evals) {
+  // The argument may reference a variable named like an internal
+  // temporary; __COUNTER__-unique names keep it visible.
+  Status _ht_status_0 = Status::OK();
+  HT_RETURN_NOT_OK(CountingStatus(evals, !_ht_status_0.ok()));
+  return _ht_status_0;
+}
+
+TEST(MacroContractTest, InternalTemporariesDoNotShadowCallerNames) {
+  int evals = 0;
+  EXPECT_TRUE(ReturnNotOkAroundCallerTemp(&evals).ok());
+  EXPECT_EQ(evals, 1);
+}
+
+TEST(MacroContractTest, CheckOkEvaluatesExactlyOnce) {
+  int evals = 0;
+  HT_CHECK_OK(CountingStatus(&evals, false));
+  EXPECT_EQ(evals, 1);
+}
+
+TEST(MacroContractTest, DcheckEvaluationMatchesBuildType) {
+  int evals = 0;
+  HT_DCHECK(++evals > 0);
+#ifdef NDEBUG
+  EXPECT_EQ(evals, 0);  // compiled but never evaluated
+#else
+  EXPECT_EQ(evals, 1);
+#endif
+}
+
+TEST(MacroContractTest, AssignOrReturnMovesTheValue) {
+  auto f = []() -> Status {
+    std::vector<int> v;
+    HT_ASSIGN_OR_RETURN(
+        v, Result<std::vector<int>>(std::vector<int>{1, 2, 3}));
+    return v.size() == 3 ? Status::OK() : Status::Internal("lost value");
+  };
+  EXPECT_TRUE(f().ok());
 }
 
 }  // namespace
