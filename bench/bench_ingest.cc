@@ -1,0 +1,295 @@
+// Extension (beyond the paper): the batched write-back and parallel
+// ingest pipeline — the write-side dual of bench_io.
+//
+// Rig: FOURIER 16-d over a MemPagedFile served through a
+// LatencyInjectingPagedFile with a WRITE cost model (per-call setup plus
+// per-page transfer, the same positioning-vs-transfer shape bench_io uses
+// for reads). Two sweeps:
+//
+//  1. Cold build: BulkLoad + Flush at 1 (serial), 2, and 4 worker
+//     threads. The parallel loader writes disjoint leaf chunks straight
+//     to the file, so its blocking write latencies overlap across
+//     workers while the serial loader pays the whole flush in one
+//     thread; the resulting files must be byte-identical.
+//  2. Incremental ingest: singleton Insert loop vs InsertBatch under a
+//     small buffer pool, where every leaf touch costs an eviction
+//     write-back. Grouping points by target leaf turns k singleton
+//     read-modify-writes of a leaf into one, so write (and read) round
+//     trips fall with batch size; query results must match the loop.
+//
+// Usage: bench_ingest [--smoke]   (--smoke: tiny sweep for CI)
+// Env:   HT_BENCH_N (build points; ingest uses half)
+
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/timing.h"
+#include "core/bulk_load.h"
+#include "core/hybrid_tree.h"
+#include "storage/latency_injecting_file.h"
+
+using namespace ht;
+using namespace ht::bench;
+
+namespace {
+
+struct BuildCell {
+  size_t threads = 0;
+  double wall_s = 0.0;
+  double speedup = 1.0;
+  uint64_t write_calls = 0;
+  uint64_t pages_written = 0;
+  bool identical = true;
+};
+
+struct IngestCell {
+  size_t batch = 0;  // 0 = singleton Insert loop
+  double wall_s = 0.0;
+  uint64_t write_calls = 0;
+  uint64_t pages_written = 0;
+  uint64_t read_calls = 0;
+  bool identical = true;
+};
+
+std::vector<uint64_t> SortedAll(const HybridTree& tree, uint32_t dim) {
+  auto ids = tree.SearchBox(Box::UnitCube(dim)).ValueOrDie();
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const uint32_t dim = 16;
+  const size_t n_build = smoke ? 4000 : EnvSize("HT_BENCH_N", 40000);
+  const size_t n_ingest = std::max<size_t>(1000, n_build / 2);
+
+  PrintHeader(
+      "Extension: batched write-back + parallel ingest pipeline",
+      "beyond the paper: write-side dual of the bench_io read pipeline",
+      "FOURIER 16-d, build n=" + std::to_string(n_build) + ", ingest n=" +
+          std::to_string(n_ingest) + (smoke ? " [smoke]" : ""));
+
+  Rng rng(4242);
+  Dataset data = GenFourier(n_build, dim, rng);
+  HybridTreeOptions opts;
+  opts.dim = dim;
+
+  // Write cost model: 0.5 ms positioning + 2 ms per page — transfer-
+  // dominated so batching and overlap are what the sweep isolates.
+  const double kWritePerCall = 500e-6;
+  const double kWritePerPage = 2000e-6;
+
+  // --- Sweep 1: cold-cache build, serial vs parallel bulk load. -----------
+  std::printf("\nCold build (BulkLoad + Flush), write cost %.1f+%.1fms/pg:\n",
+              kWritePerCall * 1e3, kWritePerPage * 1e3);
+  TablePrinter build_table({"threads", "wall (s)", "speedup", "write trips",
+                            "pages written", "identical"});
+  std::vector<BuildCell> build_cells;
+  std::unique_ptr<MemPagedFile> serial_image;
+  double serial_wall = 0.0;
+  bool all_identical = true;
+  double best_parallel_speedup = 0.0;
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    auto base = std::make_unique<MemPagedFile>(opts.page_size);
+    LatencyInjectingPagedFile latfile(base.get());
+    latfile.set_write_latency(kWritePerCall, kWritePerPage);
+    BulkLoadOptions bulk;
+    bulk.threads = threads;
+
+    BuildCell cell;
+    cell.threads = threads;
+    WallTimer t;
+    auto tree = BulkLoad(opts, &latfile, data, bulk).ValueOrDie();
+    HT_CHECK_OK(tree->Flush());
+    cell.wall_s = t.Seconds();
+    cell.write_calls = latfile.write_calls();
+    cell.pages_written = latfile.stats().writes;
+    tree.reset();
+
+    if (threads == 1) {
+      serial_wall = cell.wall_s;
+      serial_image = std::move(base);
+    } else {
+      cell.speedup = cell.wall_s > 0.0 ? serial_wall / cell.wall_s : 1.0;
+      best_parallel_speedup = std::max(best_parallel_speedup, cell.speedup);
+      // Byte-identity against the serial image, page by page.
+      cell.identical = base->page_count() == serial_image->page_count();
+      for (PageId id = 0; cell.identical && id < base->page_count(); ++id) {
+        Page a(opts.page_size), b(opts.page_size);
+        const bool sa = serial_image->Read(id, &a).ok();
+        const bool sb = base->Read(id, &b).ok();
+        if (sa != sb) cell.identical = false;
+        if (!sa || !sb) continue;  // both unallocated (freed placeholder)
+        if (std::memcmp(a.data(), b.data(), opts.page_size) != 0) {
+          cell.identical = false;
+        }
+      }
+      all_identical = all_identical && cell.identical;
+    }
+
+    build_table.AddRow({std::to_string(threads),
+                        TablePrinter::Num(cell.wall_s, 3),
+                        TablePrinter::Num(cell.speedup, 2),
+                        std::to_string(cell.write_calls),
+                        std::to_string(cell.pages_written),
+                        threads == 1 ? "(ref)" : cell.identical ? "yes" : "NO"});
+    build_cells.push_back(cell);
+  }
+  build_table.Print();
+  std::printf("Parallel vs serial build: best %.2fx %s; files %s.\n",
+              best_parallel_speedup,
+              best_parallel_speedup >= 2.0 ? "(>= 2x target met)"
+                                           : "(below 2x target)",
+              all_identical ? "byte-identical" : "DIFFER (BUG)");
+
+  // --- Sweep 2: incremental ingest, Insert loop vs InsertBatch. -----------
+  // Small pool (well under the final leaf count): most leaf touches miss
+  // and evict, so each touch pays a read and a dirty write-back round
+  // trip. Moderate latencies keep the loop baseline tractable.
+  const size_t pool_pages = smoke ? 24 : 96;
+  const double kInPerCall = 50e-6, kInPerPage = 10e-6;
+  const double kInWritePerCall = 50e-6, kInWritePerPage = 50e-6;
+  Rng ingest_rng(777);
+  Dataset ingest = GenFourier(n_ingest, dim, ingest_rng);
+  const std::vector<size_t> batches =
+      smoke ? std::vector<size_t>{0, 512}
+            : std::vector<size_t>{0, 256, 2048};
+
+  std::printf("\nIncremental ingest (%zu points, pool %zu pages, cold "
+              "start):\n", n_ingest, pool_pages);
+  TablePrinter ingest_table({"batch", "wall (s)", "write trips",
+                             "pages written", "read trips", "queries"});
+  std::vector<IngestCell> ingest_cells;
+  std::vector<uint64_t> reference_ids;
+  bool queries_identical = true;
+  uint64_t loop_write_calls = 0;
+
+  for (size_t batch : batches) {
+    MemPagedFile base(opts.page_size);
+    LatencyInjectingPagedFile latfile(&base);
+    HybridTreeOptions ingest_opts = opts;
+    ingest_opts.buffer_pool_pages = pool_pages;
+    auto tree = HybridTree::Create(ingest_opts, &latfile).ValueOrDie();
+    latfile.set_latency(kInPerCall, kInPerPage);
+    latfile.set_write_latency(kInWritePerCall, kInWritePerPage);
+
+    IngestCell cell;
+    cell.batch = batch;
+    WallTimer t;
+    if (batch == 0) {
+      for (size_t i = 0; i < ingest.size(); ++i) {
+        HT_CHECK_OK(tree->Insert(ingest.Row(i), i));
+      }
+    } else {
+      std::vector<float> points;
+      std::vector<uint64_t> ids;
+      for (size_t begin = 0; begin < ingest.size(); begin += batch) {
+        const size_t end = std::min(begin + batch, ingest.size());
+        points.clear();
+        ids.clear();
+        for (size_t i = begin; i < end; ++i) {
+          auto row = ingest.Row(i);
+          points.insert(points.end(), row.begin(), row.end());
+          ids.push_back(i);
+        }
+        HT_CHECK_OK(tree->InsertBatch(points, ids));
+      }
+    }
+    HT_CHECK_OK(tree->Flush());
+    cell.wall_s = t.Seconds();
+    cell.write_calls = latfile.write_calls();
+    cell.pages_written = latfile.stats().writes;
+    cell.read_calls = latfile.read_calls();
+
+    latfile.set_latency(0, 0);  // query check at full speed
+    auto ids = SortedAll(*tree, dim);
+    if (batch == batches.front()) {
+      reference_ids = std::move(ids);
+      loop_write_calls = cell.write_calls;
+    } else {
+      cell.identical = ids == reference_ids;
+      queries_identical = queries_identical && cell.identical;
+    }
+
+    ingest_table.AddRow(
+        {batch == 0 ? "loop" : std::to_string(batch),
+         TablePrinter::Num(cell.wall_s, 3), std::to_string(cell.write_calls),
+         std::to_string(cell.pages_written), std::to_string(cell.read_calls),
+         batch == 0 ? "(ref)" : cell.identical ? "match" : "MISMATCH"});
+    ingest_cells.push_back(cell);
+  }
+  ingest_table.Print();
+  const uint64_t best_batch_calls =
+      ingest_cells.back().write_calls > 0 ? ingest_cells.back().write_calls : 1;
+  std::printf(
+      "Write round trips: %llu (loop) -> %llu (largest batch), %.1fx fewer; "
+      "query results %s.\n",
+      static_cast<unsigned long long>(loop_write_calls),
+      static_cast<unsigned long long>(ingest_cells.back().write_calls),
+      static_cast<double>(loop_write_calls) /
+          static_cast<double>(best_batch_calls),
+      queries_identical ? "identical to the loop" : "MISMATCH (BUG)");
+  std::printf(
+      "Expected shape: grouping by target leaf turns k read-modify-writes "
+      "of a leaf into one, so eviction round trips fall with batch size; "
+      "the final FlushAll is one batched trip either way.\n");
+
+  FILE* json = std::fopen("BENCH_ingest.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"ingest\",\n"
+                 "  \"dataset\": \"fourier\",\n"
+                 "  \"dim\": %u,\n"
+                 "  \"n_build\": %zu,\n"
+                 "  \"n_ingest\": %zu,\n"
+                 "  \"smoke\": %s,\n"
+                 "  \"write_per_call_us\": %.1f,\n"
+                 "  \"write_per_page_us\": %.1f,\n"
+                 "  \"build_identical\": %s,\n"
+                 "  \"best_parallel_speedup\": %.3f,\n"
+                 "  \"ingest_queries_identical\": %s,\n"
+                 "  \"build\": [\n",
+                 dim, n_build, n_ingest, smoke ? "true" : "false",
+                 kWritePerCall * 1e6, kWritePerPage * 1e6,
+                 all_identical ? "true" : "false", best_parallel_speedup,
+                 queries_identical ? "true" : "false");
+    for (size_t i = 0; i < build_cells.size(); ++i) {
+      const BuildCell& c = build_cells[i];
+      std::fprintf(json,
+                   "    {\"threads\": %zu, \"wall_s\": %.4f, "
+                   "\"speedup\": %.3f, \"write_calls\": %llu, "
+                   "\"pages_written\": %llu, \"identical\": %s}%s\n",
+                   c.threads, c.wall_s, c.speedup,
+                   static_cast<unsigned long long>(c.write_calls),
+                   static_cast<unsigned long long>(c.pages_written),
+                   c.identical ? "true" : "false",
+                   i + 1 < build_cells.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"ingest\": [\n");
+    for (size_t i = 0; i < ingest_cells.size(); ++i) {
+      const IngestCell& c = ingest_cells[i];
+      std::fprintf(json,
+                   "    {\"batch\": %zu, \"wall_s\": %.4f, "
+                   "\"write_calls\": %llu, \"pages_written\": %llu, "
+                   "\"read_calls\": %llu, \"identical\": %s}%s\n",
+                   c.batch, c.wall_s,
+                   static_cast<unsigned long long>(c.write_calls),
+                   static_cast<unsigned long long>(c.pages_written),
+                   static_cast<unsigned long long>(c.read_calls),
+                   c.identical ? "true" : "false",
+                   i + 1 < ingest_cells.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("Wrote BENCH_ingest.json\n");
+  }
+  return all_identical && queries_identical ? 0 : 1;
+}

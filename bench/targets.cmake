@@ -32,3 +32,4 @@ ht_add_bench(bench_throughput)
 target_link_libraries(bench_throughput PRIVATE ht_exec)
 ht_add_bench(bench_hotpath)
 ht_add_bench(bench_io)
+ht_add_bench(bench_ingest)

@@ -21,6 +21,15 @@ namespace ht {
 struct BulkLoadOptions {
   /// Target data-node fill fraction (clamped to [min_util, 1]).
   double fill = 0.9;
+  /// Worker threads for stage 1 (partitioning and leaf writes); 0 or 1
+  /// selects the serial loader. The parallel loader produces a
+  /// byte-identical file: partition cuts depend only on the data (never on
+  /// thread scheduling), leaves get the same page ids in the same
+  /// depth-first order, and workers serialize disjoint contiguous page
+  /// ranges straight to the file with one PagedFile::WriteBatch per chunk —
+  /// bypassing the buffer pool so each worker's blocking write latency
+  /// overlaps the others'.
+  size_t threads = 0;
 };
 
 /// Builds a hybrid tree over `data` (row ids become object ids) in `file`,

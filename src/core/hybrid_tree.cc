@@ -4,8 +4,10 @@
 #include <cmath>
 #include <cstdio>
 #include <functional>
+#include <numeric>
 #include <queue>
 #include <tuple>
+#include <unordered_map>
 
 #include "common/codec.h"
 #include "core/split.h"
@@ -141,8 +143,18 @@ Status HybridTree::WriteMeta() {
 }
 
 Status HybridTree::Flush() {
+  // Ordered, write-ahead flush: first every dirty tree page goes out (in
+  // batched round trips, one WriteBatch per buffer-pool shard) and is made
+  // durable; only then is the metadata page — root pointer, height, count —
+  // written and synced. A flush that dies part-way therefore leaves the old
+  // metadata on disk: reopening yields the previous root rather than a new
+  // root over pages that never landed. Pages are still rewritten in place
+  // (no shadow paging), so the guarantee is "meta never points into the
+  // void", not full multi-flush atomicity — see DESIGN.md §6d.
+  HT_RETURN_NOT_OK(pool_->FlushAllExcept(meta_page_));
+  HT_RETURN_NOT_OK(file_->Sync());
   HT_RETURN_NOT_OK(WriteMeta());
-  HT_RETURN_NOT_OK(pool_->FlushAll());
+  HT_RETURN_NOT_OK(pool_->FlushPage(meta_page_));
   HT_RETURN_NOT_OK(file_->Sync());
   DebugValidate();
   return Status::OK();
@@ -300,30 +312,210 @@ Status HybridTree::Insert(std::span<const float> point, uint64_t id) {
   const Box cube = Box::UnitCube(options_.dim);
   HT_ASSIGN_OR_RETURN(SplitResult s, InsertRec(root_, cube, point, id));
   if (s.split) {
-    // Grow the tree: a new root whose kd-tree is a single split.
-    IndexNode new_root;
-    new_root.level = static_cast<uint8_t>(height_ + 1);
-    Box left_br = cube;
-    if (s.lsp < left_br.hi(s.dim)) left_br.set_hi(s.dim, s.lsp);
-    Box right_br = cube;
-    if (s.rsp > right_br.lo(s.dim)) right_br.set_lo(s.dim, s.rsp);
-    auto lleaf = KdNode::MakeLeaf(
-        root_, els_enabled() ? codec_.Encode(s.left_live, left_br) : ElsCode{});
-    auto rleaf = KdNode::MakeLeaf(
-        s.right_page,
-        els_enabled() ? codec_.Encode(s.right_live, right_br) : ElsCode{});
-    new_root.root = KdNode::MakeInternal(s.dim, s.lsp, s.rsp, std::move(lleaf),
-                                         std::move(rleaf));
-    HT_ASSIGN_OR_RETURN(PageHandle h, pool_->New());
-    const PageId new_root_page = h.id();
-    h.Release();
-    HT_RETURN_NOT_OK(WriteIndexNode(new_root_page, new_root));
-    root_ = new_root_page;
-    ++height_;
+    HT_RETURN_NOT_OK(GrowRoot(s));
   }
   ++count_;
   DebugValidate();
   return Status::OK();
+}
+
+Status HybridTree::GrowRoot(const SplitResult& s) {
+  // Grow the tree: a new root whose kd-tree is a single split.
+  const Box cube = Box::UnitCube(options_.dim);
+  IndexNode new_root;
+  new_root.level = static_cast<uint8_t>(height_ + 1);
+  Box left_br = cube;
+  if (s.lsp < left_br.hi(s.dim)) left_br.set_hi(s.dim, s.lsp);
+  Box right_br = cube;
+  if (s.rsp > right_br.lo(s.dim)) right_br.set_lo(s.dim, s.rsp);
+  auto lleaf = KdNode::MakeLeaf(
+      root_, els_enabled() ? codec_.Encode(s.left_live, left_br) : ElsCode{});
+  auto rleaf = KdNode::MakeLeaf(
+      s.right_page,
+      els_enabled() ? codec_.Encode(s.right_live, right_br) : ElsCode{});
+  new_root.root = KdNode::MakeInternal(s.dim, s.lsp, s.rsp, std::move(lleaf),
+                                       std::move(rleaf));
+  HT_ASSIGN_OR_RETURN(PageHandle h, pool_->New());
+  const PageId new_root_page = h.id();
+  h.Release();
+  HT_RETURN_NOT_OK(WriteIndexNode(new_root_page, new_root));
+  root_ = new_root_page;
+  ++height_;
+  return Status::OK();
+}
+
+Status HybridTree::InsertBatch(std::span<const float> points,
+                               std::span<const uint64_t> ids) {
+  if (ids.empty()) return Status::OK();
+  if (points.size() != ids.size() * options_.dim) {
+    return Status::InvalidArgument(
+        "InsertBatch: points.size() must equal ids.size() * dim");
+  }
+  // Whole-batch validation before any mutation, mirroring the WriteBatch
+  // contract: a bad row cannot leave a half-applied batch behind.
+  for (float v : points) {
+    if (!(v >= 0.0f && v <= 1.0f)) {
+      return Status::InvalidArgument(
+          "point outside the normalized feature space [0,1]^dim");
+    }
+  }
+  const Box cube = Box::UnitCube(options_.dim);
+  std::vector<uint32_t> remaining(ids.size());
+  std::iota(remaining.begin(), remaining.end(), 0u);
+  // Every descent places at least one row before any split bubbles rows
+  // back up, so this loop makes progress and terminates.
+  while (!remaining.empty()) {
+    HT_ASSIGN_OR_RETURN(
+        BatchOutcome out,
+        InsertBatchRec(root_, cube, points, ids, std::move(remaining)));
+    if (out.split.split) {
+      HT_RETURN_NOT_OK(GrowRoot(out.split));
+    }
+    remaining = std::move(out.leftovers);
+  }
+  DebugValidate();
+  return Status::OK();
+}
+
+Result<HybridTree::BatchOutcome> HybridTree::InsertBatchRec(
+    PageId page, const Box& br, std::span<const float> points,
+    std::span<const uint64_t> ids, std::vector<uint32_t> idxs) {
+  const auto row = [&](uint32_t i) {
+    return points.subspan(static_cast<size_t>(i) * options_.dim,
+                          options_.dim);
+  };
+  HT_ASSIGN_OR_RETURN(NodeKind kind, PeekKind(page));
+  if (kind == NodeKind::kData) {
+    // One deserialize + one serialize for the whole group, instead of one
+    // round trip through the codec per point.
+    HT_ASSIGN_OR_RETURN(DataNode node, ReadDataNode(page));
+    BatchOutcome out;
+    for (size_t k = 0; k < idxs.size(); ++k) {
+      const auto p = row(idxs[k]);
+      node.entries.push_back(
+          DataEntry{ids[idxs[k]], std::vector<float>(p.begin(), p.end())});
+      if (node.entries.size() > data_capacity_) {
+        // Overflow at exactly the same occupancy as a serial Insert. The
+        // not-yet-placed rows re-route through the caller against the two
+        // new halves.
+        HT_ASSIGN_OR_RETURN(out.split, SplitDataNode(page, node, br));
+        count_ += k + 1;
+        out.leftovers.assign(idxs.begin() + static_cast<ptrdiff_t>(k) + 1,
+                             idxs.end());
+        return out;
+      }
+    }
+    HT_RETURN_NOT_OK(WriteDataNode(page, node));
+    count_ += idxs.size();
+    return out;
+  }
+
+  HT_ASSIGN_OR_RETURN(IndexNode node, ReadIndexNode(page));
+  bool dirtied = false;
+  BatchOutcome out;
+  std::vector<uint32_t> pending = std::move(idxs);
+  while (!pending.empty()) {
+    // One routing pass buckets every pending row by its target kd leaf, so
+    // each child page is read and re-serialized once per ROUND instead of
+    // once per row. A child split replaces only its own bucket's leaf —
+    // the other buckets' leaf pointers stay valid — so re-routing is
+    // needed only for rows a split bounced back (the next round).
+    std::vector<ChildRef> targets;
+    std::vector<std::vector<uint32_t>> buckets;
+    std::unordered_map<const KdNode*, size_t> bucket_of;
+    for (uint32_t idx : pending) {
+      const auto p = row(idx);
+      ChildRef t = FindLeafForInsert(node, p, br, &dirtied);
+      if (els_enabled()) {
+        ElsCode grown = codec_.ExtendToInclude(t.leaf->els, t.kd_br, p);
+        if (grown != t.leaf->els) {
+          t.leaf->els = std::move(grown);
+          dirtied = true;
+        }
+      }
+      auto [it, fresh] = bucket_of.try_emplace(t.leaf, buckets.size());
+      if (fresh) {
+        targets.push_back(t);
+        buckets.emplace_back();
+      }
+      buckets[it->second].push_back(idx);
+    }
+    std::vector<uint32_t> bounced;
+    // A kd_br captured during routing can go stale: a later row's
+    // gap-widening moves boundaries (and re-encodes ELS against the new
+    // regions). Recompute each leaf's current region when its bucket is
+    // processed, so split replacement clips against live geometry.
+    auto kd_br_of = [&](const KdNode* leaf) -> Box {
+      Box result = br;
+      std::function<bool(const KdNode*, const Box&)> walk =
+          [&](const KdNode* n, const Box& b) -> bool {
+        if (n == leaf) {
+          result = b;
+          return true;
+        }
+        if (n->IsLeaf()) return false;
+        return walk(n->left.get(), KdLeftBr(b, *n)) ||
+               walk(n->right.get(), KdRightBr(b, *n));
+      };
+      walk(node.root.get(), br);
+      return result;
+    };
+    for (size_t b = 0; b < buckets.size(); ++b) {
+      KdNode* const target_leaf = targets[b].leaf;
+      const Box target_br = kd_br_of(target_leaf);
+      const PageId child_page = target_leaf->child;
+      // Children interpret their own kd trees relative to the unit cube
+      // (see InsertRec): node-local ELS reference regions cannot go stale.
+      HT_ASSIGN_OR_RETURN(
+          BatchOutcome cs,
+          InsertBatchRec(child_page, Box::UnitCube(options_.dim), points, ids,
+                         std::move(buckets[b])));
+      if (cs.split.split) {
+        // Replace the kd leaf by an internal node over the two halves.
+        Box left_br = target_br;
+        if (cs.split.lsp < left_br.hi(cs.split.dim)) {
+          left_br.set_hi(cs.split.dim, cs.split.lsp);
+        }
+        Box right_br = target_br;
+        if (cs.split.rsp > right_br.lo(cs.split.dim)) {
+          right_br.set_lo(cs.split.dim, cs.split.rsp);
+        }
+        KdNode* leaf = target_leaf;
+        leaf->left = KdNode::MakeLeaf(
+            child_page,
+            els_enabled() ? codec_.Encode(cs.split.left_live, left_br)
+                          : ElsCode{});
+        leaf->right = KdNode::MakeLeaf(
+            cs.split.right_page,
+            els_enabled() ? codec_.Encode(cs.split.right_live, right_br)
+                          : ElsCode{});
+        leaf->split_dim = cs.split.dim;
+        leaf->lsp = cs.split.lsp;
+        leaf->rsp = cs.split.rsp;
+        leaf->child = kInvalidPageId;
+        leaf->els.clear();
+        dirtied = true;
+      }
+      bounced.insert(bounced.end(), cs.leftovers.begin(), cs.leftovers.end());
+      if (node.SerializedSize(els_in_page()) > options_.page_size) {
+        // This node must split; every not-yet-placed row — bounced ones
+        // and whole unprocessed buckets — bubbles up and re-routes from
+        // the caller once the split is applied there.
+        HT_ASSIGN_OR_RETURN(out.split, SplitIndexNode(page, node, br));
+        for (size_t rest = b + 1; rest < buckets.size(); ++rest) {
+          bounced.insert(bounced.end(), buckets[rest].begin(),
+                         buckets[rest].end());
+        }
+        out.leftovers = std::move(bounced);
+        return out;
+      }
+    }
+    pending = std::move(bounced);
+  }
+  if (dirtied) {
+    HT_RETURN_NOT_OK(WriteIndexNode(page, node));
+  }
+  return out;
 }
 
 namespace {

@@ -84,6 +84,22 @@ class HybridTree {
   /// [0,1]^dim). Duplicate (point, id) pairs are allowed.
   Status Insert(std::span<const float> point, uint64_t id);
 
+  /// Inserts ids.size() points in one pass. `points` is row-major:
+  /// points.size() == ids.size() * dim(), row i holding the coordinates
+  /// of ids[i]. The whole batch is validated before any mutation (the
+  /// write-side validate-before-I/O contract). The descent groups points
+  /// by target leaf at every level, so each visited node is deserialized
+  /// and re-serialized once per GROUP instead of once per point, all
+  /// dirtied pages form one dirty set for the next batched flush, and
+  /// under HT_DEBUG_VALIDATE the validator runs once per batch instead of
+  /// once per point. The stored set — and therefore every query result —
+  /// is identical to an equivalent loop of Insert() calls; the internal
+  /// split structure may differ (points are placed in group order).
+  /// Mutation: requires the exclusive-write half of the protocol, exactly
+  /// like Insert.
+  Status InsertBatch(std::span<const float> points,
+                     std::span<const uint64_t> ids);
+
   /// Deletes one entry matching (point, id) exactly; NotFound if absent.
   /// Underflowing nodes are eliminated and their entries reinserted (§3.5).
   Status Delete(std::span<const float> point, uint64_t id);
@@ -282,6 +298,21 @@ class HybridTree {
   };
   Result<SplitResult> InsertRec(PageId page, const Box& br,
                                 std::span<const float> point, uint64_t id);
+  /// Installs a new root above the old one after a root-level split
+  /// (shared by Insert and InsertBatch).
+  Status GrowRoot(const SplitResult& s);
+  /// One InsertBatch recursion step: inserts the batch rows indexed by
+  /// `idxs` into the subtree at `page`. On a split of `page`, the rows
+  /// not yet placed come back in `leftovers` for the caller to re-route
+  /// against the updated structure.
+  struct BatchOutcome {
+    SplitResult split;
+    std::vector<uint32_t> leftovers;
+  };
+  Result<BatchOutcome> InsertBatchRec(PageId page, const Box& br,
+                                      std::span<const float> points,
+                                      std::span<const uint64_t> ids,
+                                      std::vector<uint32_t> idxs);
   Result<SplitResult> SplitDataNode(PageId page, DataNode& node,
                                     const Box& br);
   Result<SplitResult> SplitIndexNode(PageId page, IndexNode& node,

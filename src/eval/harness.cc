@@ -99,6 +99,7 @@ Result<IndexBundle> BuildIndex(IndexKind kind, const Dataset& data,
     HT_RETURN_NOT_OK(bundle.index->Insert(data.Row(i), i));
   }
   bundle.build_seconds = timer.Seconds();
+  bundle.build_io = bundle.file->stats();
   return bundle;
 }
 

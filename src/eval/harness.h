@@ -51,6 +51,9 @@ struct IndexBundle {
   std::unique_ptr<MemPagedFile> file;
   std::unique_ptr<SpatialIndex> index;
   double build_seconds = 0.0;
+  /// File-level I/O incurred by construction — `writes` counts page-store
+  /// round trips, `batch_writes` the WriteBatch trips that coalesced them.
+  IoStats build_io;
 };
 
 /// Builds `kind` over `data` (row ids become object ids).

@@ -244,11 +244,25 @@ class BufferPool {
   /// Frees page `id`; it must be unpinned. Drops any cached frame.
   Status Free(PageId id);
 
-  /// Writes all dirty frames back to the file.
+  /// Writes all dirty frames back to the file. Batched: each shard's
+  /// dirty set goes out in ONE PagedFile::WriteBatch round trip
+  /// (DiskPagedFile coalesces adjacent pages into vectored pwritev; a
+  /// single dirty frame degrades to a plain Write) under the exclusive
+  /// file lock, instead of one Write per frame. In serial mode all frames
+  /// live in shard 0, so the whole pool flushes in one round trip.
   Status FlushAll();
 
-  /// Drops every unpinned frame (writing back dirty ones). Used by the
-  /// harness to make each query cold.
+  /// FlushAll minus one page: used by HybridTree::Flush to make every
+  /// tree page durable BEFORE the metadata page is written, so a torn
+  /// flush can never install a new root over missing pages.
+  Status FlushAllExcept(PageId skip);
+
+  /// Writes back a single page's frame if it is cached and dirty (no-op
+  /// otherwise). The second phase of the ordered flush.
+  Status FlushPage(PageId id);
+
+  /// Drops every unpinned frame (writing back dirty ones via the batched
+  /// FlushAll). Used by the harness to make each query cold.
   Status EvictAll();
 
   size_t page_size() const { return file_->page_size(); }
@@ -338,6 +352,10 @@ class BufferPool {
   /// Caller holds the shard lock (concurrent mode) or is single-threaded.
   Status EvictOneIfNeeded(Shard& shard);
   Status WriteBack(PageId id, Frame* f);
+  /// Writes this shard's dirty frames (minus `skip`) in one WriteBatch.
+  /// Caller holds the shard lock; takes the file lock internally (the
+  /// same shard -> file order as WriteBack).
+  Status FlushShardLocked(Shard& shard, PageId skip);
 
   /// Reads `ids` (all distinct, none cached at issue time) in one batch
   /// and installs the frames unpinned + prefetch-tagged. Runs on the

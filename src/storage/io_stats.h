@@ -26,6 +26,9 @@ struct IoStats {
   /// Number of ReadBatch round trips issued to a backing file (each may
   /// cover many pages; the per-page cost is in physical_reads).
   uint64_t batch_reads = 0;
+  /// Number of WriteBatch round trips issued to a backing file (the
+  /// write-side dual of batch_reads; per-page cost is in writes).
+  uint64_t batch_writes = 0;
   /// Pages handed to the prefetch pipeline (scheduled for a best-effort,
   /// non-pinning fill). Prefetched fills count as physical reads only —
   /// never as logical reads, which stay the paper's figure-of-merit.
@@ -54,6 +57,7 @@ struct IoStats {
     frees += other.frees;
     evictions += other.evictions;
     batch_reads += other.batch_reads;
+    batch_writes += other.batch_writes;
     prefetch_issued += other.prefetch_issued;
     prefetch_hits += other.prefetch_hits;
   }
@@ -67,6 +71,7 @@ struct IoStats {
     d.frees = frees - since.frees;
     d.evictions = evictions - since.evictions;
     d.batch_reads = batch_reads - since.batch_reads;
+    d.batch_writes = batch_writes - since.batch_writes;
     d.prefetch_issued = prefetch_issued - since.prefetch_issued;
     d.prefetch_hits = prefetch_hits - since.prefetch_hits;
     return d;

@@ -1,22 +1,30 @@
 // Copyright 2026 The HybridTree Authors.
 // LatencyInjectingPagedFile: a PagedFile decorator that charges a fixed
-// per-call plus per-page delay on every read, making cold-I/O experiments
-// deterministic and portable. The I/O-pipeline cost model it encodes:
+// per-call plus per-page delay on every read — and, with a separately
+// configured write cost model, on every blocking write — making cold-I/O
+// experiments deterministic and portable. The I/O-pipeline cost model:
 //
 //     cost(Read)          = per_call + per_page
 //     cost(ReadBatch(n))  = per_call + n * per_page
+//     cost(Write)         = write_per_call + write_per_page
+//     cost(WriteBatch(n)) = write_per_call + n * write_per_page
 //
-// i.e. a batched/vectored read pays the call setup (seek, syscall,
-// device latency) once, so coalescing n misses into one round trip saves
-// (n-1) * per_call — exactly the effect bench_io sweeps and the prefetch
-// integration test asserts via read_calls().
+// i.e. a batched/vectored transfer pays the call setup (seek, syscall,
+// device latency) once, so coalescing n pages into one round trip saves
+// (n-1) * per_call — the effect bench_io sweeps on the read side and
+// bench_ingest sweeps on the write side, asserted via read_calls() /
+// write_calls(). Write latencies default to 0 so read-path experiments
+// are unaffected unless they opt in.
 //
 // Delays use sleep_for (not a busy spin), so a background prefetch thread
-// genuinely overlaps injected latency with the query thread's CPU work
-// even on a single-core host.
+// — or a parallel bulk-load worker writing its own page range — genuinely
+// overlaps injected latency with another thread's work even on a
+// single-core host.
 //
-// Thread-safety matches the wrapped file: reads may run concurrently (the
-// call counter is atomic); mutation requires external serialization.
+// Thread-safety matches the wrapped file: reads may run concurrently, as
+// may writes of disjoint page sets (the call counters are atomic);
+// allocation and same-page write/read races require external
+// serialization.
 
 #pragma once
 
@@ -44,12 +52,29 @@ class LatencyInjectingPagedFile final : public PagedFile {
     per_page_ns_.store(ToNs(per_page_seconds), std::memory_order_relaxed);
   }
 
+  /// Write cost model, independent of the read model (defaults to free so
+  /// read-path experiments keep their historical behaviour).
+  void set_write_latency(double per_call_seconds, double per_page_seconds) {
+    write_per_call_ns_.store(ToNs(per_call_seconds),
+                             std::memory_order_relaxed);
+    write_per_page_ns_.store(ToNs(per_page_seconds),
+                             std::memory_order_relaxed);
+  }
+
   /// Number of blocking read round trips observed (Read and ReadBatch
   /// calls each count once, regardless of batch size).
   uint64_t read_calls() const {
     return read_calls_.load(std::memory_order_relaxed);
   }
   void ResetReadCalls() { read_calls_.store(0, std::memory_order_relaxed); }
+
+  /// Number of blocking write round trips observed (Write and WriteBatch
+  /// calls each count once, regardless of batch size) — the write
+  /// amplification figure bench_ingest reports.
+  uint64_t write_calls() const {
+    return write_calls_.load(std::memory_order_relaxed);
+  }
+  void ResetWriteCalls() { write_calls_.store(0, std::memory_order_relaxed); }
 
   size_t page_size() const override { return base_->page_size(); }
   PageId page_count() const override { return base_->page_count(); }
@@ -68,11 +93,23 @@ class LatencyInjectingPagedFile final : public PagedFile {
     return base_->ReadBatch(ids, outs);
   }
 
-  // Writes/allocation are not delayed: the experiments this wrapper
-  // serves measure the read path (the paper's "disk accesses per query").
   Status Write(PageId id, const Page& page) override {
+    write_calls_.fetch_add(1, std::memory_order_relaxed);
+    InjectWrite(1);
     return base_->Write(id, page);
   }
+
+  Status WriteBatch(std::span<const PageId> ids,
+                    std::span<const Page* const> pages) override {
+    if (ids.empty()) return base_->WriteBatch(ids, pages);
+    write_calls_.fetch_add(1, std::memory_order_relaxed);
+    InjectWrite(ids.size());
+    return base_->WriteBatch(ids, pages);
+  }
+
+  // Allocation/free are not delayed: allocation extends the file inside
+  // the same OS write the cost model already charges when the page content
+  // lands, and charging it twice would double-count bulk loads.
   Result<PageId> Allocate() override { return base_->Allocate(); }
   Status Free(PageId id) override { return base_->Free(id); }
   Status Sync() override { return base_->Sync(); }
@@ -93,10 +130,21 @@ class LatencyInjectingPagedFile final : public PagedFile {
     if (ns > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
   }
 
+  void InjectWrite(size_t pages) {
+    const int64_t ns =
+        write_per_call_ns_.load(std::memory_order_relaxed) +
+        static_cast<int64_t>(pages) *
+            write_per_page_ns_.load(std::memory_order_relaxed);
+    if (ns > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+  }
+
   PagedFile* base_;
   std::atomic<int64_t> per_call_ns_{0};
   std::atomic<int64_t> per_page_ns_{0};
+  std::atomic<int64_t> write_per_call_ns_{0};
+  std::atomic<int64_t> write_per_page_ns_{0};
   std::atomic<uint64_t> read_calls_{0};
+  std::atomic<uint64_t> write_calls_{0};
 };
 
 }  // namespace ht

@@ -24,6 +24,7 @@ IoStats PagedFile::stats() const {
   s.allocations = counters_.allocations.load(std::memory_order_relaxed);
   s.frees = counters_.frees.load(std::memory_order_relaxed);
   s.batch_reads = counters_.batch_reads.load(std::memory_order_relaxed);
+  s.batch_writes = counters_.batch_writes.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -33,7 +34,33 @@ void PagedFile::ResetStats() {
   counters_.allocations.store(0, std::memory_order_relaxed);
   counters_.frees.store(0, std::memory_order_relaxed);
   counters_.batch_reads.store(0, std::memory_order_relaxed);
+  counters_.batch_writes.store(0, std::memory_order_relaxed);
 }
+
+namespace {
+/// Shared validation for WriteBatch: every id distinct, every page buffer
+/// present and correctly sized. Runs before any I/O in every backend.
+Status ValidateWriteBatch(std::span<const PageId> ids,
+                          std::span<const Page* const> pages,
+                          size_t page_size) {
+  if (ids.size() != pages.size()) {
+    return Status::InvalidArgument("WriteBatch: ids/pages length mismatch");
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (pages[i] == nullptr || pages[i]->size() != page_size) {
+      return Status::InvalidArgument("page buffer size mismatch");
+    }
+  }
+  // O(n log n) duplicate check over a scratch copy; write batches are
+  // bounded by the dirty set, so this never dominates the I/O it guards.
+  std::vector<PageId> sorted(ids.begin(), ids.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return Status::InvalidArgument("WriteBatch: duplicate page id in batch");
+  }
+  return Status::OK();
+}
+}  // namespace
 
 Status PagedFile::ReadBatch(std::span<const PageId> ids,
                             std::span<Page* const> outs) {
@@ -44,6 +71,17 @@ Status PagedFile::ReadBatch(std::span<const PageId> ids,
   counters_.batch_reads.fetch_add(1, std::memory_order_relaxed);
   for (size_t i = 0; i < ids.size(); ++i) {
     HT_RETURN_NOT_OK(Read(ids[i], outs[i]));
+  }
+  return Status::OK();
+}
+
+Status PagedFile::WriteBatch(std::span<const PageId> ids,
+                             std::span<const Page* const> pages) {
+  HT_RETURN_NOT_OK(ValidateWriteBatch(ids, pages, page_size()));
+  if (ids.empty()) return Status::OK();
+  counters_.batch_writes.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    HT_RETURN_NOT_OK(Write(ids[i], *pages[i]));
   }
   return Status::OK();
 }
@@ -100,6 +138,24 @@ Status MemPagedFile::Write(PageId id, const Page& page) {
   }
   std::memcpy(pages_[id]->data(), page.data(), page_size_);
   counters_.writes.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status MemPagedFile::WriteBatch(std::span<const PageId> ids,
+                                std::span<const Page* const> pages) {
+  HT_RETURN_NOT_OK(ValidateWriteBatch(ids, pages, page_size_));
+  if (ids.empty()) return Status::OK();
+  for (PageId id : ids) {
+    if (id >= pages_.size() || pages_[id] == nullptr) {
+      return Status::NotFound("MemPagedFile: batch write of unallocated page " +
+                              std::to_string(id));
+    }
+  }
+  counters_.batch_writes.fetch_add(1, std::memory_order_relaxed);
+  counters_.writes.fetch_add(ids.size(), std::memory_order_relaxed);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    std::memcpy(pages_[ids[i]]->data(), pages[i]->data(), page_size_);
+  }
   return Status::OK();
 }
 
@@ -349,6 +405,88 @@ Status DiskPagedFile::Write(PageId id, const Page& page) {
   counters_.writes.fetch_add(1, std::memory_order_relaxed);
   return WriteRaw((static_cast<uint64_t>(id) + 1) * page_size_, page.data(),
                   page_size_);
+}
+
+Status DiskPagedFile::WriteBatch(std::span<const PageId> ids,
+                                 std::span<const Page* const> pages) {
+  // Validate the whole batch before any I/O so a bad id cannot leave the
+  // file with a half-applied batch (the ReadBatch contract, dualized).
+  HT_RETURN_NOT_OK(ValidateWriteBatch(ids, pages, page_size_));
+  if (ids.empty()) return Status::OK();
+  for (PageId id : ids) {
+    if (id >= page_count_) {
+      return Status::NotFound("DiskPagedFile: batch write of unallocated page " +
+                              std::to_string(id));
+    }
+  }
+  counters_.batch_writes.fetch_add(1, std::memory_order_relaxed);
+  counters_.writes.fetch_add(ids.size(), std::memory_order_relaxed);
+
+  // Sort request indices by file offset; runs of strictly adjacent pages
+  // coalesce into one vectored pwritev call each. Duplicates were rejected
+  // above, so every run is a strictly increasing offset range.
+  std::vector<uint32_t> order(ids.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](uint32_t a, uint32_t b) { return ids[a] < ids[b]; });
+
+  // Linux caps one vectored call at IOV_MAX (1024) segments.
+  constexpr size_t kMaxIov = 1024;
+  std::vector<struct iovec> iov;
+  size_t run_start = 0;
+  while (run_start < order.size()) {
+    size_t run_end = run_start + 1;
+    while (run_end < order.size() &&
+           ids[order[run_end]] == ids[order[run_end - 1]] + 1 &&
+           run_end - run_start < kMaxIov) {
+      ++run_end;
+    }
+    iov.clear();
+    for (size_t i = run_start; i < run_end; ++i) {
+      // iovec carries void* even for gather writes; the buffers are never
+      // modified through it.
+      iov.push_back(
+          {const_cast<uint8_t*>(pages[order[i]]->data()), page_size_});
+    }
+    uint64_t offset =
+        (static_cast<uint64_t>(ids[order[run_start]]) + 1) * page_size_;
+    // Loop on short transfers / EINTR, advancing through the iovec array.
+    size_t vec_idx = 0;
+    size_t vec_off = 0;  // bytes already written from iov[vec_idx]
+    while (vec_idx < iov.size()) {
+      struct iovec first = iov[vec_idx];
+      first.iov_base = static_cast<uint8_t*>(first.iov_base) + vec_off;
+      first.iov_len -= vec_off;
+      std::vector<struct iovec> rest;
+      rest.push_back(first);
+      rest.insert(rest.end(), iov.begin() + vec_idx + 1, iov.end());
+      ssize_t put = ::pwritev(fd_, rest.data(), static_cast<int>(rest.size()),
+                              static_cast<off_t>(offset));
+      if (put < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("pwritev failed: " +
+                               std::string(std::strerror(errno)));
+      }
+      if (put == 0) {
+        return Status::IOError("pwritev made no progress");
+      }
+      offset += static_cast<uint64_t>(put);
+      size_t advanced = static_cast<size_t>(put);
+      while (advanced > 0 && vec_idx < iov.size()) {
+        const size_t remaining = iov[vec_idx].iov_len - vec_off;
+        if (advanced >= remaining) {
+          advanced -= remaining;
+          ++vec_idx;
+          vec_off = 0;
+        } else {
+          vec_off += advanced;
+          advanced = 0;
+        }
+      }
+    }
+    run_start = run_end;
+  }
+  return Status::OK();
 }
 
 Result<PageId> DiskPagedFile::Allocate() {

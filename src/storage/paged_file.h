@@ -28,14 +28,17 @@ namespace ht {
 
 /// Abstract fixed-page-size random access file.
 ///
-/// Thread-safety contract (the basis of the buffer pool's prefetch
-/// pipeline): Read() and ReadBatch() are safe to call concurrently from
-/// multiple threads, and concurrently with Write()/writes of *other*
-/// pages — the disk backend uses positional pread/preadv (no shared file
-/// offset) and the memory backend only touches the target page's bytes.
-/// Allocate(), Free(), Sync(), and a Write() racing a Read() of the SAME
-/// page require external serialization (BufferPool keeps its file mutex
-/// for exactly those).
+/// Thread-safety contract (the basis of the buffer pool's prefetch and
+/// write-back pipelines): Read() and ReadBatch() are safe to call
+/// concurrently from multiple threads, and concurrently with
+/// Write()/WriteBatch() of *other* pages — the disk backend uses
+/// positional pread/preadv/pwritev (no shared file offset) and the memory
+/// backend only touches the target pages' bytes. Write()/WriteBatch()
+/// calls touching disjoint page sets may likewise run concurrently (the
+/// parallel bulk loader writes disjoint preallocated ranges from worker
+/// threads). Allocate(), Free(), Sync(), and a write racing a read of the
+/// SAME page require external serialization (BufferPool keeps its file
+/// mutex for exactly those).
 class PagedFile {
  public:
   virtual ~PagedFile() = default;
@@ -62,6 +65,19 @@ class PagedFile {
 
   /// Writes `page` (size() == page_size()) as page `id`.
   virtual Status Write(PageId id, const Page& page) = 0;
+
+  /// Writes *pages[i] as page ids[i] in one round trip — the write-side
+  /// dual of ReadBatch, with the same validate-before-I/O contract: the
+  /// whole batch (lengths, ids, page sizes) is checked before any byte is
+  /// written, so on error the file is untouched. Unlike ReadBatch,
+  /// duplicate ids are rejected (InvalidArgument): after offset sorting,
+  /// "which occurrence wins" would be unspecified, and no caller has a
+  /// legitimate reason to write one page twice in a single batch.
+  /// Counts one batch_write plus ids.size() writes.
+  /// The default implementation is a loop over Write(); DiskPagedFile
+  /// overrides it with offset-sorted, coalesced pwritev calls.
+  virtual Status WriteBatch(std::span<const PageId> ids,
+                            std::span<const Page* const> pages);
 
   /// Allocates a fresh (or recycled) page id.
   virtual Result<PageId> Allocate() = 0;
@@ -90,6 +106,7 @@ class PagedFile {
     std::atomic<uint64_t> allocations{0};
     std::atomic<uint64_t> frees{0};
     std::atomic<uint64_t> batch_reads{0};
+    std::atomic<uint64_t> batch_writes{0};
   };
   void BumpReads(uint64_t n) {
     counters_.physical_reads.fetch_add(n, std::memory_order_relaxed);
@@ -113,6 +130,10 @@ class MemPagedFile final : public PagedFile {
   Status ReadBatch(std::span<const PageId> ids,
                    std::span<Page* const> outs) override;
   Status Write(PageId id, const Page& page) override;
+  // Same validate-then-copy shape as ReadBatch: a bad id or duplicate
+  // cannot leave a half-applied batch.
+  Status WriteBatch(std::span<const PageId> ids,
+                    std::span<const Page* const> pages) override;
   Result<PageId> Allocate() override;
   Status Free(PageId id) override;
   Status Sync() override { return Status::OK(); }
@@ -146,6 +167,10 @@ class DiskPagedFile final : public PagedFile {
   Status ReadBatch(std::span<const PageId> ids,
                    std::span<Page* const> outs) override;
   Status Write(PageId id, const Page& page) override;
+  /// Gather-write implementation: requests are sorted by file offset,
+  /// adjacent pages are coalesced into single vectored pwritev calls.
+  Status WriteBatch(std::span<const PageId> ids,
+                    std::span<const Page* const> pages) override;
   Result<PageId> Allocate() override;
   Status Free(PageId id) override;
   Status Sync() override;
