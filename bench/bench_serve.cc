@@ -1,0 +1,340 @@
+// Extension (beyond the paper): the sharded multi-tenant serving layer.
+//
+// Rig: FOURIER 16-d sharded over a ShardedIndex (kd-region partitioner)
+// behind a Server, driven by a CLOSED-LOOP multi-tenant load generator —
+// every client thread issues its next request the moment the previous
+// one returns, so offered load tracks capacity and the admission tiers
+// are what shape each tenant's outcome mix:
+//
+//   gold    2 clients, no quota, generous deadline  -> completes
+//   silver  1 client, token-bucket rate limit       -> quota rejections
+//   edge    1 client, microsecond deadline budget   -> deadline expiry
+//
+// The run demonstrates the three outcome classes side by side — the
+// same closed loop yields completed for gold, ResourceExhausted
+// rejections for silver past its rate, and DeadlineExceeded expiry for
+// edge — with per-tenant percentiles and per-shard serving I/O from the
+// live MetricsSnapshot.
+//
+// Identity gate (both modes): scatter-gather answers through the full
+// server path are cross-checked against a single unsharded tree
+// (canonical order: box/range ids ascending, k-NN by (distance, id));
+// the process exits nonzero on any mismatch, so CI's --smoke run is an
+// end-to-end correctness check, not just a perf printout.
+//
+// Usage: bench_serve [--smoke]   (--smoke: tiny run for CI)
+// Env:   HT_BENCH_N              dataset size       (default 20000)
+//        HT_BENCH_SERVE_REQUESTS closed-loop total  (default 1000000)
+//        HT_BENCH_SERVE_SHARDS   shard count        (default 4)
+//        HT_BENCH_SERVE_POOL     scatter pool size  (default 2)
+
+#include "bench_common.h"
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timing.h"
+#include "core/bulk_load.h"
+#include "core/hybrid_tree.h"
+#include "exec/thread_pool.h"
+#include "serve/server.h"
+#include "serve/sharded_index.h"
+
+using namespace ht;
+using namespace ht::bench;
+
+namespace {
+
+/// Pre-built query mix: ~70% k-NN, 20% box, 10% range (k-NN is the
+/// serving-relevant workload; box/range keep all three scatter paths hot).
+struct LoadSet {
+  std::vector<Query> queries;
+  L2Metric metric;
+};
+
+LoadSet MakeLoadSet(const Dataset& data, size_t n_queries, Rng& rng) {
+  LoadSet set;
+  const double side = CalibrateBoxSide(data, 0.001, 10, rng);
+  const double radius = CalibrateRangeRadius(data, set.metric, 0.001, 10, rng);
+  auto centers = MakeQueryCenters(data, n_queries, rng);
+  set.queries.reserve(centers.size());
+  for (size_t i = 0; i < centers.size(); ++i) {
+    if (i % 10 < 7) {
+      set.queries.push_back(Query::MakeKnn(centers[i], 10));
+    } else if (i % 10 < 9) {
+      set.queries.push_back(Query::MakeBox(MakeBoxQuery(centers[i], side)));
+    } else {
+      set.queries.push_back(Query::MakeRange(centers[i], radius));
+    }
+  }
+  return set;
+}
+
+/// One closed-loop tenant tier.
+struct Tier {
+  std::string tenant;
+  size_t clients = 1;
+  double deadline_seconds = 0.0;
+  bool has_quota = false;
+  TenantQuota quota;
+};
+
+/// Full-path identity gate: every query type through Server::Execute vs
+/// the unsharded reference tree, canonicalized identically.
+bool CheckIdentity(Server& server, const HybridTree& reference,
+                   const LoadSet& set) {
+  bool ok = true;
+  for (const Query& q : set.queries) {
+    Request req;
+    req.tenant = "identity-check";
+    req.query = q;
+    req.metric = &set.metric;
+    QueryResult got = server.Execute(req);
+    if (!got.status.ok()) {
+      std::printf("identity check: query failed: %s\n",
+                  got.status.ToString().c_str());
+      ok = false;
+      continue;
+    }
+    switch (q.type) {
+      case Query::Type::kBox: {
+        auto want = reference.SearchBox(q.box).ValueOrDie();
+        std::sort(want.begin(), want.end());
+        if (got.ids != want) ok = false;
+        break;
+      }
+      case Query::Type::kRange: {
+        auto want =
+            reference.SearchRange(q.center, q.radius, set.metric).ValueOrDie();
+        std::sort(want.begin(), want.end());
+        if (got.ids != want) ok = false;
+        break;
+      }
+      case Query::Type::kKnn: {
+        auto want = reference.SearchKnn(q.center, q.k, set.metric).ValueOrDie();
+        std::sort(want.begin(), want.end());
+        if (got.neighbors != want) ok = false;
+        break;
+      }
+    }
+  }
+  return ok;
+}
+
+std::string Us(double seconds) { return TablePrinter::Num(seconds * 1e6, 1); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const uint32_t dim = 16;
+  const size_t n = smoke ? 4000 : EnvSize("HT_BENCH_N", 20000);
+  const size_t total_requests =
+      smoke ? 4000 : EnvSize("HT_BENCH_SERVE_REQUESTS", 1000000);
+  const size_t shards = EnvSize("HT_BENCH_SERVE_SHARDS", 4);
+  const size_t pool_threads = EnvSize("HT_BENCH_SERVE_POOL", 2);
+  const size_t n_queries = smoke ? 200 : 2000;
+
+  PrintHeader(
+      "Extension: sharded multi-tenant serving layer",
+      "beyond the paper: scatter-gather + admission control (src/serve)",
+      "FOURIER 16-d, n=" + std::to_string(n) + ", " + std::to_string(shards) +
+          " shards, pool=" + std::to_string(pool_threads) + ", closed-loop " +
+          std::to_string(total_requests) + " requests" +
+          (smoke ? " [smoke]" : ""));
+
+  Rng rng(20260809);
+  Dataset data = GenFourier(n, dim, rng);
+  HybridTreeOptions opts;
+  opts.dim = dim;
+
+  // Unsharded reference for the identity gate.
+  MemPagedFile ref_file(opts.page_size);
+  auto reference = BulkLoad(opts, &ref_file, data, BulkLoadOptions{}).ValueOrDie();
+
+  ThreadPool pool(pool_threads);
+  ShardedIndexOptions shard_opts;
+  shard_opts.shards = shards;
+  WallTimer build_timer;
+  auto index = ShardedIndex::Build(opts, shard_opts, data, &pool).ValueOrDie();
+  const double build_s = build_timer.Seconds();
+  std::printf("\nSharded build: %zu shards in %.3f s (rows/shard:",
+              index->shards(), build_s);
+  for (size_t s = 0; s < index->shards(); ++s) {
+    std::printf(" %zu", index->shard_rows(s));
+  }
+  std::printf(")\n");
+
+  LoadSet set = MakeLoadSet(data, n_queries, rng);
+  Server server(index.get());
+
+  // Tenant tiers (see file comment). Silver's bucket refills at a rate the
+  // closed loop can outrun on any host, so rejections are guaranteed;
+  // edge's budget is below a scatter's wall time, so expiry is too.
+  std::vector<Tier> tiers;
+  {
+    Tier gold;
+    gold.tenant = "gold";
+    gold.clients = 2;
+    gold.deadline_seconds = 0.25;
+    tiers.push_back(gold);
+
+    Tier silver;
+    silver.tenant = "silver";
+    silver.clients = 1;
+    silver.deadline_seconds = 0.25;
+    silver.has_quota = true;
+    silver.quota.rate_qps = 500.0;
+    silver.quota.burst = 64.0;
+    tiers.push_back(silver);
+
+    Tier edge;
+    edge.tenant = "edge";
+    edge.clients = 1;
+    edge.deadline_seconds = 20e-6;
+    tiers.push_back(edge);
+  }
+  for (const Tier& tier : tiers) {
+    if (tier.has_quota) server.SetQuota(tier.tenant, tier.quota);
+  }
+
+  // Identity gate BEFORE the load (counters reset afterwards).
+  const bool identical = CheckIdentity(server, *reference, set);
+  std::printf("Identity vs unsharded tree (%zu queries, full server path): "
+              "%s\n",
+              set.queries.size(), identical ? "identical" : "MISMATCH (BUG)");
+  server.ResetMetrics();
+
+  // Closed loop: every client re-issues immediately; a shared countdown
+  // caps the run at total_requests across all tenants. Signed so the
+  // final concurrent decrements go negative instead of wrapping.
+  std::atomic<long long> remaining{static_cast<long long>(total_requests)};
+  std::vector<std::thread> clients;
+  WallTimer load_timer;
+  size_t client_id = 0;
+  for (const Tier& tier : tiers) {
+    for (size_t c = 0; c < tier.clients; ++c, ++client_id) {
+      clients.emplace_back([&, tier, client_id] {
+        size_t i = client_id;  // de-phase clients across the query mix
+        while (remaining.fetch_sub(1, std::memory_order_relaxed) > 0) {
+          Request req;
+          req.tenant = tier.tenant;
+          req.query = set.queries[i % set.queries.size()];
+          req.metric = &set.metric;
+          req.deadline_seconds = tier.deadline_seconds;
+          (void)server.Execute(req);
+          ++i;
+        }
+      });
+    }
+  }
+  for (auto& t : clients) t.join();
+  const double load_s = load_timer.Seconds();
+
+  MetricsSnapshot snap = server.Snapshot();
+  std::printf("\nClosed loop: %zu requests over %zu clients in %.2f s "
+              "(%.0f req/s aggregate)\n",
+              total_requests, clients.size(), load_s,
+              static_cast<double>(total_requests) / load_s);
+  TablePrinter table({"tenant", "admitted", "completed", "rejected", "expired",
+                      "qps", "p50 (us)", "p95 (us)", "p99 (us)"});
+  uint64_t total_completed = 0, total_rejected = 0, total_expired = 0;
+  for (const TenantMetrics& t : snap.tenants) {
+    table.AddRow({t.tenant, std::to_string(t.admitted),
+                  std::to_string(t.completed), std::to_string(t.rejected),
+                  std::to_string(t.expired), TablePrinter::Num(t.qps, 0),
+                  Us(t.latency.p50), Us(t.latency.p95), Us(t.latency.p99)});
+    total_completed += t.completed;
+    total_rejected += t.rejected;
+    total_expired += t.expired;
+  }
+  table.Print();
+  std::printf("Outcome classes: %llu completed, %llu rejected (quota), "
+              "%llu expired (deadline) — all three %s.\n",
+              static_cast<unsigned long long>(total_completed),
+              static_cast<unsigned long long>(total_rejected),
+              static_cast<unsigned long long>(total_expired),
+              total_completed > 0 && total_rejected > 0 && total_expired > 0
+                  ? "observable"
+                  : "NOT all observable (unexpected on this sizing)");
+
+  std::printf("\nPer-shard serving I/O (logical reads / batch trips / "
+              "prefetch issued):\n");
+  TablePrinter io_table({"shard", "rows", "logical", "batch", "prefetch"});
+  for (size_t s = 0; s < snap.per_shard_io.size(); ++s) {
+    const IoStats& io = snap.per_shard_io[s];
+    io_table.AddRow({std::to_string(s), std::to_string(index->shard_rows(s)),
+                     std::to_string(io.logical_reads),
+                     std::to_string(io.batch_reads),
+                     std::to_string(io.prefetch_issued)});
+  }
+  io_table.Print();
+
+  FILE* json = std::fopen("BENCH_serve.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"serve\",\n"
+                 "  \"dataset\": \"fourier\",\n"
+                 "  \"dim\": %u,\n"
+                 "  \"n\": %zu,\n"
+                 "  \"shards\": %zu,\n"
+                 "  \"pool_threads\": %zu,\n"
+                 "  \"smoke\": %s,\n"
+                 "  \"identical_to_unsharded\": %s,\n"
+                 "  \"build_s\": %.4f,\n"
+                 "  \"requests\": %zu,\n"
+                 "  \"clients\": %zu,\n"
+                 "  \"load_s\": %.4f,\n"
+                 "  \"aggregate_req_per_s\": %.1f,\n"
+                 "  \"completed\": %llu,\n"
+                 "  \"rejected\": %llu,\n"
+                 "  \"expired\": %llu,\n"
+                 "  \"tenants\": [\n",
+                 dim, n, shards, pool_threads, smoke ? "true" : "false",
+                 identical ? "true" : "false", build_s, total_requests,
+                 clients.size(), load_s,
+                 static_cast<double>(total_requests) / load_s,
+                 static_cast<unsigned long long>(total_completed),
+                 static_cast<unsigned long long>(total_rejected),
+                 static_cast<unsigned long long>(total_expired));
+    for (size_t i = 0; i < snap.tenants.size(); ++i) {
+      const TenantMetrics& t = snap.tenants[i];
+      std::fprintf(
+          json,
+          "    {\"tenant\": \"%s\", \"admitted\": %llu, "
+          "\"completed\": %llu, \"rejected\": %llu, \"expired\": %llu, "
+          "\"cancelled\": %llu, \"failed\": %llu, \"qps\": %.1f, "
+          "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f}%s\n",
+          t.tenant.c_str(), static_cast<unsigned long long>(t.admitted),
+          static_cast<unsigned long long>(t.completed),
+          static_cast<unsigned long long>(t.rejected),
+          static_cast<unsigned long long>(t.expired),
+          static_cast<unsigned long long>(t.cancelled),
+          static_cast<unsigned long long>(t.failed), t.qps,
+          t.latency.p50 * 1e6, t.latency.p95 * 1e6, t.latency.p99 * 1e6,
+          i + 1 < snap.tenants.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"per_shard_io\": [\n");
+    for (size_t s = 0; s < snap.per_shard_io.size(); ++s) {
+      const IoStats& io = snap.per_shard_io[s];
+      std::fprintf(json,
+                   "    {\"shard\": %zu, \"rows\": %zu, "
+                   "\"logical_reads\": %llu, \"batch_reads\": %llu, "
+                   "\"prefetch_issued\": %llu, \"prefetch_hits\": %llu}%s\n",
+                   s, index->shard_rows(s),
+                   static_cast<unsigned long long>(io.logical_reads),
+                   static_cast<unsigned long long>(io.batch_reads),
+                   static_cast<unsigned long long>(io.prefetch_issued),
+                   static_cast<unsigned long long>(io.prefetch_hits),
+                   s + 1 < snap.per_shard_io.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("Wrote BENCH_serve.json\n");
+  }
+  return identical ? 0 : 1;
+}

@@ -33,3 +33,5 @@ target_link_libraries(bench_throughput PRIVATE ht_exec)
 ht_add_bench(bench_hotpath)
 ht_add_bench(bench_io)
 ht_add_bench(bench_ingest)
+ht_add_bench(bench_serve)
+target_link_libraries(bench_serve PRIVATE ht_serve ht_exec)

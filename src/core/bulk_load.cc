@@ -25,13 +25,13 @@ Box SubsetLiveBr(const Dataset& data, const std::vector<uint32_t>& ids) {
   return br;
 }
 
-/// One partition step: chooses the split dimension by policy on the
-/// subset's live box, sorts `ids` along it, and returns the cut index —
-/// positioned so a multiple of target_leaf lands on the left (downstream
-/// leaves pack tightly), keeping duplicate boundary values together. A
-/// pure function of (data, options, subset): both the serial and the
-/// parallel loader call it, which is what makes the parallel result
-/// independent of thread count.
+}  // namespace
+
+/// One partition step (contract in bulk_load.h): the cut is positioned so
+/// a multiple of target_leaf lands on the left (downstream leaves pack
+/// tightly). Both the serial and the parallel loader call it — and so does
+/// the serve layer's kd-region sharder — which is what makes every
+/// consumer's result independent of thread count.
 size_t PartitionSubset(const Dataset& data, const HybridTreeOptions& options,
                        size_t capacity, size_t target_leaf,
                        std::vector<uint32_t>& ids) {
@@ -89,6 +89,8 @@ size_t PartitionSubset(const Dataset& data, const HybridTreeOptions& options,
   }
   return cut;
 }
+
+namespace {
 
 /// A pending subset in the parallel loader's breadth-first partition: the
 /// rows plus the left/right path (0 = left) taken from the root cut.

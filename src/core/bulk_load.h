@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "common/result.h"
 #include "core/hybrid_tree.h"
@@ -38,5 +39,19 @@ Result<std::unique_ptr<HybridTree>> BulkLoad(const HybridTreeOptions& options,
                                              PagedFile* file,
                                              const Dataset& data,
                                              const BulkLoadOptions& bulk = {});
+
+/// One EDA/VAM-guided partition step over a row-id subset: chooses the
+/// split dimension by `options.split_policy` on the subset's live box,
+/// sorts `ids` along it, and returns the cut index, keeping duplicate
+/// boundary values together and falling back to a count split when a
+/// duplicate block would leave either side under `capacity *
+/// data_node_min_util` entries. A pure function of (data, options,
+/// subset) — never of thread scheduling — which is what makes both the
+/// parallel bulk loader and the serve layer's kd-region sharder
+/// deterministic. `target_leaf` is the intended entries-per-leaf (or
+/// per-partition) granularity the cut is aligned to.
+size_t PartitionSubset(const Dataset& data, const HybridTreeOptions& options,
+                       size_t capacity, size_t target_leaf,
+                       std::vector<uint32_t>& ids);
 
 }  // namespace ht

@@ -1,0 +1,122 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace ht {
+
+namespace {
+
+double SteadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Effective bucket capacity: an explicit burst wins; otherwise a
+/// configured rate gets max(1, rate) so it can always admit one request.
+double BurstOf(const TenantQuota& quota) {
+  if (quota.burst > 0.0) return quota.burst;
+  return std::max(1.0, quota.rate_qps);
+}
+
+}  // namespace
+
+void AdmissionTicket::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseSlot(static_cast<AdmissionController::TenantState*>(
+        tenant_));
+    controller_ = nullptr;
+    tenant_ = nullptr;
+  }
+}
+
+AdmissionController::AdmissionController(Clock clock)
+    : clock_(clock ? std::move(clock) : Clock(SteadySeconds)) {}
+
+AdmissionController::~AdmissionController() = default;
+
+void AdmissionController::SetQuota(const std::string& tenant,
+                                   const TenantQuota& quota) {
+  TenantState* state = GetTenant(tenant);
+  std::lock_guard<std::mutex> lock(state->mu);
+  state->quota = quota;
+  state->tokens = BurstOf(quota);  // bucket starts full
+  state->last_refill = clock_();
+}
+
+AdmissionController::TenantState* AdmissionController::GetTenant(
+    const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  std::unique_ptr<TenantState>& slot = tenants_[tenant];
+  if (slot == nullptr) {
+    slot = std::make_unique<TenantState>();
+    slot->last_refill = clock_();
+  }
+  return slot.get();
+}
+
+void AdmissionController::ReleaseSlot(TenantState* state) {
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->in_flight > 0) --state->in_flight;
+  }
+  state->slot_free.notify_one();
+}
+
+Result<AdmissionTicket> AdmissionController::Admit(const std::string& tenant,
+                                                   double max_wait_seconds) {
+  TenantState* state = GetTenant(tenant);
+  std::unique_lock<std::mutex> lock(state->mu);
+
+  // Rate gate first: overload is rejected immediately, not queued.
+  if (state->quota.rate_qps > 0.0) {
+    const double now = clock_();
+    const double burst = BurstOf(state->quota);
+    state->tokens =
+        std::min(burst, state->tokens + (now - state->last_refill) *
+                                            state->quota.rate_qps);
+    state->last_refill = now;
+    if (state->tokens < 1.0) {
+      return Status::ResourceExhausted("tenant over admission rate: " +
+                                       tenant);
+    }
+    state->tokens -= 1.0;
+  }
+
+  // Concurrency gate: wait (bounded) for an in-flight slot. The wait is
+  // the admission queueing delay the ticket reports back to the server.
+  double waited = 0.0;
+  if (state->quota.max_in_flight > 0) {
+    const double cap = max_wait_seconds > 0.0
+                           ? max_wait_seconds
+                           : state->quota.max_queue_seconds;
+    const auto wait_start = std::chrono::steady_clock::now();
+    const auto wait_deadline =
+        wait_start + std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(std::max(0.0, cap)));
+    while (state->in_flight >= state->quota.max_in_flight) {
+      if (state->slot_free.wait_until(lock, wait_deadline) ==
+              std::cv_status::timeout &&
+          state->in_flight >= state->quota.max_in_flight) {
+        return Status::DeadlineExceeded(
+            "tenant in-flight queue wait exceeded budget: " + tenant);
+      }
+    }
+    waited = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           wait_start)
+                 .count();
+    ++state->in_flight;
+  }
+
+  AdmissionTicket ticket;
+  if (state->quota.max_in_flight > 0) {
+    ticket.controller_ = this;
+    ticket.tenant_ = state;
+  }
+  ticket.queue_wait_seconds_ = waited;
+  return ticket;
+}
+
+}  // namespace ht

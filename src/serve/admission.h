@@ -1,0 +1,138 @@
+// Copyright 2026 The HybridTree Authors.
+// Per-tenant admission control for the serving layer: a token bucket
+// (sustained rate + burst) gates REQUEST RATE, a bounded in-flight count
+// gates CONCURRENCY, and the two compose into the classic
+// reject-or-briefly-queue front door:
+//
+//   * No token available        -> ResourceExhausted, immediately. Rate
+//     overload is rejected, never queued — queueing it would just move
+//     the overload into memory.
+//   * In-flight slots all busy  -> the request WAITS (bounded by its own
+//     deadline budget and the quota's max_queue_seconds); if a slot frees
+//     in time it proceeds, otherwise DeadlineExceeded. This wait is the
+//     "admission queueing delay" the server subtracts from the request's
+//     deadline before fanning out to shards.
+//
+// Every Admit reports how long it queued, and releases its in-flight slot
+// through an RAII ticket so early returns can't leak concurrency.
+//
+// Time is injected (a seconds-valued clock callable) so tests drive the
+// token bucket deterministically; the in-flight wait uses the real
+// condition-variable clock regardless (it synchronizes actual threads).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ht {
+
+/// Per-tenant limits. The zero-value means "unlimited" for every field, so
+/// an unconfigured tenant is admitted unconditionally (open by default;
+/// flip by configuring quotas for everyone).
+struct TenantQuota {
+  /// Sustained admission rate in requests/second; 0 = unlimited.
+  double rate_qps = 0.0;
+  /// Token-bucket capacity (burst size) in requests; 0 picks
+  /// max(1, rate_qps) so a configured rate always admits one-at-a-time.
+  double burst = 0.0;
+  /// Maximum requests past admission but not yet finished; 0 = unlimited.
+  size_t max_in_flight = 0;
+  /// Longest a request may queue for an in-flight slot when it carries no
+  /// deadline of its own (deadline-bearing requests wait at most their
+  /// remaining budget). Guards against unbounded queueing; 0 disables
+  /// waiting entirely (full == immediate DeadlineExceeded).
+  double max_queue_seconds = 1.0;
+};
+
+class AdmissionController;
+
+/// RAII in-flight slot: releases on destruction. Movable, not copyable.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  AdmissionTicket(AdmissionTicket&& other) noexcept { MoveFrom(other); }
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  ~AdmissionTicket() { Release(); }
+
+  /// Seconds this admission spent queued for an in-flight slot — the
+  /// delay the server must subtract from the request's deadline budget.
+  double queue_wait_seconds() const { return queue_wait_seconds_; }
+
+  void Release();
+
+ private:
+  friend class AdmissionController;
+  void MoveFrom(AdmissionTicket& other) {
+    controller_ = other.controller_;
+    tenant_ = other.tenant_;
+    queue_wait_seconds_ = other.queue_wait_seconds_;
+    other.controller_ = nullptr;
+    other.tenant_ = nullptr;
+  }
+
+  AdmissionController* controller_ = nullptr;
+  void* tenant_ = nullptr;  // opaque TenantState*
+  double queue_wait_seconds_ = 0.0;
+};
+
+class AdmissionController {
+ public:
+  /// Seconds-valued monotonic clock; defaults to steady_clock.
+  using Clock = std::function<double()>;
+
+  explicit AdmissionController(Clock clock = {});
+  ~AdmissionController();
+  HT_DISALLOW_COPY_AND_ASSIGN(AdmissionController);
+
+  /// Installs (or replaces) `tenant`'s quota. The token bucket starts
+  /// full. Callable anytime; in-flight counts carry over.
+  void SetQuota(const std::string& tenant, const TenantQuota& quota);
+
+  /// Admits one request for `tenant` or fails with ResourceExhausted (no
+  /// token) / DeadlineExceeded (queued past `max_wait_seconds` for an
+  /// in-flight slot). `max_wait_seconds` is the request's remaining
+  /// deadline budget; <= 0 means "no deadline" and defers to the quota's
+  /// max_queue_seconds. Unknown tenants get the default (unlimited)
+  /// quota. The ticket holds the in-flight slot.
+  Result<AdmissionTicket> Admit(const std::string& tenant,
+                                double max_wait_seconds = 0.0);
+
+ private:
+  friend class AdmissionTicket;
+
+  struct TenantState {
+    std::mutex mu;
+    std::condition_variable slot_free;
+    TenantQuota quota;
+    double tokens = 0.0;
+    double last_refill = 0.0;
+    size_t in_flight = 0;
+  };
+
+  TenantState* GetTenant(const std::string& tenant);
+  void ReleaseSlot(TenantState* state);
+
+  Clock clock_;
+  std::mutex tenants_mu_;
+  /// Node-based map: TenantState addresses are stable across inserts, so
+  /// tickets and waiters hold plain pointers.
+  std::map<std::string, std::unique_ptr<TenantState>> tenants_;
+};
+
+}  // namespace ht

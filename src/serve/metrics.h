@@ -1,0 +1,78 @@
+// Copyright 2026 The HybridTree Authors.
+// Live serving metrics: per-tenant traffic counters + latency percentiles
+// and per-shard I/O, exported as a point-in-time MetricsSnapshot.
+//
+// The outcome taxonomy mirrors exec::BatchReport so the whole stack
+// counts the same way, with two admission-side outcomes added in front:
+//
+//   rejected   — refused by the token bucket (rate overload), never ran
+//   expired    — deadline exceeded: while queued for an in-flight slot,
+//                after admission with no budget left, or mid-scatter
+//   cancelled  — server-side cancel observed by a shard task
+//   completed  — ran to completion, counted into the latency window
+//   failed     — any other non-OK status (I/O error, corruption, ...)
+//
+// rejected vs expired is the load-shedding signal: rejected traffic was
+// turned away cheaply at the front door, expired traffic burned queue or
+// scatter time first. Benchmarks (bench_serve) assert both are visible.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/latency.h"
+#include "storage/io_stats.h"
+
+namespace ht {
+
+/// One tenant's cumulative counters since server start (or ResetMetrics),
+/// plus percentiles over the retained latency window.
+struct TenantMetrics {
+  std::string tenant;
+  uint64_t admitted = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  uint64_t expired = 0;
+  uint64_t cancelled = 0;
+  uint64_t failed = 0;
+  /// completed / window_seconds of the enclosing snapshot.
+  double qps = 0.0;
+  /// Over the tenant's retained completed-latency window (a bounded ring;
+  /// percentiles describe recent traffic, not all-time).
+  LatencySummary latency;
+};
+
+/// Point-in-time view of the whole server.
+struct MetricsSnapshot {
+  /// Seconds since server start / last ResetMetrics.
+  double window_seconds = 0.0;
+  /// Sorted by tenant name.
+  std::vector<TenantMetrics> tenants;
+  /// Serving-attributed I/O per shard (ShardedIndex::shard_io): logical/
+  /// physical reads, batch_reads/batch_writes round trips, and
+  /// prefetch_issued/prefetch_hits — build I/O excluded.
+  std::vector<IoStats> per_shard_io;
+  /// Sum over per_shard_io.
+  IoStats total_io;
+
+  /// Convenience sums over tenants.
+  uint64_t TotalCompleted() const {
+    uint64_t n = 0;
+    for (const TenantMetrics& t : tenants) n += t.completed;
+    return n;
+  }
+  uint64_t TotalRejected() const {
+    uint64_t n = 0;
+    for (const TenantMetrics& t : tenants) n += t.rejected;
+    return n;
+  }
+  uint64_t TotalExpired() const {
+    uint64_t n = 0;
+    for (const TenantMetrics& t : tenants) n += t.expired;
+    return n;
+  }
+};
+
+}  // namespace ht

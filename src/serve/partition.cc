@@ -1,0 +1,90 @@
+#include "serve/partition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "core/bulk_load.h"
+
+namespace ht {
+
+namespace {
+
+/// Recursive kd-region sharding: cut the subset with the bulk loader's
+/// deterministic PartitionSubset, sending max(1, shards/2) shards left —
+/// the same left-count rule PartitionSubset's cut placement assumes — and
+/// recurse. Emits subsets in kd (left-to-right) order.
+void KdShardRec(const Dataset& data, const HybridTreeOptions& options,
+                std::vector<uint32_t> ids, size_t shards,
+                std::vector<std::vector<uint32_t>>* out) {
+  if (shards <= 1) {
+    out->push_back(std::move(ids));
+    return;
+  }
+  const size_t left_shards = std::max<size_t>(1, shards / 2);
+  if (ids.size() < 2) {
+    // Too few rows to cut: everything lands in the first shard of this
+    // branch, the rest come out empty (still exactly `shards` subsets).
+    out->push_back(std::move(ids));
+    for (size_t s = 1; s < shards; ++s) out->emplace_back();
+    return;
+  }
+  // Align the cut to the per-shard granularity: PartitionSubset splits at
+  // the max(1, n_leaves/2)-leaf boundary, so target_leaf = ceil(n/shards)
+  // makes "leaf" mean "shard" and the cut land at the left_shards line.
+  // capacity = target_leaf routes its duplicate-block fallback through the
+  // same min-utilization floor a data node would get.
+  const size_t target_leaf =
+      std::max<size_t>(1, (ids.size() + shards - 1) / shards);
+  const size_t cut =
+      PartitionSubset(data, options, target_leaf, target_leaf, ids);
+  std::vector<uint32_t> left(ids.begin(),
+                             ids.begin() + static_cast<ptrdiff_t>(cut));
+  std::vector<uint32_t> right(ids.begin() + static_cast<ptrdiff_t>(cut),
+                              ids.end());
+  ids.clear();
+  ids.shrink_to_fit();
+  KdShardRec(data, options, std::move(left), left_shards, out);
+  KdShardRec(data, options, std::move(right), shards - left_shards, out);
+}
+
+}  // namespace
+
+uint64_t HashShardMix(uint64_t id) {
+  uint64_t z = id + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Result<std::vector<std::vector<uint32_t>>> PartitionRows(
+    const Dataset& data, const HybridTreeOptions& options,
+    ShardPartitioner partitioner, size_t shards) {
+  if (shards == 0) {
+    return Status::InvalidArgument("shard count must be at least 1");
+  }
+  if (data.dim() != options.dim) {
+    return Status::InvalidArgument("dataset dimensionality mismatch");
+  }
+  std::vector<std::vector<uint32_t>> out;
+  out.reserve(shards);
+  switch (partitioner) {
+    case ShardPartitioner::kKdRegion: {
+      std::vector<uint32_t> all(data.size());
+      std::iota(all.begin(), all.end(), 0u);
+      KdShardRec(data, options, std::move(all), shards, &out);
+      break;
+    }
+    case ShardPartitioner::kHash: {
+      out.resize(shards);
+      for (size_t i = 0; i < data.size(); ++i) {
+        out[HashShardMix(i) % shards].push_back(static_cast<uint32_t>(i));
+      }
+      break;
+    }
+  }
+  HT_CHECK(out.size() == shards);
+  return out;
+}
+
+}  // namespace ht

@@ -1,0 +1,49 @@
+// Copyright 2026 The HybridTree Authors.
+// Shard partitioners for the serving layer: assign every row of one
+// logical dataset to one of N shards.
+//
+// Two policies:
+//  * kKdRegion — recursive EDA-guided cuts via the bulk loader's
+//    PartitionSubset (core/bulk_load.h). Shards are axis-aligned spatial
+//    regions in kd order, so point-local queries touch few shards and the
+//    per-shard trees get tight live regions. A pure function of the data:
+//    the assignment never depends on shard-build order or threads.
+//  * kHash — splitmix64 of the row id modulo N. Region-free and
+//    perfectly balanced even under adversarial spatial skew; every query
+//    fans out to all shards. The fallback when kd regions would be
+//    lopsided (e.g., heavily duplicated keys).
+//
+// Both return exactly `shards` subsets (possibly empty) whose union is
+// [0, data.size()), each sorted ascending within kKdRegion's kd order /
+// ascending row id for kHash — deterministic either way.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/options.h"
+#include "data/dataset.h"
+
+namespace ht {
+
+/// Row-to-shard assignment policy (see file comment).
+enum class ShardPartitioner : uint8_t {
+  kKdRegion = 0,
+  kHash = 1,
+};
+
+/// The splitmix64 finalizer used by kHash (exposed for tests that want to
+/// predict shard membership).
+uint64_t HashShardMix(uint64_t id);
+
+/// Partitions rows [0, data.size()) into exactly `shards` subsets under
+/// `partitioner`. `options` supplies the split policy and utilization
+/// floor for kKdRegion cuts (ignored by kHash). InvalidArgument when
+/// shards == 0 or the dataset dimensionality mismatches options.dim.
+Result<std::vector<std::vector<uint32_t>>> PartitionRows(
+    const Dataset& data, const HybridTreeOptions& options,
+    ShardPartitioner partitioner, size_t shards);
+
+}  // namespace ht

@@ -1,0 +1,195 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/timing.h"
+
+namespace ht {
+
+namespace {
+
+double SteadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Server::Server(ShardedIndex* index, ServerOptions options)
+    : index_(index), options_(options) {
+  window_start_.store(SteadySeconds(), std::memory_order_relaxed);
+}
+
+void Server::SetQuota(const std::string& tenant, const TenantQuota& quota) {
+  admission_.SetQuota(tenant, quota);
+  GetTenant(tenant);  // pre-create so the snapshot lists quota'd tenants
+}
+
+Server::TenantState* Server::GetTenant(const std::string& tenant) {
+  {
+    std::shared_lock<std::shared_mutex> lock(tenants_mu_);
+    auto it = tenants_.find(tenant);
+    if (it != tenants_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(tenants_mu_);
+  std::unique_ptr<TenantState>& slot = tenants_[tenant];
+  if (slot == nullptr) {
+    slot = std::make_unique<TenantState>();
+    slot->latency_ring.assign(std::max<size_t>(1, options_.latency_window),
+                              0.0);
+  }
+  return slot.get();
+}
+
+void Server::RecordOutcome(TenantState* state, const Status& status,
+                           double seconds) {
+  if (status.ok()) {
+    state->completed.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(state->latency_mu);
+    state->latency_ring[state->latency_next] = seconds;
+    state->latency_next = (state->latency_next + 1) % state->latency_ring.size();
+    state->latency_count =
+        std::min(state->latency_count + 1, state->latency_ring.size());
+  } else if (status.IsCancelled()) {
+    state->cancelled.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.IsDeadlineExceeded()) {
+    state->expired.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    state->failed.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+QueryResult Server::Execute(const Request& request) {
+  QueryResult result;
+  TenantState* state = GetTenant(request.tenant);
+  const double budget = request.deadline_seconds > 0.0
+                            ? request.deadline_seconds
+                            : options_.default_deadline_seconds;
+  WallTimer timer;
+
+  // Admission: reject (rate) or queue briefly (in-flight), bounded by the
+  // request's own budget.
+  Result<AdmissionTicket> admit_r = admission_.Admit(request.tenant, budget);
+  if (!admit_r.ok()) {
+    result.status = admit_r.status();
+    if (result.status.IsDeadlineExceeded()) {
+      state->expired.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      state->rejected.fetch_add(1, std::memory_order_relaxed);
+    }
+    return result;
+  }
+  AdmissionTicket ticket = std::move(admit_r).ValueUnsafe();
+  state->admitted.fetch_add(1, std::memory_order_relaxed);
+
+  // Deadline propagation: shards get the REMAINING budget, not the
+  // original — admission queueing already spent part of it.
+  ExecOptions exec;
+  exec.cancel = &cancel_;
+  if (budget > 0.0) {
+    const double remaining =
+        RemainingBudget(budget, ticket.queue_wait_seconds());
+    if (remaining <= 0.0) {
+      result.status =
+          Status::DeadlineExceeded("deadline consumed by admission queueing");
+      state->expired.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
+    exec.deadline_seconds = remaining;
+  }
+
+  switch (request.query.type) {
+    case Query::Type::kBox:
+      result.status = index_->SearchBox(request.query.box, exec, &result.ids);
+      break;
+    case Query::Type::kRange:
+      if (request.metric == nullptr) {
+        result.status =
+            Status::InvalidArgument("range request without a metric");
+        break;
+      }
+      result.status =
+          index_->SearchRange(request.query.center, request.query.radius,
+                              *request.metric, exec, &result.ids);
+      break;
+    case Query::Type::kKnn:
+      if (request.metric == nullptr) {
+        result.status =
+            Status::InvalidArgument("knn request without a metric");
+        break;
+      }
+      result.status =
+          index_->SearchKnn(request.query.center, request.query.k,
+                            *request.metric, exec, &result.neighbors);
+      break;
+  }
+  result.seconds = timer.Seconds();
+  RecordOutcome(state, result.status, result.seconds);
+  return result;
+}
+
+MetricsSnapshot Server::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.window_seconds =
+      SteadySeconds() - window_start_.load(std::memory_order_relaxed);
+
+  {
+    std::shared_lock<std::shared_mutex> lock(tenants_mu_);
+    snap.tenants.reserve(tenants_.size());
+    for (const auto& [name, state] : tenants_) {
+      TenantMetrics t;
+      t.tenant = name;
+      t.admitted = state->admitted.load(std::memory_order_relaxed);
+      t.completed = state->completed.load(std::memory_order_relaxed);
+      t.rejected = state->rejected.load(std::memory_order_relaxed);
+      t.expired = state->expired.load(std::memory_order_relaxed);
+      t.cancelled = state->cancelled.load(std::memory_order_relaxed);
+      t.failed = state->failed.load(std::memory_order_relaxed);
+      if (snap.window_seconds > 0.0) {
+        t.qps = static_cast<double>(t.completed) / snap.window_seconds;
+      }
+      {
+        std::lock_guard<std::mutex> ring_lock(state->latency_mu);
+        std::vector<double> samples(
+            state->latency_ring.begin(),
+            state->latency_ring.begin() +
+                static_cast<ptrdiff_t>(state->latency_count));
+        t.latency = SummarizeLatencies(std::move(samples));
+      }
+      snap.tenants.push_back(std::move(t));
+    }
+  }
+  std::sort(snap.tenants.begin(), snap.tenants.end(),
+            [](const TenantMetrics& a, const TenantMetrics& b) {
+              return a.tenant < b.tenant;
+            });
+
+  snap.per_shard_io.reserve(index_->shards());
+  for (size_t s = 0; s < index_->shards(); ++s) {
+    snap.per_shard_io.push_back(index_->shard_io(s));
+    snap.total_io.Accumulate(snap.per_shard_io.back());
+  }
+  return snap;
+}
+
+void Server::ResetMetrics() {
+  std::unique_lock<std::shared_mutex> lock(tenants_mu_);
+  for (auto& [name, state] : tenants_) {
+    state->admitted.store(0, std::memory_order_relaxed);
+    state->completed.store(0, std::memory_order_relaxed);
+    state->rejected.store(0, std::memory_order_relaxed);
+    state->expired.store(0, std::memory_order_relaxed);
+    state->cancelled.store(0, std::memory_order_relaxed);
+    state->failed.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> ring_lock(state->latency_mu);
+    state->latency_next = 0;
+    state->latency_count = 0;
+  }
+  index_->ResetIo();
+  window_start_.store(SteadySeconds(), std::memory_order_relaxed);
+}
+
+}  // namespace ht

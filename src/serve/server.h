@@ -1,0 +1,130 @@
+// Copyright 2026 The HybridTree Authors.
+// Server: the thin request layer over a ShardedIndex — per-tenant
+// admission control, deadline propagation, and live metrics.
+//
+// Request lifecycle:
+//   1. Arrival stamps the request's wall-clock budget (deadline_seconds).
+//   2. AdmissionController::Admit — token bucket (reject: rate overload)
+//      then bounded in-flight wait (expire: queued past the budget).
+//   3. The REMAINING budget — original minus admission queueing delay —
+//      is what goes into the per-shard ExecOptions::deadline_seconds,
+//      so a request that burned its budget in the queue expires instead
+//      of fanning out with a deadline it can no longer meet.
+//   4. Scatter-gather on the index; per-query latency and outcome land in
+//      the tenant's metrics; per-shard I/O accumulates in the index.
+//
+// Execute() is safe from any thread EXCEPT the serving pool's own workers
+// (ShardedIndex's rule). Cancel() flips a server-wide flag observed by
+// every in-flight scatter; Snapshot() is cheap enough to poll live.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "exec/query_executor.h"
+#include "serve/admission.h"
+#include "serve/metrics.h"
+#include "serve/sharded_index.h"
+
+namespace ht {
+
+/// One tenant request: a query plus its identity and wall-clock budget.
+struct Request {
+  std::string tenant;
+  Query query;
+  /// Required for kRange / kKnn; must outlive Execute().
+  const DistanceMetric* metric = nullptr;
+  /// Total budget from arrival, in seconds; 0 = no deadline.
+  double deadline_seconds = 0.0;
+};
+
+struct ServerOptions {
+  /// Budget applied when a request carries none; 0 = none.
+  double default_deadline_seconds = 0.0;
+  /// Per-tenant completed-latency ring capacity (percentile window).
+  size_t latency_window = 8192;
+};
+
+class Server {
+ public:
+  /// Neither the index nor (transitively) its pool is owned; both must
+  /// outlive the server.
+  explicit Server(ShardedIndex* index, ServerOptions options = {});
+  HT_DISALLOW_COPY_AND_ASSIGN(Server);
+
+  /// Installs `tenant`'s admission quota.
+  void SetQuota(const std::string& tenant, const TenantQuota& quota);
+
+  /// Runs one request end to end (admission -> scatter-gather -> merge).
+  /// The QueryResult's status distinguishes ResourceExhausted (rejected),
+  /// DeadlineExceeded (expired), Cancelled, and real failures; ids /
+  /// neighbors are populated in canonical order on OK.
+  QueryResult Execute(const Request& request);
+
+  /// Flags every in-flight and future request as cancelled until
+  /// ResetCancel(). Callable from any thread.
+  void Cancel() { cancel_.store(true, std::memory_order_relaxed); }
+  void ResetCancel() { cancel_.store(false, std::memory_order_relaxed); }
+
+  /// Live metrics: per-tenant counters + latency percentiles, per-shard
+  /// serving I/O. Thread-safe, callable while traffic runs.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes counters, latency windows, the QPS window, and the index's
+  /// serving I/O counters (for post-warmup measurement).
+  void ResetMetrics();
+
+  ShardedIndex* index() const { return index_; }
+
+  /// The remaining-budget rule (exposed for direct unit testing): a
+  /// budget of 0 means "no deadline" and stays 0; otherwise the original
+  /// budget minus the admission queueing delay. A result <= 0 means the
+  /// request expired in the queue and must not fan out.
+  static double RemainingBudget(double budget_seconds, double waited_seconds) {
+    if (budget_seconds <= 0.0) return 0.0;
+    return budget_seconds - waited_seconds;
+  }
+
+ private:
+  struct TenantState {
+    std::atomic<uint64_t> admitted{0};
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> expired{0};
+    std::atomic<uint64_t> cancelled{0};
+    std::atomic<uint64_t> failed{0};
+    /// Bounded ring of completed-query latencies (seconds).
+    std::mutex latency_mu;
+    std::vector<double> latency_ring;
+    size_t latency_next = 0;
+    size_t latency_count = 0;
+  };
+
+  TenantState* GetTenant(const std::string& tenant);
+  void RecordOutcome(TenantState* state, const Status& status,
+                     double seconds);
+
+  ShardedIndex* index_;
+  ServerOptions options_;
+  AdmissionController admission_;
+  std::atomic<bool> cancel_{false};
+
+  /// Tenant map: read-mostly after warmup; states are pointer-stable.
+  mutable std::shared_mutex tenants_mu_;
+  std::unordered_map<std::string, std::unique_ptr<TenantState>> tenants_;
+
+  /// QPS window start (seconds, steady clock).
+  std::atomic<double> window_start_;
+};
+
+}  // namespace ht

@@ -1,0 +1,180 @@
+// Copyright 2026 The HybridTree Authors.
+// ShardedIndex: one logical dataset partitioned into N per-shard hybrid
+// trees, queried scatter-gather on a shared exec ThreadPool.
+//
+// Partitioning reuses the parallel bulk loader's deterministic
+// PartitionSubset cuts (kd-region, the default) or a splitmix64 hash of
+// the row id (the skew fallback) — see serve/partition.h. Each shard is
+// bulk-loaded with shard-local ids and a local→global id map, flipped
+// into concurrent-read mode once at build, and never mutated afterwards:
+// the serving tier is read-only by construction, so any number of
+// requests may scatter over the shards concurrently.
+//
+// Scatter-gather and determinism: every search fans one task per shard
+// out to the pool, gathers per-shard results, and merges them into a
+// CANONICAL order — box/range ids ascending, k-NN by (distance, id)
+// ascending — so the answer is identical to a single unsharded tree over
+// the same data (canonicalized the same way) at every shard count,
+// partitioner, and pool size. Equal-distance ties are broken by global id
+// everywhere, which is what makes the k-NN result set well-defined even
+// when the tie straddles the k-th boundary.
+//
+// Cross-shard k-NN bound tightening: shard tasks share one bounded top-k
+// (mutex-guarded binary heap ordered by (distance, id)) whose k-th
+// distance is mirrored in a lock-free atomic radius. Each task walks its
+// shard with an incremental best-first cursor (HybridTree::KnnCursor,
+// ascending distances) and stops as soon as its next candidate lies
+// beyond the shared radius — so whichever shard finds good neighbors
+// first prunes every other shard's traversal. Stopping is exact: the
+// radius only tightens, and a cursor past it can never contribute to the
+// final top-k (candidates at exactly the radius keep streaming, which
+// preserves id tie-breaking). The result is still canonical-deterministic
+// under any thread interleaving; only the amount of pruning varies.
+//
+// Deadlines and cancellation ride in via exec::ExecOptions: tasks check
+// both before touching their shard, and the k-NN loop re-checks between
+// cursor pops. A shard that starts after the deadline fails the whole
+// request with DeadlineExceeded — a partial scatter is a wrong answer,
+// not a slow one. ExecOptions::io_pool is ignored here; attach a
+// dedicated prefetch pool at build time via ShardedIndexOptions::io_pool
+// instead (the serving tier holds concurrent-read mode open, so the
+// executor stays attached for the index's lifetime).
+//
+// Threading: safe to call from any thread EXCEPT the serving pool's own
+// workers (a scatter blocked on its own pool's queue would deadlock).
+// With a null pool the scatter degrades to an in-caller serial loop —
+// same results, test convenience.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "core/bulk_load.h"
+#include "core/hybrid_tree.h"
+#include "data/dataset.h"
+#include "exec/query_executor.h"
+#include "exec/thread_pool.h"
+#include "geometry/box.h"
+#include "geometry/metrics.h"
+#include "serve/partition.h"
+#include "storage/io_stats.h"
+#include "storage/paged_file.h"
+
+namespace ht {
+
+struct ShardedIndexOptions {
+  /// Number of shards (>= 1).
+  size_t shards = 4;
+  ShardPartitioner partitioner = ShardPartitioner::kKdRegion;
+  /// Per-shard BulkLoadOptions passthrough: target fill and stage-1
+  /// threads (the parallel loader inside each shard build).
+  double fill = 0.9;
+  size_t bulk_threads = 0;
+  /// Backing file per shard; default MemPagedFile. The index owns the
+  /// returned files.
+  std::function<std::unique_ptr<PagedFile>(size_t shard)> file_factory;
+  /// Optional dedicated prefetch pool, attached to every shard's buffer
+  /// pool for the index's lifetime (must be distinct from the query pool
+  /// passed to Build, and must outlive the index). Pair with
+  /// prefetch_depth in the tree options to overlap cold reads.
+  ThreadPool* io_pool = nullptr;
+};
+
+class ShardedIndex {
+ public:
+  /// Partitions `data`, bulk-loads one tree per shard, and flips every
+  /// shard into concurrent-read mode. `pool` runs the scatter tasks (not
+  /// owned; may be nullptr for serial in-caller execution; replaceable
+  /// later via set_pool under the caller's quiescence).
+  static Result<std::unique_ptr<ShardedIndex>> Build(
+      const HybridTreeOptions& tree_options,
+      const ShardedIndexOptions& shard_options, const Dataset& data,
+      ThreadPool* pool);
+
+  ~ShardedIndex();
+  HT_DISALLOW_COPY_AND_ASSIGN(ShardedIndex);
+
+  /// All global ids inside `query`, ascending. Scatter-gather over every
+  /// shard; honours options.deadline_seconds / options.cancel.
+  Status SearchBox(const Box& query, const ExecOptions& options,
+                   std::vector<uint64_t>* out) const;
+
+  /// All global ids within `radius` of `center` under `metric`, ascending.
+  Status SearchRange(std::span<const float> center, double radius,
+                     const DistanceMetric& metric, const ExecOptions& options,
+                     std::vector<uint64_t>* out) const;
+
+  /// The k nearest neighbors as (distance, global id), ascending by
+  /// (distance, id) — ties broken by id. Cross-shard bound tightening via
+  /// the shared atomic radius (see file comment).
+  Status SearchKnn(std::span<const float> center, size_t k,
+                   const DistanceMetric& metric, const ExecOptions& options,
+                   std::vector<std::pair<double, uint64_t>>* out) const;
+
+  size_t shards() const { return shards_.size(); }
+  uint64_t size() const { return total_count_; }
+  const HybridTreeOptions& tree_options() const { return tree_options_; }
+
+  /// Shard tree / row count, exposed for stats and tests.
+  const HybridTree& shard_tree(size_t s) const { return *shards_[s]->tree; }
+  size_t shard_rows(size_t s) const {
+    return shards_[s]->local_to_global.size();
+  }
+
+  /// I/O attributed to serving on shard `s` since build (or the last
+  /// ResetIo): per-task IoStatsScope sums, so build I/O is excluded and
+  /// the batched-read/prefetch counters reflect query traffic only.
+  IoStats shard_io(size_t s) const;
+  void ResetIo();
+
+  ThreadPool* pool() const { return pool_; }
+  /// Swaps the scatter pool. Caller must guarantee no search is in flight
+  /// (same exclusivity rule as every other mode switch in the library).
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<PagedFile> file;
+    std::unique_ptr<HybridTree> tree;
+    /// Shard-local id (bulk-load row index) -> global id.
+    std::vector<uint64_t> local_to_global;
+    /// Serving-attributed I/O, accumulated per scatter task.
+    mutable std::mutex io_mu;
+    mutable IoStats io;
+  };
+
+  ShardedIndex() = default;
+
+  /// Fans `fn(shard_index)` out to the pool (or runs it inline when the
+  /// pool is null), one task per shard, each wrapped in deadline/cancel
+  /// checks and an IoStatsScope that lands in the shard's io counter.
+  /// Returns the merged status: Cancelled beats DeadlineExceeded beats
+  /// the first other failure.
+  Status RunOnShards(const ExecOptions& options,
+                     const std::function<Status(size_t)>& fn) const;
+
+  /// Scratch free-list: scatter tasks borrow a SearchScratch for the
+  /// duration of one per-shard search, so steady-state serving stays
+  /// allocation-light without tying scratches to pool worker identity.
+  std::unique_ptr<SearchScratch> AcquireScratch() const;
+  void ReleaseScratch(std::unique_ptr<SearchScratch> scratch) const;
+
+  HybridTreeOptions tree_options_;
+  ShardedIndexOptions shard_options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint64_t total_count_ = 0;
+  ThreadPool* pool_ = nullptr;
+
+  mutable std::mutex scratch_mu_;
+  mutable std::vector<std::unique_ptr<SearchScratch>> scratch_pool_;
+};
+
+}  // namespace ht

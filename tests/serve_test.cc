@@ -1,0 +1,325 @@
+// Serving front door: admission control (token bucket + bounded
+// in-flight), Server deadline propagation of the REMAINING budget, and
+// the metrics snapshot — in particular that rejected (rate overload,
+// turned away) and expired (deadline burned in queue or scatter) are
+// distinguishable counters.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "data/workload.h"
+#include "exec/thread_pool.h"
+#include "geometry/metrics.h"
+#include "serve/admission.h"
+#include "serve/server.h"
+#include "serve/sharded_index.h"
+
+namespace ht {
+namespace {
+
+// ---------------------------------------------------------------------
+// AdmissionController
+
+TEST(AdmissionTest, TokenBucketRejectsRateOverloadImmediately) {
+  double now = 100.0;
+  AdmissionController ctl([&] { return now; });
+  TenantQuota quota;
+  quota.rate_qps = 10.0;
+  quota.burst = 2.0;
+  ctl.SetQuota("t", quota);
+
+  EXPECT_TRUE(ctl.Admit("t").ok());  // bucket starts full: 2 tokens
+  EXPECT_TRUE(ctl.Admit("t").ok());
+  auto third = ctl.Admit("t");
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+
+  now += 0.11;  // just over one token at 10 qps (0.10 exactly is FP-fragile)
+  EXPECT_TRUE(ctl.Admit("t").ok());
+  auto again = ctl.Admit("t");
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AdmissionTest, UnknownTenantIsUnlimited) {
+  AdmissionController ctl;
+  for (int i = 0; i < 100; ++i) {
+    auto r = ctl.Admit("never-configured");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.ValueOrDie().queue_wait_seconds(), 0.0);
+  }
+}
+
+TEST(AdmissionTest, InFlightSlotQueuesAndReportsWait) {
+  AdmissionController ctl;
+  TenantQuota quota;
+  quota.max_in_flight = 1;
+  ctl.SetQuota("t", quota);
+
+  auto first = ctl.Admit("t");
+  ASSERT_TRUE(first.ok());
+
+  // Second admission must wait until the first ticket releases its slot.
+  std::atomic<bool> second_admitted{false};
+  double waited = -1.0;
+  std::thread blocked([&] {
+    auto second = ctl.Admit("t", /*max_wait_seconds=*/5.0);
+    ASSERT_TRUE(second.ok()) << second.status().ToString();
+    waited = second.ValueOrDie().queue_wait_seconds();
+    second_admitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(second_admitted.load());
+  first.ValueOrDie().Release();
+  blocked.join();
+  EXPECT_TRUE(second_admitted.load());
+  EXPECT_GE(waited, 0.03);  // it measurably queued behind the slot
+}
+
+TEST(AdmissionTest, InFlightTimeoutExpiresNotRejects) {
+  AdmissionController ctl;
+  TenantQuota quota;
+  quota.max_in_flight = 1;
+  ctl.SetQuota("t", quota);
+
+  auto held = ctl.Admit("t");
+  ASSERT_TRUE(held.ok());
+  auto timed_out = ctl.Admit("t", /*max_wait_seconds=*/0.02);
+  ASSERT_FALSE(timed_out.ok());
+  // Queue timeout is a deadline event, distinct from rate rejection.
+  EXPECT_TRUE(timed_out.status().IsDeadlineExceeded())
+      << timed_out.status().ToString();
+}
+
+TEST(AdmissionTest, TicketReleaseIsIdempotentAndMoveSafe) {
+  AdmissionController ctl;
+  TenantQuota quota;
+  quota.max_in_flight = 1;
+  ctl.SetQuota("t", quota);
+  {
+    auto a = ctl.Admit("t");
+    ASSERT_TRUE(a.ok());
+    AdmissionTicket moved = std::move(a.ValueOrDie());
+    moved.Release();
+    moved.Release();  // no double-release of the slot
+  }
+  // Slot is free again.
+  EXPECT_TRUE(ctl.Admit("t").ok());
+}
+
+// ---------------------------------------------------------------------
+// RemainingBudget: the satellite-3 rule, unit-tested directly.
+
+TEST(RemainingBudgetTest, ZeroBudgetMeansNoDeadline) {
+  EXPECT_EQ(Server::RemainingBudget(0.0, 0.5), 0.0);
+  EXPECT_EQ(Server::RemainingBudget(-1.0, 0.5), 0.0);
+}
+
+TEST(RemainingBudgetTest, SubtractsQueueingDelay) {
+  EXPECT_DOUBLE_EQ(Server::RemainingBudget(1.0, 0.3), 0.7);
+  EXPECT_DOUBLE_EQ(Server::RemainingBudget(1.0, 0.0), 1.0);
+}
+
+TEST(RemainingBudgetTest, OverspentBudgetGoesNonPositive) {
+  EXPECT_LE(Server::RemainingBudget(0.1, 0.2), 0.0);
+  EXPECT_LE(Server::RemainingBudget(0.1, 0.1), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Server end-to-end
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(7);
+    data_ = GenFourier(1200, 8, rng);
+    opts_.dim = 8;
+    ShardedIndexOptions so;
+    so.shards = 3;
+    auto index_r = ShardedIndex::Build(opts_, so, data_, nullptr);
+    ASSERT_TRUE(index_r.ok()) << index_r.status().ToString();
+    index_ = std::move(index_r).ValueUnsafe();
+
+    auto centers = MakeQueryCenters(data_, 4, rng);
+    center_.assign(centers[0].begin(), centers[0].end());
+    side_ = CalibrateBoxSide(data_, 0.01, 8, rng);
+  }
+
+  Request KnnRequest(const std::string& tenant) const {
+    Request r;
+    r.tenant = tenant;
+    r.query = Query::MakeKnn(center_, 5);
+    r.metric = &metric_;
+    return r;
+  }
+
+  Dataset data_;
+  HybridTreeOptions opts_;
+  std::unique_ptr<ShardedIndex> index_;
+  L2Metric metric_;
+  std::vector<float> center_;
+  double side_ = 0.0;
+};
+
+TEST_F(ServerTest, ExecutesAllQueryTypes) {
+  Server server(index_.get());
+  Request box;
+  box.tenant = "a";
+  box.query = Query::MakeBox(MakeBoxQuery(center_, side_));
+  QueryResult r = server.Execute(box);
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+
+  Request range;
+  range.tenant = "a";
+  range.query = Query::MakeRange(center_, 0.5);
+  range.metric = &metric_;
+  r = server.Execute(range);
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+
+  r = server.Execute(KnnRequest("a"));
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.neighbors.size(), 5u);
+  EXPECT_EQ(r.neighbors, BruteForceKnn(data_, center_, 5, metric_));
+}
+
+TEST_F(ServerTest, RateOverloadCountsAsRejectedNotExpired) {
+  Server server(index_.get());
+  TenantQuota quota;
+  quota.rate_qps = 1e-6;  // effectively never refills
+  quota.burst = 1.0;
+  server.SetQuota("limited", quota);
+
+  EXPECT_TRUE(server.Execute(KnnRequest("limited")).status.ok());
+  QueryResult second = server.Execute(KnnRequest("limited"));
+  EXPECT_EQ(second.status.code(), StatusCode::kResourceExhausted);
+
+  MetricsSnapshot snap = server.Snapshot();
+  ASSERT_EQ(snap.tenants.size(), 1u);
+  EXPECT_EQ(snap.tenants[0].tenant, "limited");
+  EXPECT_EQ(snap.tenants[0].completed, 1u);
+  EXPECT_EQ(snap.tenants[0].rejected, 1u);  // the distinguishable signal:
+  EXPECT_EQ(snap.tenants[0].expired, 0u);   // rejected != expired
+}
+
+TEST_F(ServerTest, TinyDeadlineExpiresAndCounts) {
+  ServerOptions options;
+  options.default_deadline_seconds = 1e-12;
+  Server server(index_.get(), options);
+  QueryResult r = server.Execute(KnnRequest("t"));
+  EXPECT_TRUE(r.status.IsDeadlineExceeded()) << r.status.ToString();
+  MetricsSnapshot snap = server.Snapshot();
+  ASSERT_EQ(snap.tenants.size(), 1u);
+  EXPECT_EQ(snap.tenants[0].expired, 1u);
+  EXPECT_EQ(snap.tenants[0].rejected, 0u);
+}
+
+TEST_F(ServerTest, QueueConsumedBudgetExpiresBeforeFanOut) {
+  // The remaining-budget rule end to end: a deadline-bearing request
+  // whose whole budget burns waiting for an in-flight slot must come back
+  // DeadlineExceeded (counted as expired) without fanning out. The slot
+  // is held by the controller's own RAII ticket — the wait path is the
+  // same one Execute() takes.
+  AdmissionController ctl;
+  TenantQuota quota;
+  quota.max_in_flight = 1;
+  ctl.SetQuota("q", quota);
+  auto held = ctl.Admit("q");
+  ASSERT_TRUE(held.ok());
+  auto starved = ctl.Admit("q", /*max_wait_seconds=*/0.06);
+  ASSERT_FALSE(starved.ok());
+  EXPECT_TRUE(starved.status().IsDeadlineExceeded());
+
+  // Server-side accounting for the same shape: a budget consumed before
+  // the scatter counts as expired, not rejected, and no I/O happens.
+  Server server(index_.get());
+  Request req = KnnRequest("q");
+  req.deadline_seconds = 1e-12;
+  QueryResult out = server.Execute(req);
+  EXPECT_TRUE(out.status.IsDeadlineExceeded());
+  MetricsSnapshot snap = server.Snapshot();
+  ASSERT_EQ(snap.tenants.size(), 1u);
+  EXPECT_EQ(snap.tenants[0].expired, 1u);
+  EXPECT_EQ(snap.tenants[0].rejected, 0u);
+}
+
+TEST_F(ServerTest, CancelFlagCancelsAndCounts) {
+  Server server(index_.get());
+  server.Cancel();
+  QueryResult r = server.Execute(KnnRequest("c"));
+  EXPECT_TRUE(r.status.IsCancelled()) << r.status.ToString();
+  server.ResetCancel();
+  r = server.Execute(KnnRequest("c"));
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+
+  MetricsSnapshot snap = server.Snapshot();
+  ASSERT_EQ(snap.tenants.size(), 1u);
+  EXPECT_EQ(snap.tenants[0].cancelled, 1u);
+  EXPECT_EQ(snap.tenants[0].completed, 1u);
+}
+
+TEST_F(ServerTest, SnapshotCarriesPerShardIoAndLatencies) {
+  Server server(index_.get());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(server.Execute(KnnRequest("io")).status.ok());
+  }
+  MetricsSnapshot snap = server.Snapshot();
+  EXPECT_EQ(snap.per_shard_io.size(), index_->shards());
+  EXPECT_GT(snap.total_io.logical_reads, 0u);  // serving I/O, not build I/O
+  ASSERT_EQ(snap.tenants.size(), 1u);
+  EXPECT_EQ(snap.tenants[0].completed, 10u);
+  EXPECT_EQ(snap.tenants[0].latency.count, 10u);
+  EXPECT_GT(snap.tenants[0].latency.p50, 0.0);
+  EXPECT_GE(snap.tenants[0].latency.max, snap.tenants[0].latency.p50);
+  EXPECT_GT(snap.window_seconds, 0.0);
+  EXPECT_GT(snap.tenants[0].qps, 0.0);
+  EXPECT_EQ(snap.TotalCompleted(), 10u);
+
+  server.ResetMetrics();
+  snap = server.Snapshot();
+  EXPECT_EQ(snap.TotalCompleted(), 0u);
+  EXPECT_EQ(snap.total_io.logical_reads, 0u);
+  EXPECT_EQ(snap.tenants[0].latency.count, 0u);
+}
+
+TEST_F(ServerTest, MultiTenantTrafficIsIsolatedInMetrics) {
+  ThreadPool pool(2);
+  index_->set_pool(&pool);
+  Server server(index_.get());
+  TenantQuota quota;
+  quota.rate_qps = 1e-6;
+  quota.burst = 2.0;
+  server.SetQuota("capped", quota);
+
+  std::thread free_traffic([&] {
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_TRUE(server.Execute(KnnRequest("free")).status.ok());
+    }
+  });
+  size_t capped_rejected = 0;
+  for (int i = 0; i < 10; ++i) {
+    QueryResult r = server.Execute(KnnRequest("capped"));
+    if (r.status.code() == StatusCode::kResourceExhausted) ++capped_rejected;
+  }
+  free_traffic.join();
+  index_->set_pool(nullptr);
+
+  MetricsSnapshot snap = server.Snapshot();
+  ASSERT_EQ(snap.tenants.size(), 2u);
+  EXPECT_EQ(snap.tenants[0].tenant, "capped");  // sorted by name
+  EXPECT_EQ(snap.tenants[1].tenant, "free");
+  EXPECT_EQ(snap.tenants[0].completed + snap.tenants[0].rejected, 10u);
+  EXPECT_EQ(capped_rejected, snap.tenants[0].rejected);
+  EXPECT_GE(snap.tenants[0].rejected, 8u);  // burst 2, then turned away
+  EXPECT_EQ(snap.tenants[1].completed, 20u);
+  EXPECT_EQ(snap.tenants[1].rejected, 0u);
+}
+
+}  // namespace
+}  // namespace ht
