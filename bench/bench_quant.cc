@@ -1,0 +1,252 @@
+// Extension (beyond the paper): SIMD distance kernels + per-page 8-bit
+// quantized filter-then-refine, measured end to end on scan-heavy range
+// and k-NN workloads.
+//
+// Three configurations run the SAME queries against structurally identical
+// trees; results are cross-checked bitwise (the whole point of the design
+// is that the fast paths are invisible in the output):
+//   baseline    batch kernels forced to the scalar tier, no sidecars
+//               (the hot path exactly as before this optimization)
+//   simd        batch kernels at the best tier this CPU supports
+//   simd+quant  best tier + quantized filter-then-refine sidecars
+//
+// The filter columns report, over one measured round, how many scanned
+// points the code-level lower bound pruned before any exact distance was
+// computed (IoStats::scan_points / quant_refined / quant_pruned). QPS is
+// the best of three interleaved measurement rounds per config — scheduler
+// interference on a shared host only ever slows a run, so the best round
+// is the closest estimate of each config's true speed.
+//
+// Machine-readable output: BENCH_quant.json in the working directory.
+// Exit status is nonzero if any configuration's results differ (identity
+// gate — run under CI via --smoke).
+//
+// Env overrides (on top of bench_common.h): HT_BENCH_N (default 100000).
+// Flags: --smoke (small n, few queries; same checks).
+
+#include "bench_common.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/timing.h"
+#include "core/bulk_load.h"
+#include "core/hybrid_tree.h"
+#include "geometry/kernels/kernels.h"
+#include "geometry/metrics.h"
+
+using namespace ht;
+using namespace ht::bench;
+
+namespace {
+
+constexpr uint32_t kDim = 16;
+constexpr size_t kPageSize = kDefaultPageSize;
+constexpr size_t kKnnK = 10;
+
+struct Config {
+  const char* name;
+  kernels::SimdTier tier;
+  bool quant;
+};
+
+struct Measured {
+  double range_qps = 0.0;
+  double knn_qps = 0.0;
+  uint64_t scan_points = 0;
+  uint64_t refined = 0;
+  uint64_t pruned = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const size_t n = smoke ? 20000 : EnvSize("HT_BENCH_N", 100000);
+  const size_t n_queries = smoke ? 20 : Queries();
+
+  const kernels::SimdTier best = kernels::BestSupportedTier();
+  PrintHeader(
+      "Extension: SIMD dispatch + quantized filter-then-refine",
+      "beyond the paper: scan-heavy range/k-NN throughput, scalar kernels "
+      "vs SIMD vs SIMD+8-bit-code filtering (results byte-identical)",
+      "FOURIER 16-d, n=" + std::to_string(n) + ", page=" +
+          std::to_string(kPageSize) + "B, queries=" +
+          std::to_string(n_queries) + ", k=" + std::to_string(kKnnK) +
+          ", L2 metric, best tier=" + kernels::TierName(best));
+
+  Rng rng(20260809);
+  Dataset data = GenFourier(n, kDim, rng);
+  auto centers = MakeQueryCenters(data, n_queries, rng);
+  L2Metric l2;
+
+  // Two structurally identical trees (runtime knobs do not affect build):
+  // sidecars off for the first two configs, on for the third.
+  HybridTreeOptions opts;
+  opts.dim = kDim;
+  opts.page_size = kPageSize;
+  opts.quant_sidecars = false;
+  MemPagedFile file_plain(kPageSize), file_quant(kPageSize);
+  auto tree_plain = BulkLoad(opts, &file_plain, data).ValueOrDie();
+  opts.quant_sidecars = true;
+  auto tree_quant = BulkLoad(opts, &file_quant, data).ValueOrDie();
+
+  // Scan-heavy range radii: the true k-NN distance per query (every page
+  // the traversal cannot prune gets scanned; most scanned points miss).
+  std::vector<double> radius(centers.size());
+  for (size_t q = 0; q < centers.size(); ++q) {
+    auto nn = tree_plain->SearchKnn(centers[q], kKnnK, l2).ValueOrDie();
+    radius[q] = nn.back().first;
+  }
+
+  const Config configs[] = {
+      {"baseline (scalar kernels)", kernels::SimdTier::kScalar, false},
+      {"simd", best, false},
+      {"simd+quant", best, true},
+  };
+  const size_t n_configs = sizeof(configs) / sizeof(configs[0]);
+
+  // Reference results from config 0; later configs must match bitwise.
+  std::vector<std::vector<uint64_t>> ref_range(centers.size());
+  std::vector<std::vector<std::pair<double, uint64_t>>> ref_knn(
+      centers.size());
+  bool identical = true;
+
+  Measured m[3];
+  SearchScratch scratch;
+  std::vector<uint64_t> ids;
+  std::vector<std::pair<double, uint64_t>> nn;
+
+  for (size_t c = 0; c < n_configs; ++c) {
+    const Config& cfg = configs[c];
+    HybridTree* tree = cfg.quant ? tree_quant.get() : tree_plain.get();
+    kernels::ForceTier(cfg.tier);
+
+    // Warm-up (buffer pool, node cache, scratch, lazy sidecar builds).
+    for (size_t q = 0; q < centers.size(); ++q) {
+      HT_CHECK_OK(
+          tree->SearchRangeInto(centers[q], radius[q], l2, &scratch, &ids));
+      HT_CHECK_OK(tree->SearchKnnInto(centers[q], kKnnK, l2, &scratch, &nn));
+    }
+
+    // Identity check against the baseline config's answers.
+    for (size_t q = 0; q < centers.size(); ++q) {
+      HT_CHECK_OK(
+          tree->SearchRangeInto(centers[q], radius[q], l2, &scratch, &ids));
+      HT_CHECK_OK(tree->SearchKnnInto(centers[q], kKnnK, l2, &scratch, &nn));
+      if (c == 0) {
+        ref_range[q] = ids;
+        ref_knn[q] = nn;
+      } else if (ids != ref_range[q] || nn != ref_knn[q]) {
+        identical = false;
+      }
+    }
+
+  }
+
+  // Measured passes: kRounds round-robin rounds over the configs, keeping
+  // each config's fastest round. Interleaving decorrelates slow machine
+  // drift from the config order, and taking the best squeezes out
+  // scheduler interference (which only ever slows a run) — the numbers
+  // converge to each config's true speed on a shared host. The filter
+  // counters are deterministic per round (stats window = one round's
+  // queries), so the last round's snapshot is as good as any.
+  constexpr int kRounds = 3;
+  for (int r = 0; r < kRounds; ++r) {
+    for (size_t c = 0; c < n_configs; ++c) {
+      const Config& cfg = configs[c];
+      HybridTree* tree = cfg.quant ? tree_quant.get() : tree_plain.get();
+      kernels::ForceTier(cfg.tier);
+      tree->pool().ResetStats();
+      WallTimer rt;
+      for (size_t q = 0; q < centers.size(); ++q) {
+        HT_CHECK_OK(
+            tree->SearchRangeInto(centers[q], radius[q], l2, &scratch, &ids));
+      }
+      const double rqps = static_cast<double>(centers.size()) / rt.Seconds();
+      WallTimer kt;
+      for (size_t q = 0; q < centers.size(); ++q) {
+        HT_CHECK_OK(
+            tree->SearchKnnInto(centers[q], kKnnK, l2, &scratch, &nn));
+      }
+      const double kqps = static_cast<double>(centers.size()) / kt.Seconds();
+      if (rqps > m[c].range_qps) m[c].range_qps = rqps;
+      if (kqps > m[c].knn_qps) m[c].knn_qps = kqps;
+      const IoStats s = tree->pool().StatsSnapshot();
+      m[c].scan_points = s.scan_points;
+      m[c].refined = s.quant_refined;
+      m[c].pruned = s.quant_pruned;
+    }
+  }
+  kernels::ClearForcedTier();
+
+  std::printf("\nScan-heavy query throughput (%zu queries):\n",
+              centers.size());
+  TablePrinter table({"config", "range QPS", "knn QPS", "range speedup",
+                      "knn speedup", "filter rate"});
+  for (size_t c = 0; c < n_configs; ++c) {
+    const double rate =
+        m[c].scan_points > 0
+            ? static_cast<double>(m[c].pruned) /
+                  static_cast<double>(m[c].scan_points)
+            : 0.0;
+    table.AddRow({configs[c].name, TablePrinter::Num(m[c].range_qps, 0),
+                  TablePrinter::Num(m[c].knn_qps, 0),
+                  TablePrinter::Num(m[c].range_qps / m[0].range_qps, 2),
+                  TablePrinter::Num(m[c].knn_qps / m[0].knn_qps, 2),
+                  TablePrinter::Num(100.0 * rate, 1) + "%"});
+  }
+  table.Print();
+  std::printf(
+      "simd+quant filter: %llu points scanned, %llu refined, %llu pruned\n",
+      static_cast<unsigned long long>(m[2].scan_points),
+      static_cast<unsigned long long>(m[2].refined),
+      static_cast<unsigned long long>(m[2].pruned));
+  std::printf("Cross-check: %s\n",
+              identical ? "all configurations byte-identical"
+                        : "RESULT MISMATCH (BUG)");
+
+  FILE* json = std::fopen("BENCH_quant.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n"
+        "  \"bench\": \"quant\",\n"
+        "  \"dataset\": \"fourier\",\n"
+        "  \"dim\": %u,\n"
+        "  \"n\": %zu,\n"
+        "  \"queries\": %zu,\n"
+        "  \"k\": %zu,\n"
+        "  \"best_tier\": \"%s\",\n"
+        "  \"range_qps\": {\"baseline\": %.1f, \"simd\": %.1f, "
+        "\"simd_quant\": %.1f},\n"
+        "  \"knn_qps\": {\"baseline\": %.1f, \"simd\": %.1f, "
+        "\"simd_quant\": %.1f},\n"
+        "  \"range_speedup\": {\"simd\": %.3f, \"simd_quant\": %.3f},\n"
+        "  \"knn_speedup\": {\"simd\": %.3f, \"simd_quant\": %.3f},\n"
+        "  \"filter\": {\"scan_points\": %llu, \"refined\": %llu, "
+        "\"pruned\": %llu, \"prune_rate\": %.4f},\n"
+        "  \"results_identical\": %s\n"
+        "}\n",
+        kDim, n, centers.size(), kKnnK, kernels::TierName(best),
+        m[0].range_qps, m[1].range_qps, m[2].range_qps, m[0].knn_qps,
+        m[1].knn_qps, m[2].knn_qps, m[1].range_qps / m[0].range_qps,
+        m[2].range_qps / m[0].range_qps, m[1].knn_qps / m[0].knn_qps,
+        m[2].knn_qps / m[0].knn_qps,
+        static_cast<unsigned long long>(m[2].scan_points),
+        static_cast<unsigned long long>(m[2].refined),
+        static_cast<unsigned long long>(m[2].pruned),
+        m[2].scan_points > 0
+            ? static_cast<double>(m[2].pruned) /
+                  static_cast<double>(m[2].scan_points)
+            : 0.0,
+        identical ? "true" : "false");
+    std::fclose(json);
+    std::printf("Wrote BENCH_quant.json\n");
+  }
+  return identical ? 0 : 1;
+}

@@ -31,6 +31,7 @@ ht_add_bench(bench_ext_knn)
 ht_add_bench(bench_throughput)
 target_link_libraries(bench_throughput PRIVATE ht_exec)
 ht_add_bench(bench_hotpath)
+ht_add_bench(bench_quant)
 ht_add_bench(bench_io)
 ht_add_bench(bench_ingest)
 ht_add_bench(bench_serve)

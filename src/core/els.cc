@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "geometry/quantize.h"
+
 namespace ht {
 
 namespace els_detail {
@@ -51,26 +53,6 @@ uint32_t GetBits(const std::vector<uint8_t>& buf, size_t bit_off,
 
 }  // namespace els_detail
 
-uint32_t ElsCodec::QuantizeLo(float v, float lo, float hi) const {
-  const uint32_t cells = 1u << bits_;
-  if (hi <= lo) return 0;
-  double frac = (static_cast<double>(v) - lo) / (static_cast<double>(hi) - lo);
-  double cell = std::floor(frac * cells);
-  if (cell < 0) cell = 0;
-  if (cell > cells - 1) cell = cells - 1;
-  return static_cast<uint32_t>(cell);
-}
-
-uint32_t ElsCodec::QuantizeHi(float v, float lo, float hi) const {
-  const uint32_t cells = 1u << bits_;
-  if (hi <= lo) return cells;
-  double frac = (static_cast<double>(v) - lo) / (static_cast<double>(hi) - lo);
-  double cell = std::ceil(frac * cells);
-  if (cell < 1) cell = 1;
-  if (cell > cells) cell = cells;
-  return static_cast<uint32_t>(cell);
-}
-
 ElsCode ElsCodec::Encode(const Box& live, const Box& ref) const {
   if (bits_ == 0) return {};
   HT_DCHECK(live.dim() == dim_ && ref.dim() == dim_);
@@ -82,12 +64,14 @@ ElsCode ElsCodec::Encode(const Box& live, const Box& ref) const {
     // needs to cover the part inside `ref`.
     const float l = std::max(live.lo(d), ref.lo(d));
     const float h = std::min(live.hi(d), ref.hi(d));
-    els_detail::PutBits(code, off, QuantizeLo(l, ref.lo(d), ref.hi(d)), bits_);
+    els_detail::PutBits(
+        code, off, quant::QuantizeLo(l, ref.lo(d), ref.hi(d), bits_), bits_);
     off += bits_;
     // QuantizeHi ranges over [1, 2^bits]; store cell-1 so it fits in
     // `bits` bits. Decode adds the 1 back.
-    els_detail::PutBits(code, off, QuantizeHi(h, ref.lo(d), ref.hi(d)) - 1,
-                        bits_);
+    els_detail::PutBits(
+        code, off, quant::QuantizeHi(h, ref.lo(d), ref.hi(d), bits_) - 1,
+        bits_);
     off += bits_;
   }
   return code;

@@ -68,9 +68,6 @@ class ElsCodec {
   ElsCode FullCode() const;
 
  private:
-  uint32_t QuantizeLo(float v, float lo, float hi) const;
-  uint32_t QuantizeHi(float v, float lo, float hi) const;
-
   uint32_t dim_;
   uint32_t bits_;
 };

@@ -1,6 +1,7 @@
 #include "core/hybrid_tree.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <functional>
@@ -178,6 +179,7 @@ Status HybridTree::WriteDataNode(PageId id, const DataNode& node) {
   HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(id));
   node.Serialize(h.data(), h.size(), options_.dim);
   h.MarkDirty();
+  quant_store_.Invalidate(id);
   return Status::OK();
 }
 
@@ -1009,6 +1011,98 @@ Status HybridTree::SearchRangeInto(std::span<const float> center,
   return SearchRangeRec(root_, center, radius, metric, scratch, out);
 }
 
+namespace {
+
+// Bounded distances for all `n` rows of a data page into `dist`. Prefers
+// the sidecar's transposed float mirror (one contiguous load per dimension
+// per block instead of a per-row gather); the count % kTBlock tail rows
+// stay on the page block and are computed exactly. The mirror holds the
+// same float values the page does and the kernels replay the same
+// accumulation order, so the two paths agree bit-for-bit wherever the
+// bound does not abandon a row — and an abandoned row's output (+inf) and
+// its exact distance compare identically against any threshold <= bound.
+void BatchPageDistances(const DistanceMetric& metric,
+                        std::span<const float> center, const QuantizedPage* qp,
+                        const float* blk, size_t stride, size_t n,
+                        double bound, double* dist) {
+  const size_t nblocks = qp != nullptr ? qp->full_blocks() : 0;
+  if (nblocks > 0 && metric.BatchDistanceTransposedWithBound(
+                         center, qp->tfloats(), nblocks, bound, dist)) {
+    for (size_t i = nblocks * kernels::kTBlock; i < n; ++i) {
+      dist[i] = metric.Distance(
+          center, std::span<const float>(blk + i * stride, center.size()));
+    }
+    return;
+  }
+  metric.BatchDistanceWithBound(center, blk, stride, n, bound, dist);
+}
+
+}  // namespace
+
+bool HybridTree::QuantFilter(
+    PageId page, const float* blk, size_t stride, size_t n,
+    std::span<const float> center, const DistanceMetric& metric, double bound,
+    SearchScratch* scratch,
+    std::shared_ptr<const QuantizedPage>* qp_out) const {
+  // At the scalar dispatch tier the sidecars are pure overhead: the scalar
+  // code pass costs more per row than the early-abandoning exact scan it
+  // would save, and the transposed float mirror only accelerates SIMD
+  // loads. So a scalar-tier scan (no SIMD on this host, or HT_SIMD=scalar)
+  // runs exactly the pre-sidecar hot path and builds nothing.
+  if (!options_.quant_sidecars || blk == nullptr || n == 0 ||
+      kernels::ActiveTier() == kernels::SimdTier::kScalar) {
+    pool_->CountScan(page, n, n, /*filtered=*/false);
+    return false;
+  }
+  // The sidecar is fetched (and lazily built) even when code filtering is
+  // off the table: its transposed mirror speeds up the exact batch pass
+  // regardless of the bound.
+  std::shared_ptr<const QuantizedPage> qp =
+      quant_store_.GetOrBuild(page, blk, stride, n, options_.dim,
+                              concurrent_reads_);
+  if (qp_out != nullptr) *qp_out = qp;
+  // Code filtering is pointless when the bound prunes nothing (k-NN heap
+  // not yet full): every row would survive.
+  if (qp == nullptr || bound >= std::numeric_limits<double>::max()) {
+    pool_->CountScan(page, n, n, /*filtered=*/false);
+    return false;
+  }
+  // Survivors in ascending row order, so refinement replays the exact
+  // per-row decision sequence of the unfiltered scan.
+  auto& surv = scratch->survivors;
+  surv.clear();
+  // Fast path: the fused mask kernels decide survival in-register and hand
+  // back one bit per row — on a 99%-pruned scan the decode below touches
+  // one mostly-zero byte per 8 rows instead of 8 double bounds.
+  const size_t nmask = (n + kernels::kTBlock - 1) / kernels::kTBlock;
+  if (scratch->masks.size() < nmask) scratch->masks.resize(nmask);
+  if (metric.CodeFilterMasks(center, qp->view(), bound, &scratch->quant,
+                             scratch->masks.data())) {
+    for (size_t b = 0; b < nmask; ++b) {
+      unsigned m = scratch->masks[b];
+      while (m != 0) {
+        surv.push_back(static_cast<uint32_t>(
+            b * kernels::kTBlock + static_cast<size_t>(std::countr_zero(m))));
+        m &= m - 1;
+      }
+    }
+    pool_->CountScan(page, n, surv.size(), /*filtered=*/true);
+    return true;
+  }
+  if (scratch->lb.size() < n) scratch->lb.resize(n);
+  if (!metric.CodeLowerBounds(center, qp->view(), &scratch->quant,
+                              scratch->lb.data())) {
+    pool_->CountScan(page, n, n, /*filtered=*/false);
+    return false;
+  }
+  const double* lb = scratch->lb.data();
+  for (size_t i = 0; i < n; ++i) {
+    if (lb[i] <= bound) surv.push_back(static_cast<uint32_t>(i));
+  }
+  pool_->CountScan(page, n, surv.size(), /*filtered=*/true);
+  return true;
+}
+
 Status HybridTree::SearchRangeRec(PageId page, std::span<const float> center,
                                   double radius, const DistanceMetric& metric,
                                   SearchScratch* scratch,
@@ -1021,13 +1115,40 @@ Status HybridTree::SearchRangeRec(PageId page, std::span<const float> center,
     const size_t n = scan.count();
     const float* blk =
         options_.disable_batch_kernels ? nullptr : scan.block();
+    std::shared_ptr<const QuantizedPage> qp;
+    if (QuantFilter(page, blk, scan.stride_floats(), n, center, metric,
+                    radius, scratch, &qp)) {
+      // Pruned rows have lb > radius, hence distance > radius: they could
+      // not have been reported. Survivors are tested exactly like the
+      // unfiltered scan, so `out` is byte-identical. Sparse survivor sets
+      // refine with per-row exact distances; dense ones fall back to the
+      // full-page batch kernel (cheaper than many strided scalar rows).
+      const auto& surv = scratch->survivors;
+      if (surv.size() * 4 <= n) {
+        for (const uint32_t i : surv) {
+          if (metric.Distance(center, scan.vec(i)) <= radius) {
+            out->push_back(scan.id(i));
+          }
+        }
+      } else {
+        if (scratch->dist.size() < n) scratch->dist.resize(n);
+        BatchPageDistances(metric, center, qp.get(), blk,
+                           scan.stride_floats(), n, radius,
+                           scratch->dist.data());
+        const double* dist = scratch->dist.data();
+        for (const uint32_t i : surv) {
+          if (dist[i] <= radius) out->push_back(scan.id(i));
+        }
+      }
+      return Status::OK();
+    }
     if (blk != nullptr) {
       // One virtual call per page; rows whose partial sum exceeds the
       // radius are abandoned (their output is > radius, which is all the
       // filter below looks at).
       if (scratch->dist.size() < n) scratch->dist.resize(n);
-      metric.BatchDistanceWithBound(center, blk, scan.stride_floats(), n,
-                                    radius, scratch->dist.data());
+      BatchPageDistances(metric, center, qp.get(), blk, scan.stride_floats(),
+                         n, radius, scratch->dist.data());
       const double* dist = scratch->dist.data();
       for (size_t i = 0; i < n; ++i) {
         if (dist[i] <= radius) out->push_back(scan.id(i));
@@ -1197,6 +1318,33 @@ Status HybridTree::SearchKnnApproxInto(
       if (!scan.ok()) return Status::Corruption("expected data node page");
       const size_t n = scan.count();
       const float* blk = use_batch ? scan.block() : nullptr;
+      std::shared_ptr<const QuantizedPage> qp;
+      if (QuantFilter(item.page, blk, scan.stride_floats(), n, center, metric,
+                      kth(), scratch, &qp)) {
+        // A pruned row has lb > bound (the k-th distance at page entry),
+        // hence a true distance strictly above every bound the heap will
+        // hold during this page: its offer would have been a no-op — the
+        // replacement test is a strict `<`, and the id tie-break needs
+        // d == kth, excluded by strictness. Offering only the survivors
+        // (ascending) therefore replays the exact heap evolution. Sparse
+        // survivor sets refine row-by-row (Distance() accumulates exactly
+        // like an unabandoned kernel row); dense ones rerun the full-page
+        // kernel with the same entry bound the unfiltered scan would use.
+        const auto& surv = scratch->survivors;
+        if (surv.size() * 4 <= n) {
+          for (const uint32_t i : surv) {
+            offer(metric.Distance(center, scan.vec(i)), scan.id(i));
+          }
+        } else {
+          if (scratch->dist.size() < n) scratch->dist.resize(n);
+          BatchPageDistances(metric, center, qp.get(), blk,
+                             scan.stride_floats(), n, kth(),
+                             scratch->dist.data());
+          const double* dist = scratch->dist.data();
+          for (const uint32_t i : surv) offer(dist[i], scan.id(i));
+        }
+        continue;
+      }
       if (blk != nullptr) {
         // The bound at page entry is the k-th distance before this page;
         // it can only shrink while scanning, so any row abandoned against
@@ -1204,8 +1352,8 @@ Status HybridTree::SearchKnnApproxInto(
         // full the bound is +max, i.e. nothing is abandoned). The offers
         // below therefore make exactly the scalar path's decisions.
         if (scratch->dist.size() < n) scratch->dist.resize(n);
-        metric.BatchDistanceWithBound(center, blk, scan.stride_floats(), n,
-                                      kth(), scratch->dist.data());
+        BatchPageDistances(metric, center, qp.get(), blk, scan.stride_floats(),
+                           n, kth(), scratch->dist.data());
         const double* dist = scratch->dist.data();
         for (size_t i = 0; i < n; ++i) offer(dist[i], scan.id(i));
       } else {
@@ -1282,6 +1430,7 @@ Status HybridTree::Delete(std::span<const float> point, uint64_t id) {
       const PageId child = node.root->child;
       els_sidecar_.erase(root_);
       InvalidateCachedNode(root_);
+      quant_store_.Invalidate(root_);
       HT_RETURN_NOT_OK(pool_->Free(root_));
       root_ = child;
       --height_;
@@ -1342,6 +1491,7 @@ Result<HybridTree::DeleteOutcome> HybridTree::DeleteRec(
     if (child.eliminate_me) {
       els_sidecar_.erase(kid.leaf->child);
       InvalidateCachedNode(kid.leaf->child);
+      quant_store_.Invalidate(kid.leaf->child);
       HT_RETURN_NOT_OK(pool_->Free(kid.leaf->child));
       if (kid.leaf == node.root.get()) {
         // Last child gone: eliminate this node too (parent frees the page).
@@ -1597,10 +1747,13 @@ HybridTree::KnnCursor::Next() {
       const float* blk = tree_->options_.disable_batch_kernels
                              ? nullptr
                              : scan.block();
+      // Every entry must be enqueued (the cursor may be asked for all of
+      // them), so there is no bound to filter against — the scan counts as
+      // unfiltered.
+      tree_->pool_->CountScan(item.page, n, n, /*filtered=*/false);
       if (blk != nullptr) {
-        // Every entry must be enqueued (the cursor may be asked for all of
-        // them), so the unbounded batch kernel applies — the win is one
-        // virtual call per page instead of one per point.
+        // The unbounded batch kernel applies — the win is one virtual call
+        // per page instead of one per point.
         if (dist_.size() < n) dist_.resize(n);
         metric_->BatchDistance(center_, blk, scan.stride_floats(), n,
                                dist_.data());

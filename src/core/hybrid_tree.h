@@ -51,6 +51,7 @@
 #include "geometry/metrics.h"
 #include "storage/buffer_pool.h"
 #include "storage/paged_file.h"
+#include "storage/quant_store.h"
 
 namespace ht {
 
@@ -235,6 +236,9 @@ class HybridTree {
   /// Maximum entries per data node at the current configuration.
   size_t data_node_capacity() const { return data_capacity_; }
 
+  /// Number of data pages with a cached quantized sidecar (test support).
+  size_t CachedQuantPages() const { return quant_store_.CachedPages(); }
+
   /// Structural statistics (Table 1 analogue). Traverses the whole tree.
   Result<TreeStats> ComputeStats();
 
@@ -360,6 +364,20 @@ class HybridTree {
                         double radius, const DistanceMetric& metric,
                         SearchScratch* scratch,
                         std::vector<uint64_t>* out) const;
+  /// Quantized filter-then-refine for one data-page scan: computes sound
+  /// code lower bounds for all `n` rows of `blk` and collects the rows
+  /// with lb <= bound (ascending) into scratch->survivors. Returns false —
+  /// and counts an unfiltered scan — when filtering is off, unavailable
+  /// for this metric, or pointless (bound is +inf / no rows). On true, the
+  /// caller must compute exact distances for the survivor rows only; the
+  /// bound soundness guarantees the visible results are byte-identical.
+  /// Whenever sidecars are enabled, `*qp_out` receives this page's sidecar
+  /// (even when the return is false) so the caller can route exact
+  /// distances through its transposed float mirror.
+  bool QuantFilter(PageId page, const float* blk, size_t stride, size_t n,
+                   std::span<const float> center, const DistanceMetric& metric,
+                   double bound, SearchScratch* scratch,
+                   std::shared_ptr<const QuantizedPage>* qp_out) const;
 
   // --- maintenance --------------------------------------------------------
   /// DFS recomputing ELS codes; returns this subtree's exact live box.
@@ -388,6 +406,11 @@ class HybridTree {
   /// ELS sidecar for ElsMode::kInMemory: page id -> packed leaf codes in
   /// left-to-right leaf order.
   std::unordered_map<PageId, std::vector<uint8_t>> els_sidecar_;
+
+  /// Quantized data-page sidecars for the filter-then-refine scan path
+  /// (storage/quant_store.h). Built lazily by const searches, hence
+  /// mutable; invalidated wherever a data page is rewritten or freed.
+  mutable QuantStore quant_store_;
 
   /// Insert-path scratch: candidate leaves collected by FindLeafForInsert,
   /// reused across calls (cleared, capacity retained) instead of being

@@ -84,6 +84,17 @@ struct HybridTreeOptions {
   /// comparison. Runtime-only: not persisted by Flush()/Open().
   bool disable_batch_kernels = false;
 
+  /// Enables the per-data-page 8-bit quantized filter-then-refine scan
+  /// path for range and (bounded) k-NN queries: a sound lower bound on
+  /// each point's distance is computed from cached uint8 codes and only
+  /// the survivors get an exact distance. Results are byte-identical
+  /// either way — the lower bound never prunes a true hit, and refinement
+  /// replays the exact kernel arithmetic. Sidecars are built lazily on
+  /// first scan and invalidated on page writes; turning this off only
+  /// stops filtering (cached sidecars are kept). Runtime-only: not
+  /// persisted by Flush()/Open().
+  bool quant_sidecars = true;
+
   /// Frontier-driven prefetch depth for the cold-cache I/O pipeline: on
   /// each best-first k-NN pop the tree prefetches up to this many
   /// next-best frontier pages alongside the popped one, and box/range

@@ -30,6 +30,7 @@ Status TreeValidator::Validate() {
   }
 
   visited_.clear();
+  data_pages_.clear();
   visited_.insert(tree_->root_);
   const Box cube = Box::UnitCube(tree_->options_.dim);
   Subtree root;
@@ -39,6 +40,18 @@ Status TreeValidator::Validate() {
     return Status::Corruption(
         "entry count mismatch: tree says " + std::to_string(tree_->count_) +
         ", traversal found " + std::to_string(root.entries));
+  }
+  if (opts_.quant) {
+    // Per-page content matching happened during the walk; what remains is
+    // the reverse direction — a sidecar cached for a page that is no
+    // longer a data page of this tree is stale (a missed invalidation).
+    for (PageId id : tree_->quant_store_.Snapshot()) {
+      if (!data_pages_.contains(id)) {
+        return Status::Corruption("page " + std::to_string(id) +
+                                  ": quantized sidecar cached for a page "
+                                  "that is not a live data page");
+      }
+    }
   }
 
   if (opts_.pins) {
@@ -118,6 +131,27 @@ Status TreeValidator::ValidateDataNode(PageId page, const Box& kd_br,
   }
   out->exact_live = node.ComputeLiveBr(dim);
   out->entries = node.entries.size();
+  data_pages_.insert(page);
+  if (opts_.quant) {
+    if (auto qp = tree_->quant_store_.Lookup(page)) {
+      // A cached sidecar must be exactly what rebuilding from the current
+      // page image would produce — grid, codes, and padding bytes. A
+      // mismatch means a write path skipped invalidation, which would
+      // silently break the filter's soundness on the next scan.
+      HT_ASSIGN_OR_RETURN(PageHandle h, tree_->pool_->Fetch(page));
+      DataPageScan scan(h.data(), h.size(), dim);
+      if (!scan.ok()) {
+        return Status::Corruption(PageTag(page) +
+                                  ": unscannable data page with a sidecar");
+      }
+      if (!qp->Matches(scan.block(), scan.stride_floats(), scan.count(),
+                       dim)) {
+        return Status::Corruption(
+            PageTag(page) +
+            ": quantized sidecar does not match page contents (stale)");
+      }
+    }
+  }
   return Status::OK();
 }
 

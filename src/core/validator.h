@@ -51,6 +51,8 @@ struct ValidateOptions {
   bool els = true;        ///< code sizes, decoded ⊇ exact live, round-trip
   bool occupancy = true;  ///< capacity, utilization floor, entry counts
   bool pins = true;       ///< buffer pool reports no pinned frames
+  bool quant = true;      ///< quantized sidecars match page contents, no
+                          ///< sidecar outlives its data page
 };
 
 /// One-shot deep validation pass over a HybridTree. Stateless between
@@ -82,6 +84,9 @@ class TreeValidator {
   HybridTree* tree_;
   ValidateOptions opts_;
   std::unordered_set<PageId> visited_;
+  /// Data pages seen by the current walk (quant check: every cached
+  /// sidecar must belong to one of these).
+  std::unordered_set<PageId> data_pages_;
 };
 
 }  // namespace ht

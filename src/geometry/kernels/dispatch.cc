@@ -1,0 +1,110 @@
+// Copyright 2026 The HybridTree Authors.
+// Tier selection: CPUID once at startup, HT_SIMD override, ForceTier hook.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/macros.h"
+#include "geometry/kernels/tables.h"
+
+namespace ht::kernels {
+namespace {
+
+/// ForceTier state: -1 = not forced, otherwise a SimdTier value.
+std::atomic<int> g_forced_tier{-1};
+
+SimdTier DetectBestTier() {
+#if defined(__x86_64__) || defined(__i386__)
+#ifdef HT_KERNELS_AVX512
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return SimdTier::kAvx512;
+  }
+#endif
+#ifdef HT_KERNELS_AVX2
+  if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+#endif
+#endif
+  return SimdTier::kScalar;
+}
+
+/// Startup selection: best supported tier, clamped-down HT_SIMD override.
+SimdTier SelectStartupTier() {
+  const SimdTier best = BestSupportedTier();
+  const char* env = std::getenv("HT_SIMD");
+  if (env == nullptr || env[0] == '\0') return best;
+  SimdTier req;
+  if (std::strcmp(env, "scalar") == 0) {
+    req = SimdTier::kScalar;
+  } else if (std::strcmp(env, "avx2") == 0) {
+    req = SimdTier::kAvx2;
+  } else if (std::strcmp(env, "avx512") == 0) {
+    req = SimdTier::kAvx512;
+  } else {
+    std::fprintf(stderr, "HT_SIMD: unknown tier \"%s\"; using %s\n", env,
+                 TierName(best));
+    return best;
+  }
+  if (req > best) {
+    std::fprintf(stderr,
+                 "HT_SIMD: %s not supported by this CPU/build; using %s\n",
+                 env, TierName(best));
+    return best;
+  }
+  return req;
+}
+
+}  // namespace
+
+const char* TierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+SimdTier BestSupportedTier() {
+  static const SimdTier best = DetectBestTier();
+  return best;
+}
+
+bool TierSupported(SimdTier tier) { return tier <= BestSupportedTier(); }
+
+const KernelTable& TableForTier(SimdTier tier) {
+  HT_CHECK(TierSupported(tier));
+#ifdef HT_KERNELS_AVX512
+  if (tier == SimdTier::kAvx512) return Avx512Table();
+#endif
+#ifdef HT_KERNELS_AVX2
+  if (tier == SimdTier::kAvx2) return Avx2Table();
+#endif
+  return ScalarTable();
+}
+
+SimdTier ActiveTier() {
+  const int forced = g_forced_tier.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<SimdTier>(forced);
+  static const SimdTier startup = SelectStartupTier();
+  return startup;
+}
+
+const KernelTable& Active() { return TableForTier(ActiveTier()); }
+
+void ForceTier(SimdTier tier) {
+  HT_CHECK(TierSupported(tier));
+  g_forced_tier.store(static_cast<int>(tier), std::memory_order_relaxed);
+}
+
+void ClearForcedTier() {
+  g_forced_tier.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace ht::kernels

@@ -1,0 +1,186 @@
+// Copyright 2026 The HybridTree Authors.
+// Runtime-dispatched SIMD distance kernels for the data-page scan hot path.
+//
+// Three tiers — scalar (mandatory fallback, the reference), AVX2, and
+// AVX-512 (compiled only when the toolchain supports the flags; executed
+// only when CPUID reports support) — each providing bounded batch-distance
+// kernels for L1/L2/LInf/WeightedL2 over the DataPageScan::block() layout,
+// plus u8 code-filter kernels for the quantized page sidecars. The tier is
+// selected ONCE at startup: best CPUID-supported tier, overridable with
+// HT_SIMD=scalar|avx2|avx512 (unsupported requests clamp down to the best
+// supported tier), and pinnable in-process with ForceTier() for tests and
+// benches.
+//
+// Bit-identity contract (the float kernels). Every tier must produce
+// outputs bit-identical to the scalar reference for every row within the
+// bound. The SIMD tiers achieve this by vectorizing ACROSS ROWS, one row
+// per double lane: each lane replays the scalar per-row accumulation
+// exactly — same element order, same double-precision sub/mul/add sequence
+// (never FMA: the scalar build contracts nothing, so the vector lanes must
+// not either; these files are compiled without -mfma and use separate
+// mul/add intrinsics), same every-kAbandonBlock checkpoint schedule, and
+// abandonment only at checkpoints strictly before the final block (the
+// scalar loop's break on the final checkpoint still emits the finished
+// value, so a lane may only go dead early). Tails (n % lanes) fall back to
+// the shared scalar row routines.
+//
+// The code-filter kernels have a weaker contract — soundness, not
+// bit-stability: out[i] <= true distance, always (see geometry/quantize.h
+// for the rounding-error budget). Their horizontal reductions reassociate
+// freely across tiers; callers must never emit a code bound as a distance.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace ht::kernels {
+
+/// Early-abandon checkpoint interval: partial sums are tested against the
+/// bound only every kAbandonBlock dimensions so the accumulation loop stays
+/// auto-vectorizable between checkpoints (the KDTREE2 trick). The SIMD
+/// tiers replicate the same schedule so abandonment decisions — and hence
+/// outputs — are bit-identical to the scalar reference.
+inline constexpr size_t kAbandonBlock = 8;
+
+/// Abandon threshold in squared-distance space: the smallest partial sum
+/// that *provably* implies sqrt(full_sum) > bound. Monotone non-negative
+/// accumulation means full_sum >= partial_sum, and sqrt is correctly
+/// rounded, so a few ulps of slack over bound^2 make the implication hold
+/// under rounding; without the slack a row with distance == bound could be
+/// wrongly abandoned. +infinity (never abandon) for unbounded inputs.
+inline double AbandonSquare(double bound) {
+  const double b2 = bound * bound;
+  return b2 + 8.0 * std::numeric_limits<double>::epsilon() * b2;
+}
+
+enum class SimdTier : uint8_t { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+const char* TierName(SimdTier tier);
+
+/// Bounded batch distance over a row-major float block (the signature of
+/// DistanceMetric::BatchDistanceWithBound, minus the span). Passing
+/// bound = +infinity never abandons, so one kernel also serves the
+/// unbounded BatchDistance contract (out[i] exact for every row).
+using BatchBoundFn = void (*)(const float* q, size_t dim, const float* pts,
+                              size_t stride, size_t n, double bound,
+                              double* out);
+/// WeightedL2 variant; `w` is the metric's per-dimension weight vector.
+using BatchBoundWeightedFn = void (*)(const float* q, const double* w,
+                                      size_t dim, const float* pts,
+                                      size_t stride, size_t n, double bound,
+                                      double* out);
+
+/// Code-filter kernels: sound lower bounds from 8-bit sidecar codes.
+/// `above`/`below`/`scale` are quant::FilterScratch prep arrays and the
+/// `codes` rows are zero-padded to `stride` = quant::PaddedDim(dim) bytes;
+/// kernels may consume all `stride` lanes (padding lanes contribute zero
+/// by construction). out[i] <= Distance(q, v_i) always.
+using CodeBoundFn = void (*)(const float* above, const float* below,
+                             const float* scale, size_t stride,
+                             const uint8_t* codes, size_t n, double* out);
+using CodeBoundWeightedFn = void (*)(const float* above, const float* below,
+                                     const float* scale, const float* wf,
+                                     size_t stride, const uint8_t* codes,
+                                     size_t n, double* out);
+
+/// Row-block transposed layout: `kTBlock` rows per block, dimension-major
+/// within a block, so element d of the block's rows is the contiguous
+/// 8-float group t[(b * dim + d) * kTBlock .. +7]. The page sidecar
+/// (storage/quant_store.h) builds this mirror so the SIMD tiers replace
+/// the 8-scalar-load row gather with one aligned 32-byte load — same
+/// values, same per-lane accumulation order, so bit-identity is
+/// unaffected. Kernels cover exactly nblocks * kTBlock rows; the caller
+/// handles the n % kTBlock tail rows against the original page block.
+inline constexpr size_t kTBlock = 8;
+
+using BatchBoundTFn = void (*)(const float* q, size_t dim, const float* t,
+                               size_t nblocks, double bound, double* out);
+using BatchBoundTWeightedFn = void (*)(const float* q, const double* w,
+                                       size_t dim, const float* t,
+                                       size_t nblocks, double bound,
+                                       double* out);
+
+/// Row-parallel code-filter kernels over the transposed code mirror
+/// (tcodes[(b * dim + d) * kTBlock + lane], unpadded dims): one contiguous
+/// 8-byte code load per dimension instead of a per-row pass, and the final
+/// sqrt is amortized across the block's lanes instead of serializing one
+/// row at a time. Each lane replays the row-major scalar reference's
+/// accumulation order (float gaps widened to double, summed in dimension
+/// order), so — unlike the row-major SIMD code kernels, which reassociate
+/// in their horizontal reductions — these outputs are bitwise identical
+/// across tiers. Covers nblocks * kTBlock rows; the caller routes the tail
+/// rows through the row-major code kernels above.
+using CodeBoundTFn = void (*)(const float* above, const float* below,
+                              const float* scale, size_t dim,
+                              const uint8_t* tcodes, size_t nblocks,
+                              double* out);
+using CodeBoundTWeightedFn = void (*)(const float* above, const float* below,
+                                      const float* scale, const float* wf,
+                                      size_t dim, const uint8_t* tcodes,
+                                      size_t nblocks, double* out);
+
+/// Fused filter variants of the transposed code kernels: instead of
+/// materializing per-row lower bounds, each block's raw accumulators (the
+/// pre-slack, pre-sqrt lane values — see quant::FilterThreshold for the
+/// threshold transform that makes the comparison equivalent) are compared
+/// in-register against `threshold` and ONE SURVIVOR BIT PER ROW is written:
+/// bit `lane` of masks[b] covers row b * kTBlock + lane. This removes the
+/// vector sqrt, the 8-byte-per-row bound store, and the caller's re-read
+/// compare loop from the 99%-pruned fast path. Accumulation replays the
+/// same per-lane order as ct_*, and IEEE compares treat -0.0 == +0.0, so
+/// masks are bitwise identical across tiers for full blocks. Tail rows
+/// (count % kTBlock) are the caller's job, as with ct_*.
+using CodeMaskTFn = void (*)(const float* above, const float* below,
+                             const float* scale, size_t dim,
+                             const uint8_t* tcodes, size_t nblocks,
+                             double threshold, uint8_t* masks);
+using CodeMaskTWeightedFn = void (*)(const float* above, const float* below,
+                                     const float* scale, const float* wf,
+                                     size_t dim, const uint8_t* tcodes,
+                                     size_t nblocks, double threshold,
+                                     uint8_t* masks);
+
+struct KernelTable {
+  SimdTier tier;
+  BatchBoundFn l1;
+  BatchBoundFn l2;
+  BatchBoundFn linf;
+  BatchBoundWeightedFn wl2;
+  CodeBoundFn code_l1;
+  CodeBoundFn code_l2;
+  CodeBoundFn code_linf;
+  CodeBoundWeightedFn code_wl2;
+  BatchBoundTFn tl1;
+  BatchBoundTFn tl2;
+  BatchBoundTFn tlinf;
+  BatchBoundTWeightedFn twl2;
+  CodeBoundTFn ct_l1;
+  CodeBoundTFn ct_l2;
+  CodeBoundTFn ct_linf;
+  CodeBoundTWeightedFn ct_wl2;
+  CodeMaskTFn ctm_l1;
+  CodeMaskTFn ctm_l2;
+  CodeMaskTFn ctm_linf;
+  CodeMaskTWeightedFn ctm_wl2;
+};
+
+/// The table the metrics dispatch through (see the selection rules above).
+const KernelTable& Active();
+SimdTier ActiveTier();
+
+/// Best tier this build + CPU can execute (CPUID, cached).
+SimdTier BestSupportedTier();
+bool TierSupported(SimdTier tier);
+
+/// Table for a specific supported tier (HT_CHECKs TierSupported).
+const KernelTable& TableForTier(SimdTier tier);
+
+/// Pins the active tier in-process, overriding CPUID and HT_SIMD — the
+/// tier-sweep hook for tests and benches. The tier must be supported.
+void ForceTier(SimdTier tier);
+/// Reverts ForceTier to the startup selection.
+void ClearForcedTier();
+
+}  // namespace ht::kernels

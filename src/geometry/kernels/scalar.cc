@@ -1,0 +1,246 @@
+// Copyright 2026 The HybridTree Authors.
+// Scalar kernel tier: the reference implementation every other tier must
+// match bit-for-bit (float kernels) or stay below (code kernels). These
+// are the loops the metrics' batch overrides contained before dispatch
+// existed; GCC/Clang auto-vectorize the inter-checkpoint blocks but may
+// not reassociate the sequential double accumulation, which is exactly
+// the property the bit-identity contract pins.
+
+#include "geometry/kernels/row_ref.h"
+#include "geometry/kernels/tables.h"
+
+namespace ht::kernels {
+namespace {
+
+void L1Scalar(const float* q, size_t dim, const float* pts, size_t stride,
+              size_t n, double bound, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = detail::RowL1(q, dim, pts + i * stride, bound);
+  }
+}
+
+void L2Scalar(const float* q, size_t dim, const float* pts, size_t stride,
+              size_t n, double bound, double* out) {
+  const double b2 = AbandonSquare(bound);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = detail::RowL2(q, dim, pts + i * stride, b2);
+  }
+}
+
+void LInfScalar(const float* q, size_t dim, const float* pts, size_t stride,
+                size_t n, double bound, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = detail::RowLInf(q, dim, pts + i * stride, bound);
+  }
+}
+
+void WL2Scalar(const float* q, const double* w, size_t dim, const float* pts,
+               size_t stride, size_t n, double bound, double* out) {
+  const double b2 = AbandonSquare(bound);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = detail::RowWL2(q, w, dim, pts + i * stride, b2);
+  }
+}
+
+void CodeL1Scalar(const float* above, const float* below, const float* scale,
+                  size_t stride, const uint8_t* codes, size_t n,
+                  double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = detail::RowCodeL1(above, below, scale, stride, codes + i * stride);
+  }
+}
+
+void CodeL2Scalar(const float* above, const float* below, const float* scale,
+                  size_t stride, const uint8_t* codes, size_t n,
+                  double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = detail::RowCodeL2(above, below, scale, stride, codes + i * stride);
+  }
+}
+
+void CodeLInfScalar(const float* above, const float* below, const float* scale,
+                    size_t stride, const uint8_t* codes, size_t n,
+                    double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] =
+        detail::RowCodeLInf(above, below, scale, stride, codes + i * stride);
+  }
+}
+
+void CodeWL2Scalar(const float* above, const float* below, const float* scale,
+                   const float* wf, size_t stride, const uint8_t* codes,
+                   size_t n, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = detail::RowCodeWL2(above, below, scale, wf, stride,
+                                codes + i * stride);
+  }
+}
+
+void TL1Scalar(const float* q, size_t dim, const float* t, size_t nblocks,
+               double bound, double* out) {
+  for (size_t b = 0; b < nblocks; ++b) {
+    const float* tb = t + b * dim * kTBlock;
+    for (size_t lane = 0; lane < kTBlock; ++lane) {
+      out[b * kTBlock + lane] = detail::RowTL1(q, dim, tb, lane, bound);
+    }
+  }
+}
+
+void TL2Scalar(const float* q, size_t dim, const float* t, size_t nblocks,
+               double bound, double* out) {
+  const double b2 = AbandonSquare(bound);
+  for (size_t b = 0; b < nblocks; ++b) {
+    const float* tb = t + b * dim * kTBlock;
+    for (size_t lane = 0; lane < kTBlock; ++lane) {
+      out[b * kTBlock + lane] = detail::RowTL2(q, dim, tb, lane, b2);
+    }
+  }
+}
+
+void TLInfScalar(const float* q, size_t dim, const float* t, size_t nblocks,
+                 double bound, double* out) {
+  for (size_t b = 0; b < nblocks; ++b) {
+    const float* tb = t + b * dim * kTBlock;
+    for (size_t lane = 0; lane < kTBlock; ++lane) {
+      out[b * kTBlock + lane] = detail::RowTLInf(q, dim, tb, lane, bound);
+    }
+  }
+}
+
+void TWL2Scalar(const float* q, const double* w, size_t dim, const float* t,
+                size_t nblocks, double bound, double* out) {
+  const double b2 = AbandonSquare(bound);
+  for (size_t b = 0; b < nblocks; ++b) {
+    const float* tb = t + b * dim * kTBlock;
+    for (size_t lane = 0; lane < kTBlock; ++lane) {
+      out[b * kTBlock + lane] = detail::RowTWL2(q, w, dim, tb, lane, b2);
+    }
+  }
+}
+
+void CTL1Scalar(const float* above, const float* below, const float* scale,
+                size_t dim, const uint8_t* tcodes, size_t nblocks,
+                double* out) {
+  for (size_t b = 0; b < nblocks; ++b) {
+    const uint8_t* tcb = tcodes + b * dim * kTBlock;
+    for (size_t lane = 0; lane < kTBlock; ++lane) {
+      out[b * kTBlock + lane] =
+          detail::RowCodeTL1(above, below, scale, dim, tcb, lane);
+    }
+  }
+}
+
+void CTL2Scalar(const float* above, const float* below, const float* scale,
+                size_t dim, const uint8_t* tcodes, size_t nblocks,
+                double* out) {
+  for (size_t b = 0; b < nblocks; ++b) {
+    const uint8_t* tcb = tcodes + b * dim * kTBlock;
+    for (size_t lane = 0; lane < kTBlock; ++lane) {
+      out[b * kTBlock + lane] =
+          detail::RowCodeTL2(above, below, scale, dim, tcb, lane);
+    }
+  }
+}
+
+void CTLInfScalar(const float* above, const float* below, const float* scale,
+                  size_t dim, const uint8_t* tcodes, size_t nblocks,
+                  double* out) {
+  for (size_t b = 0; b < nblocks; ++b) {
+    const uint8_t* tcb = tcodes + b * dim * kTBlock;
+    for (size_t lane = 0; lane < kTBlock; ++lane) {
+      out[b * kTBlock + lane] =
+          detail::RowCodeTLInf(above, below, scale, dim, tcb, lane);
+    }
+  }
+}
+
+void CTWL2Scalar(const float* above, const float* below, const float* scale,
+                 const float* wf, size_t dim, const uint8_t* tcodes,
+                 size_t nblocks, double* out) {
+  for (size_t b = 0; b < nblocks; ++b) {
+    const uint8_t* tcb = tcodes + b * dim * kTBlock;
+    for (size_t lane = 0; lane < kTBlock; ++lane) {
+      out[b * kTBlock + lane] =
+          detail::RowCodeTWL2(above, below, scale, wf, dim, tcb, lane);
+    }
+  }
+}
+
+void CTML1Scalar(const float* above, const float* below, const float* scale,
+                 size_t dim, const uint8_t* tcodes, size_t nblocks,
+                 double threshold, uint8_t* masks) {
+  for (size_t b = 0; b < nblocks; ++b) {
+    const uint8_t* tcb = tcodes + b * dim * kTBlock;
+    uint8_t m = 0;
+    for (size_t lane = 0; lane < kTBlock; ++lane) {
+      if (detail::RowCodeTRawL1(above, below, scale, dim, tcb, lane) <=
+          threshold) {
+        m |= static_cast<uint8_t>(1u << lane);
+      }
+    }
+    masks[b] = m;
+  }
+}
+
+void CTML2Scalar(const float* above, const float* below, const float* scale,
+                 size_t dim, const uint8_t* tcodes, size_t nblocks,
+                 double threshold, uint8_t* masks) {
+  for (size_t b = 0; b < nblocks; ++b) {
+    const uint8_t* tcb = tcodes + b * dim * kTBlock;
+    uint8_t m = 0;
+    for (size_t lane = 0; lane < kTBlock; ++lane) {
+      if (detail::RowCodeTRawL2(above, below, scale, dim, tcb, lane) <=
+          threshold) {
+        m |= static_cast<uint8_t>(1u << lane);
+      }
+    }
+    masks[b] = m;
+  }
+}
+
+void CTMLInfScalar(const float* above, const float* below, const float* scale,
+                   size_t dim, const uint8_t* tcodes, size_t nblocks,
+                   double threshold, uint8_t* masks) {
+  for (size_t b = 0; b < nblocks; ++b) {
+    const uint8_t* tcb = tcodes + b * dim * kTBlock;
+    uint8_t m = 0;
+    for (size_t lane = 0; lane < kTBlock; ++lane) {
+      if (detail::RowCodeTRawLInf(above, below, scale, dim, tcb, lane) <=
+          threshold) {
+        m |= static_cast<uint8_t>(1u << lane);
+      }
+    }
+    masks[b] = m;
+  }
+}
+
+void CTMWL2Scalar(const float* above, const float* below, const float* scale,
+                  const float* wf, size_t dim, const uint8_t* tcodes,
+                  size_t nblocks, double threshold, uint8_t* masks) {
+  for (size_t b = 0; b < nblocks; ++b) {
+    const uint8_t* tcb = tcodes + b * dim * kTBlock;
+    uint8_t m = 0;
+    for (size_t lane = 0; lane < kTBlock; ++lane) {
+      if (detail::RowCodeTRawWL2(above, below, scale, wf, dim, tcb, lane) <=
+          threshold) {
+        m |= static_cast<uint8_t>(1u << lane);
+      }
+    }
+    masks[b] = m;
+  }
+}
+
+}  // namespace
+
+const KernelTable& ScalarTable() {
+  static const KernelTable table = {
+      SimdTier::kScalar, &L1Scalar,      &L2Scalar,       &LInfScalar,
+      &WL2Scalar,        &CodeL1Scalar,  &CodeL2Scalar,   &CodeLInfScalar,
+      &CodeWL2Scalar,    &TL1Scalar,     &TL2Scalar,      &TLInfScalar,
+      &TWL2Scalar,       &CTL1Scalar,    &CTL2Scalar,     &CTLInfScalar,
+      &CTWL2Scalar,      &CTML1Scalar,   &CTML2Scalar,    &CTMLInfScalar,
+      &CTMWL2Scalar};
+  return table;
+}
+
+}  // namespace ht::kernels

@@ -21,6 +21,8 @@
 
 #include "common/macros.h"
 #include "geometry/box.h"
+#include "geometry/kernels/kernels.h"
+#include "geometry/quantize.h"
 
 namespace ht {
 
@@ -87,6 +89,66 @@ class DistanceMetric {
     BatchDistance(q, pts, stride, n, out);
   }
 
+  /// BatchDistanceWithBound over a sidecar's transposed float mirror
+  /// (kernels.h kTBlock layout): fills out[0 .. nblocks * kTBlock) and
+  /// returns true. The mirror holds the page's exact float values, so the
+  /// results are bit-identical to the strided kernels — the SIMD tiers
+  /// just get contiguous aligned loads instead of per-row gathers.
+  /// Returns false when the metric has no transposed kernel (the caller
+  /// then uses the strided path); the caller also covers the
+  /// count % kTBlock tail rows itself.
+  virtual bool BatchDistanceTransposedWithBound(std::span<const float> q,
+                                                const float* t,
+                                                size_t nblocks, double bound,
+                                                double* out) const {
+    (void)q;
+    (void)t;
+    (void)nblocks;
+    (void)bound;
+    (void)out;
+    return false;
+  }
+
+  /// Sound lower bounds from a page's 8-bit quantized sidecar: fills
+  /// out[i] <= Distance(q, v_i) for every row, where v_i is the original
+  /// float vector page.codes row i was built from, and returns true.
+  /// Returns false when the metric has no code kernel (the caller then
+  /// scans the full floats — always sound). Bounds are NOT bit-stable
+  /// across SIMD dispatch tiers — only refined distances are — so callers
+  /// must only ever compare out[i] against a pruning bound, never emit it.
+  virtual bool CodeLowerBounds(std::span<const float> q,
+                               const quant::PageCodesView& page,
+                               quant::FilterScratch* scratch,
+                               double* out) const {
+    (void)q;
+    (void)page;
+    (void)scratch;
+    (void)out;
+    return false;
+  }
+
+  /// Fused form of CodeLowerBounds for the pruning fast path: writes one
+  /// survivor bit per row into `masks` (bit i of masks[b] covers row
+  /// b * kernels::kTBlock + i; ceil(count / kTBlock) bytes, unused tail
+  /// bits zero) instead of materializing bounds. A set bit means the row's
+  /// code bound does not exceed `bound` (modulo the hair of upward slack in
+  /// quant::FilterThreshold — extra survivors are sound, they just get
+  /// refined exactly); a clear bit proves the row's true distance exceeds
+  /// `bound`. Returns false when the metric has no mask kernel (caller
+  /// falls back to CodeLowerBounds). Masks ARE bitwise identical across
+  /// SIMD dispatch tiers (see kernels.h CodeMaskTFn).
+  virtual bool CodeFilterMasks(std::span<const float> q,
+                               const quant::PageCodesView& page, double bound,
+                               quant::FilterScratch* scratch,
+                               uint8_t* masks) const {
+    (void)q;
+    (void)page;
+    (void)bound;
+    (void)scratch;
+    (void)masks;
+    return false;
+  }
+
   virtual std::string Name() const = 0;
 };
 
@@ -101,20 +163,23 @@ inline double EuclideanDistance(std::span<const float> a,
   return std::sqrt(s);
 }
 
-/// Early-abandon checkpoint interval: partial sums are tested against the
-/// bound only every kAbandonBlock dimensions so the accumulation loop stays
-/// auto-vectorizable between checkpoints (the KDTREE2 trick).
-inline constexpr size_t kAbandonBlock = 8;
+// The early-abandon checkpoint constants moved to geometry/kernels/kernels.h
+// (the dispatch tiers replicate the same schedule); aliased here for the
+// existing metric_detail:: spellings.
+using kernels::AbandonSquare;
+using kernels::kAbandonBlock;
+}  // namespace metric_detail
 
-/// Abandon threshold in squared-distance space: the smallest partial sum
-/// that *provably* implies sqrt(full_sum) > bound. Monotone non-negative
-/// accumulation means full_sum >= partial_sum, and sqrt is correctly
-/// rounded, so a few ulps of slack over bound^2 make the implication hold
-/// under rounding; without the slack a row with distance == bound could be
-/// wrongly abandoned. +infinity (never abandon) for unbounded inputs.
-inline double AbandonSquare(double bound) {
-  const double b2 = bound * bound;
-  return b2 + 8.0 * std::numeric_limits<double>::epsilon() * b2;
+namespace metric_detail {
+/// Survivor bits for the count % kTBlock tail rows of a mask filter, from
+/// row-major code bounds: the tail is at most kTBlock - 1 rows, so the
+/// plain lb <= bound rule costs nothing and needs no threshold transform.
+inline uint8_t TailMask(const double* lb, size_t n, double bound) {
+  uint8_t m = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (lb[i] <= bound) m |= static_cast<uint8_t>(1u << i);
+  }
+  return m;
 }
 }  // namespace metric_detail
 
@@ -192,37 +257,74 @@ class L1Metric final : public DistanceMetric {
     // ||x||_1 >= ||x||_2, so the Euclidean gap lower-bounds the L1 gap.
     return std::max(0.0, metric_detail::EuclideanDistance(q, center) - radius);
   }
+  // Batch kernels dispatch to the active SIMD tier (scalar / AVX2 /
+  // AVX-512; see geometry/kernels/kernels.h). The unbounded variant is the
+  // bounded kernel at bound = +infinity: the abandon checkpoints never
+  // fire, so every row gets the exact, bit-identical distance.
   void BatchDistance(std::span<const float> q, const float* pts, size_t stride,
                      size_t n, double* out) const override {
-    const size_t dim = q.size();
-    for (size_t i = 0; i < n; ++i) {
-      const float* row = pts + i * stride;
-      double s = 0.0;
-      for (size_t d = 0; d < dim; ++d) {
-        s += std::fabs(static_cast<double>(q[d]) - row[d]);
-      }
-      out[i] = s;
-    }
+    kernels::Active().l1(q.data(), q.size(), pts, stride, n,
+                         std::numeric_limits<double>::infinity(), out);
   }
   void BatchDistanceWithBound(std::span<const float> q, const float* pts,
                               size_t stride, size_t n, double bound,
                               double* out) const override {
     // L1 accumulates the distance itself, so the partial sum compares
     // against the bound directly (monotone: abandoning is exact).
-    const size_t dim = q.size();
-    for (size_t i = 0; i < n; ++i) {
-      const float* row = pts + i * stride;
-      double s = 0.0;
-      size_t d = 0;
-      while (d < dim) {
-        const size_t end = std::min(dim, d + metric_detail::kAbandonBlock);
-        for (; d < end; ++d) {
-          s += std::fabs(static_cast<double>(q[d]) - row[d]);
-        }
-        if (s > bound) break;
-      }
-      out[i] = d == dim ? s : std::numeric_limits<double>::infinity();
+    kernels::Active().l1(q.data(), q.size(), pts, stride, n, bound, out);
+  }
+  bool BatchDistanceTransposedWithBound(std::span<const float> q,
+                                        const float* t, size_t nblocks,
+                                        double bound,
+                                        double* out) const override {
+    kernels::Active().tl1(q.data(), q.size(), t, nblocks, bound, out);
+    return true;
+  }
+  bool CodeLowerBounds(std::span<const float> q,
+                       const quant::PageCodesView& page,
+                       quant::FilterScratch* scratch,
+                       double* out) const override {
+    quant::PrepareFilter(q.data(), page.grid_lo, page.grid_hi, page.dim,
+                         scratch);
+    const kernels::KernelTable& t = kernels::Active();
+    // Full 8-row blocks go through the row-parallel transposed-code
+    // kernel; the tail rows through the row-major one.
+    const size_t done = page.full_blocks * kernels::kTBlock;
+    if (done > 0) {
+      t.ct_l1(scratch->above.data(), scratch->below.data(),
+              scratch->scale.data(), page.dim, page.tcodes, page.full_blocks,
+              out);
     }
+    if (done < page.count) {
+      t.code_l1(scratch->above.data(), scratch->below.data(),
+                scratch->scale.data(), page.stride,
+                page.codes + done * page.stride, page.count - done,
+                out + done);
+    }
+    return true;
+  }
+  bool CodeFilterMasks(std::span<const float> q,
+                       const quant::PageCodesView& page, double bound,
+                       quant::FilterScratch* scratch,
+                       uint8_t* masks) const override {
+    quant::PrepareFilter(q.data(), page.grid_lo, page.grid_hi, page.dim,
+                         scratch);
+    const kernels::KernelTable& t = kernels::Active();
+    if (page.full_blocks > 0) {
+      t.ctm_l1(scratch->above.data(), scratch->below.data(),
+               scratch->scale.data(), page.dim, page.tcodes, page.full_blocks,
+               quant::FilterThreshold(bound, /*squared=*/false), masks);
+    }
+    const size_t done = page.full_blocks * kernels::kTBlock;
+    if (done < page.count) {
+      double lb[kernels::kTBlock];
+      t.code_l1(scratch->above.data(), scratch->below.data(),
+                scratch->scale.data(), page.stride,
+                page.codes + done * page.stride, page.count - done, lb);
+      masks[page.full_blocks] =
+          metric_detail::TailMask(lb, page.count - done, bound);
+    }
+    return true;
   }
   std::string Name() const override { return "L1"; }
 };
@@ -253,38 +355,67 @@ class L2Metric final : public DistanceMetric {
                          double radius) const override {
     return std::max(0.0, metric_detail::EuclideanDistance(q, center) - radius);
   }
+  // See L1Metric: batch kernels dispatch to the active SIMD tier.
   void BatchDistance(std::span<const float> q, const float* pts, size_t stride,
                      size_t n, double* out) const override {
-    const size_t dim = q.size();
-    for (size_t i = 0; i < n; ++i) {
-      const float* row = pts + i * stride;
-      double s = 0.0;
-      for (size_t d = 0; d < dim; ++d) {
-        const double diff = static_cast<double>(q[d]) - row[d];
-        s += diff * diff;
-      }
-      out[i] = std::sqrt(s);
-    }
+    kernels::Active().l2(q.data(), q.size(), pts, stride, n,
+                         std::numeric_limits<double>::infinity(), out);
   }
   void BatchDistanceWithBound(std::span<const float> q, const float* pts,
                               size_t stride, size_t n, double bound,
                               double* out) const override {
-    const double b2 = metric_detail::AbandonSquare(bound);
-    const size_t dim = q.size();
-    for (size_t i = 0; i < n; ++i) {
-      const float* row = pts + i * stride;
-      double s = 0.0;
-      size_t d = 0;
-      while (d < dim) {
-        const size_t end = std::min(dim, d + metric_detail::kAbandonBlock);
-        for (; d < end; ++d) {
-          const double diff = static_cast<double>(q[d]) - row[d];
-          s += diff * diff;
-        }
-        if (s > b2) break;
-      }
-      out[i] = d == dim ? std::sqrt(s) : std::numeric_limits<double>::infinity();
+    kernels::Active().l2(q.data(), q.size(), pts, stride, n, bound, out);
+  }
+  bool BatchDistanceTransposedWithBound(std::span<const float> q,
+                                        const float* t, size_t nblocks,
+                                        double bound,
+                                        double* out) const override {
+    kernels::Active().tl2(q.data(), q.size(), t, nblocks, bound, out);
+    return true;
+  }
+  bool CodeLowerBounds(std::span<const float> q,
+                       const quant::PageCodesView& page,
+                       quant::FilterScratch* scratch,
+                       double* out) const override {
+    quant::PrepareFilter(q.data(), page.grid_lo, page.grid_hi, page.dim,
+                         scratch);
+    const kernels::KernelTable& t = kernels::Active();
+    const size_t done = page.full_blocks * kernels::kTBlock;
+    if (done > 0) {
+      t.ct_l2(scratch->above.data(), scratch->below.data(),
+              scratch->scale.data(), page.dim, page.tcodes, page.full_blocks,
+              out);
     }
+    if (done < page.count) {
+      t.code_l2(scratch->above.data(), scratch->below.data(),
+                scratch->scale.data(), page.stride,
+                page.codes + done * page.stride, page.count - done,
+                out + done);
+    }
+    return true;
+  }
+  bool CodeFilterMasks(std::span<const float> q,
+                       const quant::PageCodesView& page, double bound,
+                       quant::FilterScratch* scratch,
+                       uint8_t* masks) const override {
+    quant::PrepareFilter(q.data(), page.grid_lo, page.grid_hi, page.dim,
+                         scratch);
+    const kernels::KernelTable& t = kernels::Active();
+    if (page.full_blocks > 0) {
+      t.ctm_l2(scratch->above.data(), scratch->below.data(),
+               scratch->scale.data(), page.dim, page.tcodes, page.full_blocks,
+               quant::FilterThreshold(bound, /*squared=*/true), masks);
+    }
+    const size_t done = page.full_blocks * kernels::kTBlock;
+    if (done < page.count) {
+      double lb[kernels::kTBlock];
+      t.code_l2(scratch->above.data(), scratch->below.data(),
+                scratch->scale.data(), page.stride,
+                page.codes + done * page.stride, page.count - done, lb);
+      masks[page.full_blocks] =
+          metric_detail::TailMask(lb, page.count - done, bound);
+    }
+    return true;
   }
   std::string Name() const override { return "L2"; }
 };
@@ -318,39 +449,70 @@ class LInfMetric final : public DistanceMetric {
     return std::max(0.0, (d2 - radius) /
                              std::sqrt(static_cast<double>(q.size())));
   }
+  // See L1Metric: batch kernels dispatch to the active SIMD tier.
   void BatchDistance(std::span<const float> q, const float* pts, size_t stride,
                      size_t n, double* out) const override {
-    const size_t dim = q.size();
-    for (size_t i = 0; i < n; ++i) {
-      const float* row = pts + i * stride;
-      double m = 0.0;
-      for (size_t d = 0; d < dim; ++d) {
-        const double diff = std::fabs(static_cast<double>(q[d]) - row[d]);
-        if (diff > m) m = diff;
-      }
-      out[i] = m;
-    }
+    kernels::Active().linf(q.data(), q.size(), pts, stride, n,
+                           std::numeric_limits<double>::infinity(), out);
   }
   void BatchDistanceWithBound(std::span<const float> q, const float* pts,
                               size_t stride, size_t n, double bound,
                               double* out) const override {
     // The running max is the distance so far; exceeding the bound once is
     // final (max is monotone), so abandoning is exact.
-    const size_t dim = q.size();
-    for (size_t i = 0; i < n; ++i) {
-      const float* row = pts + i * stride;
-      double m = 0.0;
-      size_t d = 0;
-      while (d < dim) {
-        const size_t end = std::min(dim, d + metric_detail::kAbandonBlock);
-        for (; d < end; ++d) {
-          const double diff = std::fabs(static_cast<double>(q[d]) - row[d]);
-          if (diff > m) m = diff;
-        }
-        if (m > bound) break;
-      }
-      out[i] = d == dim ? m : std::numeric_limits<double>::infinity();
+    kernels::Active().linf(q.data(), q.size(), pts, stride, n, bound, out);
+  }
+  bool BatchDistanceTransposedWithBound(std::span<const float> q,
+                                        const float* t, size_t nblocks,
+                                        double bound,
+                                        double* out) const override {
+    kernels::Active().tlinf(q.data(), q.size(), t, nblocks, bound, out);
+    return true;
+  }
+  bool CodeLowerBounds(std::span<const float> q,
+                       const quant::PageCodesView& page,
+                       quant::FilterScratch* scratch,
+                       double* out) const override {
+    quant::PrepareFilter(q.data(), page.grid_lo, page.grid_hi, page.dim,
+                         scratch);
+    const kernels::KernelTable& t = kernels::Active();
+    const size_t done = page.full_blocks * kernels::kTBlock;
+    if (done > 0) {
+      t.ct_linf(scratch->above.data(), scratch->below.data(),
+                scratch->scale.data(), page.dim, page.tcodes,
+                page.full_blocks, out);
     }
+    if (done < page.count) {
+      t.code_linf(scratch->above.data(), scratch->below.data(),
+                  scratch->scale.data(), page.stride,
+                  page.codes + done * page.stride, page.count - done,
+                  out + done);
+    }
+    return true;
+  }
+  bool CodeFilterMasks(std::span<const float> q,
+                       const quant::PageCodesView& page, double bound,
+                       quant::FilterScratch* scratch,
+                       uint8_t* masks) const override {
+    quant::PrepareFilter(q.data(), page.grid_lo, page.grid_hi, page.dim,
+                         scratch);
+    const kernels::KernelTable& t = kernels::Active();
+    if (page.full_blocks > 0) {
+      t.ctm_linf(scratch->above.data(), scratch->below.data(),
+                 scratch->scale.data(), page.dim, page.tcodes,
+                 page.full_blocks,
+                 quant::FilterThreshold(bound, /*squared=*/false), masks);
+    }
+    const size_t done = page.full_blocks * kernels::kTBlock;
+    if (done < page.count) {
+      double lb[kernels::kTBlock];
+      t.code_linf(scratch->above.data(), scratch->below.data(),
+                  scratch->scale.data(), page.stride,
+                  page.codes + done * page.stride, page.count - done, lb);
+      masks[page.full_blocks] =
+          metric_detail::TailMask(lb, page.count - done, bound);
+    }
+    return true;
   }
   std::string Name() const override { return "Linf"; }
 };
@@ -397,40 +559,72 @@ class WeightedL2Metric final : public DistanceMetric {
     const double d2 = metric_detail::EuclideanDistance(q, center);
     return sqrt_min_w_ * std::max(0.0, d2 - radius);
   }
+  // See L1Metric: batch kernels dispatch to the active SIMD tier.
   void BatchDistance(std::span<const float> q, const float* pts, size_t stride,
                      size_t n, double* out) const override {
-    const size_t dim = q.size();
-    const double* w = w_.data();
-    for (size_t i = 0; i < n; ++i) {
-      const float* row = pts + i * stride;
-      double s = 0.0;
-      for (size_t d = 0; d < dim; ++d) {
-        const double diff = static_cast<double>(q[d]) - row[d];
-        s += w[d] * diff * diff;
-      }
-      out[i] = std::sqrt(s);
-    }
+    kernels::Active().wl2(q.data(), w_.data(), q.size(), pts, stride, n,
+                          std::numeric_limits<double>::infinity(), out);
   }
   void BatchDistanceWithBound(std::span<const float> q, const float* pts,
                               size_t stride, size_t n, double bound,
                               double* out) const override {
-    const double b2 = metric_detail::AbandonSquare(bound);
-    const size_t dim = q.size();
-    const double* w = w_.data();
-    for (size_t i = 0; i < n; ++i) {
-      const float* row = pts + i * stride;
-      double s = 0.0;
-      size_t d = 0;
-      while (d < dim) {
-        const size_t end = std::min(dim, d + metric_detail::kAbandonBlock);
-        for (; d < end; ++d) {
-          const double diff = static_cast<double>(q[d]) - row[d];
-          s += w[d] * diff * diff;
-        }
-        if (s > b2) break;
-      }
-      out[i] = d == dim ? std::sqrt(s) : std::numeric_limits<double>::infinity();
+    kernels::Active().wl2(q.data(), w_.data(), q.size(), pts, stride, n,
+                          bound, out);
+  }
+  bool BatchDistanceTransposedWithBound(std::span<const float> q,
+                                        const float* t, size_t nblocks,
+                                        double bound,
+                                        double* out) const override {
+    kernels::Active().twl2(q.data(), w_.data(), q.size(), t, nblocks, bound,
+                           out);
+    return true;
+  }
+  bool CodeLowerBounds(std::span<const float> q,
+                       const quant::PageCodesView& page,
+                       quant::FilterScratch* scratch,
+                       double* out) const override {
+    quant::PrepareFilter(q.data(), page.grid_lo, page.grid_hi, page.dim,
+                         scratch);
+    quant::PrepareWeights(w_.data(), page.dim, scratch);
+    const kernels::KernelTable& t = kernels::Active();
+    const size_t done = page.full_blocks * kernels::kTBlock;
+    if (done > 0) {
+      t.ct_wl2(scratch->above.data(), scratch->below.data(),
+               scratch->scale.data(), scratch->wf.data(), page.dim,
+               page.tcodes, page.full_blocks, out);
     }
+    if (done < page.count) {
+      t.code_wl2(scratch->above.data(), scratch->below.data(),
+                 scratch->scale.data(), scratch->wf.data(), page.stride,
+                 page.codes + done * page.stride, page.count - done,
+                 out + done);
+    }
+    return true;
+  }
+  bool CodeFilterMasks(std::span<const float> q,
+                       const quant::PageCodesView& page, double bound,
+                       quant::FilterScratch* scratch,
+                       uint8_t* masks) const override {
+    quant::PrepareFilter(q.data(), page.grid_lo, page.grid_hi, page.dim,
+                         scratch);
+    quant::PrepareWeights(w_.data(), page.dim, scratch);
+    const kernels::KernelTable& t = kernels::Active();
+    if (page.full_blocks > 0) {
+      t.ctm_wl2(scratch->above.data(), scratch->below.data(),
+                scratch->scale.data(), scratch->wf.data(), page.dim,
+                page.tcodes, page.full_blocks,
+                quant::FilterThreshold(bound, /*squared=*/true), masks);
+    }
+    const size_t done = page.full_blocks * kernels::kTBlock;
+    if (done < page.count) {
+      double lb[kernels::kTBlock];
+      t.code_wl2(scratch->above.data(), scratch->below.data(),
+                 scratch->scale.data(), scratch->wf.data(), page.stride,
+                 page.codes + done * page.stride, page.count - done, lb);
+      masks[page.full_blocks] =
+          metric_detail::TailMask(lb, page.count - done, bound);
+    }
+    return true;
   }
   std::string Name() const override { return "WeightedL2"; }
 

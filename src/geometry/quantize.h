@@ -1,0 +1,202 @@
+// Copyright 2026 The HybridTree Authors.
+// Conservative scalar quantization shared by ELS (§3.4) and the per-page
+// 8-bit vector sidecars.
+//
+// One rule, used everywhere: round so the bound is never too tight. ELS
+// rounds box boundaries outward (lo down, hi up) onto a 2^bits grid; the
+// sidecar filter pads the decoded cell interval outward before measuring
+// the gap to the query. Both make pruning decisions conservative, so a
+// quantized bound can never drop a true result.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ht::quant {
+
+/// Grid cell of `v` on the 2^bits grid over [lo, hi], rounding DOWN — the
+/// conservative choice for a lower boundary (and the cell *containing* v,
+/// used by the sidecar codes). Degenerate intervals (hi <= lo) map to cell
+/// 0. Result is in [0, 2^bits - 1].
+inline uint32_t QuantizeLo(float v, float lo, float hi, uint32_t bits) {
+  const uint32_t cells = 1u << bits;
+  if (hi <= lo) return 0;
+  double frac = (static_cast<double>(v) - lo) / (static_cast<double>(hi) - lo);
+  double cell = std::floor(frac * cells);
+  if (cell < 0) cell = 0;
+  if (cell > cells - 1) cell = cells - 1;
+  return static_cast<uint32_t>(cell);
+}
+
+/// Grid cell of `v`, rounding UP — conservative for an upper boundary.
+/// Degenerate intervals map to cell 2^bits. Result is in [1, 2^bits].
+inline uint32_t QuantizeHi(float v, float lo, float hi, uint32_t bits) {
+  const uint32_t cells = 1u << bits;
+  if (hi <= lo) return cells;
+  double frac = (static_cast<double>(v) - lo) / (static_cast<double>(hi) - lo);
+  double cell = std::ceil(frac * cells);
+  if (cell < 1) cell = 1;
+  if (cell > cells) cell = cells;
+  return static_cast<uint32_t>(cell);
+}
+
+// --- Per-page 8-bit vector sidecar filter ----------------------------------
+//
+// A sidecar stores one byte per dimension per point of a data page:
+// c_d = QuantizeLo(v_d, lo_d, hi_d, 8) on the page's live bounding region
+// [lo_d, hi_d] — ELS's relative encoding applied one level down, to the
+// points inside a page. The filter lower-bounds the distance from a query
+// q to the original float v using only the codes:
+//
+//   In exact arithmetic v_d lies in the cell [lo_d + c_d w_d,
+//   lo_d + (c_d+1) w_d] with w_d = (hi_d - lo_d)/256 (clamped cells cover
+//   their side of the grid). Padding the cell by kCellPad cells on each
+//   side absorbs the encoder's floating-point rounding with orders of
+//   magnitude to spare, so with t_d = q_d - lo_d the per-dimension gap
+//
+//     gap_d = max(0, c_d w_d - above_d, below_d - c_d w_d)
+//     above_d = t_d + kCellPad w_d + kQueryPad |t_d|
+//     below_d = t_d - (1 + kCellPad) w_d - kQueryPad |t_d|
+//
+//   satisfies gap_d <= |q_d - v_d|, and any monotone metric of per-
+//   dimension gaps lower-bounds the true distance.
+//
+// Error budget (why two pads and a slack, not one epsilon):
+//  * kCellPad (2^-10 cells) covers every error proportional to the cell
+//    width w_d: the encoder's double-precision rounding (~2^-43 cells) and
+//    the float rounding of c_d * scale_d (<= 2^-15 cells).
+//  * kQueryPad (2^-20, relative to |t_d|) covers the float rounding of
+//    above_d / below_d themselves (<= 2^-23 |t_d|), which is NOT
+//    proportional to w_d — on a near-degenerate dimension it would dwarf
+//    any cell-relative pad.
+//  * kLbSlack (multiplicative, applied to the final bound) covers the
+//    remaining errors that are relative to the (already sound) gaps:
+//    the gap subtraction's own rounding, squaring, the double-precision
+//    accumulation, and the final sqrt.
+// Degenerate dimensions (hi_d <= lo_d, all stored values equal lo_d) need
+// no special case: codes are 0 and w_d = 0, so the formula above reduces
+// to gap_d = max(0, |t_d| - kQueryPad |t_d|) <= |q_d - v_d|.
+//
+// The bounds are deliberately NOT bit-stable across SIMD tiers (horizontal
+// reductions reassociate); only soundness is guaranteed. Refined results —
+// the only values callers may emit — are bit-identical at every tier.
+
+/// Sidecar code precision: one byte per dimension.
+inline constexpr uint32_t kSidecarBits = 8;
+inline constexpr double kSidecarCells = 256.0;
+
+/// Cell-relative outward pad (in cells) on the decoded interval.
+inline constexpr double kCellPad = 0x1p-10;
+
+/// Query-offset-relative outward pad on the prep values.
+inline constexpr double kQueryPad = 0x1p-20;
+
+/// Multiplicative slack on the final lower bound: lb *= (1 - kLbSlack).
+inline constexpr double kLbSlack = 1e-5;
+
+/// Sidecar rows (and the prep arrays below) are padded to a multiple of
+/// kDimPad dimensions so every SIMD tier consumes whole vectors with no
+/// tail loop. Padding lanes are constructed to contribute exactly zero:
+/// codes 0, scale 0, above 0, below -1 give gap = max(0, 0, -1) = 0.
+inline constexpr size_t kDimPad = 16;
+
+constexpr size_t PaddedDim(size_t dim) {
+  return (dim + kDimPad - 1) / kDimPad * kDimPad;
+}
+
+/// Non-owning view of one page's sidecar, as consumed by the code-filter
+/// kernels (kernels::KernelTable code_* entries via
+/// DistanceMetric::CodeLowerBounds).
+struct PageCodesView {
+  const uint8_t* codes;  ///< count rows of stride bytes; 64-byte aligned
+  size_t stride;         ///< bytes between rows; == PaddedDim(dim)
+  size_t count;          ///< number of points
+  uint32_t dim;          ///< feature-space dimensionality
+  const float* grid_lo;  ///< page live BR, dim floats
+  const float* grid_hi;  ///< page live BR, dim floats
+  /// Transposed code mirror: kernels::kTBlock rows per block,
+  /// dimension-major (tcodes[b*dim*8 + d*8 + lane]), unpadded, covering
+  /// full_blocks * kTBlock rows. The row-parallel ct_* kernels consume it;
+  /// the count % kTBlock tail rows go through the row-major codes above.
+  const uint8_t* tcodes;
+  size_t full_blocks;
+};
+
+/// Reusable per-query buffers for the code filter (lives in SearchScratch,
+/// so steady-state filtered scans allocate nothing).
+struct FilterScratch {
+  std::vector<float> above;  ///< t_d + pads (PaddedDim floats)
+  std::vector<float> below;  ///< t_d - w_d - pads
+  std::vector<float> scale;  ///< w_d (codes multiply by this)
+  std::vector<float> wf;     ///< per-dimension metric weights (WeightedL2)
+};
+
+/// Fills the prep arrays for one (query, page-grid) pair. O(dim); the
+/// kernels then amortize it over every point of the page.
+inline void PrepareFilter(const float* q, const float* grid_lo,
+                          const float* grid_hi, uint32_t dim,
+                          FilterScratch* s) {
+  const size_t padded = PaddedDim(dim);
+  if (s->above.size() < padded) {
+    s->above.resize(padded);
+    s->below.resize(padded);
+    s->scale.resize(padded);
+  }
+  for (size_t d = 0; d < dim; ++d) {
+    const double lo = grid_lo[d];
+    const double w = (static_cast<double>(grid_hi[d]) - lo) / kSidecarCells;
+    const double t = static_cast<double>(q[d]) - lo;
+    const double pad = kCellPad * w + kQueryPad * std::fabs(t);
+    s->above[d] = static_cast<float>(t + pad);
+    s->below[d] = static_cast<float>(t - w - pad);
+    s->scale[d] = static_cast<float>(w);
+  }
+  for (size_t d = dim; d < padded; ++d) {
+    s->above[d] = 0.0f;
+    s->below[d] = -1.0f;
+    s->scale[d] = 0.0f;
+  }
+}
+
+/// Survivor threshold for the fused mask kernels (kernels.h ctm_*), which
+/// compare each row's RAW accumulator — the value before the final
+/// (1 - kLbSlack) multiply, and before the sqrt for the squared metrics —
+/// against a single precomputed double. Chosen so that the mask rule keeps
+/// every row the `lb <= bound` rule keeps: the raw accumulator is computed
+/// by the exact same sequence as the bound kernels', so undoing the slack
+/// (and squaring, for L2-like metrics) with a couple of extra rounding
+/// steps only needs a hair of upward inflation (1 + 2^-40, orders of
+/// magnitude above the few-ulp error of this transform) to stay a sound
+/// superset. Over-inclusion merely costs an exact refinement;
+/// under-inclusion would drop a true result. Overflow to +infinity on
+/// huge bounds keeps every row — also sound.
+inline double FilterThreshold(double bound, bool squared) {
+  constexpr double kUp = 1.0 + 0x1p-40;
+  double t = bound / (1.0 - kLbSlack) * kUp;
+  if (squared) t = t * t * kUp;
+  return t;
+}
+
+/// Converts metric weights for the weighted code kernels (zero-padded).
+inline void PrepareWeights(const double* w, uint32_t dim, FilterScratch* s) {
+  const size_t padded = PaddedDim(dim);
+  if (s->wf.size() < padded) s->wf.resize(padded);
+  for (size_t d = 0; d < dim; ++d) s->wf[d] = static_cast<float>(w[d]);
+  for (size_t d = dim; d < padded; ++d) s->wf[d] = 0.0f;
+}
+
+/// Encodes one vector against the page grid: one byte per dimension, the
+/// containing cell (QuantizeLo). The filter pads the cell interval on both
+/// sides, so floor is the right rounding for both boundaries here.
+inline void EncodeSidecarRow(const float* v, const float* grid_lo,
+                             const float* grid_hi, uint32_t dim,
+                             uint8_t* out) {
+  for (uint32_t d = 0; d < dim; ++d) {
+    out[d] = static_cast<uint8_t>(
+        QuantizeLo(v[d], grid_lo[d], grid_hi[d], kSidecarBits));
+  }
+}
+
+}  // namespace ht::quant

@@ -546,6 +546,24 @@ Status BufferPool::EvictAll() {
   return Status::OK();
 }
 
+void BufferPool::CountScan(PageId id, uint64_t rows, uint64_t survivors,
+                           bool filtered) {
+  Shard& shard = ShardFor(id);
+  auto lock = LockShard(shard);
+  shard.stats.scan_points += rows;
+  if (filtered) {
+    shard.stats.quant_refined += survivors;
+    shard.stats.quant_pruned += rows - survivors;
+  }
+  if (IoStats* tls = g_tls_io_sink) {
+    tls->scan_points += rows;
+    if (filtered) {
+      tls->quant_refined += survivors;
+      tls->quant_pruned += rows - survivors;
+    }
+  }
+}
+
 const IoStats& BufferPool::stats() const {
   agg_stats_ = StatsSnapshot();
   return agg_stats_;

@@ -268,6 +268,14 @@ class BufferPool {
   size_t page_size() const { return file_->page_size(); }
   PagedFile* file() { return file_; }
 
+  /// Accounts one batched data-page distance scan against page `id`:
+  /// `rows` points entered the scan; when `filtered` is set, `survivors`
+  /// of them passed the quantized-code filter and were refined exactly
+  /// (the rest were pruned by the code lower bound). Counted into the
+  /// page's shard stats and the thread-local IoStatsScope sink, like any
+  /// other pool operation.
+  void CountScan(PageId id, uint64_t rows, uint64_t survivors, bool filtered);
+
   /// Sum of the shard counters. The returned reference stays valid but is
   /// only refreshed by the next stats() call. Call from one thread at a
   /// time; safe while readers run in concurrent mode (shard locks are

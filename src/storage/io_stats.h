@@ -35,6 +35,15 @@ struct IoStats {
   uint64_t prefetch_issued = 0;
   /// Fetches that hit a frame brought in by prefetch (first pin only).
   uint64_t prefetch_hits = 0;
+  /// Points entering a batched data-page distance scan (filtered or not).
+  uint64_t scan_points = 0;
+  /// Points that survived the quantized-code filter and were refined with
+  /// an exact distance. Only bumped on filtered scans.
+  uint64_t quant_refined = 0;
+  /// Points pruned by the quantized-code lower bound without an exact
+  /// distance computation. scan_points on a filtered page splits exactly
+  /// into quant_refined + quant_pruned.
+  uint64_t quant_pruned = 0;
 
   void Reset() { *this = IoStats{}; }
 
@@ -60,6 +69,9 @@ struct IoStats {
     batch_writes += other.batch_writes;
     prefetch_issued += other.prefetch_issued;
     prefetch_hits += other.prefetch_hits;
+    scan_points += other.scan_points;
+    quant_refined += other.quant_refined;
+    quant_pruned += other.quant_pruned;
   }
 
   IoStats Delta(const IoStats& since) const {
@@ -74,6 +86,9 @@ struct IoStats {
     d.batch_writes = batch_writes - since.batch_writes;
     d.prefetch_issued = prefetch_issued - since.prefetch_issued;
     d.prefetch_hits = prefetch_hits - since.prefetch_hits;
+    d.scan_points = scan_points - since.scan_points;
+    d.quant_refined = quant_refined - since.quant_refined;
+    d.quant_pruned = quant_pruned - since.quant_pruned;
     return d;
   }
 };

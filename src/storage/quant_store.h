@@ -1,0 +1,128 @@
+// Copyright 2026 The HybridTree Authors.
+// Per-data-page 8-bit quantized sidecars for the filter-then-refine scan
+// path. Each sidecar stores, for every point on a data page, one uint8 code
+// per dimension relative to the page's live bounding region (min/max over
+// the page's points per dimension). A scan first computes a sound lower
+// bound on each point's distance from the codes (geometry/quantize.h,
+// kernels code_* entries) and refines only the survivors with exact
+// distances — results stay byte-identical to the unfiltered path.
+//
+// Sidecars are derived data, rebuilt from page contents on demand: they are
+// built lazily on the first scan of a page (not at write time, so
+// ingest pays nothing and trees opened from disk are covered) and
+// invalidated whenever the page is rewritten or freed.
+//
+// Each sidecar also carries two transposed mirrors (kernels::kTBlock rows
+// per block, dimension-major within a block): the page's float block, so
+// the SIMD batch kernels replace their per-dimension row gather with one
+// contiguous aligned load (kernels.h, tl1/tl2/tlinf/twl2 entries), and the
+// codes, so the code-bound pass runs row-parallel with no per-row
+// horizontal reduction (ct_* entries). The float mirror holds the exact
+// same values as the page, so distances computed through it are
+// bit-identical to the strided path.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/kernels/kernels.h"
+#include "geometry/quantize.h"
+#include "storage/page.h"
+
+namespace ht {
+
+/// Immutable quantized image of one data page's point block. Rows are
+/// padded to quant::PaddedDim(dim) bytes (zero-filled padding) in a
+/// 64-byte-aligned buffer so the code kernels can consume full strides
+/// with no tail handling.
+class QuantizedPage {
+ public:
+  /// Builds codes for `count` points laid out at `block` with
+  /// `stride_floats` floats between consecutive points (DataPageScan
+  /// layout: dim coordinates first, trailing slack ignored).
+  QuantizedPage(const float* block, size_t stride_floats, size_t count,
+                uint32_t dim);
+
+  QuantizedPage(const QuantizedPage&) = delete;
+  QuantizedPage& operator=(const QuantizedPage&) = delete;
+
+  quant::PageCodesView view() const {
+    return quant::PageCodesView{codes_.get(),    stride_,
+                                count_,          dim_,
+                                grid_lo_.data(), grid_hi_.data(),
+                                tc_.get(),       full_blocks_};
+  }
+  size_t count() const { return count_; }
+  uint32_t dim() const { return dim_; }
+
+  /// Transposed float mirror covering full_blocks() * kernels::kTBlock
+  /// rows (the count % kTBlock tail rows stay on the page's own block).
+  const float* tfloats() const { return tf_.get(); }
+  size_t full_blocks() const { return full_blocks_; }
+
+  /// True when this sidecar is exactly what (re)building from the given
+  /// block would produce — grid, codes, zeroed padding bytes, and the
+  /// transposed mirror. Used by the validator to detect stale sidecars.
+  bool Matches(const float* block, size_t stride_floats, size_t count,
+               uint32_t dim) const;
+
+ private:
+  struct AlignedFree {
+    void operator()(void* p) const {
+      ::operator delete(p, std::align_val_t{Page::kAlignment});
+    }
+  };
+
+  uint32_t dim_;
+  size_t count_;
+  size_t stride_;       // bytes per code row, == quant::PaddedDim(dim_)
+  size_t full_blocks_;  // count_ / kernels::kTBlock
+  std::vector<float> grid_lo_;
+  std::vector<float> grid_hi_;
+  std::unique_ptr<uint8_t, AlignedFree> codes_;
+  std::unique_ptr<float, AlignedFree> tf_;
+  std::unique_ptr<uint8_t, AlignedFree> tc_;  // transposed codes (unpadded)
+};
+
+/// Cache of sidecars keyed by data-page id. Mirrors the tree's conditional
+/// locking scheme: lookups/builds take the shared_mutex only when
+/// `concurrent` is set (single-threaded searches skip the lock); mutations
+/// (Invalidate/Clear) always lock — they happen on the write path, which is
+/// externally serialized but may race with nothing anyway and are cheap.
+class QuantStore {
+ public:
+  /// Returns the sidecar for `id`, building (outside the lock) and caching
+  /// it on first use. Returns nullptr when count == 0. Safe for concurrent
+  /// readers when `concurrent` is true; a racing double build keeps the
+  /// first inserted copy.
+  std::shared_ptr<const QuantizedPage> GetOrBuild(PageId id,
+                                                  const float* block,
+                                                  size_t stride_floats,
+                                                  size_t count, uint32_t dim,
+                                                  bool concurrent) const;
+
+  /// Returns the cached sidecar for `id`, or nullptr (never builds).
+  std::shared_ptr<const QuantizedPage> Lookup(PageId id) const;
+
+  /// Drops the sidecar for `id` (page rewritten or freed). No-op if absent.
+  void Invalidate(PageId id);
+
+  void Clear();
+
+  size_t CachedPages() const;
+
+  /// Snapshot of all cached page ids (validator: every cached sidecar must
+  /// correspond to a live data page with matching contents).
+  std::vector<PageId> Snapshot() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  mutable std::unordered_map<PageId, std::shared_ptr<const QuantizedPage>>
+      cache_;
+};
+
+}  // namespace ht

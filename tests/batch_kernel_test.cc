@@ -20,18 +20,39 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/hybrid_tree.h"
 #include "core/node.h"
 #include "data/generators.h"
+#include "geometry/kernels/kernels.h"
 #include "geometry/metrics.h"
 
 namespace ht {
 namespace {
 
 constexpr size_t kPageSize = 16384;
+
+/// All SIMD tiers this host can run, scalar first.
+std::vector<kernels::SimdTier> SupportedTiers() {
+  std::vector<kernels::SimdTier> tiers = {kernels::SimdTier::kScalar};
+  if (kernels::TierSupported(kernels::SimdTier::kAvx2)) {
+    tiers.push_back(kernels::SimdTier::kAvx2);
+  }
+  if (kernels::TierSupported(kernels::SimdTier::kAvx512)) {
+    tiers.push_back(kernels::SimdTier::kAvx512);
+  }
+  return tiers;
+}
+
+/// Forces a tier for the enclosing scope.
+class ScopedTier {
+ public:
+  explicit ScopedTier(kernels::SimdTier tier) { kernels::ForceTier(tier); }
+  ~ScopedTier() { kernels::ClearForcedTier(); }
+};
 
 /// Builds the metric under test by index (owning pointer so the fixture
 /// can sweep heterogeneous metric types).
@@ -127,38 +148,49 @@ TEST_P(BatchKernelSweep, BitIdenticalToScalar) {
   const float* blk = scan.block();
   if (blk == nullptr) GTEST_SKIP() << "big-endian host: no block fast path";
 
-  // Scalar reference, computed through the per-row virtual interface.
+  // Scalar reference, computed through the per-row virtual interface
+  // (Distance() is plain scalar code at any tier).
   std::vector<double> ref(n);
   for (size_t i = 0; i < n; ++i) ref[i] = metric->Distance(query, scan.vec(i));
 
-  // Unbounded kernel: bit-identical everywhere.
-  std::vector<double> batch(n, -1.0);
-  metric->BatchDistance(query, blk, scan.stride_floats(), n, batch.data());
-  for (size_t i = 0; i < n; ++i) {
-    ASSERT_FALSE(std::isnan(batch[i])) << "row " << i;
-    ASSERT_EQ(std::bit_cast<uint64_t>(batch[i]), std::bit_cast<uint64_t>(ref[i]))
-        << "row " << i << ": batch " << batch[i] << " vs scalar " << ref[i];
-  }
+  // Every supported SIMD tier must reproduce the scalar results bitwise —
+  // the dispatch-tier sweep behind the HT_SIMD contract.
+  for (const kernels::SimdTier tier : SupportedTiers()) {
+    ScopedTier forced(tier);
+    const std::string tag = std::string(" tier ") + kernels::TierName(tier);
 
-  // Bounded kernel at several bounds, including 0, a mid quantile and
-  // +inf (where it must agree with the unbounded kernel everywhere).
-  std::vector<double> sorted_ref = ref;
-  std::sort(sorted_ref.begin(), sorted_ref.end());
-  const double bounds[] = {0.0, sorted_ref[n / 4], sorted_ref[n / 2],
-                           sorted_ref[n - 1],
-                           std::numeric_limits<double>::infinity()};
-  for (double bound : bounds) {
-    std::vector<double> bd(n, -1.0);
-    metric->BatchDistanceWithBound(query, blk, scan.stride_floats(), n, bound,
-                                   bd.data());
+    // Unbounded kernel: bit-identical everywhere.
+    std::vector<double> batch(n, -1.0);
+    metric->BatchDistance(query, blk, scan.stride_floats(), n, batch.data());
     for (size_t i = 0; i < n; ++i) {
-      ASSERT_FALSE(std::isnan(bd[i])) << "row " << i << " bound " << bound;
-      if (ref[i] <= bound) {
-        ASSERT_EQ(std::bit_cast<uint64_t>(bd[i]),
-                  std::bit_cast<uint64_t>(ref[i]))
-            << "row " << i << " bound " << bound;
-      } else {
-        ASSERT_GT(bd[i], bound) << "row " << i;
+      ASSERT_FALSE(std::isnan(batch[i])) << "row " << i << tag;
+      ASSERT_EQ(std::bit_cast<uint64_t>(batch[i]),
+                std::bit_cast<uint64_t>(ref[i]))
+          << "row " << i << ": batch " << batch[i] << " vs scalar " << ref[i]
+          << tag;
+    }
+
+    // Bounded kernel at several bounds, including 0, a mid quantile and
+    // +inf (where it must agree with the unbounded kernel everywhere).
+    std::vector<double> sorted_ref = ref;
+    std::sort(sorted_ref.begin(), sorted_ref.end());
+    const double bounds[] = {0.0, sorted_ref[n / 4], sorted_ref[n / 2],
+                             sorted_ref[n - 1],
+                             std::numeric_limits<double>::infinity()};
+    for (double bound : bounds) {
+      std::vector<double> bd(n, -1.0);
+      metric->BatchDistanceWithBound(query, blk, scan.stride_floats(), n,
+                                     bound, bd.data());
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_FALSE(std::isnan(bd[i]))
+            << "row " << i << " bound " << bound << tag;
+        if (ref[i] <= bound) {
+          ASSERT_EQ(std::bit_cast<uint64_t>(bd[i]),
+                    std::bit_cast<uint64_t>(ref[i]))
+              << "row " << i << " bound " << bound << tag;
+        } else {
+          ASSERT_GT(bd[i], bound) << "row " << i << tag;
+        }
       }
     }
   }

@@ -1,0 +1,665 @@
+// Property tests for the per-page 8-bit quantized filter-then-refine path:
+//
+//  * Soundness: for every metric with a code kernel and every supported
+//    SIMD tier, the code lower bound never exceeds the true distance —
+//    including adversarial cases (query equal to a stored point, degenerate
+//    and near-degenerate dimensions, duplicated points, coordinates far
+//    outside the unit cube).
+//  * End-to-end byte-identity: range / k-NN / box results with sidecars on
+//    are identical — bitwise, including tie-breaks — to the scalar
+//    reference path, at every tier.
+//  * Sidecar lifecycle: lazy build, invalidation on mutation, stale-sidecar
+//    detection (QuantizedPage::Matches), validator integration.
+//  * Layout pinning: the on-page block layout and sidecar alignment the
+//    SIMD kernels rely on.
+//  * Accounting: scan_points / quant_refined / quant_pruned in IoStats.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/hybrid_tree.h"
+#include "core/node.h"
+#include "data/generators.h"
+#include "geometry/kernels/kernels.h"
+#include "geometry/metrics.h"
+#include "geometry/quantize.h"
+#include "storage/quant_store.h"
+
+namespace ht {
+namespace {
+
+// --- layout pinning --------------------------------------------------------
+// The SIMD kernels and sidecar builder assume this exact data-page layout;
+// a change here must be a deliberate format revision, not an accident.
+static_assert(DataNode::kHeaderBytes == 4);
+static_assert(Page::kAlignment == 64);
+static_assert(quant::kDimPad == 16);
+static_assert(quant::PaddedDim(1) == 16);
+static_assert(quant::PaddedDim(16) == 16);
+static_assert(quant::PaddedDim(17) == 32);
+
+TEST(QuantLayout, PageBlockLayoutIsPinned) {
+  for (uint32_t dim : {4u, 16u, 33u}) {
+    EXPECT_EQ(DataNode::EntryBytes(dim), 8 + 4 * static_cast<size_t>(dim));
+    DataNode node;
+    node.entries.push_back({1, std::vector<float>(dim, 0.25f)});
+    node.entries.push_back({2, std::vector<float>(dim, 0.75f)});
+    std::vector<uint8_t> page(4096);
+    node.Serialize(page.data(), page.size(), dim);
+    DataPageScan scan(page.data(), page.size(), dim);
+    ASSERT_TRUE(scan.ok());
+    if (scan.block() == nullptr) GTEST_SKIP() << "big-endian host";
+    // Row-major block with the next entry's 8-byte id inside the stride.
+    EXPECT_EQ(scan.stride_floats(), dim + 2u);
+    EXPECT_EQ(reinterpret_cast<const uint8_t*>(scan.block()),
+              page.data() + DataNode::kHeaderBytes + 8);
+  }
+}
+
+TEST(QuantLayout, PageFramesAndSidecarRowsAreAligned) {
+  Page p(4096);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p.data()) % Page::kAlignment, 0u);
+  Page q = p;  // copies keep the alignment
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(q.data()) % Page::kAlignment, 0u);
+
+  const uint32_t dim = 7;
+  std::vector<float> block(3 * (dim + 2), 0.5f);
+  QuantizedPage qp(block.data(), dim + 2, 3, dim);
+  const quant::PageCodesView v = qp.view();
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(v.codes) % Page::kAlignment, 0u);
+  EXPECT_EQ(v.stride, quant::PaddedDim(dim));
+  EXPECT_EQ(v.stride % quant::kDimPad, 0u);
+}
+
+// --- helpers ---------------------------------------------------------------
+
+std::vector<kernels::SimdTier> SupportedTiers() {
+  std::vector<kernels::SimdTier> tiers = {kernels::SimdTier::kScalar};
+  if (kernels::TierSupported(kernels::SimdTier::kAvx2)) {
+    tiers.push_back(kernels::SimdTier::kAvx2);
+  }
+  if (kernels::TierSupported(kernels::SimdTier::kAvx512)) {
+    tiers.push_back(kernels::SimdTier::kAvx512);
+  }
+  return tiers;
+}
+
+class ScopedTier {
+ public:
+  explicit ScopedTier(kernels::SimdTier tier) { kernels::ForceTier(tier); }
+  ~ScopedTier() { kernels::ClearForcedTier(); }
+};
+
+std::unique_ptr<DistanceMetric> MakeMetric(int which, uint32_t dim) {
+  switch (which) {
+    case 0:
+      return std::make_unique<L1Metric>();
+    case 1:
+      return std::make_unique<L2Metric>();
+    case 2:
+      return std::make_unique<LInfMetric>();
+    default: {
+      std::vector<double> w(dim);
+      for (uint32_t d = 0; d < dim; ++d) w[d] = 0.05 + 0.15 * (d % 7);
+      return std::make_unique<WeightedL2Metric>(std::move(w));
+    }
+  }
+}
+
+/// A synthetic page block in DataPageScan layout (stride = dim + 2).
+struct TestBlock {
+  uint32_t dim;
+  size_t count;
+  std::vector<float> data;
+  const float* block() const { return data.data(); }
+  size_t stride() const { return dim + 2; }
+  float* row(size_t i) { return data.data() + i * stride(); }
+};
+
+TestBlock MakeBlock(uint32_t dim, size_t count) {
+  TestBlock b;
+  b.dim = dim;
+  b.count = count;
+  b.data.assign(count * (dim + 2), 0.0f);
+  return b;
+}
+
+/// Checks lb <= true distance for every row, every metric, every tier.
+void CheckSound(const TestBlock& b, const std::vector<float>& query) {
+  QuantizedPage qp(b.block(), b.dim + 2, b.count, b.dim);
+  quant::FilterScratch scratch;
+  std::vector<double> lb(b.count);
+  for (int m = 0; m < 4; ++m) {
+    auto metric = MakeMetric(m, b.dim);
+    for (const kernels::SimdTier tier : SupportedTiers()) {
+      ScopedTier forced(tier);
+      ASSERT_TRUE(metric->CodeLowerBounds(query, qp.view(), &scratch,
+                                          lb.data()));
+      for (size_t i = 0; i < b.count; ++i) {
+        const std::span<const float> row(b.data.data() + i * b.stride(),
+                                         b.dim);
+        const double d = metric->Distance(query, row);
+        ASSERT_LE(lb[i], d) << "metric " << metric->Name() << " tier "
+                            << kernels::TierName(tier) << " row " << i;
+        ASSERT_GE(lb[i], 0.0);
+        ASSERT_FALSE(std::isnan(lb[i]));
+      }
+    }
+  }
+}
+
+// --- soundness -------------------------------------------------------------
+
+TEST(QuantSoundness, RandomPagesAndQueries) {
+  Rng rng(977);
+  for (uint32_t dim : {3u, 8u, 16u, 31u, 64u}) {
+    for (int rep = 0; rep < 4; ++rep) {
+      const size_t count = 1 + static_cast<size_t>(rng.NextDouble() * 120);
+      TestBlock b = MakeBlock(dim, count);
+      for (size_t i = 0; i < count; ++i) {
+        for (uint32_t d = 0; d < dim; ++d) {
+          b.row(i)[d] = static_cast<float>(rng.NextDouble());
+        }
+      }
+      std::vector<float> query(dim);
+      for (uint32_t d = 0; d < dim; ++d) {
+        // Queries inside and well outside the data range.
+        query[d] = static_cast<float>(rng.NextDouble() * 3.0 - 1.0);
+      }
+      CheckSound(b, query);
+      // The query coinciding with a stored point: its true distance is 0,
+      // so any positive lower bound would be unsound.
+      std::span<const float> first(b.data.data(), dim);
+      CheckSound(b, std::vector<float>(first.begin(), first.end()));
+    }
+  }
+}
+
+TEST(QuantSoundness, AdversarialGeometry) {
+  const uint32_t dim = 8;
+  // Degenerate dims (zero width), near-degenerate dims (1-ulp width at a
+  // large magnitude, where float rounding of (q - lo) dwarfs the cell
+  // width), exact grid boundaries, and duplicated points.
+  TestBlock b = MakeBlock(dim, 5);
+  const float big = 4096.0f;
+  const float big_next = std::nextafterf(big, 2.0f * big);
+  for (size_t i = 0; i < b.count; ++i) {
+    float* r = b.row(i);
+    r[0] = 0.5f;                          // degenerate: all equal
+    r[1] = (i % 2 == 0) ? big : big_next;  // near-degenerate, large values
+    r[2] = static_cast<float>(i) / 4.0f;  // exact 1/4 grid positions
+    r[3] = (i < 2) ? 0.0f : 1.0f;         // two clusters
+    r[4] = 0.125f * static_cast<float>(i);
+    r[5] = -1.0f + 0.5f * static_cast<float>(i);  // negative coords
+    r[6] = 1e-30f * static_cast<float>(i);        // subnormal-ish widths
+    r[7] = 0.25f;
+  }
+  b.row(4)[4] = b.row(0)[4];  // duplicate coordinates across rows
+
+  // Queries: a stored point (distance 0 for some row), points at cell
+  // boundaries, and a far-away point.
+  std::vector<float> q0(b.row(2), b.row(2) + dim);
+  CheckSound(b, q0);
+  std::vector<float> q1 = {0.5f, big, 0.25f, 0.0f, 0.125f, -0.5f, 0.0f,
+                           0.25f};
+  CheckSound(b, q1);
+  std::vector<float> q2(dim, 100.0f);
+  CheckSound(b, q2);
+  std::vector<float> q3 = {0.5f, big_next, 0.5f, 1.0f, 0.0f, 1.0f,
+                           1e-30f, 0.25f};
+  CheckSound(b, q3);
+}
+
+TEST(QuantSoundness, SinglePointPage) {
+  // One point: every grid dim is degenerate (lo == hi), codes are all 0.
+  const uint32_t dim = 5;
+  TestBlock b = MakeBlock(dim, 1);
+  for (uint32_t d = 0; d < dim; ++d) b.row(0)[d] = 0.1f * (d + 1);
+  std::vector<float> same(b.row(0), b.row(0) + dim);
+  CheckSound(b, same);  // distance 0: lb must be <= 0
+  CheckSound(b, std::vector<float>(dim, 0.9f));
+}
+
+// --- transposed mirror -----------------------------------------------------
+
+// The sidecar's transposed float mirror must yield bit-identical outputs to
+// the strided page kernels at every tier, for every metric with a
+// transposed kernel, bounded and unbounded — it is a pure layout change.
+TEST(QuantTransposed, TransposedKernelsMatchStridedBitForBit) {
+  Rng rng(2024);
+  for (uint32_t dim : {3u, 8u, 16u, 31u}) {
+    const size_t count = 53;  // 6 full blocks + a 5-row tail
+    TestBlock b = MakeBlock(dim, count);
+    for (size_t i = 0; i < count; ++i) {
+      for (uint32_t d = 0; d < dim; ++d) {
+        b.row(i)[d] = static_cast<float>(rng.NextDouble());
+      }
+    }
+    QuantizedPage qp(b.block(), b.stride(), count, dim);
+    ASSERT_EQ(qp.full_blocks(), count / kernels::kTBlock);
+    ASSERT_NE(qp.tfloats(), nullptr);
+    std::vector<float> query(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      query[d] = static_cast<float>(rng.NextDouble() * 2.0 - 0.5);
+    }
+    for (int m = 0; m < 4; ++m) {
+      auto metric = MakeMetric(m, dim);
+      // A bound near a mid-page distance abandons some rows but not all;
+      // +inf exercises the no-abandonment path.
+      const double mid =
+          metric->Distance(query, {b.data.data() + 20 * b.stride(), dim});
+      for (const double bound :
+           {std::numeric_limits<double>::infinity(), mid}) {
+        for (const kernels::SimdTier tier : SupportedTiers()) {
+          ScopedTier forced(tier);
+          std::vector<double> strided(count), transposed(count, -1.0);
+          metric->BatchDistanceWithBound(query, b.block(), b.stride(), count,
+                                         bound, strided.data());
+          ASSERT_TRUE(metric->BatchDistanceTransposedWithBound(
+              query, qp.tfloats(), qp.full_blocks(), bound,
+              transposed.data()));
+          for (size_t i = 0; i < qp.full_blocks() * kernels::kTBlock; ++i) {
+            EXPECT_EQ(std::bit_cast<uint64_t>(strided[i]),
+                      std::bit_cast<uint64_t>(transposed[i]))
+                << "metric " << metric->Name() << " tier "
+                << kernels::TierName(tier) << " bound " << bound << " row "
+                << i << ": " << strided[i] << " vs " << transposed[i];
+          }
+        }
+      }
+    }
+  }
+  // QuadraticForm has no transposed kernel and must decline.
+  const uint32_t dim = 4;
+  std::vector<double> eye(dim * dim, 0.0);
+  for (uint32_t d = 0; d < dim; ++d) eye[d * dim + d] = 1.0;
+  QuadraticFormMetric qf(dim, std::move(eye));
+  std::vector<float> q(dim, 0.5f);
+  double out[8];
+  EXPECT_FALSE(qf.BatchDistanceTransposedWithBound(q, nullptr, 0, 1.0, out));
+}
+
+// The transposed-code kernels replay the scalar reference's accumulation
+// order lane by lane, so full-block code bounds are bitwise identical
+// across tiers (the row-major tail kernels reassociate and only promise
+// soundness — the comparison stops at the last full block).
+TEST(QuantTransposed, TransposedCodeBoundsMatchScalarBitForBit) {
+  Rng rng(515);
+  for (uint32_t dim : {3u, 8u, 16u, 31u}) {
+    const size_t count = 61;  // 7 full blocks + a 5-row tail
+    TestBlock b = MakeBlock(dim, count);
+    for (size_t i = 0; i < count; ++i) {
+      for (uint32_t d = 0; d < dim; ++d) {
+        b.row(i)[d] = static_cast<float>(rng.NextDouble());
+      }
+    }
+    QuantizedPage qp(b.block(), b.stride(), count, dim);
+    std::vector<float> query(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      query[d] = static_cast<float>(rng.NextDouble() * 2.0 - 0.5);
+    }
+    quant::FilterScratch scratch;
+    for (int m = 0; m < 4; ++m) {
+      auto metric = MakeMetric(m, dim);
+      std::vector<double> ref(count);
+      {
+        ScopedTier forced(kernels::SimdTier::kScalar);
+        ASSERT_TRUE(metric->CodeLowerBounds(query, qp.view(), &scratch,
+                                            ref.data()));
+      }
+      for (const kernels::SimdTier tier : SupportedTiers()) {
+        ScopedTier forced(tier);
+        std::vector<double> lb(count);
+        ASSERT_TRUE(metric->CodeLowerBounds(query, qp.view(), &scratch,
+                                            lb.data()));
+        for (size_t i = 0; i < qp.full_blocks() * kernels::kTBlock; ++i) {
+          EXPECT_EQ(std::bit_cast<uint64_t>(ref[i]),
+                    std::bit_cast<uint64_t>(lb[i]))
+              << "metric " << metric->Name() << " tier "
+              << kernels::TierName(tier) << " dim " << dim << " row " << i
+              << ": " << ref[i] << " vs " << lb[i];
+        }
+      }
+    }
+  }
+}
+
+// --- fused mask filter -----------------------------------------------------
+//
+// CodeFilterMasks must agree with the `lb <= bound` rule: every row that
+// rule keeps must have its bit set (anything less would be unsound — and
+// rows whose TRUE distance is within the bound are a subset of those), and
+// a set bit may overshoot the rule only by FilterThreshold's hair of
+// upward slack. Full-block mask bytes must also be bitwise identical
+// across tiers (the tail byte comes from the row-major kernels, which only
+// promise soundness).
+TEST(QuantMask, MasksMatchBoundDecisionsAndTiers) {
+  Rng rng(727);
+  for (uint32_t dim : {3u, 8u, 16u, 31u}) {
+    const size_t count = 61;  // 7 full blocks + a 5-row tail
+    TestBlock b = MakeBlock(dim, count);
+    for (size_t i = 0; i < count; ++i) {
+      for (uint32_t d = 0; d < dim; ++d) {
+        b.row(i)[d] = static_cast<float>(rng.NextDouble());
+      }
+    }
+    QuantizedPage qp(b.block(), b.stride(), count, dim);
+    std::vector<float> query(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      query[d] = static_cast<float>(rng.NextDouble() * 2.0 - 0.5);
+    }
+    quant::FilterScratch scratch;
+    const size_t nmask = (count + kernels::kTBlock - 1) / kernels::kTBlock;
+    for (int m = 0; m < 4; ++m) {
+      auto metric = MakeMetric(m, dim);
+      std::vector<double> exact(count);
+      std::vector<double> sorted(count);
+      for (size_t i = 0; i < count; ++i) {
+        const std::span<const float> row(b.data.data() + i * b.stride(), dim);
+        exact[i] = metric->Distance(query, row);
+      }
+      sorted = exact;
+      std::sort(sorted.begin(), sorted.end());
+      const double bounds[] = {0.0, sorted[count / 4], sorted[count / 2],
+                               sorted[count - 1], 1e300};
+      for (const double bound : bounds) {
+        std::vector<uint8_t> ref(nmask, 0xAA);
+        {
+          ScopedTier forced(kernels::SimdTier::kScalar);
+          ASSERT_TRUE(metric->CodeFilterMasks(query, qp.view(), bound,
+                                              &scratch, ref.data()));
+        }
+        for (const kernels::SimdTier tier : SupportedTiers()) {
+          ScopedTier forced(tier);
+          std::vector<uint8_t> masks(nmask, 0x55);
+          std::vector<double> lb(count);
+          ASSERT_TRUE(metric->CodeFilterMasks(query, qp.view(), bound,
+                                              &scratch, masks.data()));
+          ASSERT_TRUE(metric->CodeLowerBounds(query, qp.view(), &scratch,
+                                              lb.data()));
+          for (size_t blk = 0; blk < qp.full_blocks(); ++blk) {
+            EXPECT_EQ(ref[blk], masks[blk])
+                << "metric " << metric->Name() << " tier "
+                << kernels::TierName(tier) << " dim " << dim << " block "
+                << blk;
+          }
+          for (size_t i = 0; i < count; ++i) {
+            const bool bit =
+                (masks[i / kernels::kTBlock] >> (i % kernels::kTBlock)) & 1;
+            const char* ctx = metric->Name().c_str();
+            if (exact[i] <= bound) {
+              EXPECT_TRUE(bit) << ctx << " pruned a true hit, row " << i;
+            }
+            if (lb[i] <= bound) {
+              EXPECT_TRUE(bit) << ctx << " stricter than lb rule, row " << i;
+            }
+            if (bit) {
+              EXPECT_LE(lb[i], bound * (1.0 + 1e-9))
+                  << ctx << " kept a row the lb rule prunes, row " << i;
+            }
+          }
+        }
+      }
+    }
+  }
+  // QuadraticForm has no mask kernel and must decline.
+  const uint32_t dim = 4;
+  std::vector<double> eye(dim * dim, 0.0);
+  for (uint32_t d = 0; d < dim; ++d) eye[d * dim + d] = 1.0;
+  QuadraticFormMetric qf(dim, std::move(eye));
+  std::vector<float> q(dim, 0.5f);
+  TestBlock b = MakeBlock(dim, 9);
+  QuantizedPage qp(b.block(), b.stride(), 9, dim);
+  quant::FilterScratch scratch;
+  uint8_t masks[2];
+  EXPECT_FALSE(qf.CodeFilterMasks(q, qp.view(), 1.0, &scratch, masks));
+}
+
+// --- stale-sidecar detection ----------------------------------------------
+
+TEST(QuantStoreTest, MatchesDetectsContentChanges) {
+  const uint32_t dim = 6;
+  Rng rng(31);
+  TestBlock b = MakeBlock(dim, 40);
+  for (size_t i = 0; i < b.count; ++i) {
+    for (uint32_t d = 0; d < dim; ++d) {
+      b.row(i)[d] = static_cast<float>(rng.NextDouble());
+    }
+  }
+  QuantizedPage qp(b.block(), b.stride(), b.count, dim);
+  EXPECT_TRUE(qp.Matches(b.block(), b.stride(), b.count, dim));
+  // Count / dim mismatches.
+  EXPECT_FALSE(qp.Matches(b.block(), b.stride(), b.count - 1, dim));
+  EXPECT_FALSE(qp.Matches(b.block(), b.stride(), b.count, dim - 1));
+  // A single-coordinate change must be caught (it moves the grid or the
+  // point's code).
+  const float saved = b.row(17)[3];
+  b.row(17)[3] = saved < 0.5f ? saved + 0.4f : saved - 0.4f;
+  EXPECT_FALSE(qp.Matches(b.block(), b.stride(), b.count, dim));
+  b.row(17)[3] = saved;
+  EXPECT_TRUE(qp.Matches(b.block(), b.stride(), b.count, dim));
+}
+
+TEST(QuantStoreTest, LifecycleAndInvalidation) {
+  const uint32_t dim = 4;
+  TestBlock b = MakeBlock(dim, 8);
+  for (size_t i = 0; i < b.count; ++i) {
+    for (uint32_t d = 0; d < dim; ++d) {
+      b.row(i)[d] = 0.1f * static_cast<float>(i + d);
+    }
+  }
+  QuantStore store;
+  EXPECT_EQ(store.CachedPages(), 0u);
+  EXPECT_EQ(store.Lookup(7), nullptr);
+  auto qp = store.GetOrBuild(7, b.block(), b.stride(), b.count, dim,
+                             /*concurrent=*/false);
+  ASSERT_NE(qp, nullptr);
+  EXPECT_EQ(store.CachedPages(), 1u);
+  // Cached: same object back.
+  EXPECT_EQ(store.GetOrBuild(7, b.block(), b.stride(), b.count, dim, false),
+            qp);
+  EXPECT_EQ(store.Lookup(7), qp);
+  // Empty pages never get a sidecar.
+  EXPECT_EQ(store.GetOrBuild(9, b.block(), b.stride(), 0, dim, false),
+            nullptr);
+  store.Invalidate(7);
+  EXPECT_EQ(store.Lookup(7), nullptr);
+  EXPECT_EQ(store.CachedPages(), 0u);
+}
+
+// --- end-to-end byte-identity ----------------------------------------------
+
+std::unique_ptr<HybridTree> BuildTree(const Dataset& data, uint32_t dim,
+                                      bool disable_batch, bool quant,
+                                      MemPagedFile* file) {
+  HybridTreeOptions o;
+  o.dim = dim;
+  o.page_size = 4096;
+  o.disable_batch_kernels = disable_batch;
+  o.quant_sidecars = quant;
+  auto tree = HybridTree::Create(o, file).ValueOrDie();
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_TRUE(tree->Insert(data.Row(i), i).ok());
+  }
+  return tree;
+}
+
+TEST(QuantByteIdentity, FilteredResultsMatchScalarPathAtEveryTier) {
+  const uint32_t dim = 16;
+  Rng rng(8181);
+  Dataset data = GenColhist(2500, dim, rng);
+
+  MemPagedFile f_ref(4096), f_quant(4096), f_plain(4096);
+  auto ref_tree = BuildTree(data, dim, /*disable_batch=*/true,
+                            /*quant=*/false, &f_ref);
+  auto quant_tree = BuildTree(data, dim, /*disable_batch=*/false,
+                              /*quant=*/true, &f_quant);
+  auto plain_tree = BuildTree(data, dim, /*disable_batch=*/false,
+                              /*quant=*/false, &f_plain);
+  // Re-insert duplicates of the first rows into all trees so exact ties
+  // exist under every metric.
+  for (size_t i = 0; i < 25; ++i) {
+    ASSERT_TRUE(ref_tree->Insert(data.Row(i), 100000 + i).ok());
+    ASSERT_TRUE(quant_tree->Insert(data.Row(i), 100000 + i).ok());
+    ASSERT_TRUE(plain_tree->Insert(data.Row(i), 100000 + i).ok());
+  }
+
+  L2Metric l2;
+  L1Metric l1;
+  LInfMetric linf;
+  std::vector<double> w(dim);
+  for (uint32_t d = 0; d < dim; ++d) w[d] = 0.2 + 0.05 * d;
+  WeightedL2Metric wl2{std::move(w)};
+  const DistanceMetric* metrics[] = {&l2, &l1, &linf, &wl2};
+
+  for (const kernels::SimdTier tier : SupportedTiers()) {
+    ScopedTier forced(tier);
+    Rng qrng(99);  // same queries at every tier
+    for (int q = 0; q < 10; ++q) {
+      std::vector<float> center(dim);
+      for (uint32_t d = 0; d < dim; ++d) {
+        center[d] = static_cast<float>(qrng.NextDouble());
+      }
+      for (const DistanceMetric* metric : metrics) {
+        const double radius = 0.1 + 0.5 * qrng.NextDouble();
+        auto r_ref = ref_tree->SearchRange(center, radius, *metric)
+                         .ValueOrDie();
+        auto r_quant = quant_tree->SearchRange(center, radius, *metric)
+                           .ValueOrDie();
+        auto r_plain = plain_tree->SearchRange(center, radius, *metric)
+                           .ValueOrDie();
+        EXPECT_EQ(r_ref, r_quant)
+            << "range, metric " << metric->Name() << ", tier "
+            << kernels::TierName(tier) << ", query " << q;
+        EXPECT_EQ(r_ref, r_plain);
+
+        for (size_t k : {1u, 10u, 50u}) {
+          auto n_ref = ref_tree->SearchKnn(center, k, *metric).ValueOrDie();
+          auto n_quant =
+              quant_tree->SearchKnn(center, k, *metric).ValueOrDie();
+          ASSERT_EQ(n_ref.size(), n_quant.size());
+          for (size_t i = 0; i < n_ref.size(); ++i) {
+            EXPECT_EQ(std::bit_cast<uint64_t>(n_ref[i].first),
+                      std::bit_cast<uint64_t>(n_quant[i].first))
+                << "metric " << metric->Name() << ", tier "
+                << kernels::TierName(tier) << ", k " << k << ", rank " << i;
+            EXPECT_EQ(n_ref[i].second, n_quant[i].second)
+                << "metric " << metric->Name() << ", tier "
+                << kernels::TierName(tier) << ", k " << k << ", rank " << i;
+          }
+        }
+      }
+      // Box results are untouched by the filter but sweep the same trees.
+      std::vector<float> lo(dim), hi(dim);
+      for (uint32_t d = 0; d < dim; ++d) {
+        lo[d] = center[d] - 0.3f;
+        hi[d] = center[d] + 0.3f;
+      }
+      Box box = Box::FromBounds(lo, hi);
+      EXPECT_EQ(ref_tree->SearchBox(box).ValueOrDie(),
+                quant_tree->SearchBox(box).ValueOrDie());
+    }
+  }
+}
+
+// --- lifecycle through the tree --------------------------------------------
+
+TEST(QuantTreeLifecycle, LazyBuildInvalidateAndValidate) {
+  // Sidecars only engage on SIMD tiers (the scalar tier runs the
+  // pre-sidecar hot path), so pin the best one for the lifecycle checks.
+  if (kernels::BestSupportedTier() == kernels::SimdTier::kScalar) {
+    GTEST_SKIP() << "sidecar filtering requires a SIMD tier";
+  }
+  ScopedTier forced(kernels::BestSupportedTier());
+  const uint32_t dim = 8;
+  Rng rng(606);
+  Dataset data = GenUniform(1200, dim, rng);
+  MemPagedFile file(4096);
+  auto tree = BuildTree(data, dim, /*disable_batch=*/false, /*quant=*/true,
+                        &file);
+
+  // Nothing is built until a bounded scan needs it.
+  EXPECT_EQ(tree->CachedQuantPages(), 0u);
+  L2Metric l2;
+  std::vector<float> center(dim, 0.5f);
+  ASSERT_TRUE(tree->SearchRange(center, 0.4, l2).ok());
+  const size_t cached = tree->CachedQuantPages();
+  EXPECT_GT(cached, 0u);
+  // The validator cross-checks every cached sidecar against its page.
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+
+  // Mutations invalidate affected sidecars and keep the validator green.
+  for (size_t i = 0; i < 200; ++i) {
+    std::vector<float> p(dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      p[d] = static_cast<float>(rng.NextDouble());
+    }
+    ASSERT_TRUE(tree->Insert(p, 50000 + i).ok());
+  }
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  ASSERT_TRUE(tree->SearchRange(center, 0.4, l2).ok());
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+  for (size_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree->Delete(data.Row(i), i).ok());
+  }
+  EXPECT_TRUE(tree->CheckInvariants().ok());
+
+  // With the option off no sidecars are ever built.
+  MemPagedFile file2(4096);
+  auto tree_off = BuildTree(data, dim, false, /*quant=*/false, &file2);
+  ASSERT_TRUE(tree_off->SearchRange(center, 0.4, l2).ok());
+  EXPECT_EQ(tree_off->CachedQuantPages(), 0u);
+}
+
+// --- accounting ------------------------------------------------------------
+
+TEST(QuantAccounting, FilterCountersAreConsistent) {
+  if (kernels::BestSupportedTier() == kernels::SimdTier::kScalar) {
+    GTEST_SKIP() << "sidecar filtering requires a SIMD tier";
+  }
+  ScopedTier forced(kernels::BestSupportedTier());
+  const uint32_t dim = 12;
+  Rng rng(414);
+  Dataset data = GenFourier(2000, dim, rng);
+  MemPagedFile file(4096);
+  auto tree = BuildTree(data, dim, /*disable_batch=*/false, /*quant=*/true,
+                        &file);
+
+  L2Metric l2;
+  std::vector<float> center(dim, 0.5f);
+  tree->pool().ResetStats();
+  ASSERT_TRUE(tree->SearchRange(center, 0.3, l2).ok());
+  IoStats s = tree->pool().StatsSnapshot();
+  EXPECT_GT(s.scan_points, 0u);
+  // Every filtered point was either refined or pruned; unfiltered scans
+  // contribute to scan_points only. Hence refined + pruned <= scanned.
+  EXPECT_LE(s.quant_refined + s.quant_pruned, s.scan_points);
+  EXPECT_GT(s.quant_refined + s.quant_pruned, 0u) << "filter never engaged";
+
+  // k-NN: the heap-not-full warm-up pages are unfiltered, the rest filter.
+  tree->pool().ResetStats();
+  ASSERT_TRUE(tree->SearchKnn(center, 10, l2).ok());
+  s = tree->pool().StatsSnapshot();
+  EXPECT_GT(s.scan_points, 0u);
+  EXPECT_LE(s.quant_refined + s.quant_pruned, s.scan_points);
+
+  // With the option off, no quant counters move.
+  MemPagedFile file2(4096);
+  auto off = BuildTree(data, dim, false, /*quant=*/false, &file2);
+  off->pool().ResetStats();
+  ASSERT_TRUE(off->SearchRange(center, 0.3, l2).ok());
+  s = off->pool().StatsSnapshot();
+  EXPECT_GT(s.scan_points, 0u);
+  EXPECT_EQ(s.quant_refined, 0u);
+  EXPECT_EQ(s.quant_pruned, 0u);
+}
+
+}  // namespace
+}  // namespace ht
