@@ -36,3 +36,4 @@ ht_add_bench(bench_io)
 ht_add_bench(bench_ingest)
 ht_add_bench(bench_serve)
 target_link_libraries(bench_serve PRIVATE ht_serve ht_exec)
+ht_add_bench(bench_cache)

@@ -196,6 +196,9 @@ Result<std::unique_ptr<HybridTree>> BulkLoad(const HybridTreeOptions& options,
                                              PagedFile* file,
                                              const Dataset& data,
                                              const BulkLoadOptions& bulk) {
+  // Bulk loading is a one-pass write stream: tag it so a bounded SLRU pool
+  // keeps it out of the protected segment.
+  AccessClassScope ac(AccessClass::kIngest);
   if (data.dim() != options.dim) {
     return Status::InvalidArgument("dataset dimensionality mismatch");
   }

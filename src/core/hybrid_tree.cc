@@ -28,7 +28,8 @@ constexpr uint32_t kMetaVersion = 1;
 HybridTree::HybridTree(const HybridTreeOptions& options, PagedFile* file)
     : options_(options),
       file_(file),
-      pool_(std::make_unique<BufferPool>(file, options.buffer_pool_pages)),
+      pool_(std::make_unique<BufferPool>(file, options.buffer_pool_pages,
+                                         options.cache_policy)),
       codec_(options.dim, options.els_bits) {
   data_capacity_ = DataNode::Capacity(options_.dim, options_.page_size);
   data_min_count_ = std::max<size_t>(
@@ -144,6 +145,7 @@ Status HybridTree::WriteMeta() {
 }
 
 Status HybridTree::Flush() {
+  AccessClassScope ac(AccessClass::kIngest);
   // Ordered, write-ahead flush: first every dirty tree page goes out (in
   // batched round trips, one WriteBatch per buffer-pool shard) and is made
   // durable; only then is the metadata page — root pointer, height, count —
@@ -302,6 +304,7 @@ void HybridTree::ReencodeSubtree(KdNode* n, const Box& old_br,
 // ---------------------------------------------------------------------------
 
 Status HybridTree::Insert(std::span<const float> point, uint64_t id) {
+  AccessClassScope ac(AccessClass::kIngest);
   if (point.size() != options_.dim) {
     return Status::InvalidArgument("point dimensionality mismatch");
   }
@@ -348,6 +351,7 @@ Status HybridTree::GrowRoot(const SplitResult& s) {
 
 Status HybridTree::InsertBatch(std::span<const float> points,
                                std::span<const uint64_t> ids) {
+  AccessClassScope ac(AccessClass::kIngest);
   if (ids.empty()) return Status::OK();
   if (points.size() != ids.size() * options_.dim) {
     return Status::InvalidArgument(
@@ -949,6 +953,10 @@ Result<uint64_t> HybridTree::CountBox(const Box& query) const {
 
 Status HybridTree::ScanAll(
     const std::function<void(uint64_t, std::span<const float>)>& visit) const {
+  // A full sweep is the canonical one-touch stream: tag it kScan so the
+  // SLRU pool admits its pages to the probationary segment only and the
+  // query working set survives (see storage/buffer_pool.h).
+  AccessClassScope ac(AccessClass::kScan);
   std::function<Status(PageId)> rec = [&](PageId page) -> Status {
     HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page));
     const NodeKind kind = PeekNodeKind(h.data());
@@ -1401,6 +1409,7 @@ Status HybridTree::SearchKnnApproxInto(
 // ---------------------------------------------------------------------------
 
 Status HybridTree::Delete(std::span<const float> point, uint64_t id) {
+  AccessClassScope ac(AccessClass::kIngest);
   if (point.size() != options_.dim) {
     return Status::InvalidArgument("point dimensionality mismatch");
   }
@@ -1538,6 +1547,7 @@ bool HybridTree::RemoveKdLeaf(IndexNode& node, const Box& node_br,
 // ---------------------------------------------------------------------------
 
 Status HybridTree::RebuildEls() {
+  AccessClassScope ac(AccessClass::kScan);
   if (!els_enabled()) return Status::OK();
   HT_ASSIGN_OR_RETURN(Box live,
                       RebuildElsRec(root_, Box::UnitCube(options_.dim)));
@@ -1588,6 +1598,7 @@ Result<Box> HybridTree::RebuildElsRec(PageId page, const Box& br) {
 }
 
 Result<TreeStats> HybridTree::ComputeStats() {
+  AccessClassScope ac(AccessClass::kScan);
   TreeStats stats;
   stats.entry_count = count_;
   stats.height = height_;
@@ -1673,6 +1684,7 @@ Status HybridTree::ComputeStatsRec(PageId page, const Box& br,
 }
 
 Status HybridTree::CheckInvariants() {
+  AccessClassScope ac(AccessClass::kScan);
   // The checks live in TreeValidator (src/core/validator.h), which is
   // strictly stronger than the old in-class walk: it also verifies ELS
   // conservativeness against exact subtree live boxes, the codec

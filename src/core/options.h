@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "storage/io_stats.h"
 #include "storage/page.h"
 
 namespace ht {
@@ -76,6 +77,15 @@ struct HybridTreeOptions {
   /// Buffer pool capacity in pages; 0 = unbounded (benchmarks measure
   /// logical accesses, which are cache-independent).
   size_t buffer_pool_pages = 0;
+
+  /// Buffer-pool eviction policy. kSlru (the default) is the scan-resistant
+  /// segmented policy: full-tree scans, bulk loads, and prefetched-but-
+  /// never-referenced pages cannot displace the multi-touch query working
+  /// set. kLru restores the classic recency-only pool. Query results are
+  /// byte-identical either way — only the physical-read pattern differs —
+  /// and at unbounded capacity (the default) the policies are
+  /// indistinguishable. Runtime-only: not persisted by Flush()/Open().
+  CachePolicy cache_policy = CachePolicy::kSlru;
 
   /// Kill switch for the batched data-page distance kernels and the
   /// scan-level containment shortcut (forces the per-point scalar

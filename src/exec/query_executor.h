@@ -108,6 +108,12 @@ struct ExecOptions {
   /// the very queries waiting for it would deadlock the batch; Run()
   /// rejects io_pool == the query pool. Not owned; must outlive Run().
   ThreadPool* io_pool = nullptr;
+  /// Optional per-request I/O accounting sink: when set, the serving tier
+  /// (ShardedIndex::RunOnShards) additionally accumulates the request's
+  /// scatter-task IoStats — including the per-access-class cache counters —
+  /// into it, so a server can attribute cache behaviour to the tenant that
+  /// caused it. Written after the scatter barrier; not owned.
+  IoStats* request_io = nullptr;
 };
 
 /// Outcome of one query. Exactly one of `ids` / `neighbors` is populated

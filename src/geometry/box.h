@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "geometry/kernels/kernels.h"
 
 namespace ht {
 
@@ -91,18 +92,21 @@ class Box {
     return true;
   }
 
+  /// Both predicates dispatch through the runtime-selected SIMD tier
+  /// (kernels::Active()); every tier is boolean-identical to the scalar
+  /// per-dimension loop, NaN bounds included (batch_kernel_test sweeps
+  /// this). The directory-node overlap test in range/kNN descent is the
+  /// hot caller.
   bool ContainsBox(const Box& o) const {
-    for (uint32_t d = 0; d < dim(); ++d) {
-      if (o.lo_[d] < lo_[d] || o.hi_[d] > hi_[d]) return false;
-    }
-    return true;
+    return kernels::Active().box_contains(lo_.data(), hi_.data(),
+                                          o.lo_.data(), o.hi_.data(),
+                                          lo_.size());
   }
 
   bool Intersects(const Box& o) const {
-    for (uint32_t d = 0; d < dim(); ++d) {
-      if (o.hi_[d] < lo_[d] || o.lo_[d] > hi_[d]) return false;
-    }
-    return true;
+    return kernels::Active().box_intersects(lo_.data(), hi_.data(),
+                                            o.lo_.data(), o.hi_.data(),
+                                            lo_.size());
   }
 
   /// Geometric intersection (may be empty).

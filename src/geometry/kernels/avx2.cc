@@ -656,6 +656,46 @@ void CTMWL2Avx2(const float* above, const float* below, const float* scale,
   }
 }
 
+// Box predicates: 8 dimensions per iteration. _CMP_LT_OQ / _CMP_GT_OQ are
+// ordered-quiet, so a NaN lane never raises a disjointness / escape bit —
+// identical to the scalar reference's ordered compares. Only the boolean
+// is observable, so testing 8 dims at once matches the scalar early-exit.
+bool BoxIntersectsAvx2(const float* alo, const float* ahi, const float* blo,
+                       const float* bhi, size_t dim) {
+  size_t d = 0;
+  for (; d + 8 <= dim; d += 8) {
+    const __m256 al = _mm256_loadu_ps(alo + d);
+    const __m256 ah = _mm256_loadu_ps(ahi + d);
+    const __m256 bl = _mm256_loadu_ps(blo + d);
+    const __m256 bh = _mm256_loadu_ps(bhi + d);
+    const __m256 disjoint = _mm256_or_ps(_mm256_cmp_ps(bh, al, _CMP_LT_OQ),
+                                         _mm256_cmp_ps(bl, ah, _CMP_GT_OQ));
+    if (_mm256_movemask_ps(disjoint) != 0) return false;
+  }
+  for (; d < dim; ++d) {
+    if (bhi[d] < alo[d] || blo[d] > ahi[d]) return false;
+  }
+  return true;
+}
+
+bool BoxContainsAvx2(const float* alo, const float* ahi, const float* blo,
+                     const float* bhi, size_t dim) {
+  size_t d = 0;
+  for (; d + 8 <= dim; d += 8) {
+    const __m256 al = _mm256_loadu_ps(alo + d);
+    const __m256 ah = _mm256_loadu_ps(ahi + d);
+    const __m256 bl = _mm256_loadu_ps(blo + d);
+    const __m256 bh = _mm256_loadu_ps(bhi + d);
+    const __m256 escapes = _mm256_or_ps(_mm256_cmp_ps(bl, al, _CMP_LT_OQ),
+                                        _mm256_cmp_ps(bh, ah, _CMP_GT_OQ));
+    if (_mm256_movemask_ps(escapes) != 0) return false;
+  }
+  for (; d < dim; ++d) {
+    if (blo[d] < alo[d] || bhi[d] > ahi[d]) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 const KernelTable& Avx2Table() {
@@ -665,7 +705,7 @@ const KernelTable& Avx2Table() {
       &CodeWL2Avx2,    &TL1Avx2,     &TL2Avx2,      &TLInfAvx2,
       &TWL2Avx2,       &CTL1Avx2,    &CTL2Avx2,     &CTLInfAvx2,
       &CTWL2Avx2,      &CTML1Avx2,   &CTML2Avx2,    &CTMLInfAvx2,
-      &CTMWL2Avx2};
+      &CTMWL2Avx2,     &BoxIntersectsAvx2,          &BoxContainsAvx2};
   return table;
 }
 

@@ -573,6 +573,46 @@ void CTMWL2Avx512(const float* above, const float* below, const float* scale,
   }
 }
 
+// Box predicates: 16 dimensions per masked compare; _CMP_LT_OQ/_CMP_GT_OQ
+// never set a mask bit for NaN lanes, matching the scalar reference. The
+// sub-16 tail is scalar (boxes are short; one pass, not a hot loop).
+bool BoxIntersectsAvx512(const float* alo, const float* ahi, const float* blo,
+                         const float* bhi, size_t dim) {
+  size_t d = 0;
+  for (; d + 16 <= dim; d += 16) {
+    const __m512 al = _mm512_loadu_ps(alo + d);
+    const __m512 ah = _mm512_loadu_ps(ahi + d);
+    const __m512 bl = _mm512_loadu_ps(blo + d);
+    const __m512 bh = _mm512_loadu_ps(bhi + d);
+    const __mmask16 disjoint =
+        _mm512_cmp_ps_mask(bh, al, _CMP_LT_OQ) |
+        _mm512_cmp_ps_mask(bl, ah, _CMP_GT_OQ);
+    if (disjoint != 0) return false;
+  }
+  for (; d < dim; ++d) {
+    if (bhi[d] < alo[d] || blo[d] > ahi[d]) return false;
+  }
+  return true;
+}
+
+bool BoxContainsAvx512(const float* alo, const float* ahi, const float* blo,
+                       const float* bhi, size_t dim) {
+  size_t d = 0;
+  for (; d + 16 <= dim; d += 16) {
+    const __m512 al = _mm512_loadu_ps(alo + d);
+    const __m512 ah = _mm512_loadu_ps(ahi + d);
+    const __m512 bl = _mm512_loadu_ps(blo + d);
+    const __m512 bh = _mm512_loadu_ps(bhi + d);
+    const __mmask16 escapes = _mm512_cmp_ps_mask(bl, al, _CMP_LT_OQ) |
+                              _mm512_cmp_ps_mask(bh, ah, _CMP_GT_OQ);
+    if (escapes != 0) return false;
+  }
+  for (; d < dim; ++d) {
+    if (blo[d] < alo[d] || bhi[d] > ahi[d]) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 const KernelTable& Avx512Table() {
@@ -582,7 +622,7 @@ const KernelTable& Avx512Table() {
       &CodeWL2Avx512,    &TL1Avx512,     &TL2Avx512,      &TLInfAvx512,
       &TWL2Avx512,       &CTL1Avx512,    &CTL2Avx512,     &CTLInfAvx512,
       &CTWL2Avx512,      &CTML1Avx512,   &CTML2Avx512,    &CTMLInfAvx512,
-      &CTMWL2Avx512};
+      &CTMWL2Avx512,     &BoxIntersectsAvx512,            &BoxContainsAvx512};
   return table;
 }
 

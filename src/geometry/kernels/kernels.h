@@ -142,6 +142,18 @@ using CodeMaskTWeightedFn = void (*)(const float* above, const float* below,
                                      size_t nblocks, double threshold,
                                      uint8_t* masks);
 
+/// Directory-node box predicates over raw per-dimension bound arrays
+/// (`a` is the node BR, `b` the probe box; closed intervals, `dim`
+/// floats each). box_intersects is Box::Intersects — false iff some
+/// dimension proves disjointness (bhi[d] < alo[d] || blo[d] > ahi[d]);
+/// box_contains is Box::ContainsBox — false iff some dimension proves
+/// b escapes a (blo[d] < alo[d] || bhi[d] > ahi[d]). The SIMD tiers use
+/// ordered-quiet compares, so a NaN bound never proves disjointness or
+/// escape — exactly the scalar loop's ordered-compare behavior — and
+/// results are identical across tiers for every input, NaN included.
+using BoxPredFn = bool (*)(const float* alo, const float* ahi,
+                           const float* blo, const float* bhi, size_t dim);
+
 struct KernelTable {
   SimdTier tier;
   BatchBoundFn l1;
@@ -164,6 +176,8 @@ struct KernelTable {
   CodeMaskTFn ctm_l2;
   CodeMaskTFn ctm_linf;
   CodeMaskTWeightedFn ctm_wl2;
+  BoxPredFn box_intersects;
+  BoxPredFn box_contains;
 };
 
 /// The table the metrics dispatch through (see the selection rules above).

@@ -230,6 +230,25 @@ void CTMWL2Scalar(const float* above, const float* below, const float* scale,
   }
 }
 
+// Box predicates: the reference the SIMD tiers must match boolean-for-
+// boolean. Ordered compares mean a NaN bound never satisfies a
+// disjointness / escape test, so NaN boxes intersect and contain.
+bool BoxIntersectsScalar(const float* alo, const float* ahi, const float* blo,
+                         const float* bhi, size_t dim) {
+  for (size_t d = 0; d < dim; ++d) {
+    if (bhi[d] < alo[d] || blo[d] > ahi[d]) return false;
+  }
+  return true;
+}
+
+bool BoxContainsScalar(const float* alo, const float* ahi, const float* blo,
+                       const float* bhi, size_t dim) {
+  for (size_t d = 0; d < dim; ++d) {
+    if (blo[d] < alo[d] || bhi[d] > ahi[d]) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 const KernelTable& ScalarTable() {
@@ -239,7 +258,7 @@ const KernelTable& ScalarTable() {
       &CodeWL2Scalar,    &TL1Scalar,     &TL2Scalar,      &TLInfScalar,
       &TWL2Scalar,       &CTL1Scalar,    &CTL2Scalar,     &CTLInfScalar,
       &CTWL2Scalar,      &CTML1Scalar,   &CTML2Scalar,    &CTMLInfScalar,
-      &CTMWL2Scalar};
+      &CTMWL2Scalar,     &BoxIntersectsScalar,            &BoxContainsScalar};
   return table;
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "exec/latency.h"
+#include "storage/buffer_pool.h"
 #include "storage/io_stats.h"
 
 namespace ht {
@@ -42,6 +43,9 @@ struct TenantMetrics {
   /// Over the tenant's retained completed-latency window (a bounded ring;
   /// percentiles describe recent traffic, not all-time).
   LatencySummary latency;
+  /// I/O attributed to this tenant's requests (scatter-task sums),
+  /// including the per-access-class cache hit/miss/eviction counters.
+  IoStats io;
 };
 
 /// Point-in-time view of the whole server.
@@ -56,6 +60,10 @@ struct MetricsSnapshot {
   std::vector<IoStats> per_shard_io;
   /// Sum over per_shard_io.
   IoStats total_io;
+  /// Per-shard buffer-pool cache gauges (eviction policy, current capacity
+  /// target — as rebalanced by the CacheManager when one is attached —
+  /// occupancy, and segment sizes). Indexed like per_shard_io.
+  std::vector<BufferPool::CacheSnapshot> per_shard_cache;
 
   /// Convenience sums over tenants.
   uint64_t TotalCompleted() const {

@@ -89,6 +89,10 @@ QueryResult Server::Execute(const Request& request) {
   // original — admission queueing already spent part of it.
   ExecOptions exec;
   exec.cancel = &cancel_;
+  // Per-request I/O lands in a local sink (scatter tasks write their own
+  // slots), then folds into the tenant's counters after the barrier.
+  IoStats request_io;
+  exec.request_io = &request_io;
   if (budget > 0.0) {
     const double remaining =
         RemainingBudget(budget, ticket.queue_wait_seconds());
@@ -128,6 +132,14 @@ QueryResult Server::Execute(const Request& request) {
   }
   result.seconds = timer.Seconds();
   RecordOutcome(state, result.status, result.seconds);
+  {
+    std::lock_guard<std::mutex> lock(state->io_mu);
+    state->io.Accumulate(request_io);
+  }
+  // Count-gated global cache rebalance (no-op without a CacheManager):
+  // every N-th request recomputes per-shard capacity targets from the
+  // observed demand misses.
+  index_->MaybeRebalanceCache();
   return result;
 }
 
@@ -159,6 +171,10 @@ MetricsSnapshot Server::Snapshot() const {
                 static_cast<ptrdiff_t>(state->latency_count));
         t.latency = SummarizeLatencies(std::move(samples));
       }
+      {
+        std::lock_guard<std::mutex> io_lock(state->io_mu);
+        t.io = state->io;
+      }
       snap.tenants.push_back(std::move(t));
     }
   }
@@ -168,9 +184,11 @@ MetricsSnapshot Server::Snapshot() const {
             });
 
   snap.per_shard_io.reserve(index_->shards());
+  snap.per_shard_cache.reserve(index_->shards());
   for (size_t s = 0; s < index_->shards(); ++s) {
     snap.per_shard_io.push_back(index_->shard_io(s));
     snap.total_io.Accumulate(snap.per_shard_io.back());
+    snap.per_shard_cache.push_back(index_->shard_cache(s));
   }
   return snap;
 }
@@ -184,9 +202,13 @@ void Server::ResetMetrics() {
     state->expired.store(0, std::memory_order_relaxed);
     state->cancelled.store(0, std::memory_order_relaxed);
     state->failed.store(0, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> ring_lock(state->latency_mu);
-    state->latency_next = 0;
-    state->latency_count = 0;
+    {
+      std::lock_guard<std::mutex> ring_lock(state->latency_mu);
+      state->latency_next = 0;
+      state->latency_count = 0;
+    }
+    std::lock_guard<std::mutex> io_lock(state->io_mu);
+    state->io.Reset();
   }
   index_->ResetIo();
   window_start_.store(SteadySeconds(), std::memory_order_relaxed);

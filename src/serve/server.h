@@ -108,6 +108,11 @@ class Server {
     std::vector<double> latency_ring;
     size_t latency_next = 0;
     size_t latency_count = 0;
+    /// Per-tenant I/O (including the per-access-class cache counters),
+    /// accumulated from each request's scatter tasks via
+    /// ExecOptions::request_io.
+    std::mutex io_mu;
+    IoStats io;
   };
 
   TenantState* GetTenant(const std::string& tenant);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <condition_variable>
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "common/timing.h"
@@ -158,13 +159,26 @@ Result<std::unique_ptr<ShardedIndex>> ShardedIndex::Build(
             .ok();
       });
     }
+    if (shard_options.cache_manager != nullptr) {
+      // Register AFTER the bulk load so the manager's even split (and any
+      // later rebalance) applies to serving traffic, not the build.
+      shard_options.cache_manager->Register("shard" + std::to_string(s),
+                                            &shard->tree->pool());
+    }
     index->shards_.push_back(std::move(shard));
   }
   return index;
 }
 
 ShardedIndex::~ShardedIndex() {
-  // Detach prefetch executors first: detaching blocks until in-flight
+  // Unregister from the cache manager first so a concurrent rebalance can
+  // never retarget a pool that is being torn down.
+  if (shard_options_.cache_manager != nullptr) {
+    for (auto& shard : shards_) {
+      shard_options_.cache_manager->Unregister(&shard->tree->pool());
+    }
+  }
+  // Detach prefetch executors next: detaching blocks until in-flight
   // fills drain, and those fills reference the shard buffer pools.
   if (shard_options_.io_pool != nullptr) {
     for (auto& shard : shards_) {
@@ -211,6 +225,9 @@ Status ShardedIndex::RunOnShards(
   const double deadline = options.deadline_seconds;
   const std::atomic<bool>* cancel = options.cancel;
   std::vector<Status> statuses(n);
+  // Per-task I/O, one private slot per shard (no locking); summed into
+  // options.request_io after the barrier for per-request attribution.
+  std::vector<IoStats> task_io(n);
 
   auto run_one = [&](size_t s) {
     // Late starts fail fast: a shard task dequeued after cancellation or
@@ -229,8 +246,11 @@ Status ShardedIndex::RunOnShards(
       IoStatsScope scope(&io);
       statuses[s] = fn(s);
     }
-    std::lock_guard<std::mutex> lock(shards_[s]->io_mu);
-    shards_[s]->io.Accumulate(io);
+    {
+      std::lock_guard<std::mutex> lock(shards_[s]->io_mu);
+      shards_[s]->io.Accumulate(io);
+    }
+    task_io[s] = io;
   };
 
   if (pool_ == nullptr) {
@@ -249,6 +269,9 @@ Status ShardedIndex::RunOnShards(
       }
     }
     latch.Wait();
+  }
+  if (options.request_io != nullptr) {
+    for (const IoStats& io : task_io) options.request_io->Accumulate(io);
   }
   return MergeShardStatuses(statuses);
 }

@@ -65,6 +65,7 @@
 #include "geometry/box.h"
 #include "geometry/metrics.h"
 #include "serve/partition.h"
+#include "storage/cache_manager.h"
 #include "storage/io_stats.h"
 #include "storage/paged_file.h"
 
@@ -86,6 +87,14 @@ struct ShardedIndexOptions {
   /// passed to Build, and must outlive the index). Pair with
   /// prefetch_depth in the tree options to overlap cold reads.
   ThreadPool* io_pool = nullptr;
+  /// Optional global cache budget: every shard's buffer pool registers
+  /// with this manager at build (as "shard<N>") and unregisters in the
+  /// destructor, so one memory budget is shared — and periodically
+  /// rebalanced by observed demand misses — across all shards (and across
+  /// multiple indexes sharing the manager). Not owned; must outlive the
+  /// index. When set, it overrides tree_options.buffer_pool_pages with the
+  /// manager's split. nullptr = independent per-shard capacities.
+  CacheManager* cache_manager = nullptr;
 };
 
 class ShardedIndex {
@@ -134,6 +143,20 @@ class ShardedIndex {
   /// the batched-read/prefetch counters reflect query traffic only.
   IoStats shard_io(size_t s) const;
   void ResetIo();
+
+  /// Point-in-time cache gauges of shard `s`'s buffer pool (policy,
+  /// current capacity target, occupancy, segment sizes, counters).
+  BufferPool::CacheSnapshot shard_cache(size_t s) const {
+    return shards_[s]->tree->pool().SnapshotCache();
+  }
+
+  /// Count-gated CacheManager rebalance hook; the server calls this once
+  /// per executed request. No-op without a cache manager.
+  void MaybeRebalanceCache() const {
+    if (shard_options_.cache_manager != nullptr) {
+      shard_options_.cache_manager->MaybeRebalance();
+    }
+  }
 
   ThreadPool* pool() const { return pool_; }
   /// Swaps the scatter pool. Caller must guarantee no search is in flight

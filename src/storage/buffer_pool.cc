@@ -9,10 +9,12 @@ namespace ht {
 namespace {
 /// Thread-local per-worker accounting sink (see IoStatsScope).
 thread_local IoStats* g_tls_io_sink = nullptr;
+/// Thread-local access class for the calling thread (see AccessClassScope).
+thread_local AccessClass g_tls_access_class = AccessClass::kQuery;
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// IoStatsScope
+// IoStatsScope / AccessClassScope
 // ---------------------------------------------------------------------------
 
 IoStatsScope::IoStatsScope(IoStats* sink) : prev_(g_tls_io_sink) {
@@ -20,6 +22,15 @@ IoStatsScope::IoStatsScope(IoStats* sink) : prev_(g_tls_io_sink) {
 }
 
 IoStatsScope::~IoStatsScope() { g_tls_io_sink = prev_; }
+
+AccessClassScope::AccessClassScope(AccessClass cls)
+    : prev_(g_tls_access_class) {
+  g_tls_access_class = cls;
+}
+
+AccessClassScope::~AccessClassScope() { g_tls_access_class = prev_; }
+
+AccessClass CurrentAccessClass() { return g_tls_access_class; }
 
 // ---------------------------------------------------------------------------
 // PageHandle
@@ -45,8 +56,12 @@ void PageHandle::Release() {
 // BufferPool
 // ---------------------------------------------------------------------------
 
-BufferPool::BufferPool(PagedFile* file, size_t capacity_pages)
-    : file_(file), capacity_(capacity_pages), shard_capacity_(capacity_pages) {
+BufferPool::BufferPool(PagedFile* file, size_t capacity_pages,
+                       CachePolicy policy)
+    : file_(file),
+      policy_(policy),
+      capacity_(capacity_pages),
+      shard_capacity_(capacity_pages) {
 #ifdef HT_DEBUG_VALIDATE
   pin_tracking_.store(true, std::memory_order_relaxed);
 #endif
@@ -66,38 +81,149 @@ Status BufferPool::SetConcurrentMode(bool on) {
         "BufferPool mode switch requires no pinned frames");
   }
   // Collect every cached frame, flip the mode, and re-bucket under the new
-  // ShardIndex mapping. LRU recency is rebuilt arbitrarily; recency order
-  // across a mode switch is not meaningful anyway.
+  // ShardIndex mapping. Recency within each segment is rebuilt arbitrarily;
+  // recency order across a mode switch is not meaningful anyway. Segment
+  // membership (probation/protected/prefetch-queue) is preserved.
   std::unordered_map<PageId, std::unique_ptr<Frame>> all;
   for (Shard& s : shards_) {
     for (auto& [id, f] : s.frames) {
       if (f->in_lru) {
-        s.lru.erase(f->lru_it);
+        ListFor(s, f->segment).erase(f->lru_it);
         f->in_lru = false;
       }
       all.emplace(id, std::move(f));
     }
     s.frames.clear();
     s.lru.clear();
+    s.protected_lru.clear();
+    s.prefetch_queue.clear();
   }
   concurrent_ = on;
-  shard_capacity_ =
-      concurrent_ ? (capacity_ == 0 ? 0 : (capacity_ + kShardCount - 1) /
-                                              kShardCount)
-                  : capacity_;
+  const size_t cap = capacity_.load(std::memory_order_relaxed);
+  shard_capacity_.store(
+      concurrent_ ? (cap == 0 ? 0 : (cap + kShardCount - 1) / kShardCount)
+                  : cap,
+      std::memory_order_relaxed);
   for (auto& [id, f] : all) {
     Shard& s = ShardFor(id);
-    s.lru.push_front(id);
-    f->lru_it = s.lru.begin();
+    std::list<PageId>& list = ListFor(s, f->segment);
+    list.push_front(id);
+    f->lru_it = list.begin();
     f->in_lru = true;
     s.frames.emplace(id, std::move(f));
   }
   return Status::OK();
 }
 
+Status BufferPool::SetCapacity(size_t capacity_pages) {
+  capacity_.store(capacity_pages, std::memory_order_relaxed);
+  const size_t per_shard =
+      concurrent_ ? (capacity_pages == 0
+                         ? 0
+                         : (capacity_pages + kShardCount - 1) / kShardCount)
+                  : capacity_pages;
+  shard_capacity_.store(per_shard, std::memory_order_relaxed);
+  if (per_shard == 0) return Status::OK();
+  // Best-effort shrink: evict unpinned frames down to the new target. A
+  // pinned overage is left in place — it drains as pins release and later
+  // misses evict down to target (EvictOneIfNeeded loops while over).
+  for (Shard& shard : shards_) {
+    auto lock = LockShard(shard);
+    while (shard.frames.size() > per_shard) {
+      if (!EvictVictimLocked(shard).ok()) break;  // everything left is pinned
+    }
+  }
+  return Status::OK();
+}
+
+uint8_t BufferPool::SketchTouch(Shard& shard, PageId id) {
+  // Age first (halving every ~16x-capacity touches keeps the counters a
+  // sliding-window frequency estimate, TinyLFU-style), THEN bump.
+  const size_t cap = shard_capacity_.load(std::memory_order_relaxed);
+  const uint64_t halve_period =
+      cap == 0 ? 4096 : std::max<uint64_t>(64, 16 * static_cast<uint64_t>(cap));
+  if (++shard.sketch_ops >= halve_period) {
+    shard.sketch_ops = 0;
+    for (uint8_t& c : shard.sketch) c = static_cast<uint8_t>(c >> 1);
+  }
+  uint8_t& ctr =
+      shard.sketch[(static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ull) >> 56];
+  if (ctr < kSketchMax) ++ctr;
+  return ctr;
+}
+
+size_t BufferPool::ProtectedCapacity() const {
+  const size_t cap = shard_capacity_.load(std::memory_order_relaxed);
+  if (cap == 0) return 0;  // unbounded pool: no budget enforced
+  // Keep a probationary floor of ~20% of the shard (at least one frame) so
+  // new admissions always have somewhere to live without displacing the
+  // protected set; the rest is the protected budget.
+  const size_t probation_floor = std::max<size_t>(1, cap / 5);
+  return cap > probation_floor ? cap - probation_floor : 0;
+}
+
+void BufferPool::EnforceProtectedCapLocked(Shard& shard) {
+  if (shard_capacity_.load(std::memory_order_relaxed) == 0) return;
+  const size_t cap = ProtectedCapacity();
+  while (shard.protected_lru.size() > cap) {
+    // Demote the protected tail to the probationary MRU position: it gets
+    // one more chance to be re-referenced before reaching the LRU tail.
+    auto tail = std::prev(shard.protected_lru.end());
+    Frame* f = shard.frames.find(*tail)->second.get();
+    f->segment = CacheSegment::kProbation;
+    shard.lru.splice(shard.lru.begin(), shard.protected_lru, tail);
+    // splice moves the node intact, so f->lru_it (== tail) stays valid and
+    // now points into shard.lru.
+  }
+}
+
+void BufferPool::TouchHitLocked(Shard& shard, PageId id, Frame* f) {
+  const AccessClass cls = CurrentAccessClass();
+  if (f->prefetched) {
+    f->prefetched = false;
+    f->admit_class = cls;  // first demand reference re-attributes the frame
+    ++shard.stats.prefetch_hits;
+    if (IoStats* tls = g_tls_io_sink) ++tls->prefetch_hits;
+  }
+  if (f->in_lru) {
+    // Splice out of the frame's CURRENT segment list (before any segment
+    // change below), recycling the node for a later unpin.
+    std::list<PageId>& list = ListFor(shard, f->segment);
+    shard.lru_spares.splice(shard.lru_spares.begin(), list, f->lru_it);
+    f->in_lru = false;
+  }
+  if (policy_ == CachePolicy::kSlru) {
+    const uint8_t freq = SketchTouch(shard, id);
+    if (f->segment == CacheSegment::kPrefetchQueue) {
+      // First demand reference to a prefetched frame: plain admission into
+      // probation — one touch is not yet evidence of reuse.
+      f->segment = CacheSegment::kProbation;
+    } else if (f->segment == CacheSegment::kProbation &&
+               (cls == AccessClass::kQuery || freq >= kSketchPromote)) {
+      // Re-reference promotes: always for query traffic, only with sketch
+      // evidence of multi-touch for scan/prefetch/ingest traffic, so a
+      // repeated full scan cannot flood the protected segment.
+      f->segment = CacheSegment::kProtected;
+    }
+  }
+}
+
+internal::CacheSegment BufferPool::AdmitSegmentLocked(Shard& shard,
+                                                      PageId id) {
+  if (policy_ != CachePolicy::kSlru) return CacheSegment::kProbation;
+  const uint8_t freq = SketchTouch(shard, id);
+  if (CurrentAccessClass() == AccessClass::kQuery && freq >= kSketchPromote) {
+    // A recently-hot page that a burst pushed out: readmit straight to
+    // protected instead of making it climb out of probation again.
+    return CacheSegment::kProtected;
+  }
+  return CacheSegment::kProbation;
+}
+
 Result<PageHandle> BufferPool::Fetch(PageId id, std::source_location loc) {
   Shard& shard = ShardFor(id);
   auto lock = LockShard(shard);
+  const size_t cls = static_cast<size_t>(CurrentAccessClass());
   ++shard.stats.logical_reads;
   if (IoStats* tls = g_tls_io_sink) ++tls->logical_reads;
   bool checked_inflight = false;
@@ -105,16 +231,9 @@ Result<PageHandle> BufferPool::Fetch(PageId id, std::source_location loc) {
     auto it = shard.frames.find(id);
     if (it != shard.frames.end()) {
       Frame* f = it->second.get();
-      if (f->prefetched) {
-        f->prefetched = false;
-        ++shard.stats.prefetch_hits;
-        if (IoStats* tls = g_tls_io_sink) ++tls->prefetch_hits;
-      }
-      if (f->in_lru) {
-        shard.lru_spares.splice(shard.lru_spares.begin(), shard.lru,
-                                f->lru_it);
-        f->in_lru = false;
-      }
+      ++shard.stats.class_hits[cls];
+      if (IoStats* tls = g_tls_io_sink) ++tls->class_hits[cls];
+      TouchHitLocked(shard, id, f);
       ++f->pins;
       return PageHandle(this, id, f, TrackPin(id, loc));
     }
@@ -145,6 +264,8 @@ Result<PageHandle> BufferPool::Fetch(PageId id, std::source_location loc) {
     }
     break;
   }
+  ++shard.stats.class_misses[cls];
+  if (IoStats* tls = g_tls_io_sink) ++tls->class_misses[cls];
   HT_RETURN_NOT_OK(EvictOneIfNeeded(shard));
   auto frame = std::make_unique<Frame>(file_->page_size());
   {
@@ -157,6 +278,8 @@ Result<PageHandle> BufferPool::Fetch(PageId id, std::source_location loc) {
   if (IoStats* tls = g_tls_io_sink) ++tls->physical_reads;
   Frame* f = frame.get();
   f->pins = 1;
+  f->admit_class = CurrentAccessClass();
+  f->segment = AdmitSegmentLocked(shard, id);
   shard.frames.emplace(id, std::move(frame));
   return PageHandle(this, id, f, TrackPin(id, loc));
 }
@@ -167,6 +290,7 @@ Status BufferPool::FetchMany(std::span<const PageId> ids,
   out->clear();
   if (ids.empty()) return Status::OK();
   out->reserve(ids.size());
+  const size_t cls = static_cast<size_t>(CurrentAccessClass());
 
   // Pass 1: pin hits, leave placeholder handles for misses, and collect
   // each distinct missing id once (ReadBatch tolerates duplicates, but a
@@ -183,19 +307,14 @@ Status BufferPool::FetchMany(std::span<const PageId> ids,
     auto it = shard.frames.find(id);
     if (it != shard.frames.end()) {
       Frame* f = it->second.get();
-      if (f->prefetched) {
-        f->prefetched = false;
-        ++shard.stats.prefetch_hits;
-        if (IoStats* tls = g_tls_io_sink) ++tls->prefetch_hits;
-      }
-      if (f->in_lru) {
-        shard.lru_spares.splice(shard.lru_spares.begin(), shard.lru,
-                                f->lru_it);
-        f->in_lru = false;
-      }
+      ++shard.stats.class_hits[cls];
+      if (IoStats* tls = g_tls_io_sink) ++tls->class_hits[cls];
+      TouchHitLocked(shard, id, f);
       ++f->pins;
       out->push_back(PageHandle(this, id, f, TrackPin(id, loc)));
     } else {
+      ++shard.stats.class_misses[cls];
+      if (IoStats* tls = g_tls_io_sink) ++tls->class_misses[cls];
       out->push_back(PageHandle());
       if (miss_slot.emplace(id, miss_ids.size()).second) {
         miss_ids.push_back(id);
@@ -239,9 +358,17 @@ Status BufferPool::FetchMany(std::span<const PageId> ids,
       f = it->second.get();
       f->prefetched = false;  // pinned through us, not through a prior hit
       if (f->in_lru) {
-        shard.lru_spares.splice(shard.lru_spares.begin(), shard.lru,
-                                f->lru_it);
+        // Splice out of the frame's current segment list BEFORE any
+        // segment fix-up below.
+        std::list<PageId>& list = ListFor(shard, f->segment);
+        shard.lru_spares.splice(shard.lru_spares.begin(), list, f->lru_it);
         f->in_lru = false;
+      }
+      if (f->segment == CacheSegment::kPrefetchQueue) {
+        // First demand reference to a prefetched frame: admit to probation
+        // and attribute it to this batch's class.
+        f->segment = CacheSegment::kProbation;
+        f->admit_class = CurrentAccessClass();
       }
     } else {
       Status evict_status = EvictOneIfNeeded(shard);
@@ -255,6 +382,8 @@ Status BufferPool::FetchMany(std::span<const PageId> ids,
       auto& frame = miss_frames[miss_slot.find(id)->second];
       HT_CHECK(frame != nullptr);
       f = frame.get();
+      f->admit_class = CurrentAccessClass();
+      f->segment = AdmitSegmentLocked(shard, id);
       shard.frames.emplace(id, std::move(frame));
     }
     ++f->pins;
@@ -301,9 +430,10 @@ void BufferPool::Prefetch(std::span<const PageId> ids) {
 
   if (async) {
     std::vector<PageId> task_ids = need;
-    const bool accepted = async_exec_([this, ids2 = std::move(task_ids)]() mutable {
-      FillPrefetch(std::move(ids2), /*async=*/true);
-    });
+    const bool accepted =
+        async_exec_([this, ids2 = std::move(task_ids)]() mutable {
+          FillPrefetch(std::move(ids2), /*async=*/true);
+        });
     // Executor refused (e.g. saturated queue): fill on this thread, still
     // clearing the inflight marks we just planted.
     if (!accepted) FillPrefetch(std::move(need), /*async=*/true);
@@ -335,18 +465,35 @@ void BufferPool::FillPrefetch(std::vector<PageId> ids, bool async) {
       ++shard.stats.batch_reads;
       if (IoStats* tls = g_tls_io_sink) ++tls->batch_reads;
     }
+    // Each batch advances its shards' prefetch generation (once per shard
+    // per call, BEFORE the first install evicts): leftovers from older
+    // batches become stale and are reclaimed first to make room, while
+    // this batch's own fills are spared until the next one lands.
+    std::array<bool, kShardCount> bumped{};
     for (size_t i = 0; i < ids.size(); ++i) {
       const PageId id = ids[i];
       Shard& shard = ShardFor(id);
       auto lock = LockShard(shard);
       if (shard.frames.find(id) != shard.frames.end()) continue;  // raced
+      if (policy_ == CachePolicy::kSlru && !bumped[ShardIndex(id)]) {
+        bumped[ShardIndex(id)] = true;
+        ++shard.prefetch_gen;
+      }
       if (!EvictOneIfNeeded(shard).ok()) continue;  // no room: drop page
       ++shard.stats.physical_reads;
       if (IoStats* tls = g_tls_io_sink) ++tls->physical_reads;
       Frame* f = frames[i].get();
       f->prefetched = true;
-      shard.lru.push_front(id);
-      f->lru_it = shard.lru.begin();
+      f->admit_class = AccessClass::kPrefetch;
+      // kSlru parks never-referenced fills on the evict-first prefetch
+      // queue; kLru keeps the historical LRU-front insertion.
+      if (policy_ == CachePolicy::kSlru) {
+        f->segment = CacheSegment::kPrefetchQueue;
+        f->fill_gen = shard.prefetch_gen;
+      }
+      std::list<PageId>& list = ListFor(shard, f->segment);
+      list.push_front(id);
+      f->lru_it = list.begin();
       f->in_lru = true;
       shard.frames.emplace(id, std::move(frames[i]));
     }
@@ -401,6 +548,9 @@ Result<PageHandle> BufferPool::New(std::source_location loc) {
   auto frame = std::make_unique<Frame>(file_->page_size());
   frame->dirty = true;
   frame->pins = 1;
+  // Fresh pages enter probation regardless of policy: the page has never
+  // been referenced, so there is no reuse evidence yet.
+  frame->admit_class = CurrentAccessClass();
   Frame* f = frame.get();
   shard.frames.emplace(id, std::move(frame));
   return PageHandle(this, id, f, TrackPin(id, loc));
@@ -417,7 +567,7 @@ Status BufferPool::Free(PageId id) {
         return Status::InvalidArgument("BufferPool::Free of pinned page " +
                                        std::to_string(id));
       }
-      if (f->in_lru) shard.lru.erase(f->lru_it);
+      if (f->in_lru) ListFor(shard, f->segment).erase(f->lru_it);
       shard.frames.erase(it);
     }
     ++shard.stats.frees;
@@ -432,34 +582,80 @@ void BufferPool::Unpin(PageId id, Frame* f) {
   auto lock = LockShard(shard);
   HT_CHECK(f != nullptr && f->pins > 0);
   if (--f->pins == 0) {
+    std::list<PageId>& list = ListFor(shard, f->segment);
     if (!shard.lru_spares.empty()) {
       shard.lru_spares.front() = id;
-      shard.lru.splice(shard.lru.begin(), shard.lru_spares,
-                       shard.lru_spares.begin());
+      list.splice(list.begin(), shard.lru_spares, shard.lru_spares.begin());
     } else {
-      shard.lru.push_front(id);
+      list.push_front(id);
     }
-    f->lru_it = shard.lru.begin();
+    f->lru_it = list.begin();
     f->in_lru = true;
+    if (policy_ == CachePolicy::kSlru &&
+        f->segment == CacheSegment::kProtected) {
+      EnforceProtectedCapLocked(shard);
+    }
   }
 }
 
 Status BufferPool::EvictOneIfNeeded(Shard& shard) {
-  if (shard_capacity_ == 0 || shard.frames.size() < shard_capacity_) {
-    return Status::OK();
+  const size_t cap = shard_capacity_.load(std::memory_order_relaxed);
+  if (cap == 0) return Status::OK();
+  // Loops only after a capacity shrink left the shard over target; at a
+  // fixed capacity this evicts at most one frame, exactly like classic LRU.
+  while (shard.frames.size() >= cap) {
+    HT_RETURN_NOT_OK(EvictVictimLocked(shard));
   }
-  if (shard.lru.empty()) {
+  return Status::OK();
+}
+
+Status BufferPool::EvictVictimLocked(Shard& shard) {
+  // Victim order under kSlru: STALE prefetch fills first (prefetched
+  // before the shard's newest batch and still never referenced —
+  // abandoned speculation), then the probationary tail, then any
+  // remaining prefetch fills, then (only when nothing else is left) the
+  // protected tail. The staleness gate matters: the batch a traversal
+  // just issued is about to be consumed, and evicting it to make room
+  // for the next demand miss would waste the batched read AND force a
+  // blocking re-read. kLru keeps the single-list recency order.
+  PageId victim = kInvalidPageId;
+  bool found = false;
+  auto take = [&](std::list<PageId>& list) {
+    if (list.empty()) return false;
+    victim = list.back();
+    list.pop_back();
+    return true;
+  };
+  auto take_stale_prefetch = [&]() {
+    if (shard.prefetch_queue.empty()) return false;
+    const PageId id = shard.prefetch_queue.back();
+    auto fit = shard.frames.find(id);
+    HT_CHECK(fit != shard.frames.end());
+    if (fit->second->fill_gen >= shard.prefetch_gen) return false;
+    victim = id;
+    shard.prefetch_queue.pop_back();
+    return true;
+  };
+  if (policy_ == CachePolicy::kSlru) {
+    found = take_stale_prefetch() || take(shard.lru) ||
+            take(shard.prefetch_queue) || take(shard.protected_lru);
+  } else {
+    found = take(shard.lru);
+  }
+  if (!found) {
     return Status::ResourceExhausted("buffer pool full and all pages pinned");
   }
-  // Evict the least recently used unpinned page (of this shard).
-  PageId victim = shard.lru.back();
-  shard.lru.pop_back();
   auto it = shard.frames.find(victim);
   HT_CHECK(it != shard.frames.end() && it->second->pins == 0);
   HT_RETURN_NOT_OK(WriteBack(victim, it->second.get()));
+  const size_t cls = static_cast<size_t>(it->second->admit_class);
   shard.frames.erase(it);
   ++shard.stats.evictions;
-  if (IoStats* tls = g_tls_io_sink) ++tls->evictions;
+  ++shard.stats.class_evictions[cls];
+  if (IoStats* tls = g_tls_io_sink) {
+    ++tls->evictions;
+    ++tls->class_evictions[cls];
+  }
   return Status::OK();
 }
 
@@ -536,7 +732,9 @@ Status BufferPool::EvictAll() {
     auto lock = LockShard(shard);
     for (auto it = shard.frames.begin(); it != shard.frames.end();) {
       if (it->second->pins == 0) {
-        if (it->second->in_lru) shard.lru.erase(it->second->lru_it);
+        if (it->second->in_lru) {
+          ListFor(shard, it->second->segment).erase(it->second->lru_it);
+        }
         it = shard.frames.erase(it);
       } else {
         ++it;
@@ -583,6 +781,24 @@ void BufferPool::ResetStats() {
     auto lock = LockShard(shard);
     shard.stats.Reset();
   }
+}
+
+BufferPool::CacheSnapshot BufferPool::SnapshotCache() const {
+  CacheSnapshot snap;
+  snap.policy = policy_;
+  snap.capacity_pages = capacity_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    auto lock = LockShard(shard);
+    snap.cached_pages += shard.frames.size();
+    snap.probation_pages += shard.lru.size();
+    snap.protected_pages += shard.protected_lru.size();
+    snap.prefetch_queue_pages += shard.prefetch_queue.size();
+    for (const auto& [id, f] : shard.frames) {
+      if (f->pins > 0) ++snap.pinned_pages;
+    }
+    snap.stats.Accumulate(shard.stats);
+  }
+  return snap;
 }
 
 size_t BufferPool::cached_frames() const {

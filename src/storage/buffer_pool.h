@@ -1,10 +1,42 @@
 // Copyright 2026 The HybridTree Authors.
-// BufferPool: pin-counted LRU page cache over a PagedFile.
+// BufferPool: pin-counted page cache over a PagedFile, with a choice of
+// eviction policy (classic LRU, or a scan-resistant segmented LRU).
 //
 // All trees in the repository perform node I/O through a BufferPool. Every
 // Fetch/New counts one *logical* read — the unit the paper plots as "disk
 // accesses per query" (one random access per node visited). Pool misses
 // additionally count physical reads on the backing file.
+//
+// Eviction policy. Two modes, fixed at construction:
+//
+//   * CachePolicy::kLru (the default): the classic recency-only pool —
+//     behaviour and accounting are exactly the pre-SLRU pool, byte for
+//     byte, which is what the paper-figure benchmarks and the regression
+//     tests pin down.
+//
+//   * CachePolicy::kSlru: scan-resistant segmented LRU. Each shard keeps
+//     three lists — a PROBATIONARY segment (new admissions), a PROTECTED
+//     segment (~80% of capacity, promoted on re-reference), and a
+//     prefetch queue (prefetched-but-never-referenced fills) — plus a
+//     small frequency sketch (aged 4-bit counters). Eviction order is
+//     STALE prefetch-queue pages (prefetched before the newest batch and
+//     still never referenced), then the probationary tail, then any
+//     remaining prefetch fills, then — only when nothing else is left —
+//     the protected tail; so speculative and one-touch pages go first
+//     while the batch a traversal is just about to consume is spared.
+//     Promotion is driven by the caller's access class
+//     (below): a query-class re-reference promotes probation → protected;
+//     scan/prefetch/ingest re-references promote only when the sketch says
+//     the page is genuinely multi-touch. A query-class MISS whose sketch
+//     count is already hot is admitted straight to protected (the page was
+//     recently hot and got pushed out by a burst). Query results are
+//     byte-identical under either policy — only physical I/O differs.
+//
+// Access classes: call sites tag their traffic by installing a
+// thread-local AccessClassScope (kQuery is the untagged default; the tree
+// tags ScanAll/ELS-rebuild/stats sweeps kScan and the mutation paths
+// kIngest; prefetch fills are tagged internally). The class selects the
+// SLRU admission rule above and splits the IoStats class_* counters.
 //
 // Threading model. The pool has two modes:
 //
@@ -14,7 +46,7 @@
 //
 //   * Concurrent mode (SetConcurrentMode(true)): frames are partitioned
 //     into kShardCount lock-striped shards, each with its own mutex, frame
-//     map, LRU list, and IoStats counters, so concurrent readers can
+//     map, segment lists, and IoStats counters, so concurrent readers can
 //     pin/unpin pages safely. Backing-file reads (misses, batch fills,
 //     prefetch fills) run under a SHARED file lock — pread/preadv are
 //     positional and thread-safe, so concurrent misses no longer serialize
@@ -31,17 +63,24 @@
 //
 //   * Prefetch is a best-effort, NON-pinning fill: pages already cached
 //     (or already in flight) are skipped, the rest are read in one batch
-//     and parked unpinned at the LRU front. With an attached async
-//     executor (SetPrefetchExecutor, concurrent mode only) the fill runs
-//     on a background I/O thread and overlaps with the caller; otherwise
-//     it is a synchronous batched round trip. Prefetch counts NO logical
-//     reads — prefetched fills are physical reads only, so the paper's
-//     figure-of-merit (logical accesses) is byte-identical with prefetch
-//     on or off. prefetch_issued / prefetch_hits / batch_reads counters
-//     expose pipeline effectiveness; a Fetch that lands on a prefetched
-//     frame counts one prefetch_hit (first pin only). A Fetch that misses
-//     while the page's fill is in flight waits for the fill instead of
-//     re-reading (async mode), so prefetched I/O is never duplicated.
+//     and parked unpinned — at the LRU front (kLru) or on the dedicated
+//     prefetch queue (kSlru), where never-referenced fills are the FIRST
+//     eviction victims instead of aging out mid-LRU. With an attached
+//     async executor (SetPrefetchExecutor, concurrent mode only) the fill
+//     runs on a background I/O thread and overlaps with the caller;
+//     otherwise it is a synchronous batched round trip. Prefetch counts NO
+//     logical reads — prefetched fills are physical reads only, so the
+//     paper's figure-of-merit (logical accesses) is byte-identical with
+//     prefetch on or off. prefetch_issued / prefetch_hits / batch_reads
+//     counters expose pipeline effectiveness; a Fetch that lands on a
+//     prefetched frame counts one prefetch_hit (first pin only). A Fetch
+//     that misses while the page's fill is in flight waits for the fill
+//     instead of re-reading (async mode), so prefetched I/O is never
+//     duplicated.
+//
+// Capacity is adjustable at runtime (SetCapacity), safe against concurrent
+// fetches — this is the hook CacheManager (storage/cache_manager.h) uses
+// to rebalance one global memory budget across many pools.
 //
 // The intended usage protocol is shared-read / exclusive-write (see
 // core/hybrid_tree.h): any number of threads may Fetch/Release concurrently
@@ -74,6 +113,7 @@
 #include "common/macros.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/io_stats.h"
 #include "storage/paged_file.h"
 
 namespace ht {
@@ -81,6 +121,15 @@ namespace ht {
 class BufferPool;
 
 namespace internal {
+
+/// Which SLRU list a frame belongs to while unpinned (kLru keeps every
+/// frame in kProbation, which aliases the single LRU list).
+enum class CacheSegment : uint8_t {
+  kProbation = 0,
+  kProtected = 1,
+  kPrefetchQueue = 2,
+};
+
 /// One cached page. Heap-allocated and address-stable for its lifetime in
 /// the pool, so pinned handles can keep a direct pointer.
 struct PageFrame {
@@ -92,8 +141,20 @@ struct PageFrame {
   /// Set when the frame was filled by Prefetch and not yet pinned; the
   /// first Fetch that pins it counts one prefetch_hit and clears this.
   bool prefetched = false;
+  /// Shard prefetch generation at fill time (prefetch-queue frames only):
+  /// once a NEWER batch has landed in the shard, a still-unreferenced fill
+  /// is stale and becomes the first eviction victim. Fresh fills — the
+  /// batch the current traversal is about to consume — are spared until
+  /// probation is exhausted.
+  uint64_t fill_gen = 0;
+  /// Segment the frame belongs to (or will re-enter on unpin).
+  CacheSegment segment = CacheSegment::kProbation;
+  /// Class of the access that admitted the frame (kPrefetch until a
+  /// prefetched frame's first real reference); evictions are charged here.
+  AccessClass admit_class = AccessClass::kQuery;
   explicit PageFrame(size_t page_size) : page(page_size) {}
 };
+
 }  // namespace internal
 
 /// RAII pin on a buffered page. While a handle is alive the frame cannot be
@@ -171,16 +232,34 @@ class IoStatsScope {
   IoStats* prev_;
 };
 
-/// LRU buffer pool (see the threading model in the file comment).
+/// Tags the calling thread's buffer-pool traffic with an access class for
+/// the scope's lifetime (see the file comment; kQuery is the untagged
+/// default). Scopes nest; destruction restores the previous class.
+class AccessClassScope {
+ public:
+  explicit AccessClassScope(AccessClass cls);
+  ~AccessClassScope();
+  HT_DISALLOW_COPY_AND_ASSIGN(AccessClassScope);
+
+ private:
+  AccessClass prev_;
+};
+
+/// The calling thread's current access class (kQuery with no scope alive).
+AccessClass CurrentAccessClass();
+
+/// Pin-counted page cache (policy + threading model in the file comment).
 class BufferPool {
  public:
   /// `capacity_pages` of 0 means unbounded (everything stays cached, still
   /// counting logical reads — the configuration the benchmarks use, since
   /// the figure-of-merit is access counts, not cache behaviour). In
   /// concurrent mode a nonzero capacity is enforced per shard
-  /// (ceil(capacity / kShardCount) frames each), so global LRU order is
-  /// approximate; serial mode keeps the exact global LRU.
-  BufferPool(PagedFile* file, size_t capacity_pages);
+  /// (ceil(capacity / kShardCount) frames each), so global eviction order
+  /// is approximate; serial mode keeps the exact global order. The policy
+  /// is fixed for the pool's lifetime.
+  BufferPool(PagedFile* file, size_t capacity_pages,
+             CachePolicy policy = CachePolicy::kLru);
   ~BufferPool();
   HT_DISALLOW_COPY_AND_ASSIGN(BufferPool);
 
@@ -192,6 +271,19 @@ class BufferPool {
   /// the pool. Cached frames are re-bucketed; stats are preserved.
   Status SetConcurrentMode(bool on);
   bool concurrent_mode() const { return concurrent_; }
+
+  CachePolicy policy() const { return policy_; }
+  /// Current capacity target in pages (0 = unbounded).
+  size_t capacity() const {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
+  /// Retargets the pool's capacity at runtime (the CacheManager rebalance
+  /// hook). Safe against concurrent Fetch/Release traffic: growth takes
+  /// effect lazily, shrinking evicts unpinned frames immediately (pinned
+  /// overage drains as pins release and later misses evict down to the new
+  /// target). 0 = unbounded.
+  Status SetCapacity(size_t capacity_pages);
 
   /// Fetches and pins page `id`. The defaulted source_location captures
   /// the caller for debug pin-leak attribution (see SetPinTracking); it
@@ -212,12 +304,13 @@ class BufferPool {
 
   /// Best-effort, non-pinning prefetch: pages already cached or already in
   /// flight are skipped; the remaining misses are read in one batch and
-  /// inserted unpinned at the LRU front, tagged as prefetched. Counts NO
-  /// logical reads (fills are physical reads only) and never evicts a
-  /// pinned frame — pages that don't fit are silently dropped, as are
-  /// read errors (the later Fetch will surface them). Runs asynchronously
-  /// on the attached executor when one is set and the pool is in
-  /// concurrent mode; synchronously (one batched round trip) otherwise.
+  /// inserted unpinned, tagged as prefetched (kSlru parks them on the
+  /// evict-first prefetch queue). Counts NO logical reads (fills are
+  /// physical reads only) and never evicts a pinned frame — pages that
+  /// don't fit are silently dropped, as are read errors (the later Fetch
+  /// will surface them). Runs asynchronously on the attached executor when
+  /// one is set and the pool is in concurrent mode; synchronously (one
+  /// batched round trip) otherwise.
   void Prefetch(std::span<const PageId> ids);
 
   /// Task-submission hook for async prefetch, e.g. wrapping
@@ -285,6 +378,24 @@ class BufferPool {
   IoStats StatsSnapshot() const;
   void ResetStats();
 
+  /// Point-in-time cache gauges for metrics export. capacity_pages is the
+  /// current TARGET (what SetCapacity last applied; 0 = unbounded) and
+  /// cached_pages the current occupancy — they diverge transiently while
+  /// pinned frames hold a shrink above target. Segment sizes cover
+  /// UNPINNED frames (pinned ones are in no list).
+  struct CacheSnapshot {
+    CachePolicy policy = CachePolicy::kLru;
+    size_t capacity_pages = 0;
+    size_t cached_pages = 0;
+    size_t pinned_pages = 0;
+    size_t probation_pages = 0;
+    size_t protected_pages = 0;
+    size_t prefetch_queue_pages = 0;
+    /// Cumulative counters (the same totals as StatsSnapshot).
+    IoStats stats;
+  };
+  CacheSnapshot SnapshotCache() const;
+
   /// Number of frames currently cached (for tests).
   size_t cached_frames() const;
   /// Number of currently pinned frames (for tests).
@@ -317,16 +428,38 @@ class BufferPool {
   friend class PageHandle;
 
   using Frame = internal::PageFrame;
+  using CacheSegment = internal::CacheSegment;
+
+  /// Frequency sketch: per-shard aged counters (256 buckets, saturating at
+  /// kSketchMax, halved every ~16x-capacity accesses). A count >=
+  /// kSketchPromote marks a page as multi-touch for the admission and
+  /// promotion rules in the file comment.
+  static constexpr size_t kSketchSize = 256;
+  static constexpr uint8_t kSketchMax = 15;
+  static constexpr uint8_t kSketchPromote = 3;
 
   struct Shard {
     mutable std::mutex mu;
     std::unordered_map<PageId, std::unique_ptr<Frame>> frames;
-    std::list<PageId> lru;  // front = most recent; unpinned frames only
-    /// Recycled LRU nodes: the pin/unpin hot path moves nodes between
-    /// `lru` and this list with splice() instead of erasing/reinserting,
-    /// so a warm Fetch/Release cycle performs no heap allocation. Bounded
-    /// by the peak number of simultaneously pinned frames.
+    /// Probationary segment in kSlru; the ONLY list in kLru. front = most
+    /// recent; unpinned frames only.
+    std::list<PageId> lru;
+    /// Protected segment (kSlru only): frames promoted on re-reference.
+    std::list<PageId> protected_lru;
+    /// Prefetched-but-never-referenced fills (kSlru only): first victims.
+    std::list<PageId> prefetch_queue;
+    /// Recycled list nodes: the pin/unpin hot path moves nodes between
+    /// the segment lists and this one with splice() instead of erasing/
+    /// reinserting, so a warm Fetch/Release cycle performs no heap
+    /// allocation. Bounded by the peak number of simultaneously pinned
+    /// frames.
     std::list<PageId> lru_spares;
+    /// Frequency sketch (kSlru only; see the constants above).
+    std::array<uint8_t, kSketchSize> sketch{};
+    uint64_t sketch_ops = 0;
+    /// Bumped once per prefetch batch landing in this shard; compared
+    /// against PageFrame::fill_gen to age out abandoned prefetches.
+    uint64_t prefetch_gen = 0;
     IoStats stats;
   };
 
@@ -352,13 +485,48 @@ class BufferPool {
                        : std::shared_lock<std::shared_mutex>();
   }
 
+  /// The list a frame in `segment` lives on (always `lru` under kLru).
+  std::list<PageId>& ListFor(Shard& shard, CacheSegment segment) {
+    switch (segment) {
+      case CacheSegment::kProtected:
+        return shard.protected_lru;
+      case CacheSegment::kPrefetchQueue:
+        return shard.prefetch_queue;
+      case CacheSegment::kProbation:
+        break;
+    }
+    return shard.lru;
+  }
+
   void Unpin(PageId id, Frame* f);
   /// Registers a live pin in the tracking registry; returns the token the
   /// handle must carry (0 when tracking is off).
   uint64_t TrackPin(PageId id, const std::source_location& loc);
   void UntrackPin(uint64_t token);
-  /// Caller holds the shard lock (concurrent mode) or is single-threaded.
+
+  /// Ages + bumps the sketch counter for `id`; returns the new count.
+  /// Caller holds the shard lock. kSlru only.
+  uint8_t SketchTouch(Shard& shard, PageId id);
+  /// Per-shard protected-segment budget (~80% of the shard capacity;
+  /// 0 = unbounded pool, no budget enforced).
+  size_t ProtectedCapacity() const;
+  /// Hit-path bookkeeping under the shard lock: prefetch_hit accounting,
+  /// splice out of the frame's segment list, and the SLRU promotion rules.
+  void TouchHitLocked(Shard& shard, PageId id, Frame* f);
+  /// Admission segment for a freshly missed page (kSlru: sketch-hot
+  /// query-class misses go straight to protected). Touches the sketch.
+  CacheSegment AdmitSegmentLocked(Shard& shard, PageId id);
+  /// Demotes the protected tail into probation until the segment fits its
+  /// budget. Caller holds the shard lock.
+  void EnforceProtectedCapLocked(Shard& shard);
+  /// Evicts down to the shard capacity (at most one eviction in steady
+  /// state). Caller holds the shard lock (concurrent mode) or is
+  /// single-threaded.
   Status EvictOneIfNeeded(Shard& shard);
+  /// Evicts one unpinned frame in policy order (kSlru: prefetch queue,
+  /// then probation, then protected; kLru: the LRU tail), charging the
+  /// eviction to the victim's admitting class.
+  Status EvictVictimLocked(Shard& shard);
   Status WriteBack(PageId id, Frame* f);
   /// Writes this shard's dirty frames (minus `skip`) in one WriteBatch.
   /// Caller holds the shard lock; takes the file lock internally (the
@@ -375,8 +543,12 @@ class BufferPool {
   void DrainPrefetch();
 
   PagedFile* file_;
-  size_t capacity_;
-  size_t shard_capacity_;  // derived: per-shard cap in the current mode
+  const CachePolicy policy_;
+  /// Capacity target and its per-shard derivative. Atomic so SetCapacity
+  /// can retarget while fetches run; readers load relaxed under their
+  /// shard lock.
+  std::atomic<size_t> capacity_;
+  std::atomic<size_t> shard_capacity_;
   bool concurrent_ = false;
   std::array<Shard, kShardCount> shards_;
   /// Readers shared, allocation/Free/write-back exclusive (see LockFile*).

@@ -3,9 +3,45 @@
 
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace ht {
+
+/// Buffer-pool eviction policy (see storage/buffer_pool.h). kLru is the
+/// classic recency-only pool the paper figures use; kSlru is the
+/// scan-resistant segmented policy (probationary + protected segments with
+/// a frequency sketch) — byte-identical query RESULTS either way, only the
+/// physical-read pattern differs.
+enum class CachePolicy : uint8_t { kLru = 0, kSlru = 1 };
+
+/// Access classes for buffer-pool traffic, threaded from the call sites via
+/// AccessClassScope (storage/buffer_pool.h). The class drives SLRU
+/// admission (scans and bulk loads enter the probationary segment only, so
+/// one-touch streams never displace the multi-touch query working set) and
+/// splits the cache counters below for observability.
+enum class AccessClass : uint8_t {
+  kQuery = 0,     // point/box/range/k-NN search traversal (the default)
+  kScan = 1,      // full-tree sweeps: ScanAll, ELS rebuild, stats/validation
+  kPrefetch = 2,  // speculative fills issued by the prefetch pipeline
+  kIngest = 3,    // Insert/InsertBatch/Delete/Flush/bulk-load write paths
+};
+inline constexpr size_t kNumAccessClasses = 4;
+
+inline const char* AccessClassName(AccessClass c) {
+  switch (c) {
+    case AccessClass::kQuery:
+      return "query";
+    case AccessClass::kScan:
+      return "scan";
+    case AccessClass::kPrefetch:
+      return "prefetch";
+    case AccessClass::kIngest:
+      return "ingest";
+  }
+  return "unknown";
+}
 
 /// Counters maintained by BufferPool / PagedFile. "Logical" reads count
 /// every page fetch requested by an index structure; "physical" reads count
@@ -45,6 +81,17 @@ struct IoStats {
   /// into quant_refined + quant_pruned.
   uint64_t quant_pruned = 0;
 
+  /// Per-access-class cache counters, indexed by AccessClass. Hits and
+  /// misses cover demand accesses (Fetch / FetchMany) only — New() and
+  /// prefetch fills are counted by allocations / prefetch_issued above —
+  /// so class_hits[c] + class_misses[c] is class c's demand-fetch count.
+  /// Evictions are charged to the class that ADMITTED the victim frame
+  /// (kPrefetch for prefetched-never-referenced pages), which is what
+  /// makes scan/prefetch cache pollution directly visible.
+  std::array<uint64_t, kNumAccessClasses> class_hits{};
+  std::array<uint64_t, kNumAccessClasses> class_misses{};
+  std::array<uint64_t, kNumAccessClasses> class_evictions{};
+
   void Reset() { *this = IoStats{}; }
 
   /// Buffer-pool hit rate over the counted window: the fraction of logical
@@ -55,6 +102,15 @@ struct IoStats {
         physical_reads < logical_reads ? physical_reads : logical_reads;
     return 1.0 - static_cast<double>(misses) /
                      static_cast<double>(logical_reads);
+  }
+
+  /// Demand-fetch hit rate of one access class (class_hits over
+  /// class_hits + class_misses); 0 when the class saw no traffic.
+  double ClassHitRate(AccessClass c) const {
+    const uint64_t h = class_hits[static_cast<size_t>(c)];
+    const uint64_t m = class_misses[static_cast<size_t>(c)];
+    if (h + m == 0) return 0.0;
+    return static_cast<double>(h) / static_cast<double>(h + m);
   }
 
   /// Adds `other` into this (used to merge per-shard / per-worker counters).
@@ -72,6 +128,11 @@ struct IoStats {
     scan_points += other.scan_points;
     quant_refined += other.quant_refined;
     quant_pruned += other.quant_pruned;
+    for (size_t c = 0; c < kNumAccessClasses; ++c) {
+      class_hits[c] += other.class_hits[c];
+      class_misses[c] += other.class_misses[c];
+      class_evictions[c] += other.class_evictions[c];
+    }
   }
 
   IoStats Delta(const IoStats& since) const {
@@ -89,6 +150,11 @@ struct IoStats {
     d.scan_points = scan_points - since.scan_points;
     d.quant_refined = quant_refined - since.quant_refined;
     d.quant_pruned = quant_pruned - since.quant_pruned;
+    for (size_t c = 0; c < kNumAccessClasses; ++c) {
+      d.class_hits[c] = class_hits[c] - since.class_hits[c];
+      d.class_misses[c] = class_misses[c] - since.class_misses[c];
+      d.class_evictions[c] = class_evictions[c] - since.class_evictions[c];
+    }
     return d;
   }
 };

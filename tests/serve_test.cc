@@ -321,5 +321,91 @@ TEST_F(ServerTest, MultiTenantTrafficIsIsolatedInMetrics) {
   EXPECT_EQ(snap.tenants[1].rejected, 0u);
 }
 
+// Satellite 2: the snapshot exposes per-shard buffer-pool cache gauges
+// and per-tenant I/O including the per-access-class cache counters.
+TEST_F(ServerTest, SnapshotCarriesPerShardCacheAndTenantIo) {
+  Server server(index_.get());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server.Execute(KnnRequest("t")).status.ok());
+  }
+  MetricsSnapshot snap = server.Snapshot();
+  ASSERT_EQ(snap.per_shard_cache.size(), index_->shards());
+  for (const BufferPool::CacheSnapshot& cache : snap.per_shard_cache) {
+    // Default HybridTreeOptions serve with the segmented policy; the
+    // shard trees are resident after build, so the gauges are live.
+    EXPECT_EQ(cache.policy, CachePolicy::kSlru);
+    EXPECT_GT(cache.cached_pages, 0u);
+    EXPECT_EQ(cache.cached_pages, cache.probation_pages +
+                                      cache.protected_pages +
+                                      cache.prefetch_queue_pages);
+  }
+  // Scatter-task I/O folded into the tenant, classed as query traffic.
+  ASSERT_EQ(snap.tenants.size(), 1u);
+  const IoStats& io = snap.tenants[0].io;
+  EXPECT_GT(io.logical_reads, 0u);
+  const size_t q = static_cast<size_t>(AccessClass::kQuery);
+  EXPECT_GT(io.class_hits[q] + io.class_misses[q], 0u);
+
+  server.ResetMetrics();
+  snap = server.Snapshot();
+  EXPECT_EQ(snap.tenants[0].io.logical_reads, 0u);
+  EXPECT_EQ(snap.tenants[0].io.class_hits[q], 0u);
+}
+
+// Satellite 2 + tentpole wiring: an attached CacheManager splits its
+// budget across the shard pools at build time, caps them, and rebalances
+// as the server observes traffic (Execute ticks MaybeRebalanceCache).
+TEST(ServeCacheManagerTest, ManagerSplitsBudgetAcrossShardPools) {
+  Rng rng(11);
+  Dataset data = GenFourier(1200, 8, rng);
+  HybridTreeOptions opts;
+  opts.dim = 8;
+
+  CacheManagerOptions mopts;
+  mopts.total_budget_pages = 96;
+  mopts.min_pool_pages = 8;
+  mopts.rebalance_interval = 2;
+  CacheManager mgr(mopts);  // must outlive the index (dtor unregisters)
+
+  ShardedIndexOptions so;
+  so.shards = 3;
+  so.cache_manager = &mgr;
+  auto index_r = ShardedIndex::Build(opts, so, data, nullptr);
+  ASSERT_TRUE(index_r.ok()) << index_r.status().ToString();
+  std::unique_ptr<ShardedIndex> index = std::move(index_r).ValueUnsafe();
+
+  // Registration split the budget evenly across the three shard pools.
+  EXPECT_EQ(mgr.pool_count(), 3u);
+  for (size_t s = 0; s < index->shards(); ++s) {
+    EXPECT_EQ(index->shard_cache(s).capacity_pages, 32u);
+  }
+
+  // Traffic through the server keeps the capacities within the budget
+  // and above the floor as rebalances fire (interval 2, 12 requests).
+  Server server(index.get());
+  auto centers = MakeQueryCenters(data, 1, rng);
+  L2Metric metric;
+  Request req;
+  req.tenant = "t";
+  req.query = Query::MakeKnn(
+      std::vector<float>(centers[0].begin(), centers[0].end()), 5);
+  req.metric = &metric;
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(server.Execute(req).status.ok());
+  }
+  size_t total = 0;
+  for (const CacheManager::PoolReport& report : mgr.Report()) {
+    EXPECT_GE(report.capacity_pages, mopts.min_pool_pages);
+    total += report.capacity_pages;
+  }
+  EXPECT_LE(total, mopts.total_budget_pages);
+  MetricsSnapshot snap = server.Snapshot();
+  for (size_t s = 0; s < index->shards(); ++s) {
+    EXPECT_LE(snap.per_shard_cache[s].cached_pages,
+              snap.per_shard_cache[s].capacity_pages +
+                  snap.per_shard_cache[s].pinned_pages);
+  }
+}
+
 }  // namespace
 }  // namespace ht
