@@ -1,0 +1,128 @@
+#include "common/lock_rank.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define HT_LOCK_RANK_HAVE_BACKTRACE 1
+#endif
+#endif
+
+namespace ht {
+namespace lock_rank {
+
+namespace {
+
+// Deep lock nesting would itself be a bug; the deepest legal chain in the
+// rank table is 3 (manager -> shard -> file).
+constexpr int kMaxHeld = 32;
+
+struct HeldEntry {
+  const void* mu;
+  uint32_t rank;
+  const char* name;
+};
+
+// Trivially-destructible TLS so the hooks stay safe during thread
+// teardown (no dynamic allocation on the lock path).
+thread_local HeldEntry g_held[kMaxHeld];
+thread_local int g_held_count = 0;
+
+// Relaxed everywhere: the flag gates a per-thread check with no shared
+// payload to publish; SetEnabled's contract (flip only while no ranked
+// lock is held) makes a momentarily stale read harmless.
+#ifdef HT_DEBUG_LOCK_RANK
+std::atomic<bool> g_enabled{true};
+#else
+std::atomic<bool> g_enabled{false};
+#endif
+
+[[noreturn]] void Die(const HeldEntry& conflict, const void* mu,
+                      uint32_t rank, const char* name) {
+  std::fprintf(stderr,
+               "\n*** lock-rank violation ***\n"
+               "acquiring:  %s (rank %u, %p)\n"
+               "conflicts:  %s (rank %u, %p) already held — a lock may "
+               "only be acquired at a rank strictly below every held rank\n"
+               "held stack (outermost first):\n",
+               name, rank, mu, conflict.name, conflict.rank, conflict.mu);
+  for (int i = 0; i < g_held_count; ++i) {
+    std::fprintf(stderr, "  [%d] %s (rank %u, %p)\n", i, g_held[i].name,
+                 g_held[i].rank, g_held[i].mu);
+  }
+#ifdef HT_LOCK_RANK_HAVE_BACKTRACE
+  void* frames[32];
+  const int n = ::backtrace(frames, 32);
+  std::fprintf(stderr, "acquisition backtrace:\n");
+  ::backtrace_symbols_fd(frames, n, 2);
+#endif
+  std::fflush(stderr);
+  std::abort();
+}
+
+void Push(const void* mu, uint32_t rank, const char* name) {
+  if (g_held_count < kMaxHeld) {
+    g_held[g_held_count++] = HeldEntry{mu, rank, name};
+  }
+}
+
+}  // namespace
+
+void SetEnabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void OnAcquire(const void* mu, LockRank rank, const char* name) {
+  if (!Enabled()) return;
+  const uint32_t r = static_cast<uint32_t>(rank);
+  for (int i = 0; i < g_held_count; ++i) {
+    // Strictly-below-everything-held: equal ranks are rejected too (locks
+    // sharing a rank are never held simultaneously by design), which also
+    // catches same-lock recursion.
+    if (g_held[i].rank <= r) Die(g_held[i], mu, r, name);
+  }
+  Push(mu, r, name);
+}
+
+void OnTryAcquire(const void* mu, LockRank rank, const char* name) {
+  if (!Enabled()) return;
+  // A try-acquire that succeeded out of order cannot have deadlocked (it
+  // would have failed instead), so record the hold without the check.
+  Push(mu, static_cast<uint32_t>(rank), name);
+}
+
+void OnCvReacquire(const void* mu, LockRank rank, const char* name) {
+  if (!Enabled()) return;
+  // Condition-variable wake-up: the mutex is reacquired by the OS in
+  // whatever order threads wake; the original acquisition already passed
+  // the order check, so re-record without repeating it.
+  Push(mu, static_cast<uint32_t>(rank), name);
+}
+
+void OnRelease(const void* mu, LockRank /*rank*/, const char* /*name*/) {
+  if (!Enabled()) return;
+  // Out-of-order release is legal; drop the most recent record for `mu`.
+  for (int i = g_held_count - 1; i >= 0; --i) {
+    if (g_held[i].mu == mu) {
+      for (int j = i; j + 1 < g_held_count; ++j) g_held[j] = g_held[j + 1];
+      --g_held_count;
+      return;
+    }
+  }
+  // Not found: the lock was acquired before checking was enabled. Ignore.
+}
+
+std::vector<uint32_t> HeldRanks() {
+  std::vector<uint32_t> out;
+  out.reserve(static_cast<size_t>(g_held_count));
+  for (int i = 0; i < g_held_count; ++i) out.push_back(g_held[i].rank);
+  return out;
+}
+
+}  // namespace lock_rank
+}  // namespace ht

@@ -1,0 +1,89 @@
+// Copyright 2026 The HybridTree Authors.
+// Clang Thread Safety Analysis annotation macros (no-ops elsewhere).
+//
+// These wrap Clang's capability attributes so the lock discipline that
+// DESIGN.md §12 states in prose is machine-checked at compile time: which
+// mutex guards which field (HT_GUARDED_BY), which functions must be called
+// with a lock held (HT_REQUIRES / HT_REQUIRES_SHARED), and which functions
+// acquire or release capabilities (HT_ACQUIRE / HT_RELEASE). The CI
+// `thread-safety` job builds with clang and -Werror=thread-safety
+// -Wthread-safety-beta, so a violation is a build break, not a review
+// comment. Under gcc (the default local toolchain) every macro expands to
+// nothing and the annotated code is byte-identical to unannotated code.
+//
+// Naming follows the attribute names in the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed HT_
+// like every other macro in this codebase.
+//
+// Policy for HT_NO_THREAD_SAFETY_ANALYSIS: target zero uses. Any escape
+// must carry a comment explaining why the analysis cannot see the
+// invariant and what enforces it instead (see DESIGN.md §12).
+
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define HT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef HT_THREAD_ANNOTATION
+#define HT_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a capability (something that can be held, e.g. a
+/// mutex). The string names the capability kind in diagnostics.
+#define HT_CAPABILITY(x) HT_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose lifetime acquires/releases a capability.
+#define HT_SCOPED_CAPABILITY HT_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define HT_GUARDED_BY(x) HT_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose POINTEE may only be accessed while holding `x`.
+#define HT_PT_GUARDED_BY(x) HT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares lock-order edges between capabilities (documentation to the
+/// analysis; runtime enforcement is the lock-rank checker).
+#define HT_ACQUIRED_BEFORE(...) HT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define HT_ACQUIRED_AFTER(...) HT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Caller must hold the capability exclusively (resp. at least shared).
+#define HT_REQUIRES(...) \
+  HT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define HT_REQUIRES_SHARED(...) \
+  HT_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (held on return, not on entry).
+#define HT_ACQUIRE(...) HT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define HT_ACQUIRE_SHARED(...) \
+  HT_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on return).
+#define HT_RELEASE(...) HT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define HT_RELEASE_SHARED(...) \
+  HT_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define HT_RELEASE_GENERIC(...) \
+  HT_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define HT_TRY_ACQUIRE(...) \
+  HT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define HT_TRY_ACQUIRE_SHARED(...) \
+  HT_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (non-reentrancy / deadlock guard).
+#define HT_EXCLUDES(...) HT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (tells the analysis so).
+#define HT_ASSERT_CAPABILITY(x) HT_THREAD_ANNOTATION(assert_capability(x))
+#define HT_ASSERT_SHARED_CAPABILITY(x) \
+  HT_THREAD_ANNOTATION(assert_shared_capability(x))
+
+/// Function returns a reference to the named capability.
+#define HT_RETURN_CAPABILITY(x) HT_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: function body is not analyzed. Target: zero uses; any
+/// use must carry a justification comment (DESIGN.md §12).
+#define HT_NO_THREAD_SAFETY_ANALYSIS \
+  HT_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -214,6 +214,11 @@ Result<std::unique_ptr<HybridTree>> BulkLoad(const HybridTreeOptions& options,
   // loader then fills pages bottom-up and repoints the root.
   HT_ASSIGN_OR_RETURN(auto tree, HybridTree::Create(options, file));
   if (data.size() == 0) return tree;
+  // The loader is the tree's only client until it returns: it writes index
+  // nodes and the metadata page directly, so it holds the exclusive role
+  // for the whole build. (Stage-1 worker threads only partition rows and
+  // serialize fresh pages; they never touch annotated tree state.)
+  ExclusiveRole role(&tree->rw_contract_);
 
   const size_t capacity = tree->data_capacity_;
   const double fill = std::clamp(bulk.fill,

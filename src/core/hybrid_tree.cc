@@ -70,6 +70,9 @@ Result<std::unique_ptr<HybridTree>> HybridTree::Create(
   root.MarkDirty();
   root.Release();
   meta.Release();
+  // Construction is single-threaded by contract; the role makes the
+  // WriteMeta requirement explicit to the analysis.
+  ExclusiveRole guard(&tree->rw_contract_);
   HT_RETURN_NOT_OK(tree->WriteMeta());
   return tree;
 }
@@ -145,6 +148,7 @@ Status HybridTree::WriteMeta() {
 }
 
 Status HybridTree::Flush() {
+  ExclusiveRole role(&rw_contract_);
   AccessClassScope ac(AccessClass::kIngest);
   // Ordered, write-ahead flush: first every dirty tree page goes out (in
   // batched round trips, one WriteBatch per buffer-pool shard) and is made
@@ -212,11 +216,11 @@ void HybridTree::EnsureCodes(KdNode* n) {
 
 Result<std::shared_ptr<const IndexNode>> HybridTree::ReadIndexNodeCached(
     PageId id, const uint8_t* page_data, size_t page_size) const {
-  if (concurrent_reads_) {
-    std::shared_lock<std::shared_mutex> lock(node_cache_mu_);
-    auto it = node_cache_.find(id);
-    if (it != node_cache_.end()) return it->second;
-  } else {
+  {
+    // Conditional guard: the lock is real only in concurrent-read mode;
+    // serial mode claims the capability without the runtime lock (the
+    // single-threaded contract IS the exclusion).
+    ReaderLock lock(&node_cache_mu_, concurrent_reads_);
     auto it = node_cache_.find(id);
     if (it != node_cache_.end()) return it->second;
   }
@@ -243,28 +247,23 @@ Result<std::shared_ptr<const IndexNode>> HybridTree::ReadIndexNodeCached(
   };
   fill(node.root.get(), Box::UnitCube(options_.dim));
   auto sp = std::make_shared<const IndexNode>(std::move(node));
-  if (concurrent_reads_) {
-    // Two readers may race to deserialize the same page; first to publish
-    // wins and both views are identical (the page is immutable while
-    // readers run).
-    std::unique_lock<std::shared_mutex> lock(node_cache_mu_);
-    auto [it, inserted] = node_cache_.try_emplace(id, std::move(sp));
-    return it->second;
-  }
-  node_cache_[id] = sp;
-  return sp;
+  // Two readers may race to deserialize the same page; first to publish
+  // wins and both views are identical (the page is immutable while
+  // readers run). Keep-first semantics match the serial path, where the
+  // miss check above guarantees the slot is empty.
+  WriterLock lock(&node_cache_mu_, concurrent_reads_);
+  auto [it, inserted] = node_cache_.try_emplace(id, std::move(sp));
+  return it->second;
 }
 
 void HybridTree::InvalidateCachedNode(PageId id) {
-  if (concurrent_reads_) {
-    std::unique_lock<std::shared_mutex> lock(node_cache_mu_);
-    node_cache_.erase(id);
-    return;
-  }
+  WriterLock lock(&node_cache_mu_, concurrent_reads_);
   node_cache_.erase(id);
 }
 
 Status HybridTree::SetConcurrentReads(bool on) {
+  // Mode flips happen between batches, under write exclusivity.
+  ExclusiveRole role(&rw_contract_);
   if (on == concurrent_reads_) return Status::OK();
   HT_RETURN_NOT_OK(pool_->SetConcurrentMode(on));
   concurrent_reads_ = on;
@@ -304,6 +303,7 @@ void HybridTree::ReencodeSubtree(KdNode* n, const Box& old_br,
 // ---------------------------------------------------------------------------
 
 Status HybridTree::Insert(std::span<const float> point, uint64_t id) {
+  ExclusiveRole role(&rw_contract_);
   AccessClassScope ac(AccessClass::kIngest);
   if (point.size() != options_.dim) {
     return Status::InvalidArgument("point dimensionality mismatch");
@@ -351,6 +351,7 @@ Status HybridTree::GrowRoot(const SplitResult& s) {
 
 Status HybridTree::InsertBatch(std::span<const float> points,
                                std::span<const uint64_t> ids) {
+  ExclusiveRole role(&rw_contract_);
   AccessClassScope ac(AccessClass::kIngest);
   if (ids.empty()) return Status::OK();
   if (points.size() != ids.size() * options_.dim) {
@@ -847,6 +848,7 @@ Result<std::vector<uint64_t>> HybridTree::SearchBox(const Box& query) const {
 
 Status HybridTree::SearchBoxInto(const Box& query, SearchScratch* scratch,
                                  std::vector<uint64_t>* out) const {
+  SharedRole role(&rw_contract_);
   if (query.dim() != options_.dim) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
@@ -953,45 +955,49 @@ Result<uint64_t> HybridTree::CountBox(const Box& query) const {
 
 Status HybridTree::ScanAll(
     const std::function<void(uint64_t, std::span<const float>)>& visit) const {
+  SharedRole role(&rw_contract_);
   // A full sweep is the canonical one-touch stream: tag it kScan so the
   // SLRU pool admits its pages to the probationary segment only and the
   // query working set survives (see storage/buffer_pool.h).
   AccessClassScope ac(AccessClass::kScan);
-  std::function<Status(PageId)> rec = [&](PageId page) -> Status {
-    HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page));
-    const NodeKind kind = PeekNodeKind(h.data());
-    if (kind == NodeKind::kData) {
-      DataPageScan scan(h.data(), h.size(), options_.dim);
-      if (!scan.ok()) return Status::Corruption("expected data node page");
-      for (size_t i = 0; i < scan.count(); ++i) {
-        visit(scan.id(i), scan.vec(i));
-      }
-      return Status::OK();
+  return ScanAllRec(root_, visit);
+}
+
+Status HybridTree::ScanAllRec(
+    PageId page,
+    const std::function<void(uint64_t, std::span<const float>)>& visit) const {
+  HT_ASSIGN_OR_RETURN(PageHandle h, pool_->Fetch(page));
+  const NodeKind kind = PeekNodeKind(h.data());
+  if (kind == NodeKind::kData) {
+    DataPageScan scan(h.data(), h.size(), options_.dim);
+    if (!scan.ok()) return Status::Corruption("expected data node page");
+    for (size_t i = 0; i < scan.count(); ++i) {
+      visit(scan.id(i), scan.vec(i));
     }
-    HT_ASSIGN_OR_RETURN(std::shared_ptr<const IndexNode> node,
-                        ReadIndexNodeCached(page, h.data(), h.size()));
-    h.Release();
-    // Read-ahead: an index node commits to visiting every child, so batch
-    // the whole fanout into one prefetch round trip before descending
-    // (bulk-loaded trees allocate children contiguously, so this coalesces
-    // into sequential vectored reads).
-    std::vector<PageId> children;
-    std::function<void(const KdNode*)> collect = [&](const KdNode* n) {
-      if (n->IsLeaf()) {
-        children.push_back(n->child);
-        return;
-      }
-      collect(n->left.get());
-      collect(n->right.get());
-    };
-    collect(node->root.get());
-    if (options_.prefetch_depth > 0 && children.size() > 1) {
-      pool_->Prefetch(children);
-    }
-    for (PageId child : children) HT_RETURN_NOT_OK(rec(child));
     return Status::OK();
+  }
+  HT_ASSIGN_OR_RETURN(std::shared_ptr<const IndexNode> node,
+                      ReadIndexNodeCached(page, h.data(), h.size()));
+  h.Release();
+  // Read-ahead: an index node commits to visiting every child, so batch
+  // the whole fanout into one prefetch round trip before descending
+  // (bulk-loaded trees allocate children contiguously, so this coalesces
+  // into sequential vectored reads).
+  std::vector<PageId> children;
+  std::function<void(const KdNode*)> collect = [&](const KdNode* n) {
+    if (n->IsLeaf()) {
+      children.push_back(n->child);
+      return;
+    }
+    collect(n->left.get());
+    collect(n->right.get());
   };
-  return rec(root_);
+  collect(node->root.get());
+  if (options_.prefetch_depth > 0 && children.size() > 1) {
+    pool_->Prefetch(children);
+  }
+  for (PageId child : children) HT_RETURN_NOT_OK(ScanAllRec(child, visit));
+  return Status::OK();
 }
 
 Result<std::vector<uint64_t>> HybridTree::SearchRange(
@@ -1008,6 +1014,7 @@ Status HybridTree::SearchRangeInto(std::span<const float> center,
                                    const DistanceMetric& metric,
                                    SearchScratch* scratch,
                                    std::vector<uint64_t>* out) const {
+  SharedRole role(&rw_contract_);
   if (center.size() != options_.dim) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
@@ -1240,6 +1247,7 @@ Status HybridTree::SearchKnnApproxInto(
     std::span<const float> center, size_t k, const DistanceMetric& metric,
     double epsilon, SearchScratch* scratch,
     std::vector<std::pair<double, uint64_t>>* out) const {
+  SharedRole role(&rw_contract_);
   if (center.size() != options_.dim) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
@@ -1409,6 +1417,7 @@ Status HybridTree::SearchKnnApproxInto(
 // ---------------------------------------------------------------------------
 
 Status HybridTree::Delete(std::span<const float> point, uint64_t id) {
+  ExclusiveRole role(&rw_contract_);
   AccessClassScope ac(AccessClass::kIngest);
   if (point.size() != options_.dim) {
     return Status::InvalidArgument("point dimensionality mismatch");
@@ -1547,6 +1556,7 @@ bool HybridTree::RemoveKdLeaf(IndexNode& node, const Box& node_br,
 // ---------------------------------------------------------------------------
 
 Status HybridTree::RebuildEls() {
+  ExclusiveRole role(&rw_contract_);
   AccessClassScope ac(AccessClass::kScan);
   if (!els_enabled()) return Status::OK();
   HT_ASSIGN_OR_RETURN(Box live,
@@ -1579,25 +1589,25 @@ Result<Box> HybridTree::RebuildElsRec(PageId page, const Box& br) {
     collect(node.root.get());
     if (children.size() > 1) pool_->Prefetch(children);
   }
-  std::function<Status(KdNode*, const Box&)> rec =
-      [&](KdNode* n, const Box& nbr) -> Status {
-    if (n->IsLeaf()) {
-      HT_ASSIGN_OR_RETURN(
-          Box child_live,
-          RebuildElsRec(n->child, Box::UnitCube(options_.dim)));
-      n->els = codec_.Encode(child_live, nbr);
-      node_live.ExtendToInclude(child_live);
-      return Status::OK();
-    }
-    HT_RETURN_NOT_OK(rec(n->left.get(), KdLeftBr(nbr, *n)));
-    return rec(n->right.get(), KdRightBr(nbr, *n));
-  };
-  HT_RETURN_NOT_OK(rec(node.root.get(), br));
+  HT_RETURN_NOT_OK(RebuildElsKd(node.root.get(), br, &node_live));
   HT_RETURN_NOT_OK(WriteIndexNode(page, node));
   return node_live;
 }
 
+Status HybridTree::RebuildElsKd(KdNode* n, const Box& nbr, Box* node_live) {
+  if (n->IsLeaf()) {
+    HT_ASSIGN_OR_RETURN(Box child_live,
+                        RebuildElsRec(n->child, Box::UnitCube(options_.dim)));
+    n->els = codec_.Encode(child_live, nbr);
+    node_live->ExtendToInclude(child_live);
+    return Status::OK();
+  }
+  HT_RETURN_NOT_OK(RebuildElsKd(n->left.get(), KdLeftBr(nbr, *n), node_live));
+  return RebuildElsKd(n->right.get(), KdRightBr(nbr, *n), node_live);
+}
+
 Result<TreeStats> HybridTree::ComputeStats() {
+  ExclusiveRole role(&rw_contract_);
   AccessClassScope ac(AccessClass::kScan);
   TreeStats stats;
   stats.entry_count = count_;
@@ -1662,25 +1672,28 @@ Status HybridTree::ComputeStatsRec(PageId page, const Box& br,
   ++lv.nodes;
   lv.children += node.NumChildren();
   stats->avg_index_fanout += static_cast<double>(node.NumChildren());
-  std::function<Status(const KdNode*, const Box&)> rec =
-      [&](const KdNode* n, const Box& nbr) -> Status {
-    if (n->IsLeaf()) {
-      return ComputeStatsRec(n->child, Box::UnitCube(options_.dim), stats,
-                             data_util_sum);
+  return ComputeStatsKd(node.root.get(), br, stats, data_util_sum);
+}
+
+Status HybridTree::ComputeStatsKd(const KdNode* n, const Box& nbr,
+                                  TreeStats* stats, double* data_util_sum) {
+  if (n->IsLeaf()) {
+    return ComputeStatsRec(n->child, Box::UnitCube(options_.dim), stats,
+                           data_util_sum);
+  }
+  ++stats->kd_internal_nodes;
+  if (n->lsp > n->rsp) {
+    ++stats->overlapping_kd_splits;
+    const double extent = nbr.Extent(n->split_dim);
+    if (extent > 0) {
+      stats->avg_overlap_fraction +=
+          (static_cast<double>(n->lsp) - n->rsp) / extent;
     }
-    ++stats->kd_internal_nodes;
-    if (n->lsp > n->rsp) {
-      ++stats->overlapping_kd_splits;
-      const double extent = nbr.Extent(n->split_dim);
-      if (extent > 0) {
-        stats->avg_overlap_fraction +=
-            (static_cast<double>(n->lsp) - n->rsp) / extent;
-      }
-    }
-    HT_RETURN_NOT_OK(rec(n->left.get(), KdLeftBr(nbr, *n)));
-    return rec(n->right.get(), KdRightBr(nbr, *n));
-  };
-  return rec(node.root.get(), br);
+  }
+  HT_RETURN_NOT_OK(ComputeStatsKd(n->left.get(), KdLeftBr(nbr, *n), stats,
+                                  data_util_sum));
+  return ComputeStatsKd(n->right.get(), KdRightBr(nbr, *n), stats,
+                        data_util_sum);
 }
 
 Status HybridTree::CheckInvariants() {
@@ -1740,6 +1753,9 @@ HybridTree::KnnCursor HybridTree::OpenKnnCursor(
 
 Result<std::optional<std::pair<double, uint64_t>>>
 HybridTree::KnnCursor::Next() {
+  // The cursor is a read-path client: each pull runs under the tree's
+  // shared role (the caller must not mutate the tree between pulls).
+  SharedRole role(&tree_->rw_contract_);
   // Distance browsing: entries and subtrees share one priority queue keyed
   // by (lower-bound) distance; when an entry surfaces, its distance is
   // exact and no unexpanded subtree can beat it.
@@ -1802,34 +1818,36 @@ HybridTree::KnnCursor::Next() {
 }
 
 void HybridTree::DumpTree() {
-  std::function<void(PageId, const Box&, int)> rec = [&](PageId page,
-                                                         const Box& br,
-                                                         int depth) {
-    auto kind = PeekKind(page).ValueOrDie();
-    if (kind == NodeKind::kData) {
-      auto node = ReadDataNode(page).ValueOrDie();
-      std::printf("%*sdata page=%u n=%zu live=%s region=%s\n", depth * 2, "",
-                  page, node.entries.size(),
-                  node.ComputeLiveBr(options_.dim).ToString().c_str(),
-                  br.ToString().c_str());
-      return;
-    }
-    auto node = ReadIndexNode(page).ValueOrDie();
-    std::printf("%*sindex page=%u level=%d children=%zu region=%s\n",
-                depth * 2, "", page, node.level, node.NumChildren(),
+  // Uses the mutating node readers (exact on-disk view, no cache fill), so
+  // it runs under the exclusive role like any other maintenance pass.
+  ExclusiveRole role(&rw_contract_);
+  DumpTreeRec(root_, Box::UnitCube(options_.dim), 0);
+}
+
+void HybridTree::DumpTreeRec(PageId page, const Box& br, int depth) {
+  auto kind = PeekKind(page).ValueOrDie();
+  if (kind == NodeKind::kData) {
+    auto node = ReadDataNode(page).ValueOrDie();
+    std::printf("%*sdata page=%u n=%zu live=%s region=%s\n", depth * 2, "",
+                page, node.entries.size(),
+                node.ComputeLiveBr(options_.dim).ToString().c_str(),
                 br.ToString().c_str());
-    std::vector<ChildRef> kids;
-    node.CollectChildren(br, &kids);
-    for (auto& kid : kids) {
-      Box live = els_enabled() ? codec_.Decode(kid.leaf->els, kid.kd_br)
-                               : kid.kd_br;
-      std::printf("%*s-> child=%u kd=%s els=%s\n", depth * 2 + 1, "",
-                  kid.leaf->child, kid.kd_br.ToString().c_str(),
-                  live.ToString().c_str());
-      rec(kid.leaf->child, Box::UnitCube(options_.dim), depth + 1);
-    }
-  };
-  rec(root_, Box::UnitCube(options_.dim), 0);
+    return;
+  }
+  auto node = ReadIndexNode(page).ValueOrDie();
+  std::printf("%*sindex page=%u level=%d children=%zu region=%s\n",
+              depth * 2, "", page, node.level, node.NumChildren(),
+              br.ToString().c_str());
+  std::vector<ChildRef> kids;
+  node.CollectChildren(br, &kids);
+  for (auto& kid : kids) {
+    Box live = els_enabled() ? codec_.Decode(kid.leaf->els, kid.kd_br)
+                             : kid.kd_br;
+    std::printf("%*s-> child=%u kd=%s els=%s\n", depth * 2 + 1, "",
+                kid.leaf->child, kid.kd_br.ToString().c_str(),
+                live.ToString().c_str());
+    DumpTreeRec(kid.leaf->child, Box::UnitCube(options_.dim), depth + 1);
+  }
 }
 
 }  // namespace ht

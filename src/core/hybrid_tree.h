@@ -23,12 +23,16 @@
 // are const and keep their traversal state in per-query stack/heap
 // structures, so after SetConcurrentReads(true) any number of threads may
 // run them concurrently against one tree (the buffer pool switches to its
-// lock-striped mode and the parsed-node cache takes a shared_mutex; see
-// storage/buffer_pool.h). Mutation (Insert, Delete, Flush, RebuildEls)
+// lock-striped mode and the parsed-node cache takes a reader-writer lock;
+// see storage/buffer_pool.h). Mutation (Insert, Delete, Flush, RebuildEls)
 // requires exclusive access: the caller must guarantee no query is in
 // flight — the exclusive-write half of the protocol is enforced by the
 // caller (e.g. exec::QueryExecutor runs only reads), not by this class.
-// Mode switches themselves require the same exclusivity.
+// Mode switches themselves require the same exclusivity. The protocol is
+// expressed to Clang's thread-safety analysis through the annotation-only
+// rw_contract_ capability (see DESIGN.md §12): read entry points acquire
+// it shared, mutators exclusively, and internal helpers declare which half
+// they need.
 
 #pragma once
 
@@ -36,13 +40,13 @@
 #include <memory>
 #include <optional>
 #include <queue>
-#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/els.h"
 #include "core/node.h"
 #include "core/options.h"
@@ -273,22 +277,31 @@ class HybridTree {
   }
 
   // --- node I/O -----------------------------------------------------------
-  Result<DataNode> ReadDataNode(PageId id);
-  Status WriteDataNode(PageId id, const DataNode& node);
-  Result<IndexNode> ReadIndexNode(PageId id);
+  // The HT_REQUIRES/HT_REQUIRES_SHARED(rw_contract_) annotations below make
+  // the shared-read / exclusive-write protocol (file comment) checkable:
+  // write-path helpers demand the exclusive role, read-path helpers the
+  // shared role, and a const search that strays onto a write helper fails
+  // the thread-safety build. Public entry points acquire the role
+  // internally (SharedRole/ExclusiveRole guards), so the contract is not
+  // viral to callers; the Role itself compiles to nothing.
+  Result<DataNode> ReadDataNode(PageId id) HT_REQUIRES(rw_contract_);
+  Status WriteDataNode(PageId id, const DataNode& node)
+      HT_REQUIRES(rw_contract_);
+  Result<IndexNode> ReadIndexNode(PageId id) HT_REQUIRES(rw_contract_);
   /// Read-path variant: returns the parsed node from the in-memory cache
   /// (decoded live boxes precomputed), deserializing `page_data` on a miss.
   /// Does NOT fetch from the pool — the caller already did (and paid the
   /// logical read). Mutating paths must not use this. Safe to call from
   /// concurrent readers when concurrent_reads_ is on.
   Result<std::shared_ptr<const IndexNode>> ReadIndexNodeCached(
-      PageId id, const uint8_t* page_data, size_t page_size) const;
+      PageId id, const uint8_t* page_data, size_t page_size) const
+      HT_REQUIRES_SHARED(rw_contract_);
   /// Drops `id` from the parsed-node cache (write paths, before rewriting
   /// or freeing the page).
-  void InvalidateCachedNode(PageId id);
-  Status WriteIndexNode(PageId id, IndexNode& node);
-  Result<NodeKind> PeekKind(PageId id);
-  Status WriteMeta();
+  void InvalidateCachedNode(PageId id) HT_REQUIRES(rw_contract_);
+  Status WriteIndexNode(PageId id, IndexNode& node) HT_REQUIRES(rw_contract_);
+  Result<NodeKind> PeekKind(PageId id) HT_REQUIRES(rw_contract_);
+  Status WriteMeta() HT_REQUIRES(rw_contract_);
 
   // --- insertion ----------------------------------------------------------
   struct SplitResult {
@@ -301,10 +314,11 @@ class HybridTree {
     Box right_live;
   };
   Result<SplitResult> InsertRec(PageId page, const Box& br,
-                                std::span<const float> point, uint64_t id);
+                                std::span<const float> point, uint64_t id)
+      HT_REQUIRES(rw_contract_);
   /// Installs a new root above the old one after a root-level split
   /// (shared by Insert and InsertBatch).
-  Status GrowRoot(const SplitResult& s);
+  Status GrowRoot(const SplitResult& s) HT_REQUIRES(rw_contract_);
   /// One InsertBatch recursion step: inserts the batch rows indexed by
   /// `idxs` into the subtree at `page`. On a split of `page`, the rows
   /// not yet placed come back in `leftovers` for the caller to re-route
@@ -316,11 +330,12 @@ class HybridTree {
   Result<BatchOutcome> InsertBatchRec(PageId page, const Box& br,
                                       std::span<const float> points,
                                       std::span<const uint64_t> ids,
-                                      std::vector<uint32_t> idxs);
+                                      std::vector<uint32_t> idxs)
+      HT_REQUIRES(rw_contract_);
   Result<SplitResult> SplitDataNode(PageId page, DataNode& node,
-                                    const Box& br);
+                                    const Box& br) HT_REQUIRES(rw_contract_);
   Result<SplitResult> SplitIndexNode(PageId page, IndexNode& node,
-                                     const Box& br);
+                                     const Box& br) HT_REQUIRES(rw_contract_);
   /// Recursively builds a kd-tree over child subtrees for one side of an
   /// index-node split.
   struct ChildItem {
@@ -333,7 +348,8 @@ class HybridTree {
   /// Navigation that closes kd gaps (lsp < v < rsp) by minimum enlargement,
   /// re-encoding ELS codes of the widened subtree.
   ChildRef FindLeafForInsert(IndexNode& node, std::span<const float> p,
-                             const Box& node_br, bool* dirtied);
+                             const Box& node_br, bool* dirtied)
+      HT_REQUIRES(rw_contract_);
   void ReencodeSubtree(KdNode* n, const Box& old_br, const Box& new_br);
   /// Replaces every empty leaf code with the full-region code so that the
   /// invariant "every leaf carries a code" holds before serialization.
@@ -346,7 +362,8 @@ class HybridTree {
     std::vector<DataEntry> orphans;
   };
   Result<DeleteOutcome> DeleteRec(PageId page, const Box& br,
-                                  std::span<const float> point, uint64_t id);
+                                  std::span<const float> point, uint64_t id)
+      HT_REQUIRES(rw_contract_);
   /// Removes `target` (a kd leaf) from the node's kd tree, widening and
   /// re-encoding the sibling subtree. Returns false if target is the root.
   bool RemoveKdLeaf(IndexNode& node, const Box& node_br, KdNode* target);
@@ -359,11 +376,19 @@ class HybridTree {
   // walks share scratch->stack across page-nesting levels via a base
   // marker (each level only pops entries it pushed).
   Status SearchBoxRec(PageId page, const Box& query, bool contained,
-                      SearchScratch* scratch, std::vector<uint64_t>* out) const;
+                      SearchScratch* scratch, std::vector<uint64_t>* out) const
+      HT_REQUIRES_SHARED(rw_contract_);
   Status SearchRangeRec(PageId page, std::span<const float> center,
                         double radius, const DistanceMetric& metric,
                         SearchScratch* scratch,
-                        std::vector<uint64_t>* out) const;
+                        std::vector<uint64_t>* out) const
+      HT_REQUIRES_SHARED(rw_contract_);
+  /// Recursive body of ScanAll (a member, not a lambda, so the analysis
+  /// sees the shared-role requirement).
+  Status ScanAllRec(
+      PageId page,
+      const std::function<void(uint64_t, std::span<const float>)>& fn) const
+      HT_REQUIRES_SHARED(rw_contract_);
   /// Quantized filter-then-refine for one data-page scan: computes sound
   /// code lower bounds for all `n` rows of `blk` and collects the rows
   /// with lb <= bound (ascending) into scratch->survivors. Returns false —
@@ -377,15 +402,30 @@ class HybridTree {
   bool QuantFilter(PageId page, const float* blk, size_t stride, size_t n,
                    std::span<const float> center, const DistanceMetric& metric,
                    double bound, SearchScratch* scratch,
-                   std::shared_ptr<const QuantizedPage>* qp_out) const;
+                   std::shared_ptr<const QuantizedPage>* qp_out) const
+      HT_REQUIRES_SHARED(rw_contract_);
 
   // --- maintenance --------------------------------------------------------
   /// DFS recomputing ELS codes; returns this subtree's exact live box.
-  Result<Box> RebuildElsRec(PageId page, const Box& br);
+  Result<Box> RebuildElsRec(PageId page, const Box& br)
+      HT_REQUIRES(rw_contract_);
+  /// Kd-walk half of RebuildElsRec: recurses into child subtrees and
+  /// re-encodes leaf ELS codes in place (member, not a lambda, so the
+  /// analysis sees the exclusive-role requirement).
+  Status RebuildElsKd(KdNode* n, const Box& nbr, Box* node_live)
+      HT_REQUIRES(rw_contract_);
   Status ComputeStatsRec(PageId page, const Box& br, TreeStats* stats,
-                         double* data_util_sum);
+                         double* data_util_sum) HT_REQUIRES(rw_contract_);
+  /// Kd-walk half of ComputeStatsRec (member, not a lambda, so the
+  /// analysis sees the exclusive-role requirement).
+  Status ComputeStatsKd(const KdNode* n, const Box& nbr, TreeStats* stats,
+                        double* data_util_sum) HT_REQUIRES(rw_contract_);
   Status CollectSubtreeEntries(PageId page, std::vector<DataEntry>* out,
-                               std::vector<PageId>* pages);
+                               std::vector<PageId>* pages)
+      HT_REQUIRES(rw_contract_);
+  /// Recursive body of DumpTree (member for the same reason as ScanAllRec).
+  void DumpTreeRec(PageId page, const Box& br, int depth)
+      HT_REQUIRES(rw_contract_);
   /// No-op unless built with -DHT_DEBUG_VALIDATE=ON, in which case it runs
   /// a full TreeValidator pass (including buffer-pool pin accounting) and
   /// aborts on any violation. Called after every mutating operation.
@@ -426,13 +466,22 @@ class HybridTree {
   /// Guarded by node_cache_mu_ when concurrent_reads_ is on; mutable
   /// because filling the cache is part of the const read path.
   mutable std::unordered_map<PageId, std::shared_ptr<const IndexNode>>
-      node_cache_;
-  mutable std::shared_mutex node_cache_mu_;
+      node_cache_ HT_GUARDED_BY(node_cache_mu_);
+  mutable SharedMutex node_cache_mu_{LockRank::kTreeNodeCache,
+                                     "HybridTree::node_cache_mu_"};
 
   /// Concurrent read mode (see SetConcurrentReads). Only flipped under
   /// write exclusivity, so plain (unsynchronized) reads of the flag are
   /// safe: worker threads are created after the flip.
   bool concurrent_reads_ = false;
+
+  /// The shared-read / exclusive-write protocol as a checkable capability.
+  /// Not a lock: acquiring it is a compile-time statement ("this code runs
+  /// under read-sharing" / "under write exclusivity"), enforced externally
+  /// by the serving layer's batch barriers. Entry points acquire it via
+  /// SharedRole / ExclusiveRole; helpers declare HT_REQUIRES[_SHARED] on
+  /// it so a const search can never reach a mutating helper.
+  mutable Role rw_contract_;
 };
 
 }  // namespace ht

@@ -22,6 +22,11 @@ TreeValidator::TreeValidator(HybridTree* tree, ValidateOptions opts)
     : tree_(tree), opts_(opts) {}
 
 Status TreeValidator::Validate() {
+  // Validation reads the tree through the mutating node readers (exact
+  // on-disk view, no read-path cache fills), so it runs under the
+  // exclusive role. The role is annotation-only: re-acquiring it here
+  // under a mutator's DebugValidate is a runtime no-op.
+  ExclusiveRole role(&tree_->rw_contract_);
   if (opts_.pins) {
     // A validation pass runs between operations; any pin held here was
     // leaked by whatever ran before us (AssertNoPins attributes it to the
@@ -193,73 +198,78 @@ Status TreeValidator::ValidateIndexNode(PageId page, const Box& kd_br,
   // threaded separately.
   out->exact_live = Box::Empty(tree_->options_.dim);
   out->entries = 0;
+  return ValidateKd(node.root.get(), Box::UnitCube(tree_->options_.dim), page,
+                    kd_br, live, expected_level, out);
+}
+
+Status TreeValidator::ValidateKd(const KdNode* n, const Box& nbr, PageId page,
+                                 const Box& kd_br, const Box& live,
+                                 uint32_t expected_level, Subtree* out) {
   const size_t code_bytes = tree_->codec_.CodeBytes();
-  std::function<Status(const KdNode*, const Box&)> rec =
-      [&](const KdNode* n, const Box& nbr) -> Status {
-    if ((n->left == nullptr) != (n->right == nullptr)) {
-      return Status::Corruption(PageTag(page) +
-                                ": kd node with exactly one child");
+  if ((n->left == nullptr) != (n->right == nullptr)) {
+    return Status::Corruption(PageTag(page) +
+                              ": kd node with exactly one child");
+  }
+  if (n->IsLeaf()) {
+    HT_RETURN_NOT_OK(ClaimChildPage(page, n->child));
+    if (opts_.els && tree_->els_enabled() && !n->els.empty() &&
+        n->els.size() != code_bytes) {
+      return Status::Corruption(
+          PageTag(page) + ": ELS code of " + std::to_string(n->els.size()) +
+          " bytes, expected " + std::to_string(code_bytes));
     }
-    if (n->IsLeaf()) {
-      HT_RETURN_NOT_OK(ClaimChildPage(page, n->child));
-      if (opts_.els && tree_->els_enabled() && !n->els.empty() &&
-          n->els.size() != code_bytes) {
+    const bool decode = tree_->els_enabled();
+    const Box dec = decode ? tree_->codec_.Decode(n->els, nbr) : nbr;
+    const Box child_kd = kd_br.Intersection(nbr);
+    const Box child_live = live.Intersection(dec);
+    Subtree child;
+    HT_RETURN_NOT_OK(ValidateRec(n->child, child_kd, child_live,
+                                 expected_level - 1, /*is_root=*/false,
+                                 &child));
+    if (opts_.els && decode && child.entries > 0) {
+      // The decoded code must cover the exact live box of everything
+      // stored below (conservativeness of the stored code)...
+      if (!dec.ContainsBox(child.exact_live)) {
         return Status::Corruption(
-            PageTag(page) + ": ELS code of " + std::to_string(n->els.size()) +
-            " bytes, expected " + std::to_string(code_bytes));
+            PageTag(page) + ": decoded ELS box " + dec.ToString() +
+            " does not contain the subtree's exact live box " +
+            child.exact_live.ToString());
       }
-      const bool decode = tree_->els_enabled();
-      const Box dec = decode ? tree_->codec_.Decode(n->els, nbr) : nbr;
-      const Box child_kd = kd_br.Intersection(nbr);
-      const Box child_live = live.Intersection(dec);
-      Subtree child;
-      HT_RETURN_NOT_OK(ValidateRec(n->child, child_kd, child_live,
-                                   expected_level - 1, /*is_root=*/false,
-                                   &child));
-      if (opts_.els && decode && child.entries > 0) {
-        // The decoded code must cover the exact live box of everything
-        // stored below (conservativeness of the stored code)...
-        if (!dec.ContainsBox(child.exact_live)) {
-          return Status::Corruption(
-              PageTag(page) + ": decoded ELS box " + dec.ToString() +
-              " does not contain the subtree's exact live box " +
-              child.exact_live.ToString());
-        }
-        // ...and re-encoding that box must round-trip conservatively (the
-        // codec contract, checked against live data instead of synthetic
-        // boxes).
-        const Box clipped = child.exact_live.Intersection(nbr);
-        const Box redec =
-            tree_->codec_.Decode(tree_->codec_.Encode(child.exact_live, nbr),
-                                 nbr);
-        if (!clipped.IsEmpty() && !redec.ContainsBox(clipped)) {
-          return Status::Corruption(
-              PageTag(page) + ": ELS round-trip lost space: " +
-              redec.ToString() + " does not contain " + clipped.ToString());
-        }
-      }
-      out->exact_live.ExtendToInclude(child.exact_live);
-      out->entries += child.entries;
-      return Status::OK();
-    }
-    if (opts_.structure) {
-      const uint32_t d = n->split_dim;
-      if (d >= tree_->options_.dim) {
-        return Status::Corruption(PageTag(page) + ": kd split dim " +
-                                  std::to_string(d) + " out of range");
-      }
-      if (n->lsp < nbr.lo(d) || n->rsp > nbr.hi(d)) {
+      // ...and re-encoding that box must round-trip conservatively (the
+      // codec contract, checked against live data instead of synthetic
+      // boxes).
+      const Box clipped = child.exact_live.Intersection(nbr);
+      const Box redec =
+          tree_->codec_.Decode(tree_->codec_.Encode(child.exact_live, nbr),
+                               nbr);
+      if (!clipped.IsEmpty() && !redec.ContainsBox(clipped)) {
         return Status::Corruption(
-            PageTag(page) + ": kd split positions (lsp=" +
-            std::to_string(n->lsp) + ", rsp=" + std::to_string(n->rsp) +
-            ") outside region " + nbr.ToString() + " on dim " +
-            std::to_string(d));
+            PageTag(page) + ": ELS round-trip lost space: " +
+            redec.ToString() + " does not contain " + clipped.ToString());
       }
     }
-    HT_RETURN_NOT_OK(rec(n->left.get(), KdLeftBr(nbr, *n)));
-    return rec(n->right.get(), KdRightBr(nbr, *n));
-  };
-  return rec(node.root.get(), Box::UnitCube(tree_->options_.dim));
+    out->exact_live.ExtendToInclude(child.exact_live);
+    out->entries += child.entries;
+    return Status::OK();
+  }
+  if (opts_.structure) {
+    const uint32_t d = n->split_dim;
+    if (d >= tree_->options_.dim) {
+      return Status::Corruption(PageTag(page) + ": kd split dim " +
+                                std::to_string(d) + " out of range");
+    }
+    if (n->lsp < nbr.lo(d) || n->rsp > nbr.hi(d)) {
+      return Status::Corruption(
+          PageTag(page) + ": kd split positions (lsp=" +
+          std::to_string(n->lsp) + ", rsp=" + std::to_string(n->rsp) +
+          ") outside region " + nbr.ToString() + " on dim " +
+          std::to_string(d));
+    }
+  }
+  HT_RETURN_NOT_OK(ValidateKd(n->left.get(), KdLeftBr(nbr, *n), page, kd_br,
+                              live, expected_level, out));
+  return ValidateKd(n->right.get(), KdRightBr(nbr, *n), page, kd_br, live,
+                    expected_level, out);
 }
 
 Status TreeValidator::ClaimChildPage(PageId parent, PageId child) {

@@ -37,12 +37,11 @@
 #include <unordered_set>
 
 #include "common/status.h"
+#include "core/hybrid_tree.h"
 #include "geometry/box.h"
 #include "storage/page.h"
 
 namespace ht {
-
-class HybridTree;
 
 /// Selects which check groups a validation pass runs. Everything defaults
 /// to on; tests disable groups to pinpoint a specific failure.
@@ -63,6 +62,9 @@ class TreeValidator {
   explicit TreeValidator(HybridTree* tree, ValidateOptions opts = {});
 
   /// Runs the pass. Returns OK or the first Corruption/Internal found.
+  /// Acquires the tree's exclusive role itself (validation reads via the
+  /// mutating node readers), so callers — tests or DebugValidate — just
+  /// call it; the role is an annotation-only capability, never a lock.
   Status Validate();
 
  private:
@@ -73,11 +75,19 @@ class TreeValidator {
   };
 
   Status ValidateRec(PageId page, const Box& kd_br, const Box& live,
-                     uint32_t expected_level, bool is_root, Subtree* out);
+                     uint32_t expected_level, bool is_root, Subtree* out)
+      HT_REQUIRES(tree_->rw_contract_);
   Status ValidateDataNode(PageId page, const Box& kd_br, const Box& live,
-                          bool is_root, Subtree* out);
+                          bool is_root, Subtree* out)
+      HT_REQUIRES(tree_->rw_contract_);
   Status ValidateIndexNode(PageId page, const Box& kd_br, const Box& live,
-                           uint32_t expected_level, Subtree* out);
+                           uint32_t expected_level, Subtree* out)
+      HT_REQUIRES(tree_->rw_contract_);
+  /// Recursive intra-node kd walk of ValidateIndexNode (member, not a
+  /// lambda, so the analysis sees the role requirement).
+  Status ValidateKd(const KdNode* n, const Box& nbr, PageId page,
+                    const Box& kd_br, const Box& live, uint32_t expected_level,
+                    Subtree* out) HT_REQUIRES(tree_->rw_contract_);
   /// Registers a child page id: in range, not the meta page, first visit.
   Status ClaimChildPage(PageId parent, PageId child);
 

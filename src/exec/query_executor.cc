@@ -84,6 +84,9 @@ Result<BatchReport> QueryExecutor::Run(const Workload& workload,
     });
   }
 
+  // Relaxed cursor: fetch_add's atomicity alone guarantees each index is
+  // claimed exactly once; the query array is immutable during the batch,
+  // so no claimed slot needs ordering against other memory.
   std::atomic<size_t> next{0};
   WallTimer batch_timer;
   const double deadline = options.deadline_seconds;

@@ -161,6 +161,8 @@ class QueryExecutor {
  private:
   HybridTree* tree_;
   ThreadPool* pool_;
+  /// Relaxed: pure flag with no payload to publish; workers poll it per
+  /// query and a slightly late observation only delays cancellation.
   std::atomic<bool> cancel_{false};
   /// One SearchScratch per pool worker (index = worker slot), grown in
   /// Run() and kept warm across batches. Workers never share an entry.

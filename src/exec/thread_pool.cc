@@ -17,19 +17,19 @@ ThreadPool::~ThreadPool() { (void)Shutdown(); }
 
 Status ThreadPool::Submit(Task task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stop_) {
       return Status::InvalidArgument("ThreadPool::Submit after Shutdown");
     }
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return Status::OK();
 }
 
 Status ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  MutexLock lock(&mu_);
+  while (!(queue_.empty() && running_ == 0)) idle_cv_.Wait(lock);
   Status s = std::move(first_error_);
   first_error_ = Status::OK();
   return s;
@@ -37,14 +37,14 @@ Status ThreadPool::Wait() {
 
 Status ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Status s = std::move(first_error_);
   first_error_ = Status::OK();
   return s;
@@ -54,8 +54,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!(stop_ || !queue_.empty())) work_cv_.Wait(lock);
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -63,12 +63,12 @@ void ThreadPool::WorkerLoop() {
     }
     Status s = task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --running_;
       if (!s.ok() && first_error_.ok()) first_error_ = std::move(s);
     }
     // A finished task can only make the pool idle; waiters re-check.
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
 }
 

@@ -12,15 +12,14 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace ht {
 
@@ -51,14 +50,14 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // signaled on submit and shutdown
-  std::condition_variable idle_cv_;  // signaled when the pool may be idle
-  std::deque<Task> queue_;
+  mutable Mutex mu_{LockRank::kThreadPool, "ThreadPool::mu_"};
+  CondVar work_cv_;  // signaled on submit and shutdown
+  CondVar idle_cv_;  // signaled when the pool may be idle
+  std::deque<Task> queue_ HT_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
-  size_t running_ = 0;  // tasks currently executing
-  bool stop_ = false;
-  Status first_error_;
+  size_t running_ HT_GUARDED_BY(mu_) = 0;  // tasks currently executing
+  bool stop_ HT_GUARDED_BY(mu_) = false;
+  Status first_error_ HT_GUARDED_BY(mu_);
 };
 
 }  // namespace ht

@@ -12,7 +12,10 @@
 namespace ht::kernels {
 namespace {
 
-/// ForceTier state: -1 = not forced, otherwise a SimdTier value.
+/// ForceTier state: -1 = not forced, otherwise a SimdTier value. Relaxed:
+/// the override is set in test setup before kernels run; a racing reader
+/// would only dispatch one call at the previous tier, and every tier
+/// returns bit-identical results by contract.
 std::atomic<int> g_forced_tier{-1};
 
 SimdTier DetectBestTier() {

@@ -39,7 +39,7 @@ AdmissionController::~AdmissionController() = default;
 void AdmissionController::SetQuota(const std::string& tenant,
                                    const TenantQuota& quota) {
   TenantState* state = GetTenant(tenant);
-  std::lock_guard<std::mutex> lock(state->mu);
+  MutexLock lock(&state->mu);
   state->quota = quota;
   state->tokens = BurstOf(quota);  // bucket starts full
   state->last_refill = clock_();
@@ -47,10 +47,14 @@ void AdmissionController::SetQuota(const std::string& tenant,
 
 AdmissionController::TenantState* AdmissionController::GetTenant(
     const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(tenants_mu_);
+  MutexLock lock(&tenants_mu_);
   std::unique_ptr<TenantState>& slot = tenants_[tenant];
   if (slot == nullptr) {
     slot = std::make_unique<TenantState>();
+    // Uncontended by construction (the pointer has not escaped yet), but
+    // last_refill is guarded, and map-lock(1000) -> tenant-lock(900) is
+    // the documented order anyway.
+    MutexLock init(&slot->mu);
     slot->last_refill = clock_();
   }
   return slot.get();
@@ -58,16 +62,16 @@ AdmissionController::TenantState* AdmissionController::GetTenant(
 
 void AdmissionController::ReleaseSlot(TenantState* state) {
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(&state->mu);
     if (state->in_flight > 0) --state->in_flight;
   }
-  state->slot_free.notify_one();
+  state->slot_free.NotifyOne();
 }
 
 Result<AdmissionTicket> AdmissionController::Admit(const std::string& tenant,
                                                    double max_wait_seconds) {
   TenantState* state = GetTenant(tenant);
-  std::unique_lock<std::mutex> lock(state->mu);
+  MutexLock lock(&state->mu);
 
   // Rate gate first: overload is rejected immediately, not queued.
   if (state->quota.rate_qps > 0.0) {
@@ -97,7 +101,7 @@ Result<AdmissionTicket> AdmissionController::Admit(const std::string& tenant,
                          std::chrono::steady_clock::duration>(
                          std::chrono::duration<double>(std::max(0.0, cap)));
     while (state->in_flight >= state->quota.max_in_flight) {
-      if (state->slot_free.wait_until(lock, wait_deadline) ==
+      if (state->slot_free.WaitUntil(lock, wait_deadline) ==
               std::cv_status::timeout &&
           state->in_flight >= state->quota.max_in_flight) {
         return Status::DeadlineExceeded(

@@ -22,17 +22,16 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/macros.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace ht {
 
@@ -117,22 +116,27 @@ class AdmissionController {
   friend class AdmissionTicket;
 
   struct TenantState {
-    std::mutex mu;
-    std::condition_variable slot_free;
-    TenantQuota quota;
-    double tokens = 0.0;
-    double last_refill = 0.0;
-    size_t in_flight = 0;
+    Mutex mu{LockRank::kAdmissionTenant, "AdmissionController::TenantState::mu"};
+    CondVar slot_free;
+    TenantQuota quota HT_GUARDED_BY(mu);
+    double tokens HT_GUARDED_BY(mu) = 0.0;
+    double last_refill HT_GUARDED_BY(mu) = 0.0;
+    size_t in_flight HT_GUARDED_BY(mu) = 0;
   };
 
   TenantState* GetTenant(const std::string& tenant);
   void ReleaseSlot(TenantState* state);
 
   Clock clock_;
-  std::mutex tenants_mu_;
+  /// Guards only the map; never held together with a TenantState::mu
+  /// (GetTenant returns a stable pointer, callers lock it afterwards) —
+  /// ranked above it anyway for defense in depth.
+  Mutex tenants_mu_{LockRank::kAdmissionTenantMap,
+                    "AdmissionController::tenants_mu_"};
   /// Node-based map: TenantState addresses are stable across inserts, so
   /// tickets and waiters hold plain pointers.
-  std::map<std::string, std::unique_ptr<TenantState>> tenants_;
+  std::map<std::string, std::unique_ptr<TenantState>> tenants_
+      HT_GUARDED_BY(tenants_mu_);
 };
 
 }  // namespace ht

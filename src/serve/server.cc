@@ -30,14 +30,18 @@ void Server::SetQuota(const std::string& tenant, const TenantQuota& quota) {
 
 Server::TenantState* Server::GetTenant(const std::string& tenant) {
   {
-    std::shared_lock<std::shared_mutex> lock(tenants_mu_);
+    ReaderLock lock(&tenants_mu_);
     auto it = tenants_.find(tenant);
     if (it != tenants_.end()) return it->second.get();
   }
-  std::unique_lock<std::shared_mutex> lock(tenants_mu_);
+  WriterLock lock(&tenants_mu_);
   std::unique_ptr<TenantState>& slot = tenants_[tenant];
   if (slot == nullptr) {
     slot = std::make_unique<TenantState>();
+    // Uncontended by construction (the pointer has not escaped yet), but
+    // the ring is guarded, and map(1100) -> stats(800) is the documented
+    // nesting anyway.
+    MutexLock init(&slot->latency_mu);
     slot->latency_ring.assign(std::max<size_t>(1, options_.latency_window),
                               0.0);
   }
@@ -48,7 +52,7 @@ void Server::RecordOutcome(TenantState* state, const Status& status,
                            double seconds) {
   if (status.ok()) {
     state->completed.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(state->latency_mu);
+    MutexLock lock(&state->latency_mu);
     state->latency_ring[state->latency_next] = seconds;
     state->latency_next = (state->latency_next + 1) % state->latency_ring.size();
     state->latency_count =
@@ -133,7 +137,7 @@ QueryResult Server::Execute(const Request& request) {
   result.seconds = timer.Seconds();
   RecordOutcome(state, result.status, result.seconds);
   {
-    std::lock_guard<std::mutex> lock(state->io_mu);
+    MutexLock lock(&state->io_mu);
     state->io.Accumulate(request_io);
   }
   // Count-gated global cache rebalance (no-op without a CacheManager):
@@ -149,7 +153,7 @@ MetricsSnapshot Server::Snapshot() const {
       SteadySeconds() - window_start_.load(std::memory_order_relaxed);
 
   {
-    std::shared_lock<std::shared_mutex> lock(tenants_mu_);
+    ReaderLock lock(&tenants_mu_);
     snap.tenants.reserve(tenants_.size());
     for (const auto& [name, state] : tenants_) {
       TenantMetrics t;
@@ -164,7 +168,7 @@ MetricsSnapshot Server::Snapshot() const {
         t.qps = static_cast<double>(t.completed) / snap.window_seconds;
       }
       {
-        std::lock_guard<std::mutex> ring_lock(state->latency_mu);
+        MutexLock ring_lock(&state->latency_mu);
         std::vector<double> samples(
             state->latency_ring.begin(),
             state->latency_ring.begin() +
@@ -172,7 +176,7 @@ MetricsSnapshot Server::Snapshot() const {
         t.latency = SummarizeLatencies(std::move(samples));
       }
       {
-        std::lock_guard<std::mutex> io_lock(state->io_mu);
+        MutexLock io_lock(&state->io_mu);
         t.io = state->io;
       }
       snap.tenants.push_back(std::move(t));
@@ -194,7 +198,7 @@ MetricsSnapshot Server::Snapshot() const {
 }
 
 void Server::ResetMetrics() {
-  std::unique_lock<std::shared_mutex> lock(tenants_mu_);
+  WriterLock lock(&tenants_mu_);
   for (auto& [name, state] : tenants_) {
     state->admitted.store(0, std::memory_order_relaxed);
     state->completed.store(0, std::memory_order_relaxed);
@@ -203,11 +207,11 @@ void Server::ResetMetrics() {
     state->cancelled.store(0, std::memory_order_relaxed);
     state->failed.store(0, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> ring_lock(state->latency_mu);
+      MutexLock ring_lock(&state->latency_mu);
       state->latency_next = 0;
       state->latency_count = 0;
     }
-    std::lock_guard<std::mutex> io_lock(state->io_mu);
+    MutexLock io_lock(&state->io_mu);
     state->io.Reset();
   }
   index_->ResetIo();

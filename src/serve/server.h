@@ -22,8 +22,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +29,7 @@
 #include "common/macros.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "exec/query_executor.h"
 #include "serve/admission.h"
 #include "serve/metrics.h"
@@ -97,6 +96,9 @@ class Server {
 
  private:
   struct TenantState {
+    /// Relaxed throughout: independent monotonic counters — snapshots
+    /// tolerate torn cross-counter views (each value is itself exact),
+    /// and no counter orders any other data.
     std::atomic<uint64_t> admitted{0};
     std::atomic<uint64_t> completed{0};
     std::atomic<uint64_t> rejected{0};
@@ -104,15 +106,16 @@ class Server {
     std::atomic<uint64_t> cancelled{0};
     std::atomic<uint64_t> failed{0};
     /// Bounded ring of completed-query latencies (seconds).
-    std::mutex latency_mu;
-    std::vector<double> latency_ring;
-    size_t latency_next = 0;
-    size_t latency_count = 0;
+    Mutex latency_mu{LockRank::kServerTenantStats,
+                     "Server::TenantState::latency_mu"};
+    std::vector<double> latency_ring HT_GUARDED_BY(latency_mu);
+    size_t latency_next HT_GUARDED_BY(latency_mu) = 0;
+    size_t latency_count HT_GUARDED_BY(latency_mu) = 0;
     /// Per-tenant I/O (including the per-access-class cache counters),
     /// accumulated from each request's scatter tasks via
     /// ExecOptions::request_io.
-    std::mutex io_mu;
-    IoStats io;
+    Mutex io_mu{LockRank::kServerTenantStats, "Server::TenantState::io_mu"};
+    IoStats io HT_GUARDED_BY(io_mu);
   };
 
   TenantState* GetTenant(const std::string& tenant);
@@ -122,13 +125,21 @@ class Server {
   ShardedIndex* index_;
   ServerOptions options_;
   AdmissionController admission_;
+  /// Relaxed: a pure flag with no payload to publish; scatter tasks poll
+  /// it and a slightly late observation only delays cancellation.
   std::atomic<bool> cancel_{false};
 
   /// Tenant map: read-mostly after warmup; states are pointer-stable.
-  mutable std::shared_mutex tenants_mu_;
-  std::unordered_map<std::string, std::unique_ptr<TenantState>> tenants_;
+  /// Held shared across the per-tenant stat locks in Snapshot (the
+  /// map(1100) -> stats(800) nesting in the lock-rank table).
+  mutable SharedMutex tenants_mu_{LockRank::kServerTenantMap,
+                                  "Server::tenants_mu_"};
+  std::unordered_map<std::string, std::unique_ptr<TenantState>> tenants_
+      HT_GUARDED_BY(tenants_mu_);
 
-  /// QPS window start (seconds, steady clock).
+  /// QPS window start (seconds, steady clock). Relaxed: written only by
+  /// ResetMetrics/construction, read by Snapshot; a stale read skews the
+  /// reported window by at most one reset race, never breaks anything.
   std::atomic<double> window_start_;
 };
 

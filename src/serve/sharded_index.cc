@@ -1,7 +1,6 @@
 #include "serve/sharded_index.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <limits>
 #include <string>
 #include <utility>
@@ -20,19 +19,19 @@ class Latch {
   explicit Latch(size_t n) : remaining_(n) {}
 
   void Done() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--remaining_ == 0) cv_.notify_all();
+    MutexLock lock(&mu_);
+    if (--remaining_ == 0) cv_.NotifyAll();
   }
 
   void Wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return remaining_ == 0; });
+    MutexLock lock(&mu_);
+    while (remaining_ != 0) cv_.Wait(lock);
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t remaining_;
+  Mutex mu_{LockRank::kServeScatter, "Latch::mu_"};
+  CondVar cv_;
+  size_t remaining_ HT_GUARDED_BY(mu_);
 };
 
 /// Merged request status: Cancelled beats hard failures (the caller asked
@@ -68,7 +67,7 @@ class SharedTopK {
 
   void Offer(double dist, uint64_t id) {
     const std::pair<double, uint64_t> cand(dist, id);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (heap_.size() < k_) {
       heap_.push_back(cand);
       std::push_heap(heap_.begin(), heap_.end());
@@ -93,15 +92,19 @@ class SharedTopK {
 
   /// Drains the heap into (distance, id)-ascending order.
   std::vector<std::pair<double, uint64_t>> TakeSorted() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     std::sort(heap_.begin(), heap_.end());
     return std::move(heap_);
   }
 
  private:
   const size_t k_;
-  std::mutex mu_;
-  std::vector<std::pair<double, uint64_t>> heap_;  // max-heap by (dist, id)
+  Mutex mu_{LockRank::kServeScatter, "SharedTopK::mu_"};
+  std::vector<std::pair<double, uint64_t>> heap_
+      HT_GUARDED_BY(mu_);  // max-heap by (dist, id)
+  /// Relaxed on both sides: the mirror is a monotone pruning hint with no
+  /// associated data — a stale read only weakens pruning (see Bound()),
+  /// and the heap itself is only touched under mu_.
   std::atomic<double> bound_{std::numeric_limits<double>::infinity()};
 };
 
@@ -189,7 +192,7 @@ ShardedIndex::~ShardedIndex() {
 
 std::unique_ptr<SearchScratch> ShardedIndex::AcquireScratch() const {
   {
-    std::lock_guard<std::mutex> lock(scratch_mu_);
+    MutexLock lock(&scratch_mu_);
     if (!scratch_pool_.empty()) {
       std::unique_ptr<SearchScratch> s = std::move(scratch_pool_.back());
       scratch_pool_.pop_back();
@@ -201,18 +204,18 @@ std::unique_ptr<SearchScratch> ShardedIndex::AcquireScratch() const {
 
 void ShardedIndex::ReleaseScratch(
     std::unique_ptr<SearchScratch> scratch) const {
-  std::lock_guard<std::mutex> lock(scratch_mu_);
+  MutexLock lock(&scratch_mu_);
   scratch_pool_.push_back(std::move(scratch));
 }
 
 IoStats ShardedIndex::shard_io(size_t s) const {
-  std::lock_guard<std::mutex> lock(shards_[s]->io_mu);
+  MutexLock lock(&shards_[s]->io_mu);
   return shards_[s]->io;
 }
 
 void ShardedIndex::ResetIo() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->io_mu);
+    MutexLock lock(&shard->io_mu);
     shard->io.Reset();
   }
 }
@@ -247,7 +250,7 @@ Status ShardedIndex::RunOnShards(
       statuses[s] = fn(s);
     }
     {
-      std::lock_guard<std::mutex> lock(shards_[s]->io_mu);
+      MutexLock lock(&shards_[s]->io_mu);
       shards_[s]->io.Accumulate(io);
     }
     task_io[s] = io;

@@ -51,12 +51,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "core/bulk_load.h"
 #include "core/hybrid_tree.h"
 #include "data/dataset.h"
@@ -169,9 +169,10 @@ class ShardedIndex {
     std::unique_ptr<HybridTree> tree;
     /// Shard-local id (bulk-load row index) -> global id.
     std::vector<uint64_t> local_to_global;
-    /// Serving-attributed I/O, accumulated per scatter task.
-    mutable std::mutex io_mu;
-    mutable IoStats io;
+    /// Serving-attributed I/O, accumulated per scatter task. Leaf-level
+    /// within the serve tier (never held across a tree or pool call).
+    mutable Mutex io_mu{LockRank::kServeScatter, "ShardedIndex::Shard::io_mu"};
+    mutable IoStats io HT_GUARDED_BY(io_mu);
   };
 
   ShardedIndex() = default;
@@ -196,8 +197,10 @@ class ShardedIndex {
   uint64_t total_count_ = 0;
   ThreadPool* pool_ = nullptr;
 
-  mutable std::mutex scratch_mu_;
-  mutable std::vector<std::unique_ptr<SearchScratch>> scratch_pool_;
+  mutable Mutex scratch_mu_{LockRank::kServeScatter,
+                            "ShardedIndex::scratch_mu_"};
+  mutable std::vector<std::unique_ptr<SearchScratch>> scratch_pool_
+      HT_GUARDED_BY(scratch_mu_);
 };
 
 }  // namespace ht

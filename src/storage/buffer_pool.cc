@@ -86,6 +86,9 @@ Status BufferPool::SetConcurrentMode(bool on) {
   // membership (probation/protected/prefetch-queue) is preserved.
   std::unordered_map<PageId, std::unique_ptr<Frame>> all;
   for (Shard& s : shards_) {
+    // Mode switches require quiescence (no other thread inside the pool),
+    // so the guard claims the shard capability without locking.
+    MutexLock lock(&s.mu, /*enabled=*/false);
     for (auto& [id, f] : s.frames) {
       if (f->in_lru) {
         ListFor(s, f->segment).erase(f->lru_it);
@@ -106,6 +109,7 @@ Status BufferPool::SetConcurrentMode(bool on) {
       std::memory_order_relaxed);
   for (auto& [id, f] : all) {
     Shard& s = ShardFor(id);
+    MutexLock lock(&s.mu, /*enabled=*/false);  // same quiescence contract
     std::list<PageId>& list = ListFor(s, f->segment);
     list.push_front(id);
     f->lru_it = list.begin();
@@ -116,6 +120,9 @@ Status BufferPool::SetConcurrentMode(bool on) {
 }
 
 Status BufferPool::SetCapacity(size_t capacity_pages) {
+  // Relaxed store: the capacity target is advisory — each reader acts on
+  // whatever value it observes under its own shard lock, and a stale
+  // target only delays (never corrupts) the resize.
   capacity_.store(capacity_pages, std::memory_order_relaxed);
   const size_t per_shard =
       concurrent_ ? (capacity_pages == 0
@@ -128,7 +135,7 @@ Status BufferPool::SetCapacity(size_t capacity_pages) {
   // pinned overage is left in place — it drains as pins release and later
   // misses evict down to target (EvictOneIfNeeded loops while over).
   for (Shard& shard : shards_) {
-    auto lock = LockShard(shard);
+    MutexLock lock(&shard.mu, concurrent_);
     while (shard.frames.size() > per_shard) {
       if (!EvictVictimLocked(shard).ok()) break;  // everything left is pinned
     }
@@ -138,7 +145,10 @@ Status BufferPool::SetCapacity(size_t capacity_pages) {
 
 uint8_t BufferPool::SketchTouch(Shard& shard, PageId id) {
   // Age first (halving every ~16x-capacity touches keeps the counters a
-  // sliding-window frequency estimate, TinyLFU-style), THEN bump.
+  // sliding-window frequency estimate, TinyLFU-style), THEN bump. The
+  // sketch itself is plain shard state under the shard lock; only the
+  // capacity target is atomic (relaxed: stale values merely shift the
+  // halving period).
   const size_t cap = shard_capacity_.load(std::memory_order_relaxed);
   const uint64_t halve_period =
       cap == 0 ? 4096 : std::max<uint64_t>(64, 16 * static_cast<uint64_t>(cap));
@@ -222,7 +232,7 @@ internal::CacheSegment BufferPool::AdmitSegmentLocked(Shard& shard,
 
 Result<PageHandle> BufferPool::Fetch(PageId id, std::source_location loc) {
   Shard& shard = ShardFor(id);
-  auto lock = LockShard(shard);
+  MutexLock lock(&shard.mu, concurrent_);
   const size_t cls = static_cast<size_t>(CurrentAccessClass());
   ++shard.stats.logical_reads;
   if (IoStats* tls = g_tls_io_sink) ++tls->logical_reads;
@@ -240,24 +250,31 @@ Result<PageHandle> BufferPool::Fetch(PageId id, std::source_location loc) {
     // Miss. If an async prefetch of this page is in flight, wait for the
     // fill instead of issuing a duplicate read, then re-check the map.
     // The atomic fast path keeps the no-prefetch miss free of prefetch_mu_
-    // traffic; the guard also keeps serial mode (non-owning shard lock)
-    // out of the unlock/relock dance. The dance runs at most once: the
-    // shard lock is dropped during it, so the map MUST be re-checked
+    // traffic; the guard also keeps serial mode (claimed, unlocked shard
+    // guard) out of the unlock/relock dance. The dance runs at most once:
+    // the shard lock is dropped during it, so the map MUST be re-checked
     // afterwards (a racing Fetch/fill may have installed the frame in the
     // window — installing a duplicate would dangle the returned pin), and
     // the one-shot guard keeps a busy in-flight set elsewhere in the pool
     // from looping this fetch forever.
+    //
+    // Memory order: acquire pairs with the release increments in
+    // Prefetch/FillPrefetch, so a nonzero observation happens-after the
+    // inflight_ insert it reflects. The gate is only an optimization
+    // either way — the authoritative membership check runs under
+    // prefetch_mu_, and a stale zero just means this fetch reads the page
+    // itself (the fill detects the installed frame and drops its copy).
     if (concurrent_ && !checked_inflight &&
         inflight_count_.load(std::memory_order_acquire) > 0) {
       checked_inflight = true;
-      lock.unlock();
+      lock.Unlock();
       {
-        std::unique_lock<std::mutex> pl(prefetch_mu_);
+        MutexLock pl(&prefetch_mu_);
         while (inflight_.count(id) != 0) {
-          prefetch_cv_.wait(pl);
+          prefetch_cv_.Wait(pl);
         }
       }
-      lock.lock();
+      lock.Lock();
       // The fill installed the frame (retry finds it) or dropped it
       // (no room / read error: retry falls through to a normal miss).
       continue;
@@ -271,7 +288,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id, std::source_location loc) {
   {
     // Shared lock: positional reads run concurrently with each other and
     // only exclude allocation/extension and write-back.
-    auto flock = LockFileShared();
+    ReaderLock flock(&file_mu_, concurrent_);
     HT_RETURN_NOT_OK(file_->Read(id, &frame->page));
   }
   ++shard.stats.physical_reads;
@@ -301,7 +318,7 @@ Status BufferPool::FetchMany(std::span<const PageId> ids,
   std::unordered_map<PageId, size_t> miss_slot;  // id -> index in miss_*
   for (PageId id : ids) {
     Shard& shard = ShardFor(id);
-    auto lock = LockShard(shard);
+    MutexLock lock(&shard.mu, concurrent_);
     ++shard.stats.logical_reads;
     if (IoStats* tls = g_tls_io_sink) ++tls->logical_reads;
     auto it = shard.frames.find(id);
@@ -329,7 +346,7 @@ Status BufferPool::FetchMany(std::span<const PageId> ids,
   // One round trip for every miss.
   Status read_status;
   {
-    auto flock = LockFileShared();
+    ReaderLock flock(&file_mu_, concurrent_);
     read_status = file_->ReadBatch(miss_ids, miss_pages);
   }
   if (!read_status.ok()) {
@@ -338,7 +355,7 @@ Status BufferPool::FetchMany(std::span<const PageId> ids,
   }
   {
     Shard& shard = ShardFor(miss_ids[0]);
-    auto lock = LockShard(shard);
+    MutexLock lock(&shard.mu, concurrent_);
     ++shard.stats.batch_reads;
     if (IoStats* tls = g_tls_io_sink) ++tls->batch_reads;
   }
@@ -351,7 +368,7 @@ Status BufferPool::FetchMany(std::span<const PageId> ids,
     if ((*out)[i].valid()) continue;
     const PageId id = ids[i];
     Shard& shard = ShardFor(id);
-    auto lock = LockShard(shard);
+    MutexLock lock(&shard.mu, concurrent_);
     Frame* f;
     auto it = shard.frames.find(id);
     if (it != shard.frames.end()) {
@@ -373,7 +390,7 @@ Status BufferPool::FetchMany(std::span<const PageId> ids,
     } else {
       Status evict_status = EvictOneIfNeeded(shard);
       if (!evict_status.ok()) {
-        if (lock.owns_lock()) lock.unlock();  // out->clear() re-locks shards
+        lock.Unlock();  // out->clear() re-locks shards
         out->clear();
         return evict_status;
       }
@@ -401,7 +418,7 @@ void BufferPool::Prefetch(std::span<const PageId> ids) {
   for (PageId id : ids) {
     if (std::find(need.begin(), need.end(), id) != need.end()) continue;
     Shard& shard = ShardFor(id);
-    auto lock = LockShard(shard);
+    MutexLock lock(&shard.mu, concurrent_);
     if (shard.frames.find(id) != shard.frames.end()) continue;
     need.push_back(id);
   }
@@ -409,21 +426,23 @@ void BufferPool::Prefetch(std::span<const PageId> ids) {
 
   bool async = false;
   if (concurrent_ && async_exec_) {
-    std::lock_guard<std::mutex> pl(prefetch_mu_);
+    MutexLock pl(&prefetch_mu_);
     need.erase(std::remove_if(need.begin(), need.end(),
-                              [this](PageId id) {
+                              [this](PageId id) HT_REQUIRES(prefetch_mu_) {
                                 return inflight_.count(id) != 0;
                               }),
                need.end());
     if (need.empty()) return;
     inflight_.insert(need.begin(), need.end());
+    // Release pairs with the acquire gate in Fetch: a fetch observing the
+    // new count happens-after these inserts (see the Fetch comment).
     inflight_count_.fetch_add(need.size(), std::memory_order_release);
     async = true;
   }
 
   {
     Shard& shard = ShardFor(need[0]);
-    auto lock = LockShard(shard);
+    MutexLock lock(&shard.mu, concurrent_);
     shard.stats.prefetch_issued += need.size();
     if (IoStats* tls = g_tls_io_sink) tls->prefetch_issued += need.size();
   }
@@ -453,7 +472,7 @@ void BufferPool::FillPrefetch(std::vector<PageId> ids, bool async) {
   }
   Status read_status;
   {
-    auto flock = LockFileShared();
+    ReaderLock flock(&file_mu_, concurrent_);
     read_status = file_->ReadBatch(ids, pages);
   }
   // Read errors are swallowed: prefetch is best-effort, and the Fetch that
@@ -461,7 +480,7 @@ void BufferPool::FillPrefetch(std::vector<PageId> ids, bool async) {
   if (read_status.ok()) {
     {
       Shard& shard = ShardFor(ids[0]);
-      auto lock = LockShard(shard);
+      MutexLock lock(&shard.mu, concurrent_);
       ++shard.stats.batch_reads;
       if (IoStats* tls = g_tls_io_sink) ++tls->batch_reads;
     }
@@ -473,7 +492,7 @@ void BufferPool::FillPrefetch(std::vector<PageId> ids, bool async) {
     for (size_t i = 0; i < ids.size(); ++i) {
       const PageId id = ids[i];
       Shard& shard = ShardFor(id);
-      auto lock = LockShard(shard);
+      MutexLock lock(&shard.mu, concurrent_);
       if (shard.frames.find(id) != shard.frames.end()) continue;  // raced
       if (policy_ == CachePolicy::kSlru && !bumped[ShardIndex(id)]) {
         bumped[ShardIndex(id)] = true;
@@ -505,22 +524,23 @@ void BufferPool::FillPrefetch(std::vector<PageId> ids, bool async) {
     // lock on purpose: once a drainer (e.g. the destructor) re-acquires
     // prefetch_mu_ and sees inflight_ empty, this thread is provably done
     // touching the condition variable, so tearing the pool down is safe.
-    std::lock_guard<std::mutex> pl(prefetch_mu_);
+    MutexLock pl(&prefetch_mu_);
     for (PageId id : ids) inflight_.erase(id);
+    // Release for the same acquire pairing as the fetch_add in Prefetch.
     inflight_count_.fetch_sub(ids.size(), std::memory_order_release);
-    prefetch_cv_.notify_all();
+    prefetch_cv_.NotifyAll();
   }
 }
 
 bool BufferPool::Cached(PageId id) const {
   const Shard& shard = shards_[ShardIndex(id)];
-  auto lock = LockShard(shard);
+  MutexLock lock(&shard.mu, concurrent_);
   return shard.frames.find(id) != shard.frames.end();
 }
 
 void BufferPool::DrainPrefetch() {
-  std::unique_lock<std::mutex> pl(prefetch_mu_);
-  prefetch_cv_.wait(pl, [this] { return inflight_.empty(); });
+  MutexLock pl(&prefetch_mu_);
+  while (!inflight_.empty()) prefetch_cv_.Wait(pl);
 }
 
 void BufferPool::SetPrefetchExecutor(AsyncExec exec) {
@@ -533,11 +553,11 @@ void BufferPool::SetPrefetchExecutor(AsyncExec exec) {
 Result<PageHandle> BufferPool::New(std::source_location loc) {
   PageId id;
   {
-    auto flock = LockFile();
+    WriterLock flock(&file_mu_, concurrent_);
     HT_ASSIGN_OR_RETURN(id, file_->Allocate());
   }
   Shard& shard = ShardFor(id);
-  auto lock = LockShard(shard);
+  MutexLock lock(&shard.mu, concurrent_);
   ++shard.stats.allocations;
   ++shard.stats.logical_reads;  // a new node still costs one access to write
   if (IoStats* tls = g_tls_io_sink) {
@@ -559,7 +579,7 @@ Result<PageHandle> BufferPool::New(std::source_location loc) {
 Status BufferPool::Free(PageId id) {
   Shard& shard = ShardFor(id);
   {
-    auto lock = LockShard(shard);
+    MutexLock lock(&shard.mu, concurrent_);
     auto it = shard.frames.find(id);
     if (it != shard.frames.end()) {
       Frame* f = it->second.get();
@@ -573,13 +593,13 @@ Status BufferPool::Free(PageId id) {
     ++shard.stats.frees;
     if (IoStats* tls = g_tls_io_sink) ++tls->frees;
   }
-  auto flock = LockFile();
+  WriterLock flock(&file_mu_, concurrent_);
   return file_->Free(id);
 }
 
 void BufferPool::Unpin(PageId id, Frame* f) {
   Shard& shard = ShardFor(id);
-  auto lock = LockShard(shard);
+  MutexLock lock(&shard.mu, concurrent_);
   HT_CHECK(f != nullptr && f->pins > 0);
   if (--f->pins == 0) {
     std::list<PageId>& list = ListFor(shard, f->segment);
@@ -626,7 +646,7 @@ Status BufferPool::EvictVictimLocked(Shard& shard) {
     list.pop_back();
     return true;
   };
-  auto take_stale_prefetch = [&]() {
+  auto take_stale_prefetch = [&]() HT_REQUIRES(shard.mu) {
     if (shard.prefetch_queue.empty()) return false;
     const PageId id = shard.prefetch_queue.back();
     auto fit = shard.frames.find(id);
@@ -647,7 +667,7 @@ Status BufferPool::EvictVictimLocked(Shard& shard) {
   }
   auto it = shard.frames.find(victim);
   HT_CHECK(it != shard.frames.end() && it->second->pins == 0);
-  HT_RETURN_NOT_OK(WriteBack(victim, it->second.get()));
+  HT_RETURN_NOT_OK(WriteBack(shard, victim, it->second.get()));
   const size_t cls = static_cast<size_t>(it->second->admit_class);
   shard.frames.erase(it);
   ++shard.stats.evictions;
@@ -659,13 +679,12 @@ Status BufferPool::EvictVictimLocked(Shard& shard) {
   return Status::OK();
 }
 
-Status BufferPool::WriteBack(PageId id, Frame* f) {
+Status BufferPool::WriteBack(Shard& shard, PageId id, Frame* f) {
   if (f->dirty) {
     {
-      auto flock = LockFile();
+      WriterLock flock(&file_mu_, concurrent_);
       HT_RETURN_NOT_OK(file_->Write(id, f->page));
     }
-    Shard& shard = ShardFor(id);  // caller already holds the shard lock
     ++shard.stats.writes;
     if (IoStats* tls = g_tls_io_sink) ++tls->writes;
     f->dirty = false;
@@ -688,9 +707,9 @@ Status BufferPool::FlushShardLocked(Shard& shard, PageId skip) {
     single = f.get();
   }
   if (ids.empty()) return Status::OK();
-  if (ids.size() == 1) return WriteBack(ids[0], single);
+  if (ids.size() == 1) return WriteBack(shard, ids[0], single);
   {
-    auto flock = LockFile();
+    WriterLock flock(&file_mu_, concurrent_);
     HT_RETURN_NOT_OK(file_->WriteBatch(ids, pages));
   }
   // Clear dirty flags only after the whole batch succeeded; on error the
@@ -709,7 +728,7 @@ Status BufferPool::FlushAll() { return FlushAllExcept(kInvalidPageId); }
 
 Status BufferPool::FlushAllExcept(PageId skip) {
   for (Shard& shard : shards_) {
-    auto lock = LockShard(shard);
+    MutexLock lock(&shard.mu, concurrent_);
     HT_RETURN_NOT_OK(FlushShardLocked(shard, skip));
   }
   return Status::OK();
@@ -717,10 +736,10 @@ Status BufferPool::FlushAllExcept(PageId skip) {
 
 Status BufferPool::FlushPage(PageId id) {
   Shard& shard = ShardFor(id);
-  auto lock = LockShard(shard);
+  MutexLock lock(&shard.mu, concurrent_);
   auto it = shard.frames.find(id);
   if (it == shard.frames.end()) return Status::OK();
-  return WriteBack(id, it->second.get());
+  return WriteBack(shard, id, it->second.get());
 }
 
 Status BufferPool::EvictAll() {
@@ -729,7 +748,7 @@ Status BufferPool::EvictAll() {
   DrainPrefetch();
   HT_RETURN_NOT_OK(FlushAll());
   for (Shard& shard : shards_) {
-    auto lock = LockShard(shard);
+    MutexLock lock(&shard.mu, concurrent_);
     for (auto it = shard.frames.begin(); it != shard.frames.end();) {
       if (it->second->pins == 0) {
         if (it->second->in_lru) {
@@ -747,7 +766,7 @@ Status BufferPool::EvictAll() {
 void BufferPool::CountScan(PageId id, uint64_t rows, uint64_t survivors,
                            bool filtered) {
   Shard& shard = ShardFor(id);
-  auto lock = LockShard(shard);
+  MutexLock lock(&shard.mu, concurrent_);
   shard.stats.scan_points += rows;
   if (filtered) {
     shard.stats.quant_refined += survivors;
@@ -770,7 +789,7 @@ const IoStats& BufferPool::stats() const {
 IoStats BufferPool::StatsSnapshot() const {
   IoStats total;
   for (const Shard& shard : shards_) {
-    auto lock = LockShard(shard);
+    MutexLock lock(&shard.mu, concurrent_);
     total.Accumulate(shard.stats);
   }
   return total;
@@ -778,7 +797,7 @@ IoStats BufferPool::StatsSnapshot() const {
 
 void BufferPool::ResetStats() {
   for (Shard& shard : shards_) {
-    auto lock = LockShard(shard);
+    MutexLock lock(&shard.mu, concurrent_);
     shard.stats.Reset();
   }
 }
@@ -788,7 +807,7 @@ BufferPool::CacheSnapshot BufferPool::SnapshotCache() const {
   snap.policy = policy_;
   snap.capacity_pages = capacity_.load(std::memory_order_relaxed);
   for (const Shard& shard : shards_) {
-    auto lock = LockShard(shard);
+    MutexLock lock(&shard.mu, concurrent_);
     snap.cached_pages += shard.frames.size();
     snap.probation_pages += shard.lru.size();
     snap.protected_pages += shard.protected_lru.size();
@@ -804,7 +823,7 @@ BufferPool::CacheSnapshot BufferPool::SnapshotCache() const {
 size_t BufferPool::cached_frames() const {
   size_t n = 0;
   for (const Shard& shard : shards_) {
-    auto lock = LockShard(shard);
+    MutexLock lock(&shard.mu, concurrent_);
     n += shard.frames.size();
   }
   return n;
@@ -813,7 +832,7 @@ size_t BufferPool::cached_frames() const {
 size_t BufferPool::pinned_frames() const {
   size_t n = 0;
   for (const Shard& shard : shards_) {
-    auto lock = LockShard(shard);
+    MutexLock lock(&shard.mu, concurrent_);
     for (const auto& [id, f] : shard.frames) {
       if (f->pins > 0) ++n;
     }
@@ -827,17 +846,20 @@ size_t BufferPool::pinned_frames() const {
 
 void BufferPool::SetPinTracking(bool on) {
   {
-    std::lock_guard<std::mutex> lk(pin_mu_);
+    MutexLock lk(&pin_mu_);
     live_pins_.clear();
   }
+  // Relaxed: the flag is flipped only at quiescence (documented contract);
+  // pin paths need atomicity, not ordering, to read it.
   pin_tracking_.store(on, std::memory_order_relaxed);
 }
 
 uint64_t BufferPool::TrackPin(PageId id, const std::source_location& loc) {
   if (!pin_tracking_.load(std::memory_order_relaxed)) return 0;
+  // Relaxed fetch_add: tokens only need to be unique, not ordered.
   const uint64_t token =
       next_pin_token_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lk(pin_mu_);
+  MutexLock lk(&pin_mu_);
   live_pins_.emplace(token,
                      PinSite{id, loc.file_name(), loc.line(),
                              loc.function_name()});
@@ -845,7 +867,7 @@ uint64_t BufferPool::TrackPin(PageId id, const std::source_location& loc) {
 }
 
 void BufferPool::UntrackPin(uint64_t token) {
-  std::lock_guard<std::mutex> lk(pin_mu_);
+  MutexLock lk(&pin_mu_);
   live_pins_.erase(token);
 }
 
@@ -855,7 +877,7 @@ Status BufferPool::AssertNoPins() const {
   uint64_t total_pins = 0;
   uint64_t frames = 0;
   for (const Shard& shard : shards_) {
-    auto lock = LockShard(shard);
+    MutexLock lock(&shard.mu, concurrent_);
     for (const auto& [id, f] : shard.frames) {
       if (f->pins > 0) {
         ++frames;
@@ -870,7 +892,7 @@ Status BufferPool::AssertNoPins() const {
   if (pin_tracking_.load(std::memory_order_relaxed)) {
     // Group live registrations by call site for attribution.
     std::map<std::string, std::pair<uint64_t, std::string>> by_site;
-    std::lock_guard<std::mutex> lk(pin_mu_);
+    MutexLock lk(&pin_mu_);
     for (const auto& [token, site] : live_pins_) {
       std::string key = std::string(site.file) + ":" +
                         std::to_string(site.line) + " (" + site.function + ")";

@@ -98,12 +98,9 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <source_location>
 #include <span>
 #include <unordered_map>
@@ -113,6 +110,7 @@
 #include "common/macros.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/io_stats.h"
 #include "storage/paged_file.h"
 
@@ -439,54 +437,43 @@ class BufferPool {
   static constexpr uint8_t kSketchPromote = 3;
 
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<PageId, std::unique_ptr<Frame>> frames;
+    /// Guards every field of the shard. In serial mode call sites pass
+    /// enabled=false guards, which claim the capability to the static
+    /// analysis without locking (see common/sync.h: the pool is
+    /// single-threaded by contract in that mode).
+    mutable Mutex mu{LockRank::kPoolShard, "BufferPool::Shard::mu"};
+    std::unordered_map<PageId, std::unique_ptr<Frame>> frames
+        HT_GUARDED_BY(mu);
     /// Probationary segment in kSlru; the ONLY list in kLru. front = most
     /// recent; unpinned frames only.
-    std::list<PageId> lru;
+    std::list<PageId> lru HT_GUARDED_BY(mu);
     /// Protected segment (kSlru only): frames promoted on re-reference.
-    std::list<PageId> protected_lru;
+    std::list<PageId> protected_lru HT_GUARDED_BY(mu);
     /// Prefetched-but-never-referenced fills (kSlru only): first victims.
-    std::list<PageId> prefetch_queue;
+    std::list<PageId> prefetch_queue HT_GUARDED_BY(mu);
     /// Recycled list nodes: the pin/unpin hot path moves nodes between
     /// the segment lists and this one with splice() instead of erasing/
     /// reinserting, so a warm Fetch/Release cycle performs no heap
     /// allocation. Bounded by the peak number of simultaneously pinned
     /// frames.
-    std::list<PageId> lru_spares;
+    std::list<PageId> lru_spares HT_GUARDED_BY(mu);
     /// Frequency sketch (kSlru only; see the constants above).
-    std::array<uint8_t, kSketchSize> sketch{};
-    uint64_t sketch_ops = 0;
+    std::array<uint8_t, kSketchSize> sketch HT_GUARDED_BY(mu){};
+    uint64_t sketch_ops HT_GUARDED_BY(mu) = 0;
     /// Bumped once per prefetch batch landing in this shard; compared
     /// against PageFrame::fill_gen to age out abandoned prefetches.
-    uint64_t prefetch_gen = 0;
-    IoStats stats;
+    uint64_t prefetch_gen HT_GUARDED_BY(mu) = 0;
+    IoStats stats HT_GUARDED_BY(mu);
   };
 
   size_t ShardIndex(PageId id) const {
     return concurrent_ ? static_cast<size_t>(id) % kShardCount : 0;
   }
   Shard& ShardFor(PageId id) { return shards_[ShardIndex(id)]; }
-  /// Empty (no-op) lock in serial mode, a real lock in concurrent mode.
-  std::unique_lock<std::mutex> LockShard(const Shard& s) const {
-    return concurrent_ ? std::unique_lock<std::mutex>(s.mu)
-                       : std::unique_lock<std::mutex>();
-  }
-  /// Exclusive file lock: allocation/extension, Free, and write-back.
-  std::unique_lock<std::shared_mutex> LockFile() const {
-    return concurrent_ ? std::unique_lock<std::shared_mutex>(file_mu_)
-                       : std::unique_lock<std::shared_mutex>();
-  }
-  /// Shared file lock: miss reads, batch fills, prefetch fills. Positional
-  /// reads may run concurrently with each other; the shared/exclusive
-  /// split only keeps them from overlapping a write-back of the same file.
-  std::shared_lock<std::shared_mutex> LockFileShared() const {
-    return concurrent_ ? std::shared_lock<std::shared_mutex>(file_mu_)
-                       : std::shared_lock<std::shared_mutex>();
-  }
 
   /// The list a frame in `segment` lives on (always `lru` under kLru).
-  std::list<PageId>& ListFor(Shard& shard, CacheSegment segment) {
+  std::list<PageId>& ListFor(Shard& shard, CacheSegment segment)
+      HT_REQUIRES(shard.mu) {
     switch (segment) {
       case CacheSegment::kProtected:
         return shard.protected_lru;
@@ -505,33 +492,36 @@ class BufferPool {
   void UntrackPin(uint64_t token);
 
   /// Ages + bumps the sketch counter for `id`; returns the new count.
-  /// Caller holds the shard lock. kSlru only.
-  uint8_t SketchTouch(Shard& shard, PageId id);
+  /// kSlru only.
+  uint8_t SketchTouch(Shard& shard, PageId id) HT_REQUIRES(shard.mu);
   /// Per-shard protected-segment budget (~80% of the shard capacity;
   /// 0 = unbounded pool, no budget enforced).
   size_t ProtectedCapacity() const;
   /// Hit-path bookkeeping under the shard lock: prefetch_hit accounting,
   /// splice out of the frame's segment list, and the SLRU promotion rules.
-  void TouchHitLocked(Shard& shard, PageId id, Frame* f);
+  void TouchHitLocked(Shard& shard, PageId id, Frame* f)
+      HT_REQUIRES(shard.mu);
   /// Admission segment for a freshly missed page (kSlru: sketch-hot
   /// query-class misses go straight to protected). Touches the sketch.
-  CacheSegment AdmitSegmentLocked(Shard& shard, PageId id);
+  CacheSegment AdmitSegmentLocked(Shard& shard, PageId id)
+      HT_REQUIRES(shard.mu);
   /// Demotes the protected tail into probation until the segment fits its
-  /// budget. Caller holds the shard lock.
-  void EnforceProtectedCapLocked(Shard& shard);
+  /// budget.
+  void EnforceProtectedCapLocked(Shard& shard) HT_REQUIRES(shard.mu);
   /// Evicts down to the shard capacity (at most one eviction in steady
-  /// state). Caller holds the shard lock (concurrent mode) or is
-  /// single-threaded.
-  Status EvictOneIfNeeded(Shard& shard);
+  /// state).
+  Status EvictOneIfNeeded(Shard& shard) HT_REQUIRES(shard.mu);
   /// Evicts one unpinned frame in policy order (kSlru: prefetch queue,
   /// then probation, then protected; kLru: the LRU tail), charging the
   /// eviction to the victim's admitting class.
-  Status EvictVictimLocked(Shard& shard);
-  Status WriteBack(PageId id, Frame* f);
+  Status EvictVictimLocked(Shard& shard) HT_REQUIRES(shard.mu);
+  /// Writes one dirty frame back (takes the file lock: shard -> file
+  /// order per the rank table in common/lock_rank.h).
+  Status WriteBack(Shard& shard, PageId id, Frame* f)
+      HT_REQUIRES(shard.mu);
   /// Writes this shard's dirty frames (minus `skip`) in one WriteBatch.
-  /// Caller holds the shard lock; takes the file lock internally (the
-  /// same shard -> file order as WriteBack).
-  Status FlushShardLocked(Shard& shard, PageId skip);
+  /// Takes the file lock internally (same shard -> file order).
+  Status FlushShardLocked(Shard& shard, PageId skip) HT_REQUIRES(shard.mu);
 
   /// Reads `ids` (all distinct, none cached at issue time) in one batch
   /// and installs the frames unpinned + prefetch-tagged. Runs on the
@@ -551,20 +541,33 @@ class BufferPool {
   std::atomic<size_t> shard_capacity_;
   bool concurrent_ = false;
   std::array<Shard, kShardCount> shards_;
-  /// Readers shared, allocation/Free/write-back exclusive (see LockFile*).
-  mutable std::shared_mutex file_mu_;
+  /// File-access ordering lock: miss reads, batch fills, and prefetch
+  /// fills hold it SHARED (positional reads are thread-safe and may
+  /// overlap each other); allocation/extension, Free, and dirty
+  /// write-back hold it EXCLUSIVE so they never overlap a read of the
+  /// same file. It orders OPERATIONS, not data — file_ itself is a const
+  /// pointer and metadata reads like page_size() are lock-free — so no
+  /// field is GUARDED_BY it; the capability still participates in the
+  /// analysis through the scoped guards and in the rank order (shard ->
+  /// file). Serial mode passes enabled=false guards like the shard locks.
+  mutable SharedMutex file_mu_{LockRank::kPoolFile, "BufferPool::file_mu_"};
   mutable IoStats agg_stats_;  // scratch for stats()
 
   /// Async prefetch state. inflight_ holds ids whose background fill has
   /// been scheduled but not finished; Fetch waits on prefetch_cv_ instead
   /// of issuing a duplicate read. Lock order: prefetch_mu_ may be taken
-  /// with no shard lock held, or before a shard lock — never after one.
+  /// with no shard lock held, or before a shard lock — never after one
+  /// (ranked above kPoolShard, so the rank checker enforces exactly that).
   AsyncExec async_exec_;
-  std::mutex prefetch_mu_;
-  std::condition_variable prefetch_cv_;
-  std::unordered_set<PageId> inflight_;
+  Mutex prefetch_mu_{LockRank::kPoolPrefetch, "BufferPool::prefetch_mu_"};
+  CondVar prefetch_cv_;
+  std::unordered_set<PageId> inflight_ HT_GUARDED_BY(prefetch_mu_);
   /// == inflight_.size(); lets the Fetch miss path skip the prefetch_mu_
   /// round trip entirely when nothing is in flight (the common case).
+  /// Release on update / acquire on the skip-check: a fetch that sees a
+  /// nonzero count must also see the inflight_ entries published before
+  /// the increment once it takes prefetch_mu_ (zero needs no ordering —
+  /// there is nothing to observe).
   std::atomic<size_t> inflight_count_{0};
 
   /// Debug pin tracking (see SetPinTracking). Token -> pin site for every
@@ -577,10 +580,13 @@ class BufferPool {
     unsigned line;
     const char* function;
   };
+  /// Relaxed: the tracking flag is flipped only between operations (a pin
+  /// that races the flip is simply not attributed), and the token counter
+  /// only needs uniqueness, not ordering.
   std::atomic<bool> pin_tracking_{false};
   std::atomic<uint64_t> next_pin_token_{1};
-  mutable std::mutex pin_mu_;
-  std::unordered_map<uint64_t, PinSite> live_pins_;
+  mutable Mutex pin_mu_{LockRank::kPoolPinTable, "BufferPool::pin_mu_"};
+  std::unordered_map<uint64_t, PinSite> live_pins_ HT_GUARDED_BY(pin_mu_);
 };
 
 }  // namespace ht

@@ -28,7 +28,7 @@ void CacheManager::SplitEvenLocked() {
 }
 
 void CacheManager::Register(const std::string& name, BufferPool* pool) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (const Entry& e : entries_) {
     if (e.pool == pool) return;
   }
@@ -41,7 +41,7 @@ void CacheManager::Register(const std::string& name, BufferPool* pool) {
 }
 
 void CacheManager::Unregister(BufferPool* pool) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = std::find_if(entries_.begin(), entries_.end(),
                          [pool](const Entry& e) { return e.pool == pool; });
   if (it == entries_.end()) return;
@@ -58,7 +58,7 @@ void CacheManager::MaybeRebalance() {
 }
 
 void CacheManager::Rebalance() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (entries_.empty() || options_.total_budget_pages == 0) return;
   const size_t n = entries_.size();
   const size_t floor = options_.min_pool_pages;
@@ -107,12 +107,12 @@ void CacheManager::Rebalance() {
 }
 
 size_t CacheManager::pool_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return entries_.size();
 }
 
 std::vector<CacheManager::PoolReport> CacheManager::Report() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   std::vector<PoolReport> out;
   out.reserve(entries_.size());
   for (const Entry& e : entries_) {

@@ -25,12 +25,12 @@
 
 #include <atomic>
 #include <cstddef>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "storage/buffer_pool.h"
 #include "storage/io_stats.h"
 
@@ -101,12 +101,16 @@ class CacheManager {
   /// Sum of demand hits/misses across all access classes in `s`.
   static void DemandTotals(const IoStats& s, uint64_t* hits,
                            uint64_t* misses);
-  /// Splits the budget evenly across entries_. Caller holds mu_.
-  void SplitEvenLocked();
+  /// Splits the budget evenly across entries_.
+  void SplitEvenLocked() HT_REQUIRES(mu_);
 
   const CacheManagerOptions options_;
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;
+  /// Outermost lock in the pool hierarchy: Rebalance/SetCapacity take each
+  /// pool's shard locks while mu_ is held (see common/lock_rank.h).
+  mutable Mutex mu_{LockRank::kCacheManager, "CacheManager::mu_"};
+  std::vector<Entry> entries_ HT_GUARDED_BY(mu_);
+  /// Relaxed counter: MaybeRebalance only needs a unique per-call value to
+  /// gate the interval; no ordering with any other data.
   std::atomic<uint64_t> tick_{0};
 };
 

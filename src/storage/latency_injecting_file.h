@@ -139,6 +139,10 @@ class LatencyInjectingPagedFile final : public PagedFile {
   }
 
   PagedFile* base_;
+  /// Relaxed throughout: the knobs are set by the bench driver between
+  /// phases and polled by I/O threads (a stale read injects the previous
+  /// latency once), and the call counters are independent tallies with no
+  /// ordering relationship to any other data.
   std::atomic<int64_t> per_call_ns_{0};
   std::atomic<int64_t> per_page_ns_{0};
   std::atomic<int64_t> write_per_call_ns_{0};

@@ -99,7 +99,9 @@ class PagedFile {
  protected:
   /// Lock-free counters (see stats()). Only the fields a raw file can
   /// observe are tracked; logical reads and cache behaviour belong to
-  /// BufferPool.
+  /// BufferPool. All accesses are relaxed: each counter is an independent
+  /// tally, readers tolerate torn cross-counter views, and no counter
+  /// publishes any other data.
   struct Counters {
     std::atomic<uint64_t> physical_reads{0};
     std::atomic<uint64_t> writes{0};

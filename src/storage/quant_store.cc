@@ -3,7 +3,6 @@
 #include "storage/quant_store.h"
 
 #include <cstring>
-#include <mutex>
 
 #include "common/macros.h"
 
@@ -82,49 +81,46 @@ std::shared_ptr<const QuantizedPage> QuantStore::GetOrBuild(
     PageId id, const float* block, size_t stride_floats, size_t count,
     uint32_t dim, bool concurrent) const {
   if (count == 0) return nullptr;
-  if (concurrent) {
-    {
-      std::shared_lock lock(mu_);
-      auto it = cache_.find(id);
-      if (it != cache_.end()) return it->second;
-    }
-    auto built =
-        std::make_shared<const QuantizedPage>(block, stride_floats, count, dim);
-    std::unique_lock lock(mu_);
-    // A racing reader may have built the same sidecar; keep the first.
-    return cache_.emplace(id, std::move(built)).first->second;
+  // Single code path for both modes: when `concurrent` is false the guards
+  // claim the capability without locking, so the serial path keeps its
+  // zero-synchronization cost while the analysis sees one locked protocol.
+  {
+    ReaderLock lock(&mu_, concurrent);
+    auto it = cache_.find(id);
+    if (it != cache_.end()) return it->second;
   }
-  auto it = cache_.find(id);
-  if (it != cache_.end()) return it->second;
+  // Build outside any lock: encoding is the expensive part and the input
+  // block belongs to a pinned page, so it cannot move underneath us.
   auto built =
       std::make_shared<const QuantizedPage>(block, stride_floats, count, dim);
-  cache_.emplace(id, built);
-  return built;
+  WriterLock lock(&mu_, concurrent);
+  // A racing reader may have built the same sidecar; keep the first.
+  return cache_.emplace(id, std::move(built)).first->second;
 }
 
 std::shared_ptr<const QuantizedPage> QuantStore::Lookup(PageId id) const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(&mu_);
   auto it = cache_.find(id);
   return it != cache_.end() ? it->second : nullptr;
 }
 
 void QuantStore::Invalidate(PageId id) {
-  std::unique_lock lock(mu_);
+  WriterLock lock(&mu_);
   cache_.erase(id);
 }
 
 void QuantStore::Clear() {
-  std::unique_lock lock(mu_);
+  WriterLock lock(&mu_);
   cache_.clear();
 }
 
 size_t QuantStore::CachedPages() const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(&mu_);
   return cache_.size();
 }
 
 std::vector<PageId> QuantStore::Snapshot() const {
-  std::shared_lock lock(mu_);
+  ReaderLock lock(&mu_);
   std::vector<PageId> ids;
   ids.reserve(cache_.size());
   for (const auto& [id, page] : cache_) ids.push_back(id);

@@ -25,10 +25,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
 #include "geometry/kernels/kernels.h"
 #include "geometry/quantize.h"
 #include "storage/page.h"
@@ -120,9 +120,12 @@ class QuantStore {
   std::vector<PageId> Snapshot() const;
 
  private:
-  mutable std::shared_mutex mu_;
+  /// Leaf in the tree read path: taken while a data page is pinned, below
+  /// any tree/pool lock. When `concurrent` is false the guards claim the
+  /// capability without locking (single-threaded contract).
+  mutable SharedMutex mu_{LockRank::kQuantStore, "QuantStore::mu_"};
   mutable std::unordered_map<PageId, std::shared_ptr<const QuantizedPage>>
-      cache_;
+      cache_ HT_GUARDED_BY(mu_);
 };
 
 }  // namespace ht
