@@ -22,7 +22,11 @@
 // gate — run under CI via --smoke).
 //
 // Env overrides (on top of bench_common.h): HT_BENCH_N (default 100000).
-// Flags: --smoke (small n, few queries; same checks).
+// Flags: --smoke (small n, few queries; same checks); --cursor
+// (additionally measures k-NN through the bound-carrying KnnCursor —
+// OpenKnnCursor with limit=k, pulling k entries — per config, with its
+// own identity gate against the baseline and the cursor-path filter
+// counters in a "cursor" JSON section).
 
 #include "bench_common.h"
 
@@ -57,14 +61,36 @@ struct Measured {
   uint64_t scan_points = 0;
   uint64_t refined = 0;
   uint64_t pruned = 0;
+  // --cursor mode only: k-NN through the bound-carrying KnnCursor.
+  double cursor_qps = 0.0;
+  uint64_t cursor_scan_points = 0;
+  uint64_t cursor_refined = 0;
+  uint64_t cursor_pruned = 0;
 };
+
+/// One cursor-path k-NN: the first k entries of a limit=k cursor.
+void CursorKnn(const HybridTree& tree, std::span<const float> center,
+               const DistanceMetric& metric,
+               std::vector<std::pair<double, uint64_t>>* out) {
+  KnnCursorOptions copts;
+  copts.limit = kKnnK;
+  auto cursor = tree.OpenKnnCursor(center, metric, copts);
+  out->clear();
+  while (out->size() < kKnnK) {
+    auto next = cursor.Next().ValueOrDie();
+    if (!next.has_value()) break;
+    out->push_back(*next);
+  }
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool cursor_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--cursor") == 0) cursor_mode = true;
   }
   const size_t n = smoke ? 20000 : EnvSize("HT_BENCH_N", 100000);
   const size_t n_queries = smoke ? 20 : Queries();
@@ -133,7 +159,8 @@ int main(int argc, char** argv) {
       HT_CHECK_OK(tree->SearchKnnInto(centers[q], kKnnK, l2, &scratch, &nn));
     }
 
-    // Identity check against the baseline config's answers.
+    // Identity check against the baseline config's answers. In --cursor
+    // mode the bound-carrying cursor must reproduce them too.
     for (size_t q = 0; q < centers.size(); ++q) {
       HT_CHECK_OK(
           tree->SearchRangeInto(centers[q], radius[q], l2, &scratch, &ids));
@@ -143,6 +170,10 @@ int main(int argc, char** argv) {
         ref_knn[q] = nn;
       } else if (ids != ref_range[q] || nn != ref_knn[q]) {
         identical = false;
+      }
+      if (cursor_mode) {
+        CursorKnn(*tree, centers[q], l2, &nn);
+        if (nn != ref_knn[q]) identical = false;
       }
     }
 
@@ -176,10 +207,22 @@ int main(int argc, char** argv) {
       const double kqps = static_cast<double>(centers.size()) / kt.Seconds();
       if (rqps > m[c].range_qps) m[c].range_qps = rqps;
       if (kqps > m[c].knn_qps) m[c].knn_qps = kqps;
+      if (cursor_mode) {
+        WallTimer ct;
+        for (size_t q = 0; q < centers.size(); ++q) {
+          CursorKnn(*tree, centers[q], l2, &nn);
+        }
+        const double cqps =
+            static_cast<double>(centers.size()) / ct.Seconds();
+        if (cqps > m[c].cursor_qps) m[c].cursor_qps = cqps;
+      }
       const IoStats s = tree->pool().StatsSnapshot();
       m[c].scan_points = s.scan_points;
       m[c].refined = s.quant_refined;
       m[c].pruned = s.quant_pruned;
+      m[c].cursor_scan_points = s.cursor_scan_points;
+      m[c].cursor_refined = s.cursor_quant_refined;
+      m[c].cursor_pruned = s.cursor_quant_pruned;
     }
   }
   kernels::ClearForcedTier();
@@ -201,6 +244,22 @@ int main(int argc, char** argv) {
                   TablePrinter::Num(100.0 * rate, 1) + "%"});
   }
   table.Print();
+  if (cursor_mode) {
+    std::printf("\nCursor-path k-NN (limit=k bound-carrying cursor):\n");
+    TablePrinter ctable({"config", "cursor knn QPS", "cursor speedup",
+                         "cursor filter rate"});
+    for (size_t c = 0; c < n_configs; ++c) {
+      const double crate =
+          m[c].cursor_scan_points > 0
+              ? static_cast<double>(m[c].cursor_pruned) /
+                    static_cast<double>(m[c].cursor_scan_points)
+              : 0.0;
+      ctable.AddRow({configs[c].name, TablePrinter::Num(m[c].cursor_qps, 0),
+                     TablePrinter::Num(m[c].cursor_qps / m[0].cursor_qps, 2),
+                     TablePrinter::Num(100.0 * crate, 1) + "%"});
+    }
+    ctable.Print();
+  }
   std::printf(
       "simd+quant filter: %llu points scanned, %llu refined, %llu pruned\n",
       static_cast<unsigned long long>(m[2].scan_points),
@@ -230,8 +289,7 @@ int main(int argc, char** argv) {
         "  \"knn_speedup\": {\"simd\": %.3f, \"simd_quant\": %.3f},\n"
         "  \"filter\": {\"scan_points\": %llu, \"refined\": %llu, "
         "\"pruned\": %llu, \"prune_rate\": %.4f},\n"
-        "  \"results_identical\": %s\n"
-        "}\n",
+        "  \"results_identical\": %s",
         kDim, n, centers.size(), kKnnK, kernels::TierName(best),
         m[0].range_qps, m[1].range_qps, m[2].range_qps, m[0].knn_qps,
         m[1].knn_qps, m[2].knn_qps, m[1].range_qps / m[0].range_qps,
@@ -245,6 +303,31 @@ int main(int argc, char** argv) {
                   static_cast<double>(m[2].scan_points)
             : 0.0,
         identical ? "true" : "false");
+    if (cursor_mode) {
+      std::fprintf(
+          json,
+          ",\n"
+          "  \"cursor\": {\n"
+          "    \"knn_qps\": {\"baseline\": %.1f, \"simd\": %.1f, "
+          "\"simd_quant\": %.1f},\n"
+          "    \"knn_speedup\": {\"simd\": %.3f, \"simd_quant\": %.3f},\n"
+          "    \"filter\": {\"scan_points\": %llu, \"refined\": %llu, "
+          "\"pruned\": %llu, \"prune_rate\": %.4f}\n"
+          "  }\n",
+          m[0].cursor_qps, m[1].cursor_qps, m[2].cursor_qps,
+          m[1].cursor_qps / m[0].cursor_qps,
+          m[2].cursor_qps / m[0].cursor_qps,
+          static_cast<unsigned long long>(m[2].cursor_scan_points),
+          static_cast<unsigned long long>(m[2].cursor_refined),
+          static_cast<unsigned long long>(m[2].cursor_pruned),
+          m[2].cursor_scan_points > 0
+              ? static_cast<double>(m[2].cursor_pruned) /
+                    static_cast<double>(m[2].cursor_scan_points)
+              : 0.0);
+    } else {
+      std::fprintf(json, "\n");
+    }
+    std::fprintf(json, "}\n");
     std::fclose(json);
     std::printf("Wrote BENCH_quant.json\n");
   }

@@ -1,0 +1,227 @@
+// Extension (beyond the paper): the approximate k-NN recall knob.
+// Sweeps the two ExecOptions/KnnSearchLimits knobs — (1+epsilon)
+// approximation and the leaf-visit budget — against exact search on the
+// FOURIER 16-d workload and reports the recall@k vs throughput trade-off
+// each operating point buys.
+//
+// Ground truth is BruteForceKnn over the raw dataset. The exact
+// configuration doubles as an identity gate: SearchKnnBoundedInto with
+// default limits must reproduce SearchKnnInto bitwise AND score recall
+// 1.0, or the bench exits nonzero (run under CI via --smoke).
+//
+// QPS is the best of three interleaved measurement rounds per operating
+// point (scheduler interference only ever slows a run); recall, leaf
+// visits, and early-termination fractions are deterministic per point and
+// measured once.
+//
+// Machine-readable output: BENCH_recall.json in the working directory,
+// including best_speedup_at_recall95 — the largest QPS multiple over
+// exact among points that keep recall@k >= 0.95.
+//
+// Env overrides (on top of bench_common.h): HT_BENCH_N (default 100000).
+// Flags: --smoke (small n, few queries; same checks).
+
+#include "bench_common.h"
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/timing.h"
+#include "core/bulk_load.h"
+#include "core/hybrid_tree.h"
+#include "data/workload.h"
+#include "geometry/kernels/kernels.h"
+#include "geometry/metrics.h"
+
+using namespace ht;
+using namespace ht::bench;
+
+namespace {
+
+constexpr uint32_t kDim = 16;
+constexpr size_t kPageSize = kDefaultPageSize;
+constexpr size_t kKnnK = 10;
+
+struct Point {
+  std::string name;
+  KnnSearchLimits limits;
+};
+
+struct Measured {
+  double qps = 0.0;
+  double recall = 0.0;
+  double avg_leaf_visits = 0.0;
+  double early_frac = 0.0;
+};
+
+double RecallAtK(const std::vector<std::pair<double, uint64_t>>& got,
+                 const std::vector<std::pair<double, uint64_t>>& truth) {
+  std::set<uint64_t> want;
+  for (const auto& [d, id] : truth) want.insert(id);
+  size_t hits = 0;
+  for (const auto& [d, id] : got) hits += want.count(id);
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const size_t n = smoke ? 20000 : EnvSize("HT_BENCH_N", 100000);
+  const size_t n_queries = smoke ? 20 : Queries();
+
+  const kernels::SimdTier best = kernels::BestSupportedTier();
+  PrintHeader(
+      "Extension: approximate k-NN recall knob",
+      "beyond the paper: recall@k vs throughput across the epsilon and "
+      "leaf-visit-budget sweeps (exact point doubles as an identity gate)",
+      "FOURIER 16-d, n=" + std::to_string(n) + ", page=" +
+          std::to_string(kPageSize) + "B, queries=" +
+          std::to_string(n_queries) + ", k=" + std::to_string(kKnnK) +
+          ", L2 metric, tier=" + kernels::TierName(best));
+
+  Rng rng(20260809);
+  Dataset data = GenFourier(n, kDim, rng);
+  auto centers = MakeQueryCenters(data, n_queries, rng);
+  L2Metric l2;
+
+  HybridTreeOptions opts;
+  opts.dim = kDim;
+  opts.page_size = kPageSize;
+  opts.quant_sidecars = true;
+  MemPagedFile file(kPageSize);
+  auto tree = BulkLoad(opts, &file, data).ValueOrDie();
+
+  // Ground truth + the exact tree answers (the identity reference).
+  std::vector<std::vector<std::pair<double, uint64_t>>> truth(centers.size());
+  std::vector<std::vector<std::pair<double, uint64_t>>> exact_ref(
+      centers.size());
+  SearchScratch scratch;
+  std::vector<std::pair<double, uint64_t>> nn;
+  for (size_t q = 0; q < centers.size(); ++q) {
+    truth[q] = BruteForceKnn(data, centers[q], kKnnK, l2);
+    HT_CHECK_OK(tree->SearchKnnInto(centers[q], kKnnK, l2, &scratch, &nn));
+    exact_ref[q] = nn;
+  }
+
+  std::vector<Point> points;
+  points.push_back({"exact", KnnSearchLimits{}});
+  for (const double eps : {0.25, 0.5, 1.0, 2.0}) {
+    KnnSearchLimits limits;
+    limits.epsilon = eps;
+    points.push_back({"eps=" + TablePrinter::Num(eps, 2), limits});
+  }
+  for (const size_t budget : {64, 32, 16, 8, 4}) {
+    KnnSearchLimits limits;
+    limits.max_leaf_visits = budget;
+    points.push_back({"visits<=" + std::to_string(budget), limits});
+  }
+
+  // Deterministic pass per point: warm-up, recall, accounting, and (for
+  // the exact point) the bitwise identity gate.
+  bool identical = true;
+  std::vector<Measured> m(points.size());
+  for (size_t p = 0; p < points.size(); ++p) {
+    double recall_sum = 0.0;
+    uint64_t visits = 0;
+    uint64_t early = 0;
+    for (size_t q = 0; q < centers.size(); ++q) {
+      KnnSearchInfo info;
+      HT_CHECK_OK(tree->SearchKnnBoundedInto(centers[q], kKnnK, l2,
+                                             points[p].limits, &scratch, &nn,
+                                             &info));
+      if (p == 0 && (nn != exact_ref[q] || info.early_terminated)) {
+        identical = false;
+      }
+      recall_sum += RecallAtK(nn, truth[q]);
+      visits += info.leaf_visits;
+      early += info.early_terminated ? 1 : 0;
+    }
+    m[p].recall = recall_sum / static_cast<double>(centers.size());
+    m[p].avg_leaf_visits =
+        static_cast<double>(visits) / static_cast<double>(centers.size());
+    m[p].early_frac =
+        static_cast<double>(early) / static_cast<double>(centers.size());
+  }
+  if (m[0].recall < 1.0) identical = false;
+
+  // Interleaved best-of-3 timing rounds.
+  constexpr int kRounds = 3;
+  for (int r = 0; r < kRounds; ++r) {
+    for (size_t p = 0; p < points.size(); ++p) {
+      WallTimer t;
+      for (size_t q = 0; q < centers.size(); ++q) {
+        HT_CHECK_OK(tree->SearchKnnBoundedInto(centers[q], kKnnK, l2,
+                                               points[p].limits, &scratch,
+                                               &nn));
+      }
+      const double qps = static_cast<double>(centers.size()) / t.Seconds();
+      if (qps > m[p].qps) m[p].qps = qps;
+    }
+  }
+
+  double best_speedup_95 = 0.0;
+  for (size_t p = 1; p < points.size(); ++p) {
+    if (m[p].recall >= 0.95 && m[p].qps / m[0].qps > best_speedup_95) {
+      best_speedup_95 = m[p].qps / m[0].qps;
+    }
+  }
+
+  std::printf("\nRecall@%zu vs throughput (%zu queries):\n", kKnnK,
+              centers.size());
+  TablePrinter table({"operating point", "recall@k", "QPS", "speedup",
+                      "avg leaf visits", "early-term"});
+  for (size_t p = 0; p < points.size(); ++p) {
+    table.AddRow({points[p].name, TablePrinter::Num(m[p].recall, 4),
+                  TablePrinter::Num(m[p].qps, 0),
+                  TablePrinter::Num(m[p].qps / m[0].qps, 2),
+                  TablePrinter::Num(m[p].avg_leaf_visits, 1),
+                  TablePrinter::Num(100.0 * m[p].early_frac, 1) + "%"});
+  }
+  table.Print();
+  std::printf("Best speedup at recall >= 0.95: %.2fx\n", best_speedup_95);
+  std::printf("Identity gate (exact == SearchKnn, recall 1.0): %s\n",
+              identical ? "PASS" : "FAIL (BUG)");
+
+  FILE* json = std::fopen("BENCH_recall.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n"
+                 "  \"bench\": \"recall\",\n"
+                 "  \"dataset\": \"fourier\",\n"
+                 "  \"dim\": %u,\n"
+                 "  \"n\": %zu,\n"
+                 "  \"queries\": %zu,\n"
+                 "  \"k\": %zu,\n"
+                 "  \"tier\": \"%s\",\n"
+                 "  \"points\": [\n",
+                 kDim, n, centers.size(), kKnnK, kernels::TierName(best));
+    for (size_t p = 0; p < points.size(); ++p) {
+      std::fprintf(
+          json,
+          "    {\"name\": \"%s\", \"epsilon\": %.2f, "
+          "\"max_leaf_visits\": %zu, \"recall\": %.4f, \"qps\": %.1f, "
+          "\"speedup\": %.3f, \"avg_leaf_visits\": %.1f, "
+          "\"early_term_frac\": %.3f}%s\n",
+          points[p].name.c_str(), points[p].limits.epsilon,
+          points[p].limits.max_leaf_visits, m[p].recall, m[p].qps,
+          m[p].qps / m[0].qps, m[p].avg_leaf_visits, m[p].early_frac,
+          p + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n"
+                 "  \"best_speedup_at_recall95\": %.3f,\n"
+                 "  \"exact_identical\": %s\n"
+                 "}\n",
+                 best_speedup_95, identical ? "true" : "false");
+    std::fclose(json);
+    std::printf("Wrote BENCH_recall.json\n");
+  }
+  return identical ? 0 : 1;
+}

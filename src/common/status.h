@@ -103,6 +103,9 @@ class [[nodiscard]] Status {
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
   }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// Human-readable "Code: message" rendering for logs and tests.
   std::string ToString() const;

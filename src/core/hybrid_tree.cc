@@ -1054,19 +1054,25 @@ void BatchPageDistances(const DistanceMetric& metric,
 
 }  // namespace
 
-bool HybridTree::QuantFilter(
-    PageId page, const float* blk, size_t stride, size_t n,
-    std::span<const float> center, const DistanceMetric& metric, double bound,
-    SearchScratch* scratch,
-    std::shared_ptr<const QuantizedPage>* qp_out) const {
+bool HybridTree::QuantFilter(PageId page, const float* blk, size_t stride,
+                             size_t n, std::span<const float> center,
+                             const DistanceMetric& metric, double bound,
+                             SearchScratch* scratch,
+                             std::shared_ptr<const QuantizedPage>* qp_out,
+                             bool cursor_path) const {
   // At the scalar dispatch tier the sidecars are pure overhead: the scalar
   // code pass costs more per row than the early-abandoning exact scan it
   // would save, and the transposed float mirror only accelerates SIMD
   // loads. So a scalar-tier scan (no SIMD on this host, or HT_SIMD=scalar)
-  // runs exactly the pre-sidecar hot path and builds nothing.
+  // runs exactly the pre-sidecar hot path and builds nothing. A metric
+  // with no code-space machinery (SupportsCodeFilter false, e.g. the
+  // QuadraticForm fallback) takes the same exit BEFORE the sidecar lookup:
+  // building codes it can never filter with would only fill QuantStore
+  // with useless pages.
   if (!options_.quant_sidecars || blk == nullptr || n == 0 ||
+      !metric.SupportsCodeFilter() ||
       kernels::ActiveTier() == kernels::SimdTier::kScalar) {
-    pool_->CountScan(page, n, n, /*filtered=*/false);
+    pool_->CountScan(page, n, n, /*filtered=*/false, cursor_path);
     return false;
   }
   // The sidecar is fetched (and lazily built) even when code filtering is
@@ -1079,7 +1085,7 @@ bool HybridTree::QuantFilter(
   // Code filtering is pointless when the bound prunes nothing (k-NN heap
   // not yet full): every row would survive.
   if (qp == nullptr || bound >= std::numeric_limits<double>::max()) {
-    pool_->CountScan(page, n, n, /*filtered=*/false);
+    pool_->CountScan(page, n, n, /*filtered=*/false, cursor_path);
     return false;
   }
   // Survivors in ascending row order, so refinement replays the exact
@@ -1101,20 +1107,20 @@ bool HybridTree::QuantFilter(
         m &= m - 1;
       }
     }
-    pool_->CountScan(page, n, surv.size(), /*filtered=*/true);
+    pool_->CountScan(page, n, surv.size(), /*filtered=*/true, cursor_path);
     return true;
   }
   if (scratch->lb.size() < n) scratch->lb.resize(n);
   if (!metric.CodeLowerBounds(center, qp->view(), &scratch->quant,
                               scratch->lb.data())) {
-    pool_->CountScan(page, n, n, /*filtered=*/false);
+    pool_->CountScan(page, n, n, /*filtered=*/false, cursor_path);
     return false;
   }
   const double* lb = scratch->lb.data();
   for (size_t i = 0; i < n; ++i) {
     if (lb[i] <= bound) surv.push_back(static_cast<uint32_t>(i));
   }
-  pool_->CountScan(page, n, surv.size(), /*filtered=*/true);
+  pool_->CountScan(page, n, surv.size(), /*filtered=*/true, cursor_path);
   return true;
 }
 
@@ -1240,25 +1246,47 @@ Status HybridTree::SearchKnnInto(
     std::span<const float> center, size_t k, const DistanceMetric& metric,
     SearchScratch* scratch,
     std::vector<std::pair<double, uint64_t>>* out) const {
-  return SearchKnnApproxInto(center, k, metric, /*epsilon=*/0.0, scratch, out);
+  return SearchKnnBoundedInto(center, k, metric, KnnSearchLimits{}, scratch,
+                              out);
 }
 
 Status HybridTree::SearchKnnApproxInto(
     std::span<const float> center, size_t k, const DistanceMetric& metric,
     double epsilon, SearchScratch* scratch,
     std::vector<std::pair<double, uint64_t>>* out) const {
+  KnnSearchLimits limits;
+  limits.epsilon = epsilon;
+  return SearchKnnBoundedInto(center, k, metric, limits, scratch, out);
+}
+
+Status HybridTree::SearchKnnBoundedInto(
+    std::span<const float> center, size_t k, const DistanceMetric& metric,
+    const KnnSearchLimits& limits, SearchScratch* scratch,
+    std::vector<std::pair<double, uint64_t>>* out,
+    KnnSearchInfo* info) const {
   SharedRole role(&rw_contract_);
+  if (info != nullptr) *info = KnnSearchInfo{};
   if (center.size() != options_.dim) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
-  if (epsilon < 0.0) {
+  if (limits.epsilon < 0.0) {
     return Status::InvalidArgument("epsilon must be non-negative");
   }
   out->clear();
   if (k == 0 || count_ == 0) return Status::OK();
   SearchScratch local;
   if (scratch == nullptr) scratch = &local;
+  const double epsilon = limits.epsilon;
   const double prune_factor = 1.0 + epsilon;
+  const bool eps_active = epsilon > 0.0;
+  // 0 = unlimited maps to a budget the visit counter can never reach, so
+  // the exact path executes the identical instruction sequence with one
+  // never-taken branch per leaf.
+  const size_t max_leaves = limits.max_leaf_visits == 0
+                                ? std::numeric_limits<size_t>::max()
+                                : limits.max_leaf_visits;
+  uint64_t leaf_visits = 0;
+  bool early_terminated = false;
   const bool use_batch = !options_.disable_batch_kernels;
 
   // Best-first branch-and-bound (Hjaltason–Samet): a min-heap of pending
@@ -1359,9 +1387,7 @@ Status HybridTree::SearchKnnApproxInto(
           const double* dist = scratch->dist.data();
           for (const uint32_t i : surv) offer(dist[i], scan.id(i));
         }
-        continue;
-      }
-      if (blk != nullptr) {
+      } else if (blk != nullptr) {
         // The bound at page entry is the k-th distance before this page;
         // it can only shrink while scanning, so any row abandoned against
         // it could never have entered the heap (and while the heap is not
@@ -1376,6 +1402,14 @@ Status HybridTree::SearchKnnApproxInto(
         for (size_t i = 0; i < n; ++i) {
           offer(metric.Distance(center, scan.vec(i)), scan.id(i));
         }
+      }
+      ++leaf_visits;
+      if (leaf_visits >= max_leaves) {
+        // Budget exhausted: stop with the best candidates so far. It
+        // counts as early termination only if the frontier still holds a
+        // subtree the exact traversal would have visited.
+        early_terminated = !frontier.empty() && frontier.front().dist <= kth();
+        break;
       }
       continue;
     }
@@ -1393,6 +1427,10 @@ Status HybridTree::SearchKnnApproxInto(
         if (d * prune_factor <= kth()) {
           frontier.push_back(SearchScratch::PageRef{d, n->child});
           std::push_heap(frontier.begin(), frontier.end(), frontier_gt);
+        } else if (eps_active && d <= kth()) {
+          // The epsilon rule skipped a subtree the exact gate would have
+          // admitted — the result is now (1+epsilon)-approximate.
+          early_terminated = true;
         }
         continue;
       }
@@ -1401,6 +1439,15 @@ Status HybridTree::SearchKnnApproxInto(
       stack.push_back(n->right.get());
       stack.push_back(n->left.get());
     }
+  }
+  // Natural loop exit under epsilon: if the frontier's best subtree passes
+  // the exact gate but failed the epsilon gate, the stop was approximate.
+  if (eps_active && !frontier.empty() && frontier.front().dist <= kth()) {
+    early_terminated = true;
+  }
+  if (info != nullptr) {
+    info->leaf_visits = leaf_visits;
+    info->early_terminated = early_terminated;
   }
 
   out->resize(best.size());
@@ -1736,19 +1783,132 @@ Status HybridTree::CollectSubtreeEntries(PageId page,
 
 HybridTree::KnnCursor::KnnCursor(const HybridTree* tree,
                                  std::span<const float> center,
-                                 const DistanceMetric* metric)
+                                 const DistanceMetric* metric,
+                                 const KnnCursorOptions& opts)
     : tree_(tree),
       center_(center.begin(), center.end()),
-      metric_(metric) {
+      metric_(metric),
+      opts_(opts) {
+  if (opts_.limit > 0) best_.reserve(opts_.limit);
   if (tree_->count_ > 0) {
     queue_.push(Item{0.0, false, 0, tree_->root_});
   }
 }
 
+double HybridTree::KnnCursor::SelfBound() const {
+  return (opts_.limit > 0 && best_.size() == opts_.limit)
+             ? best_.front()
+             : std::numeric_limits<double>::max();
+}
+
+double HybridTree::KnnCursor::ScanBound() const {
+  double b = SelfBound();
+  if (opts_.shared_bound != nullptr) {
+    // Relaxed: a monotonically tightening pruning hint with no associated
+    // data — a stale (too large) radius only weakens pruning, never
+    // correctness (the same contract as serve's SharedTopK bound mirror).
+    b = std::min(b, opts_.shared_bound->load(std::memory_order_relaxed));
+  }
+  return b;
+}
+
+double HybridTree::KnnCursor::ExpandBound() const {
+  // With an approximation knob active, WHICH leaves get scanned decides
+  // the result (the budget truncates the stream), so expansion may only
+  // consult the deterministic self bound — never the racy cross-shard
+  // radius. In fully exact mode any sound bound is fair game: a pruned
+  // subtree provably cannot contribute to the declared-limit prefix.
+  if (opts_.epsilon == 0.0 && opts_.max_leaf_visits == 0) return ScanBound();
+  return SelfBound();
+}
+
+void HybridTree::KnnCursor::RecordEntry(double d) {
+  if (opts_.limit == 0) return;
+  if (best_.size() < opts_.limit) {
+    best_.push_back(d);
+    std::push_heap(best_.begin(), best_.end());
+  } else if (d < best_.front()) {
+    std::pop_heap(best_.begin(), best_.end());
+    best_.back() = d;
+    std::push_heap(best_.begin(), best_.end());
+  }
+}
+
 HybridTree::KnnCursor HybridTree::OpenKnnCursor(
     std::span<const float> center, const DistanceMetric& metric) const {
+  return OpenKnnCursor(center, metric, KnnCursorOptions{});
+}
+
+HybridTree::KnnCursor HybridTree::OpenKnnCursor(
+    std::span<const float> center, const DistanceMetric& metric,
+    const KnnCursorOptions& opts) const {
   HT_CHECK(center.size() == options_.dim);
-  return KnnCursor(this, center, &metric);
+  HT_CHECK(opts.epsilon >= 0.0);
+  return KnnCursor(this, center, &metric, opts);
+}
+
+Status HybridTree::ScanDataPageForCursor(KnnCursor* cursor, PageId page,
+                                         const uint8_t* data,
+                                         size_t size) const {
+  DataPageScan scan(data, size, options_.dim);
+  if (!scan.ok()) return Status::Corruption("expected data node page");
+  const size_t n = scan.count();
+  const float* blk = options_.disable_batch_kernels ? nullptr : scan.block();
+  const DistanceMetric& metric = *cursor->metric_;
+  const std::span<const float> center(cursor->center_);
+  // The running bound at page entry: the cursor's own k-th distance,
+  // tightened by the shared cross-shard radius. An entry strictly beyond
+  // it can never be used by a consumer honoring the declared limit (there
+  // are already `limit` entries at or under the bound, all emitted first),
+  // so it is pruned; ties at the bound are kept so downstream id
+  // tie-breaking sees every boundary candidate. With no declared bound
+  // this is +inf: every entry is enqueued with its exact distance — the
+  // legacy cursor scan, bit for bit.
+  const double bound = cursor->ScanBound();
+  SearchScratch* scratch = &cursor->scratch_;
+  const auto push_entry = [&](double d, uint64_t id) {
+    if (d <= bound) {
+      cursor->RecordEntry(d);
+      cursor->queue_.push(KnnCursor::Item{d, true, id, kInvalidPageId});
+    }
+  };
+  std::shared_ptr<const QuantizedPage> qp;
+  if (QuantFilter(page, blk, scan.stride_floats(), n, center, metric, bound,
+                  scratch, &qp, /*cursor_path=*/true)) {
+    // A pruned row has lb > bound, hence a true distance strictly above
+    // the bound: push_entry would have dropped it anyway. Refinement
+    // mirrors the batch k-NN path: sparse survivor sets row-by-row, dense
+    // ones through the full-page kernel with the same entry bound.
+    const auto& surv = scratch->survivors;
+    if (surv.size() * 4 <= n) {
+      for (const uint32_t i : surv) {
+        push_entry(metric.Distance(center, scan.vec(i)), scan.id(i));
+      }
+    } else {
+      if (scratch->dist.size() < n) scratch->dist.resize(n);
+      BatchPageDistances(metric, center, qp.get(), blk, scan.stride_floats(),
+                         n, bound, scratch->dist.data());
+      const double* dist = scratch->dist.data();
+      for (const uint32_t i : surv) push_entry(dist[i], scan.id(i));
+    }
+    return Status::OK();
+  }
+  if (blk != nullptr) {
+    // Unfiltered batch scan. With an infinite bound the kernels never
+    // abandon a row, so the distances match the unbounded batch kernel
+    // bit for bit; with a finite bound an abandoned row's +inf output and
+    // its exact distance make the same push_entry decision.
+    if (scratch->dist.size() < n) scratch->dist.resize(n);
+    BatchPageDistances(metric, center, qp.get(), blk, scan.stride_floats(), n,
+                       bound, scratch->dist.data());
+    const double* dist = scratch->dist.data();
+    for (size_t i = 0; i < n; ++i) push_entry(dist[i], scan.id(i));
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      push_entry(metric.Distance(center, scan.vec(i)), scan.id(i));
+    }
+  }
+  return Status::OK();
 }
 
 Result<std::optional<std::pair<double, uint64_t>>>
@@ -1756,44 +1916,44 @@ HybridTree::KnnCursor::Next() {
   // The cursor is a read-path client: each pull runs under the tree's
   // shared role (the caller must not mutate the tree between pulls).
   SharedRole role(&tree_->rw_contract_);
+  const size_t max_leaves = opts_.max_leaf_visits == 0
+                                ? std::numeric_limits<size_t>::max()
+                                : opts_.max_leaf_visits;
   // Distance browsing: entries and subtrees share one priority queue keyed
   // by (lower-bound) distance; when an entry surfaces, its distance is
   // exact and no unexpanded subtree can beat it.
   while (!queue_.empty()) {
-    Item item = queue_.top();
-    queue_.pop();
+    const Item item = queue_.top();
     if (item.is_entry) {
+      queue_.pop();
       return std::optional<std::pair<double, uint64_t>>(
           std::make_pair(item.dist, item.id));
     }
+    if (leaf_visits_ >= max_leaves) {
+      // Visit budget exhausted: no further page may be scanned, so every
+      // pending subtree is dead — only already-materialized entries flow
+      // out. (Unreachable without a budget.)
+      queue_.pop();
+      if (item.dist <= SelfBound()) early_terminated_ = true;
+      continue;
+    }
+    const double eb = ExpandBound();
+    if (item.dist * (1.0 + opts_.epsilon) > eb) {
+      // Pruned subtree. In exact mode everything below it lies strictly
+      // beyond the running bound (its entries would all be dropped at scan
+      // time), so the declared-limit prefix is unchanged; with epsilon > 0
+      // this is the (1+epsilon)-approximate skip.
+      queue_.pop();
+      if (opts_.epsilon > 0.0 && item.dist <= eb) early_terminated_ = true;
+      continue;
+    }
+    queue_.pop();
     HT_ASSIGN_OR_RETURN(PageHandle h, tree_->pool_->Fetch(item.page));
     const NodeKind kind = PeekNodeKind(h.data());
     if (kind == NodeKind::kData) {
-      DataPageScan scan(h.data(), h.size(), tree_->options_.dim);
-      if (!scan.ok()) return Status::Corruption("expected data node page");
-      const size_t n = scan.count();
-      const float* blk = tree_->options_.disable_batch_kernels
-                             ? nullptr
-                             : scan.block();
-      // Every entry must be enqueued (the cursor may be asked for all of
-      // them), so there is no bound to filter against — the scan counts as
-      // unfiltered.
-      tree_->pool_->CountScan(item.page, n, n, /*filtered=*/false);
-      if (blk != nullptr) {
-        // The unbounded batch kernel applies — the win is one virtual call
-        // per page instead of one per point.
-        if (dist_.size() < n) dist_.resize(n);
-        metric_->BatchDistance(center_, blk, scan.stride_floats(), n,
-                               dist_.data());
-        for (size_t i = 0; i < n; ++i) {
-          queue_.push(Item{dist_[i], true, scan.id(i), kInvalidPageId});
-        }
-      } else {
-        for (size_t i = 0; i < n; ++i) {
-          queue_.push(Item{metric_->Distance(center_, scan.vec(i)), true,
-                           scan.id(i), kInvalidPageId});
-        }
-      }
+      ++leaf_visits_;
+      HT_RETURN_NOT_OK(
+          tree_->ScanDataPageForCursor(this, item.page, h.data(), h.size()));
       continue;
     }
     HT_ASSIGN_OR_RETURN(
@@ -1806,8 +1966,12 @@ HybridTree::KnnCursor::Next() {
       const KdNode* n = stack_.back();
       stack_.pop_back();
       if (n->IsLeaf()) {
-        queue_.push(Item{metric_->MinDistToBox(center_, n->cached_live),
-                         false, 0, n->child});
+        const double d = metric_->MinDistToBox(center_, n->cached_live);
+        if (d * (1.0 + opts_.epsilon) <= eb) {
+          queue_.push(Item{d, false, 0, n->child});
+        } else if (opts_.epsilon > 0.0 && d <= eb) {
+          early_terminated_ = true;
+        }
         continue;
       }
       stack_.push_back(n->right.get());

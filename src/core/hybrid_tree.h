@@ -36,6 +36,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -68,6 +69,67 @@ Result<std::unique_ptr<HybridTree>> BulkLoad(const HybridTreeOptions& options,
                                              PagedFile* file,
                                              const Dataset& data,
                                              const BulkLoadOptions& bulk);
+
+/// Approximation knobs for bounded k-NN search. Default-constructed limits
+/// are exact and unlimited — with them, SearchKnnBoundedInto runs the same
+/// code path as SearchKnnInto bit-for-bit (every knob check compiles to a
+/// comparison that can never fire).
+struct KnnSearchLimits {
+  /// (1+epsilon)-approximate: the traversal stops once the best frontier
+  /// MINDIST exceeds bound/(1+epsilon), so every reported distance is
+  /// within a (1+epsilon) factor of the true k-th distance. 0 = exact.
+  double epsilon = 0.0;
+  /// Data-page (leaf) visit budget: the search stops after scanning this
+  /// many leaves, returning the best candidates found so far. 0 = no
+  /// budget. The budget bounds work, not quality — recall degrades
+  /// gracefully because best-first order visits the most promising leaves
+  /// first.
+  size_t max_leaf_visits = 0;
+};
+
+/// Per-query accounting filled by the bounded k-NN search.
+struct KnnSearchInfo {
+  /// Data pages scanned by this query.
+  uint64_t leaf_visits = 0;
+  /// True when an approximation knob cut the traversal short of exact: the
+  /// visit budget ran out, or the epsilon rule stopped (or skipped a
+  /// subtree) while the exact search would still have visited it. Always
+  /// false for default limits.
+  bool early_terminated = false;
+};
+
+/// Knobs for an incremental KnnCursor (see HybridTree::OpenKnnCursor).
+/// Default-constructed options reproduce the unbounded exact cursor
+/// bit-for-bit.
+struct KnnCursorOptions {
+  /// Declared result bound: the consumer promises to use only entries up
+  /// to the `limit`-th smallest distance of the full stream. The cursor
+  /// then maintains a running k-th-distance bound over every entry it has
+  /// enqueued and uses it to (a) drive the quantized filter-then-refine
+  /// page scan and (b) prune subtrees that provably cannot contribute.
+  /// Entries at distance <= that bound are still yielded in exact
+  /// ascending order (ties at the bound included — the stream may exceed
+  /// `limit` entries, it never misses one at or under the bound). 0 = no
+  /// declared bound: pure streaming, no filtering.
+  size_t limit = 0;
+  /// (1+epsilon)-approximate streaming (needs limit > 0 to have a bound to
+  /// compare against): subtrees whose MINDIST * (1+epsilon) exceeds the
+  /// running self-bound are skipped. 0 = exact.
+  double epsilon = 0.0;
+  /// Leaf-visit budget, as in KnnSearchLimits. Once exhausted the cursor
+  /// yields the already-materialized entries and drops every pending
+  /// subtree. 0 = no budget.
+  size_t max_leaf_visits = 0;
+  /// Optional external radius that only ever tightens (monotonically
+  /// non-increasing), e.g. the serving layer's shared cross-shard k-th
+  /// distance. Read with memory_order_relaxed: it is a monotone pruning
+  /// hint with no associated data — a stale (too large) value only weakens
+  /// pruning, never correctness. Used for entry-level filtering always,
+  /// and for subtree pruning only in fully exact mode (epsilon == 0 and no
+  /// budget), so that budgeted traversals stay deterministic regardless of
+  /// cross-shard timing. Not owned; must outlive the cursor.
+  const std::atomic<double>* shared_bound = nullptr;
+};
 
 class HybridTree {
  public:
@@ -141,6 +203,17 @@ class HybridTree {
       double epsilon, SearchScratch* scratch,
       std::vector<std::pair<double, uint64_t>>* out) const;
 
+  /// Bounded/approximate k-NN into a caller-owned buffer: epsilon and the
+  /// leaf-visit budget per `limits` (see KnnSearchLimits — default limits
+  /// make this bit-identical to SearchKnnInto). `info`, when non-null,
+  /// receives visit/termination accounting. This is the primitive the
+  /// value-returning and *Into k-NN entry points wrap.
+  Status SearchKnnBoundedInto(
+      std::span<const float> center, size_t k, const DistanceMetric& metric,
+      const KnnSearchLimits& limits, SearchScratch* scratch,
+      std::vector<std::pair<double, uint64_t>>* out,
+      KnnSearchInfo* info = nullptr) const;
+
   /// All ids stored at exactly `point` (point query; §3.5 lists point
   /// queries among the supported feature-based queries).
   Result<std::vector<uint64_t>> SearchPoint(
@@ -178,11 +251,24 @@ class HybridTree {
   /// ideal when the consumer stops after an unknown number of results
   /// (e.g., filtering by a predicate). The cursor holds no page pins; the
   /// tree must not be mutated while a cursor is live, and `metric` must
-  /// outlive the cursor.
+  /// outlive the cursor. With KnnCursorOptions the cursor carries a
+  /// running k-th-distance bound (its own stream, optionally tightened by
+  /// an external shared radius) that reaches the quantized
+  /// filter-then-refine page scan — byte-identical results for any
+  /// consumer honoring the declared limit. A cursor is single-threaded:
+  /// one cursor is driven by one consumer, so its fields need no guards;
+  /// the only cross-thread state it touches is the shared_bound atomic.
   class KnnCursor {
    public:
     /// The next nearest (distance, id), or nullopt when exhausted.
     Result<std::optional<std::pair<double, uint64_t>>> Next();
+
+    /// Data pages scanned so far (approximation accounting).
+    uint64_t leaf_visits() const { return leaf_visits_; }
+    /// True when an approximation knob (epsilon / visit budget) skipped
+    /// work the exact traversal would have done. Always false for
+    /// default-constructed options.
+    bool early_terminated() const { return early_terminated_; }
 
    private:
     friend class HybridTree;
@@ -194,17 +280,38 @@ class HybridTree {
       bool operator>(const Item& o) const { return dist > o.dist; }
     };
     KnnCursor(const HybridTree* tree, std::span<const float> center,
-              const DistanceMetric* metric);
+              const DistanceMetric* metric, const KnnCursorOptions& opts);
+
+    /// k-th smallest entry distance enqueued so far (+inf until `limit`
+    /// entries have been seen, or always with no declared limit).
+    double SelfBound() const;
+    /// Entry-filtering bound: SelfBound tightened by the shared radius.
+    double ScanBound() const;
+    /// Subtree-pruning bound: ScanBound in fully exact mode, SelfBound
+    /// only when a knob is active (keeps budgeted traversals independent
+    /// of cross-shard timing — see KnnCursorOptions::shared_bound).
+    double ExpandBound() const;
+    /// Feeds one enqueued entry distance into the self-bound heap.
+    void RecordEntry(double d);
 
     const HybridTree* tree_;
     std::vector<float> center_;
     const DistanceMetric* metric_;
+    KnnCursorOptions opts_;
     std::priority_queue<Item, std::vector<Item>, std::greater<Item>> queue_;
-    std::vector<double> dist_;           // batch-kernel output buffer
+    std::vector<double> best_;           // max-heap: `limit` best distances
     std::vector<const KdNode*> stack_;   // intra-node kd walk
+    SearchScratch scratch_;              // page-scan + quant-filter buffers
+    uint64_t leaf_visits_ = 0;
+    bool early_terminated_ = false;
   };
   KnnCursor OpenKnnCursor(std::span<const float> center,
                           const DistanceMetric& metric) const;
+  /// Cursor with a declared result bound and approximation knobs (see
+  /// KnnCursorOptions). Default options == the overload above.
+  KnnCursor OpenKnnCursor(std::span<const float> center,
+                          const DistanceMetric& metric,
+                          const KnnCursorOptions& opts) const;
 
   /// Writes all dirty pages + metadata to the backing file.
   Status Flush();
@@ -396,13 +503,27 @@ class HybridTree {
   /// for this metric, or pointless (bound is +inf / no rows). On true, the
   /// caller must compute exact distances for the survivor rows only; the
   /// bound soundness guarantees the visible results are byte-identical.
-  /// Whenever sidecars are enabled, `*qp_out` receives this page's sidecar
-  /// (even when the return is false) so the caller can route exact
-  /// distances through its transposed float mirror.
+  /// Whenever sidecars are enabled — and the metric can actually use them
+  /// (DistanceMetric::SupportsCodeFilter; building one for a metric with
+  /// no code-space bound would only cache useless pages) — `*qp_out`
+  /// receives this page's sidecar (even when the return is false) so the
+  /// caller can route exact distances through its transposed float mirror.
+  /// `cursor_path` routes the scan accounting to the cursor_* IoStats
+  /// duals instead of the batch counters.
   bool QuantFilter(PageId page, const float* blk, size_t stride, size_t n,
                    std::span<const float> center, const DistanceMetric& metric,
                    double bound, SearchScratch* scratch,
-                   std::shared_ptr<const QuantizedPage>* qp_out) const
+                   std::shared_ptr<const QuantizedPage>* qp_out,
+                   bool cursor_path = false) const
+      HT_REQUIRES_SHARED(rw_contract_);
+  /// One cursor data-page scan: applies QuantFilter under the cursor's
+  /// current scan bound, refines survivors exactly (sparse per-row or
+  /// dense batch, like the batch k-NN path), and enqueues every entry
+  /// whose distance does not exceed the bound. With an infinite bound this
+  /// enqueues all rows with exact distances — the legacy cursor scan.
+  /// A member (not cursor code) so it can reach SearchScratch internals.
+  Status ScanDataPageForCursor(KnnCursor* cursor, PageId page,
+                               const uint8_t* data, size_t size) const
       HT_REQUIRES_SHARED(rw_contract_);
 
   // --- maintenance --------------------------------------------------------

@@ -10,10 +10,12 @@ namespace {
 
 /// Runs one query against the tree's const read paths, writing results
 /// straight into the slot's vectors through the *Into APIs so the worker's
-/// pooled scratch (and the slot's own capacity, on retry) is reused.
+/// pooled scratch (and the slot's own capacity, on retry) is reused. k-NN
+/// queries run under the batch's recall knobs (`limits`, exact by default)
+/// and fold their visit accounting into the worker-local `knn`.
 void RunOne(const HybridTree& tree, const Query& q,
-            const DistanceMetric* metric, SearchScratch* scratch,
-            QueryResult* out) {
+            const DistanceMetric* metric, const KnnSearchLimits& limits,
+            SearchScratch* scratch, QueryResult* out, KnnExecStats* knn) {
   switch (q.type) {
     case Query::Type::kBox:
       out->status = tree.SearchBoxInto(q.box, scratch, &out->ids);
@@ -23,11 +25,17 @@ void RunOne(const HybridTree& tree, const Query& q,
           tree.SearchRangeInto(q.center, q.radius, *metric, scratch,
                                &out->ids);
       return;
-    case Query::Type::kKnn:
-      out->status =
-          tree.SearchKnnInto(q.center, q.k, *metric, scratch,
-                             &out->neighbors);
+    case Query::Type::kKnn: {
+      KnnSearchInfo info;
+      out->status = tree.SearchKnnBoundedInto(q.center, q.k, *metric, limits,
+                                              scratch, &out->neighbors,
+                                              &info);
+      if (out->status.ok()) {
+        knn->leaf_visits += info.leaf_visits;
+        if (info.early_terminated) ++knn->early_terminations;
+      }
       return;
+    }
   }
   out->status = Status::InvalidArgument("unknown query type");
 }
@@ -59,10 +67,18 @@ Result<BatchReport> QueryExecutor::Run(const Workload& workload,
   const size_t n = workload.queries.size();
   const size_t n_workers = pool_->num_threads();
 
+  if (options.knn_epsilon < 0.0) {
+    return Status::InvalidArgument("knn_epsilon must be non-negative");
+  }
+  KnnSearchLimits knn_limits;
+  knn_limits.epsilon = options.knn_epsilon;
+  knn_limits.max_leaf_visits = options.knn_max_leaf_visits;
+
   BatchReport report;
   report.results.resize(n);
   report.per_worker_io.assign(n_workers, IoStats{});
   std::vector<std::vector<double>> worker_latencies(n_workers);
+  std::vector<KnnExecStats> worker_knn(n_workers);
   // One scratch per worker, persisted across Run() calls so the hot-path
   // buffers stay warm between batches. Never shrunk.
   if (worker_scratch_.size() < n_workers) worker_scratch_.resize(n_workers);
@@ -112,8 +128,8 @@ Result<BatchReport> QueryExecutor::Run(const Workload& workload,
           continue;
         }
         WallTimer t;
-        RunOne(*tree_, workload.queries[i], workload.metric, &scratch,
-               &slot);
+        RunOne(*tree_, workload.queries[i], workload.metric, knn_limits,
+               &scratch, &slot, &worker_knn[w]);
         if (slot.status.ok()) {
           slot.seconds = t.Seconds();
           latencies.push_back(slot.seconds);
@@ -144,6 +160,8 @@ Result<BatchReport> QueryExecutor::Run(const Workload& workload,
   }
   report.latency = SummarizeLatencies(std::move(all_latencies));
   for (const IoStats& io : report.per_worker_io) report.io.Accumulate(io);
+  for (const KnnExecStats& kn : worker_knn) report.knn.Accumulate(kn);
+  if (options.knn_stats != nullptr) options.knn_stats->Accumulate(report.knn);
 
   for (const QueryResult& r : report.results) {
     if (r.status.ok()) {

@@ -114,6 +114,31 @@ struct ExecOptions {
   /// into it, so a server can attribute cache behaviour to the tenant that
   /// caused it. Written after the scatter barrier; not owned.
   IoStats* request_io = nullptr;
+  /// k-NN recall knobs, exact by default (see core KnnSearchLimits for the
+  /// semantics). epsilon makes every k-NN (1+epsilon)-approximate.
+  double knn_epsilon = 0.0;
+  /// Total k-NN leaf-visit budget per query; 0 = unlimited. The sharded
+  /// tier splits it evenly across shards (ceil division, so the budget is
+  /// never under-provisioned by rounding).
+  size_t knn_max_leaf_visits = 0;
+  /// Optional accounting sink for the knobs above: leaf visits and
+  /// early-terminated traversals accumulate here (one count per shard
+  /// traversal in the sharded tier). Written after the scatter barrier,
+  /// like request_io; not owned.
+  struct KnnExecStats* knn_stats = nullptr;
+};
+
+/// Aggregated k-NN approximation accounting for one request or batch.
+struct KnnExecStats {
+  /// Data pages (leaves) scanned by k-NN traversals.
+  uint64_t leaf_visits = 0;
+  /// Traversals an approximation knob cut short of the exact search.
+  uint64_t early_terminations = 0;
+
+  void Accumulate(const KnnExecStats& other) {
+    leaf_visits += other.leaf_visits;
+    early_terminations += other.early_terminations;
+  }
 };
 
 /// Outcome of one query. Exactly one of `ids` / `neighbors` is populated
@@ -137,6 +162,7 @@ struct BatchReport {
   LatencySummary latency;            // over completed queries
   IoStats io;                        // sum of per_worker_io
   std::vector<IoStats> per_worker_io;  // one entry per pool worker
+  KnnExecStats knn;  // k-NN approximation accounting (sum over workers)
 };
 
 /// Batch query executor over one shared tree and one thread pool. Neither

@@ -149,6 +149,14 @@ class DistanceMetric {
     return false;
   }
 
+  /// True when the metric implements the code-space machinery
+  /// (CodeLowerBounds / CodeFilterMasks and the transposed mirror kernel).
+  /// The default matches the base-class fallbacks above: no code-space
+  /// bound exists, so QuantFilter must not even BUILD the 8-bit sidecar —
+  /// it would only cache pages the metric can never filter with. The
+  /// kernel-backed metrics override this to true.
+  virtual bool SupportsCodeFilter() const { return false; }
+
   virtual std::string Name() const = 0;
 };
 
@@ -326,6 +334,7 @@ class L1Metric final : public DistanceMetric {
     }
     return true;
   }
+  bool SupportsCodeFilter() const override { return true; }
   std::string Name() const override { return "L1"; }
 };
 
@@ -417,6 +426,7 @@ class L2Metric final : public DistanceMetric {
     }
     return true;
   }
+  bool SupportsCodeFilter() const override { return true; }
   std::string Name() const override { return "L2"; }
 };
 
@@ -514,6 +524,7 @@ class LInfMetric final : public DistanceMetric {
     }
     return true;
   }
+  bool SupportsCodeFilter() const override { return true; }
   std::string Name() const override { return "Linf"; }
 };
 
@@ -626,6 +637,7 @@ class WeightedL2Metric final : public DistanceMetric {
     }
     return true;
   }
+  bool SupportsCodeFilter() const override { return true; }
   std::string Name() const override { return "WeightedL2"; }
 
   const std::vector<double>& weights() const { return w_; }

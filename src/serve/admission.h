@@ -51,6 +51,13 @@ struct TenantQuota {
   /// remaining budget). Guards against unbounded queueing; 0 disables
   /// waiting entirely (full == immediate DeadlineExceeded).
   double max_queue_seconds = 1.0;
+  /// Default k-NN recall tier for the tenant: requests that carry no
+  /// per-request recall override run with this epsilon and leaf-visit
+  /// budget (semantics in core KnnSearchLimits / exec ExecOptions). The
+  /// zero values keep the open-by-default rule: an unconfigured tenant
+  /// gets exact, unlimited k-NN.
+  double knn_epsilon = 0.0;
+  size_t knn_max_leaf_visits = 0;
 };
 
 class AdmissionController;

@@ -46,6 +46,15 @@ struct TenantMetrics {
   /// I/O attributed to this tenant's requests (scatter-task sums),
   /// including the per-access-class cache hit/miss/eviction counters.
   IoStats io;
+  /// k-NN approximation accounting: data pages scanned by the tenant's
+  /// k-NN traversals, and how many shard traversals a recall knob
+  /// (epsilon / leaf-visit budget) cut short of the exact search.
+  uint64_t knn_leaf_visits = 0;
+  uint64_t knn_early_terminations = 0;
+  /// Fraction of this tenant's scanned rows the quantized filter pruned
+  /// before a full-precision distance (batch + cursor paths combined;
+  /// IoStats::QuantPruneRate over `io`). 0 when nothing was scanned.
+  double quant_prune_rate = 0.0;
 };
 
 /// Point-in-time view of the whole server.

@@ -25,7 +25,15 @@ Server::Server(ShardedIndex* index, ServerOptions options)
 
 void Server::SetQuota(const std::string& tenant, const TenantQuota& quota) {
   admission_.SetQuota(tenant, quota);
-  GetTenant(tenant);  // pre-create so the snapshot lists quota'd tenants
+  TenantState* state = GetTenant(tenant);  // pre-create so the snapshot
+                                           // lists quota'd tenants
+  // The recall tier rides on the quota but is read per-request on the
+  // serve path, so it lives in TenantState as relaxed atomics (see the
+  // field comments for the staleness contract).
+  state->default_knn_epsilon.store(quota.knn_epsilon,
+                                   std::memory_order_relaxed);
+  state->default_knn_max_leaf_visits.store(quota.knn_max_leaf_visits,
+                                           std::memory_order_relaxed);
 }
 
 Server::TenantState* Server::GetTenant(const std::string& tenant) {
@@ -97,6 +105,21 @@ QueryResult Server::Execute(const Request& request) {
   // slots), then folds into the tenant's counters after the barrier.
   IoStats request_io;
   exec.request_io = &request_io;
+  // Recall tier: the per-request override wins; otherwise the tenant's
+  // default (exact, unlimited for unconfigured tenants). The k-NN visit
+  // accounting lands in a local sink like request_io, then folds into the
+  // tenant's counters after the scatter barrier.
+  KnnExecStats request_knn;
+  exec.knn_stats = &request_knn;
+  if (request.has_recall_override) {
+    exec.knn_epsilon = request.knn_epsilon;
+    exec.knn_max_leaf_visits = request.knn_max_leaf_visits;
+  } else {
+    exec.knn_epsilon =
+        state->default_knn_epsilon.load(std::memory_order_relaxed);
+    exec.knn_max_leaf_visits =
+        state->default_knn_max_leaf_visits.load(std::memory_order_relaxed);
+  }
   if (budget > 0.0) {
     const double remaining =
         RemainingBudget(budget, ticket.queue_wait_seconds());
@@ -140,6 +163,10 @@ QueryResult Server::Execute(const Request& request) {
     MutexLock lock(&state->io_mu);
     state->io.Accumulate(request_io);
   }
+  state->knn_leaf_visits.fetch_add(request_knn.leaf_visits,
+                                   std::memory_order_relaxed);
+  state->knn_early_terminations.fetch_add(request_knn.early_terminations,
+                                          std::memory_order_relaxed);
   // Count-gated global cache rebalance (no-op without a CacheManager):
   // every N-th request recomputes per-shard capacity targets from the
   // observed demand misses.
@@ -179,6 +206,11 @@ MetricsSnapshot Server::Snapshot() const {
         MutexLock io_lock(&state->io_mu);
         t.io = state->io;
       }
+      t.knn_leaf_visits =
+          state->knn_leaf_visits.load(std::memory_order_relaxed);
+      t.knn_early_terminations =
+          state->knn_early_terminations.load(std::memory_order_relaxed);
+      t.quant_prune_rate = t.io.QuantPruneRate();
       snap.tenants.push_back(std::move(t));
     }
   }
@@ -206,6 +238,8 @@ void Server::ResetMetrics() {
     state->expired.store(0, std::memory_order_relaxed);
     state->cancelled.store(0, std::memory_order_relaxed);
     state->failed.store(0, std::memory_order_relaxed);
+    state->knn_leaf_visits.store(0, std::memory_order_relaxed);
+    state->knn_early_terminations.store(0, std::memory_order_relaxed);
     {
       MutexLock ring_lock(&state->latency_mu);
       state->latency_next = 0;

@@ -45,6 +45,14 @@ struct Request {
   const DistanceMetric* metric = nullptr;
   /// Total budget from arrival, in seconds; 0 = no deadline.
   double deadline_seconds = 0.0;
+  /// Per-request k-NN recall override: when set, knn_epsilon and
+  /// knn_max_leaf_visits below replace the tenant's default recall tier
+  /// (TenantQuota::knn_*) for this request only — e.g. an interactive
+  /// caller requesting exact results on a tenant that defaults to a fast
+  /// approximate tier, or vice versa.
+  bool has_recall_override = false;
+  double knn_epsilon = 0.0;
+  size_t knn_max_leaf_visits = 0;
 };
 
 struct ServerOptions {
@@ -116,6 +124,18 @@ class Server {
     /// ExecOptions::request_io.
     Mutex io_mu{LockRank::kServerTenantStats, "Server::TenantState::io_mu"};
     IoStats io HT_GUARDED_BY(io_mu);
+    /// k-NN approximation accounting (ExecOptions::knn_stats). Relaxed:
+    /// independent monotonic counters, same contract as the outcome
+    /// counters above.
+    std::atomic<uint64_t> knn_leaf_visits{0};
+    std::atomic<uint64_t> knn_early_terminations{0};
+    /// The tenant's default recall tier, copied from TenantQuota by
+    /// SetQuota. Relaxed: independent configuration values read once per
+    /// request — a stale read applies the previous tier to one in-flight
+    /// request, which is indistinguishable from the request having
+    /// arrived before the quota change.
+    std::atomic<double> default_knn_epsilon{0.0};
+    std::atomic<size_t> default_knn_max_leaf_visits{0};
   };
 
   TenantState* GetTenant(const std::string& tenant);

@@ -90,6 +90,11 @@ class SharedTopK {
   /// the k-th boundary.
   double Bound() const { return bound_.load(std::memory_order_relaxed); }
 
+  /// The bound mirror itself, for handing to KnnCursorOptions::shared_bound
+  /// so per-shard cursors prune against the live cross-shard radius. Same
+  /// relaxed-read contract as Bound(). Valid for this object's lifetime.
+  const std::atomic<double>* BoundPtr() const { return &bound_; }
+
   /// Drains the heap into (distance, id)-ascending order.
   std::vector<std::pair<double, uint64_t>> TakeSorted() {
     MutexLock lock(&mu_);
@@ -333,24 +338,53 @@ Status ShardedIndex::SearchKnn(
   }
   out->clear();
   if (k == 0) return Status::OK();
+  if (options.knn_epsilon < 0.0) {
+    return Status::InvalidArgument("knn_epsilon must be non-negative");
+  }
 
   SharedTopK top(k);
   WallTimer timer;
   const double deadline = options.deadline_seconds;
   const std::atomic<bool>* cancel = options.cancel;
+  // Budget-split policy: the request's total leaf-visit budget divides
+  // evenly across shards, rounding UP — ceil keeps the per-shard slice
+  // from being rounded to zero and never under-provisions the request
+  // total (at most shards-1 extra visits). Each shard's slice is private,
+  // which is what keeps budgeted results deterministic: no shard's visit
+  // count depends on another shard's progress.
+  const size_t budget = options.knn_max_leaf_visits;
+  const size_t per_shard_budget =
+      budget == 0 ? 0 : (budget + shards_.size() - 1) / shards_.size();
+  KnnCursorOptions copts;
+  copts.limit = k;
+  copts.epsilon = options.knn_epsilon;
+  copts.max_leaf_visits = per_shard_budget;
+  copts.shared_bound = top.BoundPtr();
+  // Per-task approximation accounting, one private slot per shard (no
+  // locking); summed into options.knn_stats after the scatter barrier.
+  std::vector<KnnExecStats> task_knn(shards_.size());
 
-  HT_RETURN_NOT_OK(RunOnShards(options, [&](size_t s) -> Status {
+  Status run = RunOnShards(options, [&](size_t s) -> Status {
     const Shard& shard = *shards_[s];
     if (shard.tree->size() == 0) return Status::OK();
-    HybridTree::KnnCursor cursor = shard.tree->OpenKnnCursor(center, metric);
+    HybridTree::KnnCursor cursor =
+        shard.tree->OpenKnnCursor(center, metric, copts);
+    Status st = Status::OK();
     for (;;) {
       if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
-        return Status::Cancelled("request cancelled");
+        st = Status::Cancelled("request cancelled");
+        break;
       }
       if (deadline > 0.0 && timer.Seconds() > deadline) {
-        return Status::DeadlineExceeded("deadline exceeded mid k-NN");
+        st = Status::DeadlineExceeded("deadline exceeded mid k-NN");
+        break;
       }
-      HT_ASSIGN_OR_RETURN(auto next, cursor.Next());
+      auto next_or = cursor.Next();
+      if (!next_or.ok()) {
+        st = next_or.status();
+        break;
+      }
+      const auto& next = next_or.ValueOrDie();
       if (!next.has_value()) break;
       // Cross-shard bound tightening: the cursor streams ascending, so
       // once its next candidate lies strictly beyond the shared k-th
@@ -358,8 +392,14 @@ Status ShardedIndex::SearchKnn(
       if (next->first > top.Bound()) break;
       top.Offer(next->first, shard.local_to_global[next->second]);
     }
-    return Status::OK();
-  }));
+    task_knn[s].leaf_visits = cursor.leaf_visits();
+    if (cursor.early_terminated()) task_knn[s].early_terminations = 1;
+    return st;
+  });
+  if (options.knn_stats != nullptr) {
+    for (const KnnExecStats& kn : task_knn) options.knn_stats->Accumulate(kn);
+  }
+  HT_RETURN_NOT_OK(run);
   *out = top.TakeSorted();
   return Status::OK();
 }

@@ -283,7 +283,7 @@ Result<PageHandle> BufferPool::Fetch(PageId id, std::source_location loc) {
   }
   ++shard.stats.class_misses[cls];
   if (IoStats* tls = g_tls_io_sink) ++tls->class_misses[cls];
-  HT_RETURN_NOT_OK(EvictOneIfNeeded(shard));
+  HT_RETURN_NOT_OK(EvictOneIfNeeded(shard, /*demand=*/true));
   auto frame = std::make_unique<Frame>(file_->page_size());
   {
     // Shared lock: positional reads run concurrently with each other and
@@ -388,7 +388,7 @@ Status BufferPool::FetchMany(std::span<const PageId> ids,
         f->admit_class = CurrentAccessClass();
       }
     } else {
-      Status evict_status = EvictOneIfNeeded(shard);
+      Status evict_status = EvictOneIfNeeded(shard, /*demand=*/true);
       if (!evict_status.ok()) {
         lock.Unlock();  // out->clear() re-locks shards
         out->clear();
@@ -498,7 +498,9 @@ void BufferPool::FillPrefetch(std::vector<PageId> ids, bool async) {
         bumped[ShardIndex(id)] = true;
         ++shard.prefetch_gen;
       }
-      if (!EvictOneIfNeeded(shard).ok()) continue;  // no room: drop page
+      // Speculative fill: never overflow a pinned-full shard — drop the
+      // page instead and let demand re-read it if it is actually needed.
+      if (!EvictOneIfNeeded(shard, /*demand=*/false).ok()) continue;
       ++shard.stats.physical_reads;
       if (IoStats* tls = g_tls_io_sink) ++tls->physical_reads;
       Frame* f = frames[i].get();
@@ -564,7 +566,7 @@ Result<PageHandle> BufferPool::New(std::source_location loc) {
     ++tls->allocations;
     ++tls->logical_reads;
   }
-  HT_RETURN_NOT_OK(EvictOneIfNeeded(shard));
+  HT_RETURN_NOT_OK(EvictOneIfNeeded(shard, /*demand=*/true));
   auto frame = std::make_unique<Frame>(file_->page_size());
   frame->dirty = true;
   frame->pins = 1;
@@ -618,13 +620,26 @@ void BufferPool::Unpin(PageId id, Frame* f) {
   }
 }
 
-Status BufferPool::EvictOneIfNeeded(Shard& shard) {
+Status BufferPool::EvictOneIfNeeded(Shard& shard, bool demand) {
   const size_t cap = shard_capacity_.load(std::memory_order_relaxed);
   if (cap == 0) return Status::OK();
-  // Loops only after a capacity shrink left the shard over target; at a
-  // fixed capacity this evicts at most one frame, exactly like classic LRU.
+  // Loops only after a capacity shrink (or a pin overflow, below) left the
+  // shard over target; at a fixed capacity this evicts at most one frame,
+  // exactly like classic LRU.
   while (shard.frames.size() >= cap) {
-    HT_RETURN_NOT_OK(EvictVictimLocked(shard));
+    Status s = EvictVictimLocked(shard);
+    if (s.ok()) continue;
+    if (demand && s.IsResourceExhausted()) {
+      // Every resident frame is pinned by an in-flight query. A demand
+      // fetch must not fail on that transient state — concurrent workers
+      // would see spurious ResourceExhausted whenever their pins happen
+      // to overlap — so admit the frame over capacity and let this very
+      // loop evict back down to target once pins release.
+      ++shard.stats.pin_overflows;
+      if (IoStats* tls = g_tls_io_sink) ++tls->pin_overflows;
+      return Status::OK();
+    }
+    return s;
   }
   return Status::OK();
 }
@@ -764,21 +779,26 @@ Status BufferPool::EvictAll() {
 }
 
 void BufferPool::CountScan(PageId id, uint64_t rows, uint64_t survivors,
-                           bool filtered) {
+                           bool filtered, bool cursor) {
+  const auto charge = [&](IoStats* s) {
+    if (cursor) {
+      s->cursor_scan_points += rows;
+      if (filtered) {
+        s->cursor_quant_refined += survivors;
+        s->cursor_quant_pruned += rows - survivors;
+      }
+    } else {
+      s->scan_points += rows;
+      if (filtered) {
+        s->quant_refined += survivors;
+        s->quant_pruned += rows - survivors;
+      }
+    }
+  };
   Shard& shard = ShardFor(id);
   MutexLock lock(&shard.mu, concurrent_);
-  shard.stats.scan_points += rows;
-  if (filtered) {
-    shard.stats.quant_refined += survivors;
-    shard.stats.quant_pruned += rows - survivors;
-  }
-  if (IoStats* tls = g_tls_io_sink) {
-    tls->scan_points += rows;
-    if (filtered) {
-      tls->quant_refined += survivors;
-      tls->quant_pruned += rows - survivors;
-    }
-  }
+  charge(&shard.stats);
+  if (IoStats* tls = g_tls_io_sink) charge(tls);
 }
 
 const IoStats& BufferPool::stats() const {

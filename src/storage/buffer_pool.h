@@ -364,8 +364,11 @@ class BufferPool {
   /// of them passed the quantized-code filter and were refined exactly
   /// (the rest were pruned by the code lower bound). Counted into the
   /// page's shard stats and the thread-local IoStatsScope sink, like any
-  /// other pool operation.
-  void CountScan(PageId id, uint64_t rows, uint64_t survivors, bool filtered);
+  /// other pool operation. Scans driven by an incremental KnnCursor pass
+  /// `cursor` and are charged to the cursor_* duals instead, so the two
+  /// scan paths stay separately observable.
+  void CountScan(PageId id, uint64_t rows, uint64_t survivors, bool filtered,
+                 bool cursor = false);
 
   /// Sum of the shard counters. The returned reference stays valid but is
   /// only refreshed by the next stats() call. Call from one thread at a
@@ -509,8 +512,13 @@ class BufferPool {
   /// budget.
   void EnforceProtectedCapLocked(Shard& shard) HT_REQUIRES(shard.mu);
   /// Evicts down to the shard capacity (at most one eviction in steady
-  /// state).
-  Status EvictOneIfNeeded(Shard& shard) HT_REQUIRES(shard.mu);
+  /// state). When every resident frame is pinned, `demand` decides the
+  /// outcome: demand fetches admit the new frame over capacity (counted
+  /// in pin_overflows; the loop drains the shard back to target once pins
+  /// release) so concurrent queries never fail on transient pin
+  /// saturation, while speculative fills (demand=false) report
+  /// ResourceExhausted and the caller drops the page.
+  Status EvictOneIfNeeded(Shard& shard, bool demand) HT_REQUIRES(shard.mu);
   /// Evicts one unpinned frame in policy order (kSlru: prefetch queue,
   /// then probation, then protected; kLru: the LRU tail), charging the
   /// eviction to the victim's admitting class.

@@ -80,6 +80,21 @@ struct IoStats {
   /// distance computation. scan_points on a filtered page splits exactly
   /// into quant_refined + quant_pruned.
   uint64_t quant_pruned = 0;
+  /// Cursor-path duals of scan_points / quant_refined / quant_pruned:
+  /// data-page scans driven by an incremental KnnCursor count here INSTEAD
+  /// of the batch-path counters above, so cursor-path pruning (the serving
+  /// tier's scatter-gather k-NN) is distinguishable from batch-path
+  /// pruning. Same splitting invariant: cursor_scan_points on a filtered
+  /// page is exactly cursor_quant_refined + cursor_quant_pruned.
+  uint64_t cursor_scan_points = 0;
+  uint64_t cursor_quant_refined = 0;
+  uint64_t cursor_quant_pruned = 0;
+  /// Demand fetches (Fetch / FetchMany / New) admitted over a shard's
+  /// capacity target because every resident frame was pinned by concurrent
+  /// queries. The overflow is transient: the eviction loop drains the
+  /// shard back to target as soon as pins release. A persistently nonzero
+  /// rate means the pool is undersized for its concurrency.
+  uint64_t pin_overflows = 0;
 
   /// Per-access-class cache counters, indexed by AccessClass. Hits and
   /// misses cover demand accesses (Fetch / FetchMany) only — New() and
@@ -102,6 +117,16 @@ struct IoStats {
         physical_reads < logical_reads ? physical_reads : logical_reads;
     return 1.0 - static_cast<double>(misses) /
                      static_cast<double>(logical_reads);
+  }
+
+  /// Fraction of all scanned points — batch and cursor paths combined —
+  /// pruned by the quantized-code lower bound without an exact distance
+  /// computation. 0 when no points were scanned.
+  double QuantPruneRate() const {
+    const uint64_t total = scan_points + cursor_scan_points;
+    if (total == 0) return 0.0;
+    return static_cast<double>(quant_pruned + cursor_quant_pruned) /
+           static_cast<double>(total);
   }
 
   /// Demand-fetch hit rate of one access class (class_hits over
@@ -128,6 +153,10 @@ struct IoStats {
     scan_points += other.scan_points;
     quant_refined += other.quant_refined;
     quant_pruned += other.quant_pruned;
+    cursor_scan_points += other.cursor_scan_points;
+    cursor_quant_refined += other.cursor_quant_refined;
+    cursor_quant_pruned += other.cursor_quant_pruned;
+    pin_overflows += other.pin_overflows;
     for (size_t c = 0; c < kNumAccessClasses; ++c) {
       class_hits[c] += other.class_hits[c];
       class_misses[c] += other.class_misses[c];
@@ -150,6 +179,10 @@ struct IoStats {
     d.scan_points = scan_points - since.scan_points;
     d.quant_refined = quant_refined - since.quant_refined;
     d.quant_pruned = quant_pruned - since.quant_pruned;
+    d.cursor_scan_points = cursor_scan_points - since.cursor_scan_points;
+    d.cursor_quant_refined = cursor_quant_refined - since.cursor_quant_refined;
+    d.cursor_quant_pruned = cursor_quant_pruned - since.cursor_quant_pruned;
+    d.pin_overflows = pin_overflows - since.pin_overflows;
     for (size_t c = 0; c < kNumAccessClasses; ++c) {
       d.class_hits[c] = class_hits[c] - since.class_hits[c];
       d.class_misses[c] = class_misses[c] - since.class_misses[c];

@@ -200,6 +200,10 @@ TEST_F(PrefetchIntegrationTest, ExecutorIoPoolMatchesSerialReference) {
   ASSERT_TRUE(report_r.ok()) << report_r.status().ToString();
   const BatchReport& report = *report_r;
   ASSERT_EQ(report.results.size(), 3 * kQueries);
+  for (size_t i = 0; i < report.results.size(); ++i) {
+    EXPECT_TRUE(report.results[i].status.ok())
+        << "slot " << i << ": " << report.results[i].status.ToString();
+  }
   EXPECT_EQ(report.failed, 0u);
   for (size_t i = 0; i < kQueries; ++i) {
     EXPECT_EQ(report.results[3 * i].ids, base.box[i]) << "q" << i;
